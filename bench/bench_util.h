@@ -1,0 +1,81 @@
+// Shared scaffolding for the paper-reproduction benches. Each bench binary
+// regenerates one table or figure from the paper (see DESIGN.md §4) and
+// prints it in the paper's row/series layout.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/clio/log_service.h"
+#include "src/device/memory_worm_device.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace clio {
+namespace bench {
+
+#define BENCH_CHECK_OK(expr)                                        \
+  do {                                                              \
+    auto _st = (expr);                                              \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "BENCH FATAL at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, _st.ToString().c_str());               \
+      std::abort();                                                 \
+    }                                                               \
+  } while (0)
+
+inline double UsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct BenchService {
+  std::unique_ptr<SimulatedClock> clock;
+  std::unique_ptr<LogService> service;
+
+  static BenchService Make(uint32_t block_size, uint64_t capacity_blocks,
+                           uint16_t degree, size_t cache_blocks) {
+    BenchService b;
+    b.clock = std::make_unique<SimulatedClock>(1'000'000, 11);
+    MemoryWormOptions dev;
+    dev.block_size = block_size;
+    dev.capacity_blocks = capacity_blocks;
+    LogServiceOptions options;
+    options.entrymap_degree = degree;
+    options.cache_blocks = cache_blocks;
+    options.sequence_id = 0xBE7C4;
+    auto service = LogService::Create(
+        std::make_unique<MemoryWormDevice>(dev), b.clock.get(), options);
+    BENCH_CHECK_OK(service.status());
+    b.service = std::move(service).value();
+    b.service->set_volume_factory(
+        [dev](uint32_t) -> Result<std::unique_ptr<WormDevice>> {
+          return std::unique_ptr<WormDevice>(
+              std::make_unique<MemoryWormDevice>(dev));
+        });
+    return b;
+  }
+};
+
+inline Bytes FillPayload(Rng* rng, size_t size) {
+  Bytes out(size);
+  for (auto& b : out) {
+    b = static_cast<std::byte>('a' + rng->Below(26));
+  }
+  return out;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s\n  (reproduces %s)\n", title, paper_ref);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace bench
+}  // namespace clio
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,74 @@
+// Client/server logging over synchronous IPC (paper §3.2's configuration:
+// client and log server as separate contexts, a basic synchronous
+// send/receive/reply round trip between them).
+#include <cstdio>
+#include <memory>
+
+#include "src/device/memory_worm_device.h"
+#include "src/ipc/log_server.h"
+
+namespace {
+
+#define CHECK_OK(expr)                                             \
+  do {                                                             \
+    auto _st = (expr);                                             \
+    if (!_st.ok()) {                                               \
+      std::fprintf(stderr, "FATAL: %s\n", _st.ToString().c_str()); \
+      return 1;                                                    \
+    }                                                              \
+  } while (0)
+
+}  // namespace
+
+int main() {
+  using namespace clio;
+
+  MemoryWormOptions device_options;
+  device_options.capacity_blocks = 1 << 16;
+  RealTimeSource clock;
+  auto service = LogService::Create(
+      std::make_unique<MemoryWormDevice>(device_options), &clock, {});
+  CHECK_OK(service.status());
+
+  // The channel models the V-System IPC the paper measured at 0.5-1 ms per
+  // local round trip (§3.2); here we charge 250 us each way.
+  IpcChannel channel(/*simulated_latency_us=*/250);
+  LogServer server(service.value().get(), &channel);
+  server.Start();
+
+  LogClient client(&channel);
+  CHECK_OK(client.CreateLogFile("/events").status());
+
+  auto started = std::chrono::steady_clock::now();
+  const int kWrites = 50;
+  for (int i = 0; i < kWrites; ++i) {
+    CHECK_OK(client
+                 .Append("/events", AsBytes("event-" + std::to_string(i)),
+                         /*timestamped=*/true)
+                 .status());
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - started)
+                     .count();
+  std::printf("%d synchronous writes through IPC: %.2f ms each "
+              "(IPC floor: 0.5 ms)\n",
+              kWrites, static_cast<double>(elapsed) / kWrites / 1000.0);
+
+  // Read a few entries back through the same channel.
+  auto handle = client.OpenReader("/events");
+  CHECK_OK(handle.status());
+  CHECK_OK(client.SeekToEnd(*handle));
+  std::printf("-- newest three events --\n");
+  for (int i = 0; i < 3; ++i) {
+    auto record = client.ReadPrev(*handle);
+    CHECK_OK(record.status());
+    std::printf("  %s (t=%lld)\n",
+                ToString(record.value()->payload).c_str(),
+                static_cast<long long>(record.value()->timestamp));
+  }
+  CHECK_OK(client.CloseReader(*handle));
+
+  server.Stop();
+  std::printf("remote_logging: OK\n");
+  return 0;
+}

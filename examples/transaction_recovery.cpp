@@ -1,0 +1,119 @@
+// Transaction recovery over a persistent write-once volume (paper §1, §2.3).
+//
+// Phase 1 runs a key-value store whose write-ahead log lives on a
+// file-backed WORM device, commits some transactions (forced writes) and
+// "crashes" with one transaction uncommitted. Phase 2 reopens the same
+// device files, runs the §2.3.1 recovery, and shows that exactly the
+// committed state survives.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/apps/txn_log.h"
+#include "src/device/file_worm_device.h"
+#include "src/util/time.h"
+
+namespace {
+
+#define CHECK_OK(expr)                                             \
+  do {                                                             \
+    auto _st = (expr);                                             \
+    if (!_st.ok()) {                                               \
+      std::fprintf(stderr, "FATAL: %s\n", _st.ToString().c_str()); \
+      return 1;                                                    \
+    }                                                              \
+  } while (0)
+
+}  // namespace
+
+int main() {
+  using namespace clio;
+
+  const std::string device_path = "/tmp/clio_txn_example.dev";
+  std::remove(device_path.c_str());
+  std::remove((device_path + ".state").c_str());
+
+  FileWormOptions device_options;
+  device_options.block_size = 1024;
+  device_options.capacity_blocks = 4096;
+  RealTimeSource clock;
+
+  // -- Phase 1: normal operation, then a crash. --
+  {
+    auto device = FileWormDevice::Open(device_path, device_options);
+    CHECK_OK(device.status());
+    auto service = LogService::Create(std::move(device).value(), &clock, {});
+    CHECK_OK(service.status());
+    auto store = TxnKvStore::Create(service.value().get());
+    CHECK_OK(store.status());
+
+    auto t1 = store.value()->Begin();
+    CHECK_OK(t1.status());
+    CHECK_OK(store.value()->Put(*t1, "alice", "1000"));
+    CHECK_OK(store.value()->Put(*t1, "bob", "500"));
+    CHECK_OK(store.value()->Commit(*t1));  // forced to the WORM device
+
+    auto t2 = store.value()->Begin();
+    CHECK_OK(t2.status());
+    CHECK_OK(store.value()->Put(*t2, "alice", "900"));
+    CHECK_OK(store.value()->Put(*t2, "bob", "600"));
+    CHECK_OK(store.value()->Commit(*t2));
+
+    auto t3 = store.value()->Begin();
+    CHECK_OK(t3.status());
+    CHECK_OK(store.value()->Put(*t3, "alice", "0"));
+    CHECK_OK(store.value()->Put(*t3, "mallory", "1500"));
+    std::printf("phase 1: committed 2 transactions; txn %llu in flight "
+                "when the server dies\n",
+                static_cast<unsigned long long>(*t3));
+    // No Commit for t3: the process state vanishes here.
+  }
+
+  // -- Phase 2: reboot and recover from the media alone. --
+  {
+    auto device = FileWormDevice::Open(device_path, device_options);
+    CHECK_OK(device.status());
+    std::vector<std::unique_ptr<WormDevice>> devices;
+    devices.push_back(std::move(device).value());
+    RecoveryReport report;
+    auto service = LogService::Recover(std::move(devices), &clock, {},
+                                       &report);
+    CHECK_OK(service.status());
+    std::printf("phase 2: recovery read %llu blocks to find the end, "
+                "%llu for the entrymap tail, %llu for the catalog\n",
+                static_cast<unsigned long long>(report.end_location_reads),
+                static_cast<unsigned long long>(report.tail_scan_blocks),
+                static_cast<unsigned long long>(
+                    report.catalog_replay_blocks));
+
+    auto store = TxnKvStore::Recover(service.value().get());
+    CHECK_OK(store.status());
+    auto get = [&](const char* key) {
+      auto v = store.value()->Get(key);
+      return v.has_value() ? *v : std::string("(absent)");
+    };
+    std::printf("recovered state: alice=%s bob=%s mallory=%s "
+                "(%llu txns replayed)\n",
+                get("alice").c_str(), get("bob").c_str(),
+                get("mallory").c_str(),
+                static_cast<unsigned long long>(
+                    store.value()->replayed_txns()));
+    if (get("alice") != "900" || get("bob") != "600" ||
+        get("mallory") != "(absent)") {
+      std::fprintf(stderr, "FATAL: recovered state is wrong\n");
+      return 1;
+    }
+
+    // Life goes on: the recovered store accepts new transactions.
+    auto t4 = store.value()->Begin();
+    CHECK_OK(t4.status());
+    CHECK_OK(store.value()->Put(*t4, "carol", "250"));
+    CHECK_OK(store.value()->Commit(*t4));
+    std::printf("post-recovery commit: carol=%s\n", get("carol").c_str());
+  }
+
+  std::remove(device_path.c_str());
+  std::remove((device_path + ".state").c_str());
+  std::printf("transaction_recovery: OK\n");
+  return 0;
+}

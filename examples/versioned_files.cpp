@@ -1,0 +1,83 @@
+// History-based file service (paper §4.1).
+//
+// Every write is a log entry in the file's history; the "current" file is a
+// cached summary. Any earlier version can be extracted by replaying the
+// history up to a time — no separate backup or archive mechanism.
+#include <cstdio>
+#include <memory>
+
+#include "src/apps/history_file_server.h"
+#include "src/device/memory_worm_device.h"
+#include "src/util/time.h"
+
+namespace {
+
+#define CHECK_OK(expr)                                             \
+  do {                                                             \
+    auto _st = (expr);                                             \
+    if (!_st.ok()) {                                               \
+      std::fprintf(stderr, "FATAL: %s\n", _st.ToString().c_str()); \
+      return 1;                                                    \
+    }                                                              \
+  } while (0)
+
+}  // namespace
+
+int main() {
+  using namespace clio;
+
+  MemoryWormOptions device_options;
+  device_options.capacity_blocks = 1 << 16;
+  SimulatedClock clock(1'000'000, 3);  // deterministic timestamps
+  auto service = LogService::Create(
+      std::make_unique<MemoryWormDevice>(device_options), &clock, {});
+  CHECK_OK(service.status());
+
+  auto hfs = HistoryFileServer::Create(service.value().get());
+  CHECK_OK(hfs.status());
+  HistoryFileServer& files = *hfs.value();
+
+  CHECK_OK(files.CreateFile("report.txt"));
+  CHECK_OK(files.Write("report.txt", 0, AsBytes("Draft: logs are files")));
+  Timestamp after_draft = clock.Now();
+  clock.Advance(60'000'000);  // a minute later
+
+  CHECK_OK(files.Write("report.txt", 0, AsBytes("Final")));
+  CHECK_OK(files.Write("report.txt", 5, AsBytes(": logs are append-only "
+                                                "files")));
+  Timestamp after_final = clock.Now();
+  clock.Advance(60'000'000);
+
+  CHECK_OK(files.Truncate("report.txt", 5));  // someone truncates it
+
+  auto current = files.ReadCurrent("report.txt");
+  CHECK_OK(current.status());
+  std::printf("current:      '%s'\n", ToString(current.value()).c_str());
+
+  auto draft = files.ReadVersionAt("report.txt", after_draft);
+  CHECK_OK(draft.status());
+  std::printf("draft (t1):   '%s'\n", ToString(draft.value()).c_str());
+
+  auto final_version = files.ReadVersionAt("report.txt", after_final);
+  CHECK_OK(final_version.status());
+  std::printf("final (t2):   '%s'\n", ToString(final_version.value()).c_str());
+
+  // The audit question "who did what, when?" is answered by the history.
+  auto history = files.History("report.txt");
+  CHECK_OK(history.status());
+  std::printf("-- update history --\n");
+  for (const auto& [at, what] : history.value()) {
+    std::printf("  t=%lld  %s\n", static_cast<long long>(at), what.c_str());
+  }
+
+  // The server's cache is disposable (§4): rebuild and compare.
+  CHECK_OK(files.RebuildCache());
+  auto rebuilt = files.ReadCurrent("report.txt");
+  CHECK_OK(rebuilt.status());
+  if (ToString(rebuilt.value()) != ToString(current.value())) {
+    std::fprintf(stderr, "FATAL: rebuild mismatch\n");
+    return 1;
+  }
+  std::printf("versioned_files: OK (cache rebuild matches)\n");
+  return 0;
+}

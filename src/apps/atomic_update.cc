@@ -1,0 +1,157 @@
+#include "src/apps/atomic_update.h"
+
+#include <map>
+#include <utility>
+
+namespace clio {
+namespace {
+
+constexpr uint8_t kOpIntent = 1;
+constexpr uint8_t kOpComplete = 2;
+
+Bytes EncodeIntent(uint64_t group,
+                   const std::vector<AtomicFileStore::FileUpdate>& updates) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU8(kOpIntent);
+  w.PutU64(group);
+  w.PutU16(static_cast<uint16_t>(updates.size()));
+  for (const auto& u : updates) {
+    w.PutString(u.path);
+    w.PutU32(static_cast<uint32_t>(u.contents.size()));
+    w.PutBytes(u.contents);
+  }
+  return out;
+}
+
+Bytes EncodeComplete(uint64_t group) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU8(kOpComplete);
+  w.PutU64(group);
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AtomicFileStore>> AtomicFileStore::Create(
+    LogService* log_service, UnixFs* fs, std::string wal_path) {
+  auto created = log_service->CreateLogFile(wal_path);
+  if (!created.ok() &&
+      created.status().code() != StatusCode::kAlreadyExists) {
+    return created.status();
+  }
+  return std::unique_ptr<AtomicFileStore>(
+      new AtomicFileStore(log_service, fs, std::move(wal_path)));
+}
+
+Result<std::unique_ptr<AtomicFileStore>> AtomicFileStore::Recover(
+    LogService* log_service, UnixFs* fs, std::string wal_path) {
+  CLIO_RETURN_IF_ERROR(log_service->Resolve(wal_path).status());
+  std::unique_ptr<AtomicFileStore> store(
+      new AtomicFileStore(log_service, fs, std::move(wal_path)));
+  CLIO_RETURN_IF_ERROR(store->ReplayUnfinished());
+  return store;
+}
+
+Status AtomicFileStore::Apply(const std::vector<FileUpdate>& updates) {
+  for (const FileUpdate& u : updates) {
+    auto inode = fs_->Lookup(u.path);
+    if (!inode.ok()) {
+      if (inode.status().code() != StatusCode::kNotFound) {
+        return inode.status();
+      }
+      CLIO_ASSIGN_OR_RETURN(uint32_t fresh, fs_->CreateFile(u.path));
+      inode = fresh;
+    }
+    // Replace semantics: truncate away any longer previous contents first,
+    // so a redo after a partial apply is idempotent.
+    CLIO_RETURN_IF_ERROR(fs_->Truncate(inode.value(), 0));
+    if (!u.contents.empty()) {
+      CLIO_RETURN_IF_ERROR(fs_->Write(inode.value(), 0, u.contents));
+    }
+  }
+  return Status::Ok();
+}
+
+Status AtomicFileStore::UpdateAtomically(
+    const std::vector<FileUpdate>& updates) {
+  if (updates.empty()) {
+    return Status::Ok();
+  }
+  uint64_t group = next_group_++;
+  // 1. The intent entry is the commit point; it is one log entry, so the
+  //    whole group becomes durable atomically (fragments of one entry are
+  //    reassembled or the entry is torn — never half the files).
+  WriteOptions forced;
+  forced.timestamped = true;
+  forced.force = true;
+  CLIO_RETURN_IF_ERROR(
+      log_service_->Append(wal_path_, EncodeIntent(group, updates), forced)
+          .status());
+  // 2. Apply to the conventional file system.
+  CLIO_RETURN_IF_ERROR(Apply(updates));
+  // 3. Completion marker (asynchronous: losing it only costs a redo).
+  CLIO_RETURN_IF_ERROR(
+      log_service_->Append(wal_path_, EncodeComplete(group)).status());
+  return Status::Ok();
+}
+
+Status AtomicFileStore::Update(std::string_view path,
+                               std::span<const std::byte> contents) {
+  std::vector<FileUpdate> updates(1);
+  updates[0].path = std::string(path);
+  updates[0].contents.assign(contents.begin(), contents.end());
+  return UpdateAtomically(updates);
+}
+
+Status AtomicFileStore::ReplayUnfinished() {
+  CLIO_ASSIGN_OR_RETURN(auto reader, log_service_->OpenReader(wal_path_));
+  reader->SeekToStart();
+  std::map<uint64_t, std::vector<FileUpdate>> unfinished;
+  uint64_t max_group = 0;
+  while (true) {
+    CLIO_ASSIGN_OR_RETURN(auto record, reader->Next());
+    if (!record.has_value()) {
+      break;
+    }
+    ByteReader r(record->payload);
+    uint8_t op = r.GetU8();
+    uint64_t group = r.GetU64();
+    if (r.failed()) {
+      continue;
+    }
+    max_group = std::max(max_group, group);
+    if (op == kOpComplete) {
+      unfinished.erase(group);
+      continue;
+    }
+    if (op != kOpIntent || record->truncated) {
+      continue;  // torn intent: never became the commit point
+    }
+    uint16_t n = r.GetU16();
+    std::vector<FileUpdate> updates;
+    for (uint16_t i = 0; i < n && !r.failed(); ++i) {
+      FileUpdate u;
+      u.path = r.GetString();
+      uint32_t size = r.GetU32();
+      auto data = r.GetBytes(size);
+      u.contents.assign(data.begin(), data.end());
+      updates.push_back(std::move(u));
+    }
+    if (!r.failed()) {
+      unfinished[group] = std::move(updates);
+    }
+  }
+  // Redo in group order; idempotent because Apply replaces whole contents.
+  for (auto& [group, updates] : unfinished) {
+    CLIO_RETURN_IF_ERROR(Apply(updates));
+    CLIO_RETURN_IF_ERROR(
+        log_service_->Append(wal_path_, EncodeComplete(group)).status());
+    ++redo_count_;
+  }
+  next_group_ = max_group + 1;
+  return Status::Ok();
+}
+
+}  // namespace clio

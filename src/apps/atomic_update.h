@@ -1,0 +1,70 @@
+// Atomic update of regular files using log files for recovery.
+//
+// The paper's conclusion (§6) states the planned next step for Clio: "we
+// plan to implement atomic update of (regular) files, using log files for
+// recovery". This module implements it: a redo write-ahead log on the log
+// service protects updates to files in a conventional (rewritable) UnixFs.
+//
+// Protocol per update group:
+//   1. one *intent* log entry holding every (path, new contents) pair is
+//      force-written — a single log entry, so the group is atomic by
+//      construction;
+//   2. the files are rewritten in the conventional file system;
+//   3. a *completion* entry (async) marks the group applied.
+// Recovery replays intents without completions (idempotent redo), so a
+// crash between 1 and 3 repairs the conventional file system instead of
+// corrupting it.
+#ifndef SRC_APPS_ATOMIC_UPDATE_H_
+#define SRC_APPS_ATOMIC_UPDATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/clio/log_service.h"
+#include "src/vfs/unix_fs.h"
+
+namespace clio {
+
+class AtomicFileStore {
+ public:
+  static Result<std::unique_ptr<AtomicFileStore>> Create(
+      LogService* log_service, UnixFs* fs, std::string wal_path = "/fswal");
+
+  // Attach after a restart: replays unfinished intents against the file
+  // system before returning (the §2.3.1 recovery pattern).
+  static Result<std::unique_ptr<AtomicFileStore>> Recover(
+      LogService* log_service, UnixFs* fs, std::string wal_path = "/fswal");
+
+  struct FileUpdate {
+    std::string path;
+    Bytes contents;  // full new contents (replace semantics)
+  };
+
+  // Atomically replaces the contents of every named file: all of them end
+  // up updated, or (after a crash + Recover) all of them do — never a mix.
+  Status UpdateAtomically(const std::vector<FileUpdate>& updates);
+
+  // Single-file convenience form.
+  Status Update(std::string_view path, std::span<const std::byte> contents);
+
+  uint64_t redo_count() const { return redo_count_; }
+
+ private:
+  AtomicFileStore(LogService* log_service, UnixFs* fs, std::string wal_path)
+      : log_service_(log_service), fs_(fs), wal_path_(std::move(wal_path)) {}
+
+  Status Apply(const std::vector<FileUpdate>& updates);
+  Status ReplayUnfinished();
+
+  LogService* log_service_;
+  UnixFs* fs_;
+  std::string wal_path_;
+  uint64_t next_group_ = 1;
+  uint64_t redo_count_ = 0;
+};
+
+}  // namespace clio
+
+#endif  // SRC_APPS_ATOMIC_UPDATE_H_

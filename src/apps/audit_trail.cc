@@ -1,0 +1,141 @@
+#include "src/apps/audit_trail.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace clio {
+
+std::string AuditTrail::CategoryName(AuditEventType type) {
+  switch (type) {
+    case AuditEventType::kLogin:
+      return "login";
+    case AuditEventType::kLogout:
+      return "logout";
+    case AuditEventType::kLoginFailed:
+      return "login-failed";
+    case AuditEventType::kPermissionChange:
+      return "perm-change";
+  }
+  return "unknown";
+}
+
+Bytes AuditTrail::Encode(const AuditEvent& event) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU8(static_cast<uint8_t>(event.type));
+  w.PutString(event.user);
+  w.PutString(event.terminal);
+  return out;
+}
+
+Result<AuditEvent> AuditTrail::Decode(Timestamp at,
+                                      std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  AuditEvent event;
+  event.at = at;
+  event.type = static_cast<AuditEventType>(r.GetU8());
+  event.user = r.GetString();
+  event.terminal = r.GetString();
+  if (r.failed()) {
+    return Corrupt("malformed audit record");
+  }
+  return event;
+}
+
+Result<std::unique_ptr<AuditTrail>> AuditTrail::Create(LogService* service,
+                                                       std::string root) {
+  auto created = service->CreateLogFile(root);
+  if (!created.ok() &&
+      created.status().code() != StatusCode::kAlreadyExists) {
+    return created.status();
+  }
+  for (AuditEventType type :
+       {AuditEventType::kLogin, AuditEventType::kLogout,
+        AuditEventType::kLoginFailed, AuditEventType::kPermissionChange}) {
+    auto sub = service->CreateLogFile(root + "/" + CategoryName(type));
+    if (!sub.ok() && sub.status().code() != StatusCode::kAlreadyExists) {
+      return sub.status();
+    }
+  }
+  return std::unique_ptr<AuditTrail>(new AuditTrail(service,
+                                                    std::move(root)));
+}
+
+Result<std::unique_ptr<AuditTrail>> AuditTrail::Attach(LogService* service,
+                                                       std::string root) {
+  CLIO_RETURN_IF_ERROR(service->Resolve(root).status());
+  return std::unique_ptr<AuditTrail>(new AuditTrail(service,
+                                                    std::move(root)));
+}
+
+Result<Timestamp> AuditTrail::Record(AuditEventType type,
+                                     std::string_view user,
+                                     std::string_view terminal) {
+  AuditEvent event;
+  event.type = type;
+  event.user = std::string(user);
+  event.terminal = std::string(terminal);
+  WriteOptions opts;
+  opts.timestamped = true;
+  opts.force = true;  // audit records must not be lost
+  CLIO_ASSIGN_OR_RETURN(
+      AppendResult result,
+      service_->Append(root_ + "/" + CategoryName(type), Encode(event),
+                       opts));
+  return result.timestamp;
+}
+
+Result<std::vector<AuditEvent>> AuditTrail::Scan(const std::string& path,
+                                                 Timestamp from,
+                                                 Timestamp to) {
+  CLIO_ASSIGN_OR_RETURN(auto reader, service_->OpenReader(path));
+  CLIO_RETURN_IF_ERROR(reader->SeekToTime(from - 1));
+  std::vector<AuditEvent> events;
+  while (true) {
+    CLIO_ASSIGN_OR_RETURN(auto record, reader->Next());
+    if (!record.has_value() || record->timestamp > to) {
+      break;
+    }
+    auto event = Decode(record->timestamp, record->payload);
+    if (event.ok()) {
+      events.push_back(std::move(event).value());
+    }
+  }
+  return events;
+}
+
+Result<std::vector<AuditEvent>> AuditTrail::EventsBetween(Timestamp from,
+                                                          Timestamp to) {
+  return Scan(root_, from, to);
+}
+
+Result<std::vector<AuditEvent>> AuditTrail::FailedLoginsBetween(
+    Timestamp from, Timestamp to) {
+  return Scan(root_ + "/" + CategoryName(AuditEventType::kLoginFailed), from,
+              to);
+}
+
+Result<std::vector<std::string>> AuditTrail::DetectBruteForce(
+    Timestamp window, int threshold) {
+  CLIO_ASSIGN_OR_RETURN(
+      auto failures,
+      FailedLoginsBetween(kTimestampMin + 1, kTimestampMax));
+  std::map<std::string, std::vector<Timestamp>> per_user;
+  for (const AuditEvent& event : failures) {
+    per_user[event.user].push_back(event.at);
+  }
+  std::vector<std::string> flagged;
+  for (auto& [user, times] : per_user) {
+    std::sort(times.begin(), times.end());
+    for (size_t i = 0; i + threshold <= times.size(); ++i) {
+      if (times[i + threshold - 1] - times[i] <= window) {
+        flagged.push_back(user);
+        break;
+      }
+    }
+  }
+  return flagged;
+}
+
+}  // namespace clio

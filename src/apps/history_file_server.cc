@@ -1,0 +1,202 @@
+#include "src/apps/history_file_server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace clio {
+namespace {
+
+constexpr uint8_t kOpWrite = 1;
+constexpr uint8_t kOpTruncate = 2;
+
+}  // namespace
+
+Result<std::unique_ptr<HistoryFileServer>> HistoryFileServer::Create(
+    LogService* service, std::string root) {
+  auto created = service->CreateLogFile(root);
+  if (!created.ok() &&
+      created.status().code() != StatusCode::kAlreadyExists) {
+    return created.status();
+  }
+  return std::unique_ptr<HistoryFileServer>(
+      new HistoryFileServer(service, std::move(root)));
+}
+
+Result<std::unique_ptr<HistoryFileServer>> HistoryFileServer::Attach(
+    LogService* service, std::string root) {
+  CLIO_RETURN_IF_ERROR(service->Resolve(root).status());
+  std::unique_ptr<HistoryFileServer> server(
+      new HistoryFileServer(service, std::move(root)));
+  CLIO_RETURN_IF_ERROR(server->RebuildCache());
+  return server;
+}
+
+std::string HistoryFileServer::PathFor(std::string_view name) const {
+  return root_ + "/" + std::string(name);
+}
+
+Bytes HistoryFileServer::EncodeWrite(uint64_t offset,
+                                     std::span<const std::byte> data) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU8(kOpWrite);
+  w.PutU64(offset);
+  w.PutU32(static_cast<uint32_t>(data.size()));
+  w.PutBytes(data);
+  return out;
+}
+
+Bytes HistoryFileServer::EncodeTruncate(uint64_t new_size) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU8(kOpTruncate);
+  w.PutU64(new_size);
+  return out;
+}
+
+Status HistoryFileServer::ApplyRecord(std::span<const std::byte> record,
+                                      Bytes* file) {
+  ByteReader r(record);
+  uint8_t op = r.GetU8();
+  switch (op) {
+    case kOpWrite: {
+      uint64_t offset = r.GetU64();
+      uint32_t size = r.GetU32();
+      auto data = r.GetBytes(size);
+      if (r.failed()) {
+        return Corrupt("malformed write record");
+      }
+      if (file->size() < offset + size) {
+        file->resize(offset + size, std::byte{0});
+      }
+      std::copy(data.begin(), data.end(), file->begin() + offset);
+      return Status::Ok();
+    }
+    case kOpTruncate: {
+      uint64_t new_size = r.GetU64();
+      if (r.failed()) {
+        return Corrupt("malformed truncate record");
+      }
+      file->resize(new_size, std::byte{0});
+      return Status::Ok();
+    }
+    default:
+      return Corrupt("unknown history record op");
+  }
+}
+
+Status HistoryFileServer::CreateFile(std::string_view name) {
+  CLIO_RETURN_IF_ERROR(service_->CreateLogFile(PathFor(name)).status());
+  cache_[std::string(name)] = Bytes{};
+  return Status::Ok();
+}
+
+Status HistoryFileServer::Write(std::string_view name, uint64_t offset,
+                                std::span<const std::byte> data) {
+  auto it = cache_.find(name);
+  if (it == cache_.end()) {
+    return NotFound("no such file '" + std::string(name) + "'");
+  }
+  // Log first (the history is the truth), then update the cached summary.
+  // Timestamped headers give ReadVersionAt() exact per-update resolution.
+  WriteOptions opts;
+  opts.timestamped = true;
+  CLIO_RETURN_IF_ERROR(
+      service_->Append(PathFor(name), EncodeWrite(offset, data), opts)
+          .status());
+  return ApplyRecord(EncodeWrite(offset, data), &it->second);
+}
+
+Status HistoryFileServer::Truncate(std::string_view name, uint64_t new_size) {
+  auto it = cache_.find(name);
+  if (it == cache_.end()) {
+    return NotFound("no such file '" + std::string(name) + "'");
+  }
+  WriteOptions opts;
+  opts.timestamped = true;
+  CLIO_RETURN_IF_ERROR(
+      service_->Append(PathFor(name), EncodeTruncate(new_size), opts)
+          .status());
+  return ApplyRecord(EncodeTruncate(new_size), &it->second);
+}
+
+Result<Bytes> HistoryFileServer::ReadCurrent(std::string_view name) {
+  auto it = cache_.find(name);
+  if (it == cache_.end()) {
+    return NotFound("no such file '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+Result<Bytes> HistoryFileServer::ReadVersionAt(std::string_view name,
+                                               Timestamp t) {
+  CLIO_ASSIGN_OR_RETURN(auto reader, service_->OpenReader(PathFor(name)));
+  reader->SeekToStart();
+  Bytes file;
+  while (true) {
+    CLIO_ASSIGN_OR_RETURN(auto record, reader->Next());
+    if (!record.has_value() || record->timestamp > t) {
+      break;
+    }
+    CLIO_RETURN_IF_ERROR(ApplyRecord(record->payload, &file));
+  }
+  return file;
+}
+
+Result<std::vector<std::pair<Timestamp, std::string>>>
+HistoryFileServer::History(std::string_view name) {
+  CLIO_ASSIGN_OR_RETURN(auto reader, service_->OpenReader(PathFor(name)));
+  reader->SeekToStart();
+  std::vector<std::pair<Timestamp, std::string>> out;
+  while (true) {
+    CLIO_ASSIGN_OR_RETURN(auto record, reader->Next());
+    if (!record.has_value()) {
+      break;
+    }
+    ByteReader r(record->payload);
+    uint8_t op = r.GetU8();
+    std::string description;
+    if (op == kOpWrite) {
+      uint64_t offset = r.GetU64();
+      uint32_t size = r.GetU32();
+      description = "write " + std::to_string(size) + "B @" +
+                    std::to_string(offset);
+    } else if (op == kOpTruncate) {
+      description = "truncate to " + std::to_string(r.GetU64()) + "B";
+    } else {
+      description = "unknown";
+    }
+    out.emplace_back(record->timestamp, std::move(description));
+  }
+  return out;
+}
+
+std::vector<std::string> HistoryFileServer::ListFiles() const {
+  std::vector<std::string> out;
+  out.reserve(cache_.size());
+  for (const auto& [name, contents] : cache_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+Status HistoryFileServer::RebuildCache() {
+  cache_.clear();
+  CLIO_ASSIGN_OR_RETURN(auto children, service_->List(root_));
+  for (const auto& [name, id] : children) {
+    CLIO_ASSIGN_OR_RETURN(auto reader, service_->OpenReaderById(id));
+    reader->SeekToStart();
+    Bytes file;
+    while (true) {
+      CLIO_ASSIGN_OR_RETURN(auto record, reader->Next());
+      if (!record.has_value()) {
+        break;
+      }
+      CLIO_RETURN_IF_ERROR(ApplyRecord(record->payload, &file));
+    }
+    cache_[name] = std::move(file);
+  }
+  return Status::Ok();
+}
+
+}  // namespace clio

@@ -1,0 +1,78 @@
+// History-based file server (paper §4.1).
+//
+// "A conventional file service can be implemented following the
+// history-based model. The file server maintains, in one or more log files,
+// a file history for each file that it stores... The file server can
+// extract, from the file history, either the current version of a file, or
+// an earlier version. (The contents of the current version are typically
+// cached.)"
+//
+// Every mutation (write, truncate) is a log entry in the file's own sublog
+// under a root log; the current contents are an in-memory cache that can be
+// dropped at any time and rebuilt by replaying the history — the paper's
+// "current state is merely a cached summary of the effect of this history".
+#ifndef SRC_APPS_HISTORY_FILE_SERVER_H_
+#define SRC_APPS_HISTORY_FILE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/clio/log_service.h"
+
+namespace clio {
+
+class HistoryFileServer {
+ public:
+  // Files live under `root` ("/hfs" by default), one sublog per file.
+  static Result<std::unique_ptr<HistoryFileServer>> Create(
+      LogService* service, std::string root = "/hfs");
+
+  // Re-attaches to an existing root after a restart, rebuilding the cached
+  // current versions from the histories.
+  static Result<std::unique_ptr<HistoryFileServer>> Attach(
+      LogService* service, std::string root = "/hfs");
+
+  // -- File operations. All mutations are logged before the cache moves. --
+
+  Status CreateFile(std::string_view name);
+  Status Write(std::string_view name, uint64_t offset,
+               std::span<const std::byte> data);
+  Status Truncate(std::string_view name, uint64_t new_size);
+
+  // Current contents (from the cache).
+  Result<Bytes> ReadCurrent(std::string_view name);
+
+  // Contents as of time `t` (paper: "either the current version of a file,
+  // or an earlier version"), reconstructed by replaying the history up to t.
+  Result<Bytes> ReadVersionAt(std::string_view name, Timestamp t);
+
+  // Every update to the file, oldest first: (timestamp, op description).
+  Result<std::vector<std::pair<Timestamp, std::string>>> History(
+      std::string_view name);
+
+  std::vector<std::string> ListFiles() const;
+
+  // Drops the cache (as a crash would) and rebuilds it from the log.
+  Status RebuildCache();
+
+ private:
+  HistoryFileServer(LogService* service, std::string root)
+      : service_(service), root_(std::move(root)) {}
+
+  std::string PathFor(std::string_view name) const;
+  static Bytes EncodeWrite(uint64_t offset, std::span<const std::byte> data);
+  static Bytes EncodeTruncate(uint64_t new_size);
+  static Status ApplyRecord(std::span<const std::byte> record, Bytes* file);
+
+  LogService* service_;
+  std::string root_;
+  std::map<std::string, Bytes, std::less<>> cache_;
+};
+
+}  // namespace clio
+
+#endif  // SRC_APPS_HISTORY_FILE_SERVER_H_

@@ -1,0 +1,199 @@
+#include "src/apps/mail_system.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace clio {
+namespace {
+
+constexpr uint8_t kOpDeliver = 1;
+constexpr uint8_t kOpMarkRead = 2;
+constexpr uint8_t kOpDelete = 3;
+
+Bytes EncodeDeliver(std::string_view sender, std::string_view subject,
+                    std::string_view body) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU8(kOpDeliver);
+  w.PutString(sender);
+  w.PutString(subject);
+  w.PutString(body);
+  return out;
+}
+
+Bytes EncodeStatus(uint8_t op, Timestamp message_id) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU8(op);
+  w.PutI64(message_id);
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MailSystem>> MailSystem::Create(LogService* service,
+                                                       std::string root) {
+  auto created = service->CreateLogFile(root);
+  if (!created.ok() &&
+      created.status().code() != StatusCode::kAlreadyExists) {
+    return created.status();
+  }
+  return std::unique_ptr<MailSystem>(new MailSystem(service,
+                                                    std::move(root)));
+}
+
+Result<std::unique_ptr<MailSystem>> MailSystem::Attach(LogService* service,
+                                                       std::string root) {
+  CLIO_RETURN_IF_ERROR(service->Resolve(root).status());
+  std::unique_ptr<MailSystem> mail(new MailSystem(service, std::move(root)));
+  CLIO_RETURN_IF_ERROR(mail->RebuildSummaries());
+  return mail;
+}
+
+std::string MailSystem::PathFor(std::string_view user) const {
+  return root_ + "/" + std::string(user);
+}
+
+Status MailSystem::CreateMailbox(std::string_view user) {
+  CLIO_RETURN_IF_ERROR(service_->CreateLogFile(PathFor(user)).status());
+  summaries_[std::string(user)] = {};
+  return Status::Ok();
+}
+
+Result<Timestamp> MailSystem::Deliver(std::string_view user,
+                                      std::string_view sender,
+                                      std::string_view subject,
+                                      std::string_view body) {
+  auto it = summaries_.find(user);
+  if (it == summaries_.end()) {
+    return NotFound("no mailbox for '" + std::string(user) + "'");
+  }
+  WriteOptions opts;
+  opts.timestamped = true;  // the delivery timestamp is the message id
+  CLIO_ASSIGN_OR_RETURN(
+      AppendResult result,
+      service_->Append(PathFor(user), EncodeDeliver(sender, subject, body),
+                       opts));
+  MailMessage message;
+  message.delivered_at = result.timestamp;
+  message.sender = std::string(sender);
+  message.subject = std::string(subject);
+  message.body = std::string(body);
+  it->second.push_back(std::move(message));
+  return result.timestamp;
+}
+
+Status MailSystem::MarkRead(std::string_view user, Timestamp message_id) {
+  auto it = summaries_.find(user);
+  if (it == summaries_.end()) {
+    return NotFound("no mailbox for '" + std::string(user) + "'");
+  }
+  CLIO_RETURN_IF_ERROR(
+      service_->Append(PathFor(user), EncodeStatus(kOpMarkRead, message_id))
+          .status());
+  for (MailMessage& m : it->second) {
+    if (m.delivered_at == message_id) {
+      m.read = true;
+    }
+  }
+  return Status::Ok();
+}
+
+Status MailSystem::Delete(std::string_view user, Timestamp message_id) {
+  auto it = summaries_.find(user);
+  if (it == summaries_.end()) {
+    return NotFound("no mailbox for '" + std::string(user) + "'");
+  }
+  CLIO_RETURN_IF_ERROR(
+      service_->Append(PathFor(user), EncodeStatus(kOpDelete, message_id))
+          .status());
+  for (MailMessage& m : it->second) {
+    if (m.delivered_at == message_id) {
+      m.deleted = true;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<MailMessage>> MailSystem::Replay(std::string_view user,
+                                                    bool include_deleted,
+                                                    Timestamp since) {
+  CLIO_ASSIGN_OR_RETURN(auto reader, service_->OpenReader(PathFor(user)));
+  std::vector<MailMessage> messages;
+  if (since > kTimestampMin) {
+    CLIO_RETURN_IF_ERROR(reader->SeekToTime(since));
+  } else {
+    reader->SeekToStart();
+  }
+  while (true) {
+    CLIO_ASSIGN_OR_RETURN(auto record, reader->Next());
+    if (!record.has_value()) {
+      break;
+    }
+    ByteReader r(record->payload);
+    uint8_t op = r.GetU8();
+    if (op == kOpDeliver) {
+      MailMessage m;
+      m.delivered_at = record->timestamp;
+      m.sender = r.GetString();
+      m.subject = r.GetString();
+      m.body = r.GetString();
+      if (!r.failed()) {
+        messages.push_back(std::move(m));
+      }
+    } else if (op == kOpMarkRead || op == kOpDelete) {
+      Timestamp id = r.GetI64();
+      for (MailMessage& m : messages) {
+        if (m.delivered_at == id) {
+          (op == kOpMarkRead ? m.read : m.deleted) = true;
+        }
+      }
+    }
+  }
+  if (!include_deleted) {
+    messages.erase(std::remove_if(messages.begin(), messages.end(),
+                                  [](const MailMessage& m) {
+                                    return m.deleted;
+                                  }),
+                   messages.end());
+  }
+  return messages;
+}
+
+Result<std::vector<MailMessage>> MailSystem::Mailbox(std::string_view user) {
+  auto it = summaries_.find(user);
+  if (it == summaries_.end()) {
+    return NotFound("no mailbox for '" + std::string(user) + "'");
+  }
+  std::vector<MailMessage> view;
+  for (const MailMessage& m : it->second) {
+    if (!m.deleted) {
+      view.push_back(m);
+    }
+  }
+  return view;
+}
+
+Result<std::vector<MailMessage>> MailSystem::FullHistory(
+    std::string_view user) {
+  return Replay(user, /*include_deleted=*/true, kTimestampMin);
+}
+
+Result<std::vector<MailMessage>> MailSystem::DeliveredSince(
+    std::string_view user, Timestamp t) {
+  return Replay(user, /*include_deleted=*/false, t);
+}
+
+Status MailSystem::RebuildSummaries() {
+  summaries_.clear();
+  CLIO_ASSIGN_OR_RETURN(auto children, service_->List(root_));
+  for (const auto& [user, id] : children) {
+    CLIO_ASSIGN_OR_RETURN(auto messages,
+                          Replay(user, /*include_deleted=*/true,
+                                 kTimestampMin));
+    summaries_[user] = std::move(messages);
+  }
+  return Status::Ok();
+}
+
+}  // namespace clio

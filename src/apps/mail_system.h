@@ -1,0 +1,86 @@
+// History-based electronic mail (paper §4.2).
+//
+// "Associated with each mailbox is a log file corresponding to mail
+// messages that have been delivered to this mailbox. The local mail agent
+// maintains pointers into this 'mail history'... a user's mail messages are
+// permanently accessible, and the storage of the mail messages themselves
+// is decoupled from the mail system's directory management and query
+// facilities." Deletion marks a pointer; the message itself is permanent
+// (contrast with Walnut, which allowed permanent deletes).
+#ifndef SRC_APPS_MAIL_SYSTEM_H_
+#define SRC_APPS_MAIL_SYSTEM_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/clio/log_service.h"
+
+namespace clio {
+
+struct MailMessage {
+  Timestamp delivered_at = 0;  // the message's unique id (§2.1)
+  std::string sender;
+  std::string subject;
+  std::string body;
+  bool read = false;
+  bool deleted = false;  // hidden from the mailbox view, never from history
+};
+
+class MailSystem {
+ public:
+  static Result<std::unique_ptr<MailSystem>> Create(LogService* service,
+                                                    std::string root
+                                                    = "/mail");
+  // Re-attaches after a restart, rebuilding every mailbox summary from the
+  // mail history.
+  static Result<std::unique_ptr<MailSystem>> Attach(LogService* service,
+                                                    std::string root
+                                                    = "/mail");
+
+  Status CreateMailbox(std::string_view user);
+
+  // Delivers a message; returns its timestamp (permanent id).
+  Result<Timestamp> Deliver(std::string_view user, std::string_view sender,
+                            std::string_view subject, std::string_view body);
+
+  // Status changes are themselves log entries (the history-based model: the
+  // mailbox state is a cached summary of delivery + status events).
+  Status MarkRead(std::string_view user, Timestamp message_id);
+  Status Delete(std::string_view user, Timestamp message_id);
+
+  // Current mailbox view (deleted messages hidden).
+  Result<std::vector<MailMessage>> Mailbox(std::string_view user);
+
+  // Every message ever delivered, including deleted ones — the permanent
+  // history (§4.2: old mail stays accessible).
+  Result<std::vector<MailMessage>> FullHistory(std::string_view user);
+
+  // Messages delivered after `t` (audit/monitoring style access).
+  Result<std::vector<MailMessage>> DeliveredSince(std::string_view user,
+                                                  Timestamp t);
+
+  Status RebuildSummaries();
+
+ private:
+  MailSystem(LogService* service, std::string root)
+      : service_(service), root_(std::move(root)) {}
+
+  std::string PathFor(std::string_view user) const;
+  Result<std::vector<MailMessage>> Replay(std::string_view user,
+                                          bool include_deleted,
+                                          Timestamp since);
+
+  LogService* service_;
+  std::string root_;
+  // user -> cached mailbox summary.
+  std::map<std::string, std::vector<MailMessage>, std::less<>> summaries_;
+};
+
+}  // namespace clio
+
+#endif  // SRC_APPS_MAIL_SYSTEM_H_

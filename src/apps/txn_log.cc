@@ -1,0 +1,175 @@
+#include "src/apps/txn_log.h"
+
+#include <utility>
+
+namespace clio {
+namespace {
+
+constexpr uint8_t kOpPut = 1;
+constexpr uint8_t kOpErase = 2;
+constexpr uint8_t kOpCommit = 3;
+constexpr uint8_t kOpAbort = 4;
+
+Bytes EncodeOp(uint8_t op, uint64_t txn, std::string_view key,
+               std::string_view value) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU8(op);
+  w.PutU64(txn);
+  w.PutString(key);
+  w.PutString(value);
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TxnKvStore>> TxnKvStore::Create(LogService* service,
+                                                       std::string log_path) {
+  auto created = service->CreateLogFile(log_path);
+  if (!created.ok() &&
+      created.status().code() != StatusCode::kAlreadyExists) {
+    return created.status();
+  }
+  return std::unique_ptr<TxnKvStore>(
+      new TxnKvStore(service, std::move(log_path)));
+}
+
+Result<std::unique_ptr<TxnKvStore>> TxnKvStore::Recover(
+    LogService* service, std::string log_path) {
+  CLIO_RETURN_IF_ERROR(service->Resolve(log_path).status());
+  std::unique_ptr<TxnKvStore> store(
+      new TxnKvStore(service, std::move(log_path)));
+  CLIO_RETURN_IF_ERROR(store->ReplayLog());
+  return store;
+}
+
+Status TxnKvStore::ReplayLog() {
+  CLIO_ASSIGN_OR_RETURN(auto reader, service_->OpenReader(log_path_));
+  reader->SeekToStart();
+  std::map<uint64_t, PendingTxn> open;
+  uint64_t max_txn = 0;
+  while (true) {
+    CLIO_ASSIGN_OR_RETURN(auto record, reader->Next());
+    if (!record.has_value()) {
+      break;
+    }
+    ByteReader r(record->payload);
+    uint8_t op = r.GetU8();
+    uint64_t txn = r.GetU64();
+    std::string key = r.GetString();
+    std::string value = r.GetString();
+    if (r.failed()) {
+      continue;  // torn record (e.g. truncated fragment chain): skip
+    }
+    max_txn = std::max(max_txn, txn);
+    switch (op) {
+      case kOpPut:
+        open[txn].ops.emplace_back(std::move(key), std::move(value));
+        break;
+      case kOpErase:
+        open[txn].ops.emplace_back(std::move(key), std::nullopt);
+        break;
+      case kOpCommit: {
+        auto it = open.find(txn);
+        if (it != open.end()) {
+          for (auto& [k, v] : it->second.ops) {
+            if (v.has_value()) {
+              committed_[k] = *v;
+            } else {
+              committed_.erase(k);
+            }
+          }
+          open.erase(it);
+        }
+        ++replayed_count_;
+        break;
+      }
+      case kOpAbort:
+        open.erase(txn);
+        break;
+      default:
+        break;
+    }
+  }
+  // Transactions without a commit record are implicitly aborted — their
+  // operations were only ever in volatile staging (§2.3.1).
+  next_txn_ = max_txn + 1;
+  return Status::Ok();
+}
+
+Result<uint64_t> TxnKvStore::Begin() {
+  uint64_t txn = next_txn_++;
+  pending_[txn] = PendingTxn{};
+  return txn;
+}
+
+Status TxnKvStore::Put(uint64_t txn, std::string_view key,
+                       std::string_view value) {
+  auto it = pending_.find(txn);
+  if (it == pending_.end()) {
+    return NotFound("no open transaction " + std::to_string(txn));
+  }
+  // Asynchronous append: the operation record need not be durable until the
+  // commit forces the log (§2.3.1).
+  CLIO_RETURN_IF_ERROR(
+      service_->Append(log_path_, EncodeOp(kOpPut, txn, key, value))
+          .status());
+  it->second.ops.emplace_back(std::string(key), std::string(value));
+  return Status::Ok();
+}
+
+Status TxnKvStore::Erase(uint64_t txn, std::string_view key) {
+  auto it = pending_.find(txn);
+  if (it == pending_.end()) {
+    return NotFound("no open transaction " + std::to_string(txn));
+  }
+  CLIO_RETURN_IF_ERROR(
+      service_->Append(log_path_, EncodeOp(kOpErase, txn, key, ""))
+          .status());
+  it->second.ops.emplace_back(std::string(key), std::nullopt);
+  return Status::Ok();
+}
+
+Status TxnKvStore::Commit(uint64_t txn) {
+  auto it = pending_.find(txn);
+  if (it == pending_.end()) {
+    return NotFound("no open transaction " + std::to_string(txn));
+  }
+  WriteOptions opts;
+  opts.timestamped = true;
+  opts.force = true;  // the commit point: log forced to the device (§2.3.1)
+  CLIO_RETURN_IF_ERROR(
+      service_->Append(log_path_, EncodeOp(kOpCommit, txn, "", ""), opts)
+          .status());
+  for (auto& [key, value] : it->second.ops) {
+    if (value.has_value()) {
+      committed_[key] = *value;
+    } else {
+      committed_.erase(key);
+    }
+  }
+  pending_.erase(it);
+  ++committed_count_;
+  return Status::Ok();
+}
+
+Status TxnKvStore::Abort(uint64_t txn) {
+  auto it = pending_.find(txn);
+  if (it == pending_.end()) {
+    return NotFound("no open transaction " + std::to_string(txn));
+  }
+  CLIO_RETURN_IF_ERROR(
+      service_->Append(log_path_, EncodeOp(kOpAbort, txn, "", "")).status());
+  pending_.erase(it);
+  return Status::Ok();
+}
+
+std::optional<std::string> TxnKvStore::Get(std::string_view key) const {
+  auto it = committed_.find(key);
+  if (it == committed_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace clio

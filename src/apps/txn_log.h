@@ -1,0 +1,71 @@
+// Transaction recovery on log files (paper §1 and §2.1).
+//
+// "Application programs and subsystems use log services for recovery" —
+// the canonical client being "database transaction recovery mechanisms"
+// that force the log on commit (§2.3.1) and identify records without
+// synchronous writes via (client sequence number, client timestamp) pairs
+// (§2.1). TxnLog is a write-ahead log for a small key-value store:
+// operations are logged asynchronously, the commit record is forced, and
+// recovery replays committed transactions only.
+#ifndef SRC_APPS_TXN_LOG_H_
+#define SRC_APPS_TXN_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/clio/log_service.h"
+
+namespace clio {
+
+class TxnKvStore {
+ public:
+  static Result<std::unique_ptr<TxnKvStore>> Create(LogService* service,
+                                                    std::string log_path
+                                                    = "/txn");
+  // Recovery: replays the log, applying only transactions whose commit
+  // record made it to non-volatile storage.
+  static Result<std::unique_ptr<TxnKvStore>> Recover(LogService* service,
+                                                     std::string log_path
+                                                     = "/txn");
+
+  // -- Transactions. --
+  Result<uint64_t> Begin();
+  Status Put(uint64_t txn, std::string_view key, std::string_view value);
+  Status Erase(uint64_t txn, std::string_view key);
+  // Forces the commit record (and, transitively, every earlier record).
+  Status Commit(uint64_t txn);
+  Status Abort(uint64_t txn);
+
+  // Committed state only.
+  std::optional<std::string> Get(std::string_view key) const;
+  size_t size() const { return committed_.size(); }
+
+  uint64_t committed_txns() const { return committed_count_; }
+  uint64_t replayed_txns() const { return replayed_count_; }
+
+ private:
+  struct PendingTxn {
+    std::vector<std::pair<std::string, std::optional<std::string>>> ops;
+  };
+
+  TxnKvStore(LogService* service, std::string log_path)
+      : service_(service), log_path_(std::move(log_path)) {}
+
+  Status ReplayLog();
+
+  LogService* service_;
+  std::string log_path_;
+  uint64_t next_txn_ = 1;
+  std::map<uint64_t, PendingTxn> pending_;
+  std::map<std::string, std::string, std::less<>> committed_;
+  uint64_t committed_count_ = 0;
+  uint64_t replayed_count_ = 0;
+};
+
+}  // namespace clio
+
+#endif  // SRC_APPS_TXN_LOG_H_

@@ -1,0 +1,65 @@
+#include "src/cache/block_cache.h"
+
+#include <utility>
+
+namespace clio {
+
+std::shared_ptr<const Bytes> BlockCache::Lookup(const Key& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->data;
+}
+
+std::shared_ptr<const Bytes> BlockCache::Insert(const Key& key, Bytes data) {
+  auto shared = std::make_shared<const Bytes>(std::move(data));
+  if (capacity_blocks_ == 0) {
+    return shared;  // caching disabled; hand the block straight back
+  }
+  ++stats_.insertions;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->data = shared;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return shared;
+  }
+  if (map_.size() >= capacity_blocks_) {
+    ++stats_.evictions;
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{key, shared});
+  map_[key] = lru_.begin();
+  return shared;
+}
+
+void BlockCache::Erase(const Key& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return;
+  }
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void BlockCache::EraseDevice(uint64_t device_id) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.device_id == device_id) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace clio

@@ -1,0 +1,99 @@
+// LRU block cache — the file server "buffer pool" (paper §1: the log
+// service reuses the existing file-server mechanism such as the buffer
+// pool; §3.3: the cost of a log read is determined primarily by the number
+// of cache misses).
+//
+// Blocks are immutable once cached (log data is write-once), so lookups
+// hand out shared_ptr<const Bytes>; an evicted block stays alive for any
+// reader still holding it. Keys are (device_id, block_index) so one cache
+// serves several mounted volumes plus the conventional file systems.
+#ifndef SRC_CACHE_BLOCK_CACHE_H_
+#define SRC_CACHE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "src/util/bytes.h"
+
+namespace clio {
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+
+  double HitRatio() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+  void Reset() { *this = CacheStats{}; }
+};
+
+class BlockCache {
+ public:
+  // `capacity_blocks` == 0 means "cache nothing" (every lookup misses),
+  // which benches use to model the paper's no-caching analyses.
+  explicit BlockCache(size_t capacity_blocks)
+      : capacity_blocks_(capacity_blocks) {}
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  struct Key {
+    uint64_t device_id;
+    uint64_t block_index;
+    bool operator==(const Key&) const = default;
+  };
+
+  // Returns the cached block and bumps it to most-recently-used, or nullptr
+  // on miss.
+  std::shared_ptr<const Bytes> Lookup(const Key& key);
+
+  // Inserts (or replaces) a block, evicting the LRU entry if full. Returns
+  // the cached pointer so callers can keep using it without a re-lookup.
+  std::shared_ptr<const Bytes> Insert(const Key& key, Bytes data);
+
+  // Drops one block / every block of a device. Used when a block is
+  // invalidated on media or a volume is unmounted.
+  void Erase(const Key& key);
+  void EraseDevice(uint64_t device_id);
+  void Clear();
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_blocks_; }
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // Mix: device ids are small, block indexes dense.
+      uint64_t h = k.device_id * 0x9E3779B97F4A7C15ULL + k.block_index;
+      h ^= h >> 29;
+      h *= 0xBF58476D1CE4E5B9ULL;
+      h ^= h >> 32;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Bytes> data;
+  };
+
+  using LruList = std::list<Entry>;
+
+  size_t capacity_blocks_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Key, LruList::iterator, KeyHash> map_;
+  CacheStats stats_;
+};
+
+}  // namespace clio
+
+#endif  // SRC_CACHE_BLOCK_CACHE_H_

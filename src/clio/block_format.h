@@ -1,0 +1,134 @@
+// On-device block format (paper Figure 1).
+//
+// Entries are packed from the front of the block; their sizes live in an
+// index that grows backwards from the block's trailer, so a block can be
+// scanned forwards or backwards knowing nothing but its own bytes:
+//
+//   | entry 1 | entry 2 | ... | entry k | pad | s_k ... s_2 s_1 | footer |
+//
+// Each entry is an inline header (2/10/14 bytes depending on version)
+// followed by payload bytes. The 12-byte footer carries the entry count,
+// block flags, the used-byte watermark, a magic, and a CRC32C over the
+// whole block; a block burned to all 1s (an invalidated block, §2.3.2)
+// or one containing garbage fails validation and is skipped by readers.
+#ifndef SRC_CLIO_BLOCK_FORMAT_H_
+#define SRC_CLIO_BLOCK_FORMAT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/clio/types.h"
+#include "src/util/status.h"
+
+namespace clio {
+
+// Block flag bits.
+constexpr uint16_t kFlagLastEntryContinues = 1u << 0;  // spills into next blk
+constexpr uint16_t kFlagFirstEntryIsFragment = 1u << 1;
+constexpr uint16_t kFlagEntrymapContinues = 1u << 2;   // home-block overflow
+constexpr uint16_t kFlagVolumeSealed = 1u << 3;        // last block of volume
+
+constexpr uint32_t kBlockFooterSize = 12;
+constexpr uint32_t kSizeSlotBytes = 2;
+constexpr uint16_t kBlockMagic = 0xC110;
+
+// Minimum block size that leaves room for a footer, one size slot and one
+// timestamped entry with a byte of payload.
+constexpr uint32_t kMinBlockSize = 64;
+
+// Incrementally packs one block. The builder is deliberately snapshotable:
+// Finish() is const, so the writer can burn a *prefix* image of a partial
+// block to NVRAM on a forced write and keep appending afterwards (§2.3.1).
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(uint32_t block_size);
+
+  uint32_t block_size() const { return block_size_; }
+  uint32_t entry_count() const { return static_cast<uint32_t>(sizes_.size()); }
+  bool empty() const { return sizes_.empty(); }
+  uint16_t flags() const { return flags_; }
+
+  // Bytes still unclaimed by entries, their size slots, and the footer;
+  // this is what burns as internal padding if the block is forced early.
+  uint32_t free_bytes() const { return FreeBytes(); }
+
+  // Payload bytes a new entry with this header could store in this block;
+  // 0 if not even the header fits. `extra_members` sizes kMulti headers.
+  uint32_t PayloadCapacity(HeaderVersion v, uint32_t extra_members = 0) const;
+
+  // Appends an entry record. The payload must fit (PayloadCapacity).
+  // For kTimestamped/kComplete/kMulti headers `ts` is persisted; `seq`
+  // only for kComplete; `extras` only for kMulti.
+  void AddEntry(HeaderVersion v, LogFileId id,
+                std::span<const std::byte> payload, Timestamp ts = 0,
+                std::optional<uint32_t> seq = std::nullopt,
+                std::span<const LogFileId> extras = {});
+
+  void SetFlags(uint16_t flag_bits) { flags_ |= flag_bits; }
+
+  // Serializes the current contents into a full block image (padded,
+  // trailer index, footer, CRC).
+  Bytes Finish() const;
+
+ private:
+  uint32_t FreeBytes() const;
+
+  uint32_t block_size_;
+  Bytes data_;                  // packed entries, grows forward
+  std::vector<uint16_t> sizes_;  // record sizes in append order
+  uint16_t flags_ = 0;
+};
+
+// One decoded entry record.
+struct ParsedEntry {
+  HeaderVersion version = HeaderVersion::kCompact;
+  LogFileId logfile_id = kNoLogFileId;
+  uint32_t offset = 0;       // start of the record within the block
+  uint32_t record_size = 0;  // header + payload bytes in this block
+  std::optional<Timestamp> timestamp;
+  std::optional<uint32_t> client_sequence;
+  std::vector<LogFileId> extra_ids;    // kMulti extra memberships
+  std::span<const std::byte> payload;  // points into the block image
+
+  bool is_fragment() const { return version == HeaderVersion::kFragment; }
+};
+
+// A validated, decoded block. Owns (shares) the underlying block image so
+// payload spans stay valid.
+class ParsedBlock {
+ public:
+  // Validates magic and CRC and decodes every entry.
+  //  - all-1s block          -> kInvalidated
+  //  - bad magic/CRC/framing -> kCorrupt
+  static Result<ParsedBlock> Parse(std::shared_ptr<const Bytes> block);
+
+  const std::vector<ParsedEntry>& entries() const { return entries_; }
+  uint16_t flags() const { return flags_; }
+  bool last_entry_continues() const {
+    return (flags_ & kFlagLastEntryContinues) != 0;
+  }
+  bool first_entry_is_fragment() const {
+    return (flags_ & kFlagFirstEntryIsFragment) != 0;
+  }
+  bool entrymap_continues() const {
+    return (flags_ & kFlagEntrymapContinues) != 0;
+  }
+  bool volume_sealed() const { return (flags_ & kFlagVolumeSealed) != 0; }
+
+  // Timestamp of the block's first entry. The writer guarantees the first
+  // entry of every block is timestamped (§2.1), so this is present for any
+  // block it produced; defensive None otherwise.
+  std::optional<Timestamp> FirstTimestamp() const;
+
+ private:
+  std::shared_ptr<const Bytes> image_;
+  std::vector<ParsedEntry> entries_;
+  uint16_t flags_ = 0;
+};
+
+}  // namespace clio
+
+#endif  // SRC_CLIO_BLOCK_FORMAT_H_

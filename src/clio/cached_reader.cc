@@ -1,0 +1,44 @@
+#include "src/clio/cached_reader.h"
+
+#include <utility>
+
+namespace clio {
+
+Result<std::shared_ptr<const Bytes>> CachedBlockReader::Fetch(
+    uint64_t block, OpStats* stats) {
+  if (stats != nullptr) {
+    ++stats->blocks_read;
+  }
+  if (cache_ != nullptr) {
+    auto hit = cache_->Lookup({cache_device_id_, block});
+    if (hit != nullptr) {
+      if (stats != nullptr) {
+        ++stats->cache_hits;
+      }
+      return hit;
+    }
+  }
+  if (stats != nullptr) {
+    ++stats->device_reads;
+  }
+  Bytes image(device_->block_size());
+  CLIO_RETURN_IF_ERROR(device_->ReadBlock(block, image));
+  if (cache_ != nullptr) {
+    return cache_->Insert({cache_device_id_, block}, std::move(image));
+  }
+  return std::make_shared<const Bytes>(std::move(image));
+}
+
+void CachedBlockReader::Put(uint64_t block, Bytes image) {
+  if (cache_ != nullptr) {
+    cache_->Insert({cache_device_id_, block}, std::move(image));
+  }
+}
+
+void CachedBlockReader::Evict(uint64_t block) {
+  if (cache_ != nullptr) {
+    cache_->Erase({cache_device_id_, block});
+  }
+}
+
+}  // namespace clio

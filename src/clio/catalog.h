@@ -1,0 +1,116 @@
+// The catalog log file (paper §2.2).
+//
+// Per-entry headers stay 4 bytes because everything that is an attribute of
+// a log file *as a whole* — name, parent sublog, permissions, creation
+// time — is recorded once in the catalog log file, and every later change
+// is logged there too. The in-memory Catalog below is the server's cached
+// table of log-file descriptors, (re)built by replaying catalog records;
+// the 12-bit local-logfile-id in each entry header is an index into it.
+//
+// The catalog also implements the sublog naming hierarchy (§2.1): log file
+// "/mail/smith" is a sublog of "/mail", and an entry logged in the sublog
+// is a member of every ancestor. "/" itself names the volume sequence log.
+#ifndef SRC_CLIO_CATALOG_H_
+#define SRC_CLIO_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/clio/types.h"
+#include "src/util/status.h"
+
+namespace clio {
+
+// One record in the catalog log file.
+struct CatalogRecord {
+  enum class Op : uint8_t {
+    kCreate = 1,
+    kSetPermissions = 2,
+    kRename = 3,
+    kSeal = 4,
+  };
+
+  Op op = Op::kCreate;
+  LogFileId subject = kNoLogFileId;
+  // kCreate fields:
+  uint64_t unique_id = 0;
+  LogFileId parent = kNoLogFileId;
+  uint32_t permissions = 0;
+  Timestamp created_at = 0;
+  std::string name;  // kCreate: component name; kRename: the new name
+
+  Bytes Encode() const;
+  static Result<CatalogRecord> Decode(std::span<const std::byte> payload);
+};
+
+class Catalog {
+ public:
+  Catalog();
+
+  // -- Mutation (each returns the record to append to the catalog log). --
+
+  // Creates a log file as a child (sublog) of `parent`. Assigns the next
+  // free 12-bit id and a sequence-unique 64-bit id.
+  Result<CatalogRecord> Create(std::string_view name, LogFileId parent,
+                               uint32_t permissions, Timestamp now);
+  Result<CatalogRecord> SetPermissions(LogFileId id, uint32_t permissions);
+  Result<CatalogRecord> Rename(LogFileId id, std::string_view new_name);
+  Result<CatalogRecord> Seal(LogFileId id);
+
+  // Replays a record read back from the catalog log (recovery, or opening a
+  // successor volume). Idempotent for records already applied.
+  Status Apply(const CatalogRecord& record);
+
+  // -- Lookup. --
+
+  bool Exists(LogFileId id) const;
+  Result<LogFileInfo> Info(LogFileId id) const;
+
+  // Resolves an absolute path ("/", "/mail", "/mail/smith").
+  Result<LogFileId> Resolve(std::string_view path) const;
+
+  // Full path of a log file, for diagnostics.
+  Result<std::string> PathOf(LogFileId id) const;
+
+  // `id` itself followed by its ancestors up to and including the root
+  // volume sequence log. These are the log files an entry written to `id`
+  // is a member of (§2.1).
+  std::vector<LogFileId> SelfAndAncestors(LogFileId id) const;
+
+  // True if `descendant` == `ancestor` or lies below it in the hierarchy.
+  bool IsWithin(LogFileId descendant, LogFileId ancestor) const;
+
+  // Children (sublogs) of a log file, name -> id.
+  std::map<std::string, LogFileId> Children(LogFileId id) const;
+
+  // Every client-visible log file, in id order.
+  std::vector<LogFileInfo> All() const;
+
+  // Records that re-create the current state, used to seed the catalog log
+  // of a successor volume so each volume is self-describing.
+  std::vector<CatalogRecord> ExportRecords() const;
+
+  // Undoes a just-applied Create when appending its record to the catalog
+  // log failed, keeping the cached table consistent with the media.
+  void RemoveForRollback(LogFileId id);
+
+ private:
+  Result<LogFileId> NextFreeId() const;
+
+  std::vector<std::optional<LogFileInfo>> table_;  // indexed by LogFileId
+  std::map<LogFileId, std::map<std::string, LogFileId>> children_;
+  uint64_t next_unique_id_ = 1;
+};
+
+// Path component validation: nonempty, no '/', and clients may not use the
+// reserved '@' prefix (the service's own logs are "@entrymap", "@catalog",
+// "@badblocks").
+Status ValidateComponent(std::string_view name);
+
+}  // namespace clio
+
+#endif  // SRC_CLIO_CATALOG_H_

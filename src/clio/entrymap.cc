@@ -1,0 +1,187 @@
+#include "src/clio/entrymap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace clio {
+
+EntrymapGeometry::EntrymapGeometry(uint16_t degree,
+                                   uint64_t capacity_blocks)
+    : degree_(degree) {
+  assert(degree >= 2 && (degree & (degree - 1)) == 0);
+  powers_.push_back(1);
+  while (powers_.back() <= capacity_blocks / degree) {
+    powers_.push_back(powers_.back() * degree);
+  }
+  // At least one level so tiny test volumes still have a tree.
+  if (powers_.size() == 1) {
+    powers_.push_back(degree);
+  }
+  max_level_ = static_cast<int>(powers_.size()) - 1;
+}
+
+int EntrymapGeometry::HomeLevel(uint64_t block) const {
+  if (block == 0) {
+    return 0;
+  }
+  int level = 0;
+  while (level < max_level_ && block % PowN(level + 1) == 0) {
+    ++level;
+  }
+  return level;
+}
+
+Bytes EntrymapPayload::Encode() const {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU8(level);
+  w.PutU64(home_block);
+  w.PutU16(static_cast<uint16_t>(files.size()));
+  for (const PerFile& f : files) {
+    w.PutU16(f.id);
+    w.PutBytes(f.bitmap);
+  }
+  return out;
+}
+
+Result<EntrymapPayload> EntrymapPayload::Decode(
+    std::span<const std::byte> payload, uint32_t bitmap_bytes) {
+  ByteReader r(payload);
+  EntrymapPayload p;
+  p.level = r.GetU8();
+  p.home_block = r.GetU64();
+  uint16_t n = r.GetU16();
+  p.files.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    PerFile f;
+    f.id = r.GetU16();
+    auto bits = r.GetBytes(bitmap_bytes);
+    f.bitmap.assign(bits.begin(), bits.end());
+    p.files.push_back(std::move(f));
+  }
+  if (r.failed() || p.level == 0) {
+    return Corrupt("malformed entrymap payload");
+  }
+  return p;
+}
+
+const EntrymapPayload::PerFile* EntrymapPayload::Find(LogFileId id) const {
+  for (const PerFile& f : files) {
+    if (f.id == id) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+bool EntrymapPayload::TestBit(const Bytes& bitmap, uint32_t bit) {
+  size_t byte = bit / 8;
+  if (byte >= bitmap.size()) {
+    return false;
+  }
+  return (static_cast<uint8_t>(bitmap[byte]) >> (bit % 8)) & 1u;
+}
+
+std::optional<uint32_t> EntrymapPayload::HighestSetBelow(
+    const Bytes& bitmap, uint32_t bit_exclusive) {
+  uint32_t limit = std::min<uint32_t>(bit_exclusive,
+                                      static_cast<uint32_t>(bitmap.size()) * 8);
+  for (uint32_t bit = limit; bit > 0; --bit) {
+    if (TestBit(bitmap, bit - 1)) {
+      return bit - 1;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<uint32_t> EntrymapPayload::LowestSetFrom(const Bytes& bitmap,
+                                                       uint32_t bit_inclusive,
+                                                       uint32_t nbits) {
+  uint32_t limit = std::min<uint32_t>(nbits,
+                                      static_cast<uint32_t>(bitmap.size()) * 8);
+  for (uint32_t bit = bit_inclusive; bit < limit; ++bit) {
+    if (TestBit(bitmap, bit)) {
+      return bit;
+    }
+  }
+  return std::nullopt;
+}
+
+EntrymapAccumulator::EntrymapAccumulator(const EntrymapGeometry* geometry)
+    : geometry_(geometry) {}
+
+void EntrymapAccumulator::SetBit(int level, uint64_t home, LogFileId id,
+                                 uint32_t bit) {
+  assert(level >= 1 && level <= geometry_->max_level());
+  Bytes& bitmap = pending_[{level, home}][id];
+  if (bitmap.empty()) {
+    bitmap.assign(geometry_->bitmap_bytes(), std::byte{0});
+  }
+  bitmap[bit / 8] |= static_cast<std::byte>(1u << (bit % 8));
+}
+
+void EntrymapAccumulator::Mark(uint64_t block,
+                               std::span<const LogFileId> ids) {
+  for (int level = 1; level <= geometry_->max_level(); ++level) {
+    uint64_t home = geometry_->HomeFor(block, level);
+    uint32_t bit = geometry_->SubgroupOf(block, level);
+    for (LogFileId id : ids) {
+      if (EntrymapTracks(id)) {
+        SetBit(level, home, id, bit);
+      }
+    }
+  }
+}
+
+EntrymapPayload EntrymapAccumulator::Take(int level, uint64_t home) {
+  assert(level >= 1 && level <= geometry_->max_level());
+  EntrymapPayload payload;
+  payload.level = static_cast<uint8_t>(level);
+  payload.home_block = home;
+  auto it = pending_.find({level, home});
+  if (it != pending_.end()) {
+    for (auto& [id, bitmap] : it->second) {
+      bool any = std::any_of(bitmap.begin(), bitmap.end(),
+                             [](std::byte b) { return b != std::byte{0}; });
+      if (any) {
+        payload.files.push_back({id, bitmap});
+      }
+    }
+    pending_.erase(it);
+  }
+  return payload;
+}
+
+Bytes EntrymapAccumulator::BitmapOf(int level, uint64_t home,
+                                    LogFileId id) const {
+  auto it = pending_.find({level, home});
+  if (it == pending_.end()) {
+    return {};
+  }
+  auto f = it->second.find(id);
+  if (f == it->second.end()) {
+    return {};
+  }
+  return f->second;
+}
+
+std::vector<LogFileId> EntrymapAccumulator::MarkedIds(int level,
+                                                      uint64_t home) const {
+  std::vector<LogFileId> ids;
+  auto it = pending_.find({level, home});
+  if (it == pending_.end()) {
+    return ids;
+  }
+  for (const auto& [id, bitmap] : it->second) {
+    bool any = std::any_of(bitmap.begin(), bitmap.end(),
+                           [](std::byte b) { return b != std::byte{0}; });
+    if (any) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+void EntrymapAccumulator::Clear() { pending_.clear(); }
+
+}  // namespace clio

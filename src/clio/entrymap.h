@@ -1,0 +1,154 @@
+// The entrymap log file (paper §2.1, Figure 2).
+//
+// Every N-th block of the volume carries a level-1 entrymap entry: for each
+// active log file with entries in the previous N blocks, an N-bit bitmap
+// saying which of those blocks contain them. Every N^2-th block carries a
+// level-2 entry whose bitmap covers groups of N blocks, and so on. Together
+// the entrymap entries form a search tree of degree N over the volume; the
+// information is purely redundant (it could be recomputed by scanning every
+// block) and exists only to make far-back lookups cheap.
+//
+// This file provides:
+//  - EntrymapGeometry: the home-block / group / subgroup arithmetic;
+//  - EntrymapPayload:  the on-device encoding of one entrymap entry;
+//  - EntrymapAccumulator: the writer-side (and recovery-side) in-memory
+//    bitmaps for groups whose nodes have not been emitted yet, keyed by
+//    (level, home block) so that burns displaced past a home boundary
+//    (§2.3.2) never mix marks of adjacent groups.
+#ifndef SRC_CLIO_ENTRYMAP_H_
+#define SRC_CLIO_ENTRYMAP_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/clio/types.h"
+#include "src/util/status.h"
+
+namespace clio {
+
+// Whether entries of this log file are tracked in entrymap bitmaps. The
+// volume sequence log would set every bit (every block holds entries), and
+// the entrymap log describes itself by position; both are excluded
+// (paper footnote 6).
+constexpr bool EntrymapTracks(LogFileId id) {
+  return id != kVolumeSeqLogId && id != kEntrymapLogId;
+}
+
+class EntrymapGeometry {
+ public:
+  // `degree` (N) must be a power of two >= 2. Levels are capped so that
+  // N^max_level does not exceed the device capacity (there is no point in
+  // a tree level wider than the volume).
+  EntrymapGeometry(uint16_t degree, uint64_t capacity_blocks);
+
+  uint16_t degree() const { return degree_; }
+  int max_level() const { return max_level_; }
+  uint32_t bitmap_bytes() const { return (degree_ + 7u) / 8u; }
+
+  // N^level (level in [0, max_level]).
+  uint64_t PowN(int level) const { return powers_[level]; }
+
+  // True if `block` is the home block of a level-`level` entrymap entry.
+  bool IsHome(uint64_t block, int level) const {
+    return block > 0 && block % PowN(level) == 0;
+  }
+
+  // Highest level whose home block this is (0 = not a home block).
+  int HomeLevel(uint64_t block) const;
+
+  // Home block of the level-`level` group containing `block`: the group is
+  // [home - N^level, home) and its entrymap entry is written *at* `home`.
+  uint64_t HomeFor(uint64_t block, int level) const {
+    uint64_t n = PowN(level);
+    return (block / n + 1) * n;
+  }
+
+  uint64_t GroupStart(uint64_t home, int level) const {
+    return home - PowN(level);
+  }
+
+  // Which bit of a level-`level` bitmap covers `block`: the index of
+  // `block`'s N^(level-1)-subgroup within its N^level group.
+  uint32_t SubgroupOf(uint64_t block, int level) const {
+    return static_cast<uint32_t>((block % PowN(level)) / PowN(level - 1));
+  }
+
+ private:
+  uint16_t degree_;
+  int max_level_;
+  std::vector<uint64_t> powers_;  // powers_[i] = N^i
+};
+
+// Decoded entrymap entry: one (level, home block) node of the search tree,
+// holding a bitmap per log file. Large nodes may be split into several
+// payloads with the same (level, home); readers merge them.
+struct EntrymapPayload {
+  struct PerFile {
+    LogFileId id = kNoLogFileId;
+    Bytes bitmap;  // bitmap_bytes() bytes, bit b = subgroup b has entries
+  };
+
+  uint8_t level = 0;
+  uint64_t home_block = 0;
+  std::vector<PerFile> files;
+
+  Bytes Encode() const;
+  static Result<EntrymapPayload> Decode(std::span<const std::byte> payload,
+                                        uint32_t bitmap_bytes);
+
+  // Bitmap lookup for one log file; nullptr if this payload has no bitmap
+  // for it (= no entries in the covered group).
+  const PerFile* Find(LogFileId id) const;
+
+  static bool TestBit(const Bytes& bitmap, uint32_t bit);
+  // Highest set bit strictly below `bit_exclusive`, or nullopt.
+  static std::optional<uint32_t> HighestSetBelow(const Bytes& bitmap,
+                                                 uint32_t bit_exclusive);
+  // Lowest set bit at or above `bit_inclusive`, or nullopt.
+  static std::optional<uint32_t> LowestSetFrom(const Bytes& bitmap,
+                                               uint32_t bit_inclusive,
+                                               uint32_t nbits);
+};
+
+// Writer-side bitmaps for groups whose entrymap nodes are not yet on
+// media, keyed by (level, home block). Mark() is called for every entry
+// placed in a block; Take() harvests one node when its home boundary is
+// crossed. Recovery rebuilds an identical accumulator from the device
+// (paper §2.3.1 / §3.4 step 2).
+class EntrymapAccumulator {
+ public:
+  explicit EntrymapAccumulator(const EntrymapGeometry* geometry);
+
+  // Records that log files `ids` (an entry's log file plus its ancestor
+  // sublogs) have entry bytes in `block`. Untracked ids are skipped.
+  void Mark(uint64_t block, std::span<const LogFileId> ids);
+
+  // Directly set one subgroup bit of the node homed at `home` (used by
+  // recovery when folding lower-level entrymap entries upward).
+  void SetBit(int level, uint64_t home, LogFileId id, uint32_t bit);
+
+  // Harvest the node homed at `home` into a payload and drop it. Files
+  // with all-zero bitmaps are omitted; the payload may legitimately be
+  // empty (quiet group).
+  EntrymapPayload Take(int level, uint64_t home);
+
+  // Bitmap of `id` in the pending node homed at `home` (empty if none).
+  Bytes BitmapOf(int level, uint64_t home, LogFileId id) const;
+
+  // Log files with at least one bit set in the node homed at `home`.
+  std::vector<LogFileId> MarkedIds(int level, uint64_t home) const;
+
+  void Clear();
+
+ private:
+  const EntrymapGeometry* geometry_;
+  // (level, home block) -> log file -> bitmap
+  std::map<std::pair<int, uint64_t>, std::map<LogFileId, Bytes>> pending_;
+};
+
+}  // namespace clio
+
+#endif  // SRC_CLIO_ENTRYMAP_H_

@@ -1,0 +1,452 @@
+#include "src/clio/log_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace clio {
+namespace {
+
+constexpr uint32_t kReadBit = 0400;
+constexpr uint32_t kWriteBit = 0200;
+
+// Splits "/a/b/c" into ("/a/b", "c"); "/a" into ("/", "a").
+Status SplitPath(std::string_view path, std::string* parent,
+                 std::string* name) {
+  if (path.size() < 2 || path.front() != '/') {
+    return InvalidArgument("path must be absolute and non-root");
+  }
+  size_t slash = path.rfind('/');
+  *name = std::string(path.substr(slash + 1));
+  *parent = slash == 0 ? "/" : std::string(path.substr(0, slash));
+  return Status::Ok();
+}
+
+}  // namespace
+
+LogService::LogService(TimeSource* clock, const LogServiceOptions& options)
+    : clock_(clock),
+      options_(options),
+      cache_(std::make_unique<BlockCache>(options.cache_blocks)) {
+  if (options_.sequence_id == 0) {
+    options_.sequence_id = static_cast<uint64_t>(clock_->NowUnique()) | 1u;
+  }
+}
+
+Result<std::unique_ptr<LogService>> LogService::Create(
+    std::unique_ptr<WormDevice> first_device, TimeSource* clock,
+    const LogServiceOptions& options) {
+  std::unique_ptr<LogService> service(new LogService(clock, options));
+  LogVolume::FormatOptions format;
+  format.entrymap_degree = service->options_.entrymap_degree;
+  format.sequence_id = service->options_.sequence_id;
+  format.volume_index = 0;
+  format.label = service->options_.label;
+  CLIO_ASSIGN_OR_RETURN(
+      auto volume,
+      LogVolume::Format(first_device.get(), service->cache_.get(),
+                        /*cache_device_id=*/0, &service->catalog_, clock,
+                        service->options_.nvram, format));
+  service->devices_.push_back(std::move(first_device));
+  service->volumes_.push_back(std::move(volume));
+  return service;
+}
+
+Result<std::unique_ptr<LogService>> LogService::Recover(
+    std::vector<std::unique_ptr<WormDevice>> devices, TimeSource* clock,
+    const LogServiceOptions& options, RecoveryReport* report) {
+  if (devices.empty()) {
+    return InvalidArgument("recover requires at least one volume device");
+  }
+  std::unique_ptr<LogService> service(new LogService(clock, options));
+  uint64_t sequence_id = 0;
+  for (size_t i = 0; i < devices.size(); ++i) {
+    bool writable = i + 1 == devices.size();
+    RecoveryReport volume_report;
+    CLIO_ASSIGN_OR_RETURN(
+        auto volume,
+        LogVolume::Open(devices[i].get(), service->cache_.get(),
+                        /*cache_device_id=*/i, &service->catalog_, clock,
+                        writable ? options.nvram : nullptr, writable,
+                        &volume_report));
+    if (volume->header().volume_index != i) {
+      return Corrupt("volume " + std::to_string(i) +
+                     " carries wrong sequence position");
+    }
+    if (i == 0) {
+      sequence_id = volume->header().sequence_id;
+      service->options_.sequence_id = sequence_id;
+    } else if (volume->header().sequence_id != sequence_id) {
+      return Corrupt("volume " + std::to_string(i) +
+                     " belongs to a different volume sequence");
+    }
+    if (report != nullptr) {
+      report->end_location_reads += volume_report.end_location_reads;
+      report->tail_scan_blocks += volume_report.tail_scan_blocks;
+      report->catalog_replay_blocks += volume_report.catalog_replay_blocks;
+      report->invalidated_blocks += volume_report.invalidated_blocks;
+      report->restored_nvram_tail |= volume_report.restored_nvram_tail;
+    }
+    service->volumes_.push_back(std::move(volume));
+    service->devices_.push_back(std::move(devices[i]));
+  }
+  // Timestamps must stay unique across the reboot (§2.1): floor the clock
+  // at the largest timestamp found on media.
+  Timestamp max_ts = 0;
+  for (auto& v : service->volumes_) {
+    max_ts = std::max(max_ts, v->recovered_max_timestamp());
+  }
+  if (max_ts > 0) {
+    clock->FloorUnique(max_ts);
+  }
+  return service;
+}
+
+Status LogService::CheckPermission(LogFileId id, uint32_t needed_bits) const {
+  CLIO_ASSIGN_OR_RETURN(LogFileInfo info, catalog_.Info(id));
+  if ((info.permissions & needed_bits) != needed_bits) {
+    return PermissionDenied("log file " + info.name +
+                            " lacks required permission bits");
+  }
+  return Status::Ok();
+}
+
+Result<LogFileId> LogService::CreateLogFile(std::string_view path,
+                                            uint32_t permissions) {
+  std::string parent_path;
+  std::string name;
+  CLIO_RETURN_IF_ERROR(SplitPath(path, &parent_path, &name));
+  CLIO_ASSIGN_OR_RETURN(LogFileId parent, catalog_.Resolve(parent_path));
+  CLIO_ASSIGN_OR_RETURN(
+      CatalogRecord record,
+      catalog_.Create(name, parent, permissions, clock_->Now()));
+  WriteOptions opts;
+  opts.timestamped = true;
+  auto appended = current_volume()->writer()->Append(kCatalogLogId,
+                                                     record.Encode(), opts);
+  if (!appended.ok()) {
+    catalog_.RemoveForRollback(record.subject);
+    return appended.status();
+  }
+  return record.subject;
+}
+
+Result<LogFileId> LogService::Resolve(std::string_view path) const {
+  return catalog_.Resolve(path);
+}
+
+Result<LogFileInfo> LogService::Stat(std::string_view path) const {
+  CLIO_ASSIGN_OR_RETURN(LogFileId id, catalog_.Resolve(path));
+  return catalog_.Info(id);
+}
+
+Result<std::map<std::string, LogFileId>> LogService::List(
+    std::string_view path) const {
+  CLIO_ASSIGN_OR_RETURN(LogFileId id, catalog_.Resolve(path));
+  return catalog_.Children(id);
+}
+
+Status LogService::SetPermissions(std::string_view path,
+                                  uint32_t permissions) {
+  CLIO_ASSIGN_OR_RETURN(LogFileId id, catalog_.Resolve(path));
+  CLIO_ASSIGN_OR_RETURN(CatalogRecord record,
+                        catalog_.SetPermissions(id, permissions));
+  WriteOptions opts;
+  opts.timestamped = true;
+  auto appended = current_volume()->writer()->Append(kCatalogLogId,
+                                                     record.Encode(), opts);
+  return appended.ok() ? Status::Ok() : appended.status();
+}
+
+Status LogService::SealLogFile(std::string_view path) {
+  CLIO_ASSIGN_OR_RETURN(LogFileId id, catalog_.Resolve(path));
+  CLIO_ASSIGN_OR_RETURN(CatalogRecord record, catalog_.Seal(id));
+  WriteOptions opts;
+  opts.timestamped = true;
+  auto appended = current_volume()->writer()->Append(kCatalogLogId,
+                                                     record.Encode(), opts);
+  return appended.ok() ? Status::Ok() : appended.status();
+}
+
+Status LogService::RollToNewVolume() {
+  if (!volume_factory_) {
+    return NoSpace("volume full and no successor volume factory configured");
+  }
+  LogVolume* current = current_volume();
+  if (current->writer() != nullptr) {
+    sealed_space_.push_back(current->writer()->space());
+    CLIO_RETURN_IF_ERROR(current->writer()->Seal());
+  }
+  current->MarkSealed();
+
+  uint32_t next_index = static_cast<uint32_t>(volumes_.size());
+  CLIO_ASSIGN_OR_RETURN(std::unique_ptr<WormDevice> device,
+                        volume_factory_(next_index));
+  LogVolume::FormatOptions format;
+  format.entrymap_degree = options_.entrymap_degree;
+  format.sequence_id = options_.sequence_id;
+  format.volume_index = next_index;
+  format.label = options_.label;
+  CLIO_ASSIGN_OR_RETURN(
+      auto volume,
+      LogVolume::Format(device.get(), cache_.get(),
+                        /*cache_device_id=*/next_index, &catalog_, clock_,
+                        options_.nvram, format));
+  // Seed the successor's catalog log so the new volume is self-describing
+  // (each log file is "totally contained in one log volume sequence").
+  WriteOptions opts;
+  opts.timestamped = true;
+  for (const CatalogRecord& record : catalog_.ExportRecords()) {
+    auto appended = volume->writer()->Append(kCatalogLogId, record.Encode(),
+                                             opts);
+    if (!appended.ok()) {
+      return appended.status();
+    }
+  }
+  devices_.push_back(std::move(device));
+  volumes_.push_back(std::move(volume));
+  return Status::Ok();
+}
+
+Result<AppendResult> LogService::Append(LogFileId id,
+                                        std::span<const std::byte> payload,
+                                        const WriteOptions& options) {
+  if (id < kFirstClientLogId) {
+    return PermissionDenied("service log files are not client-writable");
+  }
+  CLIO_RETURN_IF_ERROR(CheckPermission(id, kWriteBit));
+  for (LogFileId extra : options.extra_memberships) {
+    if (extra < kFirstClientLogId) {
+      return PermissionDenied("cannot add membership in a service log file");
+    }
+    CLIO_RETURN_IF_ERROR(CheckPermission(extra, kWriteBit));
+  }
+
+  LogVolume* volume = current_volume();
+  if (volume->writer() == nullptr || volume->sealed() ||
+      volume->writer()->AlmostFull(payload.size())) {
+    CLIO_RETURN_IF_ERROR(RollToNewVolume());
+    volume = current_volume();
+  }
+  auto result = volume->writer()->Append(id, payload, options);
+  if (!result.ok() && result.status().code() == StatusCode::kNoSpace) {
+    CLIO_RETURN_IF_ERROR(RollToNewVolume());
+    return current_volume()->writer()->Append(id, payload, options);
+  }
+  return result;
+}
+
+Result<AppendResult> LogService::Append(std::string_view path,
+                                        std::span<const std::byte> payload,
+                                        const WriteOptions& options) {
+  CLIO_ASSIGN_OR_RETURN(LogFileId id, catalog_.Resolve(path));
+  return Append(id, payload, options);
+}
+
+Status LogService::Force() {
+  LogVolume* volume = current_volume();
+  if (volume->writer() == nullptr) {
+    return Status::Ok();
+  }
+  return volume->writer()->Force();
+}
+
+Status LogService::TakeVolumeOffline(uint32_t index) {
+  if (index >= volumes_.size()) {
+    return InvalidArgument("no such volume");
+  }
+  if (index + 1 == volumes_.size()) {
+    return FailedPrecondition("the newest volume must stay online");
+  }
+  if (volumes_[index] == nullptr) {
+    return Status::Ok();  // already offline
+  }
+  cache_->EraseDevice(index);
+  volumes_[index].reset();
+  devices_[index].reset();
+  return Status::Ok();
+}
+
+Result<LogVolume*> LogService::VolumeForRead(size_t index) {
+  if (index >= volumes_.size()) {
+    return InvalidArgument("no such volume");
+  }
+  if (volumes_[index] != nullptr) {
+    return volumes_[index].get();
+  }
+  if (!volume_mounter_) {
+    return Unavailable("volume " + std::to_string(index) +
+                       " is offline and no volume mounter is configured");
+  }
+  CLIO_ASSIGN_OR_RETURN(std::unique_ptr<WormDevice> device,
+                        volume_mounter_(static_cast<uint32_t>(index)));
+  RecoveryReport report;
+  CLIO_ASSIGN_OR_RETURN(
+      auto volume,
+      LogVolume::Open(device.get(), cache_.get(), index, &catalog_, clock_,
+                      nullptr, /*writable=*/false, &report));
+  if (volume->header().sequence_id != options_.sequence_id ||
+      volume->header().volume_index != index) {
+    return Corrupt("mounted device holds the wrong volume");
+  }
+  ++on_demand_mounts_;
+  devices_[index] = std::move(device);
+  volumes_[index] = std::move(volume);
+  return volumes_[index].get();
+}
+
+Result<std::unique_ptr<LogReader>> LogService::OpenReader(
+    std::string_view path) {
+  CLIO_ASSIGN_OR_RETURN(LogFileId id, catalog_.Resolve(path));
+  return OpenReaderById(id);
+}
+
+Result<std::unique_ptr<LogReader>> LogService::OpenReaderById(LogFileId id) {
+  if (!catalog_.Exists(id)) {
+    return NotFound("no such log file id");
+  }
+  if (id != kVolumeSeqLogId) {
+    CLIO_RETURN_IF_ERROR(CheckPermission(id, kReadBit));
+  }
+  return std::make_unique<LogReader>(this, id);
+}
+
+SpaceAccounting LogService::TotalSpace() const {
+  SpaceAccounting total;
+  auto add = [&](const SpaceAccounting& s) {
+    total.client_payload_bytes += s.client_payload_bytes;
+    total.client_header_bytes += s.client_header_bytes;
+    total.entrymap_bytes += s.entrymap_bytes;
+    total.catalog_bytes += s.catalog_bytes;
+    total.badblock_bytes += s.badblock_bytes;
+    total.padding_bytes += s.padding_bytes;
+    total.footer_bytes += s.footer_bytes;
+    total.blocks_burned += s.blocks_burned;
+    total.forced_partial_burns += s.forced_partial_burns;
+    total.invalidated_blocks += s.invalidated_blocks;
+  };
+  for (const SpaceAccounting& s : sealed_space_) {
+    add(s);
+  }
+  LogVolume* last = const_cast<LogService*>(this)->volumes_.back().get();
+  if (last->writer() != nullptr) {
+    add(last->writer()->space());
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// LogReader
+
+LogReader::LogReader(LogService* service, LogFileId id)
+    : service_(service), id_(id), volume_index_(0) {}
+
+void LogReader::SeekToStart() {
+  pending_edge_ = Edge::kStart;
+  cursor_.reset();
+}
+
+void LogReader::SeekToEnd() {
+  pending_edge_ = Edge::kEnd;
+  cursor_.reset();
+}
+
+Status LogReader::EnsureCursor(size_t volume_index) {
+  CLIO_ASSIGN_OR_RETURN(LogVolume * volume,
+                        service_->VolumeForRead(volume_index));
+  volume_index_ = volume_index;
+  cursor_.emplace(volume, id_);
+  return Status::Ok();
+}
+
+Result<std::optional<LogEntryRecord>> LogReader::Next(OpStats* stats) {
+  if (pending_edge_ == Edge::kStart) {
+    CLIO_RETURN_IF_ERROR(EnsureCursor(0));
+    cursor_->SeekToStart();
+    pending_edge_ = Edge::kNone;
+  } else if (pending_edge_ == Edge::kEnd) {
+    CLIO_RETURN_IF_ERROR(EnsureCursor(service_->volume_count() - 1));
+    cursor_->SeekToEnd();
+    pending_edge_ = Edge::kNone;
+  }
+  while (true) {
+    CLIO_ASSIGN_OR_RETURN(std::optional<LogEntryRecord> record,
+                          cursor_->Next(stats));
+    if (record.has_value()) {
+      return record;
+    }
+    if (volume_index_ + 1 >= service_->volume_count()) {
+      return std::optional<LogEntryRecord>(std::nullopt);
+    }
+    CLIO_RETURN_IF_ERROR(EnsureCursor(volume_index_ + 1));
+    cursor_->SeekToStart();
+  }
+}
+
+Result<std::optional<LogEntryRecord>> LogReader::Prev(OpStats* stats) {
+  if (pending_edge_ == Edge::kStart) {
+    return std::optional<LogEntryRecord>(std::nullopt);
+  }
+  if (pending_edge_ == Edge::kEnd) {
+    CLIO_RETURN_IF_ERROR(EnsureCursor(service_->volume_count() - 1));
+    cursor_->SeekToEnd();
+    pending_edge_ = Edge::kNone;
+  }
+  while (true) {
+    CLIO_ASSIGN_OR_RETURN(std::optional<LogEntryRecord> record,
+                          cursor_->Prev(stats));
+    if (record.has_value()) {
+      return record;
+    }
+    if (volume_index_ == 0) {
+      return std::optional<LogEntryRecord>(std::nullopt);
+    }
+    CLIO_RETURN_IF_ERROR(EnsureCursor(volume_index_ - 1));
+    cursor_->SeekToEnd();
+  }
+}
+
+Status LogReader::SeekToTime(Timestamp t, OpStats* stats) {
+  for (size_t v = service_->volume_count(); v > 0; --v) {
+    CLIO_RETURN_IF_ERROR(EnsureCursor(v - 1));
+    CLIO_ASSIGN_OR_RETURN(bool positioned, cursor_->SeekToTime(t, stats));
+    if (positioned) {
+      pending_edge_ = Edge::kNone;
+      return Status::Ok();
+    }
+  }
+  SeekToStart();
+  return Status::Ok();
+}
+
+Result<std::optional<LogEntryRecord>> LogReader::FindByTimestamp(
+    Timestamp t, OpStats* stats) {
+  CLIO_RETURN_IF_ERROR(SeekToTime(t - 1, stats));
+  while (true) {
+    CLIO_ASSIGN_OR_RETURN(std::optional<LogEntryRecord> record, Next(stats));
+    if (!record.has_value() || record->timestamp > t) {
+      return std::optional<LogEntryRecord>(std::nullopt);
+    }
+    if (record->timestamp == t && record->timestamp_exact) {
+      return record;
+    }
+  }
+}
+
+Result<std::optional<LogEntryRecord>> LogReader::FindByClientId(
+    uint32_t sequence, Timestamp client_time, Timestamp max_skew,
+    OpStats* stats) {
+  CLIO_RETURN_IF_ERROR(SeekToTime(client_time - max_skew - 1, stats));
+  const Timestamp upper = client_time + max_skew;
+  while (true) {
+    CLIO_ASSIGN_OR_RETURN(std::optional<LogEntryRecord> record, Next(stats));
+    if (!record.has_value() || record->timestamp > upper) {
+      return std::optional<LogEntryRecord>(std::nullopt);
+    }
+    if (record->client_sequence.has_value() &&
+        *record->client_sequence == sequence) {
+      return record;
+    }
+  }
+}
+
+}  // namespace clio

@@ -1,0 +1,195 @@
+// LogService: the public face of Clio.
+//
+// Manages a log volume sequence (paper §2.1): one or more write-once
+// volumes totally ordered by time of writing, with the newest volume online
+// for appends and the older ones read-only. Provides the log-file
+// namespace (create/resolve/list sublogs), appends, cross-volume readers,
+// time- and unique-id-based lookup, and crash recovery.
+#ifndef SRC_CLIO_LOG_SERVICE_H_
+#define SRC_CLIO_LOG_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cache/block_cache.h"
+#include "src/clio/catalog.h"
+#include "src/clio/cursor.h"
+#include "src/clio/types.h"
+#include "src/clio/volume.h"
+#include "src/device/block_device.h"
+#include "src/device/nvram_tail.h"
+#include "src/util/time.h"
+
+namespace clio {
+
+struct LogServiceOptions {
+  uint16_t entrymap_degree = 16;  // N (paper recommends 16-32, §3.4)
+  size_t cache_blocks = 4096;     // buffer-pool size, in blocks
+  std::string label;
+  uint64_t sequence_id = 0;  // 0: derive one from the clock
+  NvramTail* nvram = nullptr;  // optional rewritable tail staging (§2.3.1)
+};
+
+// Supplies a fresh device when the current volume fills and the sequence
+// needs a successor (paper §2.1: "a previously unused successor volume is
+// loaded").
+using VolumeFactory =
+    std::function<Result<std::unique_ptr<WormDevice>>(uint32_t volume_index)>;
+
+// Re-supplies the device of an archived volume when a reader needs it
+// (paper §2.1: previous volumes "may be made available on demand, either
+// automatically or manually" — this is the automatic path; think of it as
+// asking the jukebox, or an operator, for the platter).
+using VolumeMounter =
+    std::function<Result<std::unique_ptr<WormDevice>>(uint32_t volume_index)>;
+
+class LogReader;
+
+class LogService {
+ public:
+  // Creates a brand-new volume sequence on an empty device.
+  static Result<std::unique_ptr<LogService>> Create(
+      std::unique_ptr<WormDevice> first_device, TimeSource* clock,
+      const LogServiceOptions& options);
+
+  // Re-opens an existing sequence after a crash or restart. `devices` must
+  // hold the sequence's volumes in order. Runs the §2.3.1 recovery on each.
+  static Result<std::unique_ptr<LogService>> Recover(
+      std::vector<std::unique_ptr<WormDevice>> devices, TimeSource* clock,
+      const LogServiceOptions& options, RecoveryReport* report);
+
+  LogService(const LogService&) = delete;
+  LogService& operator=(const LogService&) = delete;
+
+  void set_volume_factory(VolumeFactory factory) {
+    volume_factory_ = std::move(factory);
+  }
+  void set_volume_mounter(VolumeMounter mounter) {
+    volume_mounter_ = std::move(mounter);
+  }
+
+  // Unmounts an old (sealed, non-newest) volume: its device is released and
+  // its cached blocks dropped. Readers that later need it trigger the
+  // volume mounter; without one they fail with kUnavailable.
+  Status TakeVolumeOffline(uint32_t index);
+  bool VolumeOnline(uint32_t index) const {
+    return index < volumes_.size() && volumes_[index] != nullptr;
+  }
+  uint64_t on_demand_mounts() const { return on_demand_mounts_; }
+
+  // -- Namespace (all paths absolute, e.g. "/mail/smith"). --
+
+  // Creates a log file; intermediate components must already exist (the
+  // parent becomes the sublog's parent, §2.1).
+  Result<LogFileId> CreateLogFile(std::string_view path,
+                                  uint32_t permissions = 0644);
+  Result<LogFileId> Resolve(std::string_view path) const;
+  Result<LogFileInfo> Stat(std::string_view path) const;
+  Result<std::map<std::string, LogFileId>> List(std::string_view path) const;
+  Status SetPermissions(std::string_view path, uint32_t permissions);
+  Status SealLogFile(std::string_view path);
+
+  // -- Writing. --
+
+  Result<AppendResult> Append(LogFileId id, std::span<const std::byte> payload,
+                              const WriteOptions& options = {});
+  Result<AppendResult> Append(std::string_view path,
+                              std::span<const std::byte> payload,
+                              const WriteOptions& options = {});
+
+  // Forces all buffered log data to non-volatile storage.
+  Status Force();
+
+  // -- Reading. --
+
+  // Opens a reader positioned at the start, end, or a point in time.
+  Result<std::unique_ptr<LogReader>> OpenReader(std::string_view path);
+  Result<std::unique_ptr<LogReader>> OpenReaderById(LogFileId id);
+
+  // -- Introspection. --
+
+  const Catalog& catalog() const { return catalog_; }
+  BlockCache& cache() { return *cache_; }
+  TimeSource* clock() { return clock_; }
+  size_t volume_count() const { return volumes_.size(); }
+  LogVolume* volume(size_t index) { return volumes_[index].get(); }
+  LogVolume* current_volume() { return volumes_.back().get(); }
+
+  // The volume at `index`, mounting it on demand if it is offline.
+  Result<LogVolume*> VolumeForRead(size_t index);
+
+  // Aggregated space accounting across all volumes (§3.5 experiments).
+  SpaceAccounting TotalSpace() const;
+
+ private:
+  friend class LogReader;
+
+  LogService(TimeSource* clock, const LogServiceOptions& options);
+
+  Status CheckPermission(LogFileId id, uint32_t needed_bits) const;
+  Status RollToNewVolume();
+
+  TimeSource* clock_;
+  LogServiceOptions options_;
+  Catalog catalog_;
+  std::unique_ptr<BlockCache> cache_;
+  std::vector<std::unique_ptr<WormDevice>> devices_;
+  std::vector<std::unique_ptr<LogVolume>> volumes_;  // null = offline
+  std::vector<SpaceAccounting> sealed_space_;  // space of sealed volumes
+  VolumeFactory volume_factory_;
+  VolumeMounter volume_mounter_;
+  uint64_t on_demand_mounts_ = 0;
+};
+
+// Cross-volume reader for one log file. Iterates the sequence's volumes in
+// order, delegating to a VolumeCursor within each.
+class LogReader {
+ public:
+  LogReader(LogService* service, LogFileId id);
+
+  LogFileId logfile_id() const { return id_; }
+
+  void SeekToStart();
+  void SeekToEnd();
+  // Position so Prev() yields the last entry with timestamp <= t.
+  Status SeekToTime(Timestamp t, OpStats* stats = nullptr);
+
+  Result<std::optional<LogEntryRecord>> Next(OpStats* stats = nullptr);
+  Result<std::optional<LogEntryRecord>> Prev(OpStats* stats = nullptr);
+
+  // Locates an entry written asynchronously and identified by the client's
+  // (sequence number, timestamp) pair (§2.1). `max_skew` bounds the
+  // client/server clock disagreement; the search window is
+  // [client_time - max_skew, client_time + max_skew].
+  Result<std::optional<LogEntryRecord>> FindByClientId(uint32_t sequence,
+                                                       Timestamp client_time,
+                                                       Timestamp max_skew,
+                                                       OpStats* stats
+                                                       = nullptr);
+
+  // Locates the entry a synchronous writer identified by its returned
+  // timestamp (§2.1: "this timestamp can subsequently be used to
+  // efficiently locate the log entry"). nullopt if no entry of this log
+  // file carries exactly that timestamp.
+  Result<std::optional<LogEntryRecord>> FindByTimestamp(Timestamp t,
+                                                        OpStats* stats
+                                                        = nullptr);
+
+ private:
+  Status EnsureCursor(size_t volume_index);
+
+  LogService* service_;
+  LogFileId id_;
+  size_t volume_index_;
+  std::optional<VolumeCursor> cursor_;
+  enum class Edge { kStart, kEnd, kNone } pending_edge_ = Edge::kStart;
+};
+
+}  // namespace clio
+
+#endif  // SRC_CLIO_LOG_SERVICE_H_

@@ -1,0 +1,844 @@
+#include "src/clio/volume.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace clio {
+namespace {
+
+// How far past an expected position we chase displaced entrymap entries or
+// trailing garbage before giving up.
+constexpr int kMaxDisplacementProbes = 16;
+
+Bytes EmptyBitmap(uint32_t bitmap_bytes) {
+  return Bytes(bitmap_bytes, std::byte{0});
+}
+
+bool AnyBitSet(const Bytes& bitmap) {
+  return std::any_of(bitmap.begin(), bitmap.end(),
+                     [](std::byte b) { return b != std::byte{0}; });
+}
+
+}  // namespace
+
+LogVolume::LogVolume(WormDevice* device, BlockCache* cache,
+                     uint64_t cache_device_id, Catalog* catalog,
+                     TimeSource* clock, const VolumeHeader& header)
+    : device_(device),
+      blocks_(device, cache, cache_device_id),
+      catalog_(catalog),
+      clock_(clock),
+      header_(header),
+      geometry_(header.entrymap_degree, device->capacity_blocks()),
+      accumulator_(&geometry_) {}
+
+Result<std::unique_ptr<LogVolume>> LogVolume::Format(
+    WormDevice* device, BlockCache* cache, uint64_t cache_device_id,
+    Catalog* catalog, TimeSource* clock, NvramTail* nvram,
+    const FormatOptions& options) {
+  auto end = device->QueryEnd();
+  if (end.ok() && end.value() != 0) {
+    return FailedPrecondition("device is not virgin; refusing to format");
+  }
+  VolumeHeader header;
+  header.block_size = device->block_size();
+  header.entrymap_degree = options.entrymap_degree;
+  header.sequence_id = options.sequence_id;
+  header.volume_index = options.volume_index;
+  header.created_at = clock->Now();
+  header.label = options.label;
+  if (header.block_size < kMinBlockSize) {
+    return InvalidArgument("block size below minimum");
+  }
+  if (header.entrymap_degree < 2 ||
+      (header.entrymap_degree & (header.entrymap_degree - 1)) != 0) {
+    return InvalidArgument("entrymap degree must be a power of two >= 2");
+  }
+
+  CLIO_ASSIGN_OR_RETURN(uint64_t index, device->AppendBlock(header.Encode()));
+  if (index != 0) {
+    return FailedPrecondition("volume header did not land in block 0");
+  }
+
+  std::unique_ptr<LogVolume> volume(new LogVolume(
+      device, cache, cache_device_id, catalog, clock, header));
+  volume->accumulator_ready_ = true;
+  volume->end_block_ = 1;
+  volume->writer_ = std::make_unique<LogVolumeWriter>(
+      &volume->blocks_, header, &volume->geometry_, catalog, clock, nvram);
+  CLIO_RETURN_IF_ERROR(
+      volume->writer_->Restore(1, EntrymapAccumulator(&volume->geometry_),
+                               nullptr));
+  return volume;
+}
+
+Result<uint64_t> LogVolume::LocateEnd(WormDevice* device, OpStats* stats) {
+  auto query = device->QueryEnd();
+  if (query.ok()) {
+    return query.value();
+  }
+  // Binary search for the first never-written block (§2.3.1: "binary
+  // search is used", §3.4: cost log2 V).
+  Bytes scratch(device->block_size());
+  uint64_t lo = 0;
+  uint64_t hi = device->capacity_blocks();
+  auto written = [&](uint64_t index) {
+    if (stats != nullptr) {
+      ++stats->blocks_read;
+      ++stats->device_reads;
+    }
+    Status st = device->ReadBlock(index, scratch);
+    return st.ok();
+  };
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (written(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // Wild writes may have deposited readable garbage just past the frontier;
+  // absorb nearby islands so they end up inside the recovered region.
+  uint64_t end = lo;
+  for (int probe = 0; probe < kMaxDisplacementProbes &&
+                      end + probe < device->capacity_blocks();
+       ++probe) {
+    if (written(end + probe)) {
+      end = end + probe + 1;
+      probe = -1;  // restart the window after the island
+    }
+  }
+  return end;
+}
+
+Result<std::unique_ptr<LogVolume>> LogVolume::Open(
+    WormDevice* device, BlockCache* cache, uint64_t cache_device_id,
+    Catalog* catalog, TimeSource* clock, NvramTail* nvram, bool writable,
+    RecoveryReport* report) {
+  // Step 0: the volume header fixes geometry for everything below.
+  Bytes header_block(device->block_size());
+  CLIO_RETURN_IF_ERROR(device->ReadBlock(0, header_block));
+  CLIO_ASSIGN_OR_RETURN(VolumeHeader header,
+                        VolumeHeader::Decode(header_block));
+
+  std::unique_ptr<LogVolume> volume(new LogVolume(
+      device, cache, cache_device_id, catalog, clock, header));
+
+  // Step 1: locate the end of the written portion.
+  OpStats end_stats;
+  CLIO_ASSIGN_OR_RETURN(uint64_t end, LocateEnd(device, &end_stats));
+  if (end == 0) {
+    return Corrupt("volume has a header but reports no written blocks");
+  }
+  volume->end_block_ = end;
+  if (report != nullptr) {
+    report->end_location_reads = end_stats.blocks_read;
+  }
+
+  // Step 1b: a crash can leave torn garbage in the trailing blocks;
+  // invalidate such blocks so every reader skips them (§2.3.2).
+  std::vector<uint64_t> torn;
+  for (uint64_t b = end; b > 1 && end - b < kMaxDisplacementProbes;) {
+    --b;
+    OpStats ignore;
+    auto parsed = volume->GetBlock(b, &ignore);
+    if (parsed.ok() ||
+        parsed.status().code() == StatusCode::kInvalidated) {
+      break;
+    }
+    CLIO_RETURN_IF_ERROR(device->InvalidateBlock(b));
+    volume->blocks_.Evict(b);
+    torn.push_back(b);
+  }
+  if (report != nullptr) {
+    report->invalidated_blocks = torn.size();
+  }
+
+  // Step 1c: was the volume sealed? (Look at the last parseable block.)
+  for (uint64_t b = end; b > 1 && end - b < kMaxDisplacementProbes;) {
+    --b;
+    OpStats ignore;
+    auto parsed = volume->GetBlock(b, &ignore);
+    if (parsed.ok()) {
+      volume->sealed_ = parsed.value().volume_sealed();
+      break;
+    }
+  }
+
+  // Step 3 of the paper's recovery, run before step 2 here: the catalog is
+  // needed to expand sublog ancestor chains while rebuilding entrymap
+  // bitmaps. Searches during replay synthesize any entrymap info the
+  // not-yet-rebuilt accumulator would have supplied.
+  OpStats catalog_stats;
+  CLIO_RETURN_IF_ERROR(volume->ReplayCatalog(&catalog_stats));
+  if (report != nullptr) {
+    report->catalog_replay_blocks = catalog_stats.blocks_read;
+  }
+
+  // Step 2: reconstruct the entrymap information that had not been logged
+  // when the crash happened.
+  OpStats tail_stats;
+  EntrymapAccumulator accumulator(&volume->geometry_);
+  CLIO_RETURN_IF_ERROR(
+      volume->RebuildAccumulator(&accumulator, &tail_stats));
+  if (report != nullptr) {
+    report->tail_scan_blocks = tail_stats.blocks_read;
+  }
+
+  OpStats ts_stats;
+  CLIO_RETURN_IF_ERROR(volume->ComputeRecoveredMaxTimestamp(&ts_stats));
+
+  // Step 4: restore the NVRAM-staged tail block, if it is current.
+  const Bytes* staged = nullptr;
+  Bytes staged_copy;
+  if (writable && nvram != nullptr && nvram->has_data() &&
+      nvram->block_index() == end) {
+    staged_copy.assign(nvram->data().begin(), nvram->data().end());
+    staged = &staged_copy;
+    // The staged image may contain catalog records (e.g. a forced create).
+    auto parsed = ParsedBlock::Parse(
+        std::make_shared<const Bytes>(staged_copy));
+    if (parsed.ok()) {
+      for (const ParsedEntry& e : parsed.value().entries()) {
+        if (e.logfile_id == kCatalogLogId && !e.is_fragment()) {
+          auto record = CatalogRecord::Decode(e.payload);
+          if (record.ok()) {
+            CLIO_RETURN_IF_ERROR(catalog->Apply(record.value()));
+          }
+        }
+        if (e.timestamp.has_value()) {
+          volume->recovered_max_timestamp_ = std::max(
+              volume->recovered_max_timestamp_, *e.timestamp);
+        }
+      }
+    } else {
+      staged = nullptr;  // NVRAM content unusable
+    }
+    if (report != nullptr) {
+      report->restored_nvram_tail = staged != nullptr;
+    }
+  }
+
+  volume->accumulator_ready_ = true;
+  if (writable && !volume->sealed_) {
+    volume->writer_ = std::make_unique<LogVolumeWriter>(
+        &volume->blocks_, header, &volume->geometry_, catalog, clock, nvram);
+    CLIO_RETURN_IF_ERROR(
+        volume->writer_->Restore(end, std::move(accumulator), staged));
+    for (uint64_t bad : torn) {
+      volume->writer_->NoteBadBlock(bad);
+    }
+  } else {
+    volume->accumulator_ = std::move(accumulator);
+  }
+  return volume;
+}
+
+Status LogVolume::ReplayCatalog(OpStats* stats) {
+  uint64_t pos = 1;
+  while (true) {
+    CLIO_ASSIGN_OR_RETURN(std::optional<uint64_t> next,
+                          NextBlockWith(kCatalogLogId, pos, stats));
+    if (!next.has_value()) {
+      return Status::Ok();
+    }
+    auto parsed = GetBlock(*next, stats);
+    if (parsed.ok()) {
+      for (size_t i = 0; i < parsed.value().entries().size(); ++i) {
+        const ParsedEntry& e = parsed.value().entries()[i];
+        if (e.logfile_id != kCatalogLogId || e.is_fragment()) {
+          continue;
+        }
+        bool truncated = false;
+        CLIO_ASSIGN_OR_RETURN(
+            Bytes payload,
+            AssembleEntryPayload(*next, parsed.value(), i, stats,
+                                 &truncated));
+        if (truncated) {
+          continue;  // data in corrupted blocks is assumed lost (§2.3.2)
+        }
+        auto record = CatalogRecord::Decode(payload);
+        if (!record.ok()) {
+          continue;
+        }
+        CLIO_RETURN_IF_ERROR(catalog_->Apply(record.value()));
+      }
+    }
+    pos = *next + 1;
+  }
+}
+
+Status LogVolume::RebuildAccumulator(EntrymapAccumulator* acc,
+                                     OpStats* stats) {
+  const uint64_t end = end_block_;
+  if (end <= 1) {
+    return Status::Ok();
+  }
+  const uint16_t n = geometry_.degree();
+
+  // Level 1: scan the blocks since the last written level-1 home.
+  uint64_t h1 = ((end - 1) / n) * n;
+  for (uint64_t b = std::max<uint64_t>(h1, 1); b < end; ++b) {
+    auto parsed = GetBlock(b, stats);
+    if (!parsed.ok()) {
+      continue;  // invalidated / torn blocks contribute nothing
+    }
+    for (const ParsedEntry& e : parsed.value().entries()) {
+      for (LogFileId id : catalog_->SelfAndAncestors(e.logfile_id)) {
+        if (EntrymapTracks(id)) {
+          acc->SetBit(1, geometry_.HomeFor(b, 1), id,
+                      geometry_.SubgroupOf(b, 1));
+        }
+      }
+      for (LogFileId extra : e.extra_ids) {
+        for (LogFileId id : catalog_->SelfAndAncestors(extra)) {
+          if (EntrymapTracks(id)) {
+            acc->SetBit(1, geometry_.HomeFor(b, 1), id,
+                        geometry_.SubgroupOf(b, 1));
+          }
+        }
+      }
+    }
+  }
+
+  // Levels 2..k: fold in the level-(l-1) entrymap entries written since the
+  // last level-l home, then the open level-(l-1) group itself.
+  for (int level = 2; level <= geometry_.max_level(); ++level) {
+    uint64_t step = geometry_.PowN(level - 1);
+    uint64_t hl = ((end - 1) / geometry_.PowN(level)) * geometry_.PowN(level);
+    uint64_t hlm1 = ((end - 1) / step) * step;
+    for (uint64_t h = hl + step; h <= hlm1; h += step) {
+      CLIO_ASSIGN_OR_RETURN(std::optional<EntrymapPayload> payload,
+                            FetchEntrymap(level - 1, h, stats));
+      if (payload.has_value()) {
+        for (const EntrymapPayload::PerFile& f : payload->files) {
+          if (AnyBitSet(f.bitmap)) {
+            acc->SetBit(level, geometry_.HomeFor(h - step, level), f.id,
+                        geometry_.SubgroupOf(h - step, level));
+          }
+        }
+        continue;
+      }
+      // The node was never written (a garbage write displaced its home and
+      // the crash hit before re-emission): recompute its contribution from
+      // the blocks it covers, so the next higher-level node stays complete.
+      uint32_t bit = geometry_.SubgroupOf(h - step, level);
+      uint64_t node_home = geometry_.HomeFor(h - step, level);
+      for (uint64_t b = std::max<uint64_t>(h - step, 1);
+           b < h && b < end; ++b) {
+        auto parsed = GetBlock(b, stats);
+        if (!parsed.ok()) {
+          continue;
+        }
+        for (const ParsedEntry& e : parsed.value().entries()) {
+          for (LogFileId id : catalog_->SelfAndAncestors(e.logfile_id)) {
+            if (EntrymapTracks(id)) {
+              acc->SetBit(level, node_home, id, bit);
+            }
+          }
+          for (LogFileId extra : e.extra_ids) {
+            for (LogFileId id : catalog_->SelfAndAncestors(extra)) {
+              if (EntrymapTracks(id)) {
+                acc->SetBit(level, node_home, id, bit);
+              }
+            }
+          }
+        }
+      }
+    }
+    for (LogFileId id : acc->MarkedIds(level - 1,
+                                        geometry_.HomeFor(hlm1, level - 1))) {
+      acc->SetBit(level, geometry_.HomeFor(hlm1, level), id,
+                  geometry_.SubgroupOf(hlm1, level));
+    }
+  }
+  return Status::Ok();
+}
+
+Status LogVolume::ComputeRecoveredMaxTimestamp(OpStats* stats) {
+  for (uint64_t b = end_block_; b > 1 && end_block_ - b < 64;) {
+    --b;
+    auto parsed = GetBlock(b, stats);
+    if (!parsed.ok()) {
+      continue;
+    }
+    Timestamp max_ts = 0;
+    for (const ParsedEntry& e : parsed.value().entries()) {
+      if (e.timestamp.has_value()) {
+        max_ts = std::max(max_ts, *e.timestamp);
+      }
+    }
+    if (max_ts != 0) {
+      recovered_max_timestamp_ = max_ts;
+      return Status::Ok();
+    }
+  }
+  return Status::Ok();
+}
+
+Result<ParsedBlock> LogVolume::GetBlock(uint64_t block, OpStats* stats) {
+  if (block == 0) {
+    return InvalidArgument("block 0 is the volume header");
+  }
+  if (writer_ != nullptr && writer_->has_staged_entries() &&
+      block == writer_->staging_block()) {
+    if (stats != nullptr) {
+      ++stats->blocks_read;
+      ++stats->cache_hits;  // staged tail lives in server memory
+    }
+    return ParsedBlock::Parse(writer_->StagedImage());
+  }
+  if (block >= end_block()) {
+    return NotWritten("block " + std::to_string(block) +
+                      " is past the written end");
+  }
+  CLIO_ASSIGN_OR_RETURN(auto image, blocks_.Fetch(block, stats));
+  return ParsedBlock::Parse(std::move(image));
+}
+
+Result<Bytes> LogVolume::AssembleEntryPayload(uint64_t block,
+                                              const ParsedBlock& parsed,
+                                              size_t entry_index,
+                                              OpStats* stats,
+                                              bool* truncated) {
+  *truncated = false;
+  const ParsedEntry& base = parsed.entries()[entry_index];
+  Bytes out(base.payload.begin(), base.payload.end());
+  bool continues = entry_index + 1 == parsed.entries().size() &&
+                   parsed.last_entry_continues();
+  uint64_t b = block;
+  while (continues) {
+    ++b;
+    if (b >= end_including_staged()) {
+      *truncated = true;
+      return out;
+    }
+    auto next = GetBlock(b, stats);
+    if (!next.ok()) {
+      if (next.status().code() == StatusCode::kInvalidated ||
+          next.status().code() == StatusCode::kCorrupt) {
+        *truncated = true;  // the middle of the entry was lost
+        return out;
+      }
+      return next.status();
+    }
+    // The continuation is the first fragment entry of this log file in the
+    // block (entrymap entries may precede it in a home block).
+    bool found = false;
+    for (size_t i = 0; i < next.value().entries().size(); ++i) {
+      const ParsedEntry& e = next.value().entries()[i];
+      if (e.is_fragment() && e.logfile_id == base.logfile_id) {
+        out.insert(out.end(), e.payload.begin(), e.payload.end());
+        continues = i + 1 == next.value().entries().size() &&
+                    next.value().last_entry_continues();
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      *truncated = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+bool LogVolume::BlockHas(const ParsedBlock& block, LogFileId id) const {
+  if (id == kVolumeSeqLogId) {
+    return !block.entries().empty();
+  }
+  for (const ParsedEntry& e : block.entries()) {
+    if (EntryBelongsTo(e, id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LogVolume::EntryBelongsTo(const ParsedEntry& e, LogFileId id) const {
+  if (catalog_->IsWithin(e.logfile_id, id)) {
+    return true;
+  }
+  for (LogFileId extra : e.extra_ids) {
+    if (catalog_->IsWithin(extra, id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const EntrymapAccumulator& LogVolume::LiveAccumulator() const {
+  return writer_ != nullptr ? writer_->accumulator() : accumulator_;
+}
+
+Result<std::optional<EntrymapPayload>> LogVolume::FetchEntrymap(
+    int level, uint64_t home, OpStats* stats) {
+  const uint64_t limit = end_including_staged();
+  std::optional<EntrymapPayload> merged;
+  uint64_t pos = home;
+  for (int probes = 0; pos < limit && probes < kMaxDisplacementProbes;
+       ++probes) {
+    auto parsed = GetBlock(pos, stats);
+    if (!parsed.ok()) {
+      if (parsed.status().code() == StatusCode::kInvalidated ||
+          parsed.status().code() == StatusCode::kCorrupt) {
+        ++pos;  // the entrymap entry was displaced past this block (§2.3.2)
+        continue;
+      }
+      return std::optional<EntrymapPayload>(std::nullopt);
+    }
+    bool found_here = false;
+    bool passed_home = false;
+    for (const ParsedEntry& e : parsed.value().entries()) {
+      if (e.logfile_id != kEntrymapLogId || e.is_fragment() ||
+          e.payload.empty()) {
+        continue;
+      }
+      // Cheap level peek before a full decode.
+      if (static_cast<uint8_t>(e.payload[0]) != level) {
+        continue;
+      }
+      auto decoded = EntrymapPayload::Decode(e.payload,
+                                             geometry_.bitmap_bytes());
+      if (!decoded.ok()) {
+        continue;
+      }
+      if (stats != nullptr) {
+        ++stats->entrymap_entries_examined;
+      }
+      if (decoded.value().home_block > home) {
+        passed_home = true;  // nodes are ordered: ours cannot be further on
+        continue;
+      }
+      if (decoded.value().home_block != home) {
+        continue;
+      }
+      found_here = true;
+      if (!merged.has_value()) {
+        merged = std::move(decoded).value();
+      } else {
+        for (auto& f : decoded.value().files) {
+          merged->files.push_back(std::move(f));
+        }
+      }
+    }
+    if (merged.has_value()) {
+      if (found_here && parsed.value().entrymap_continues()) {
+        ++pos;  // chunks spill into the next block
+        continue;
+      }
+      return merged;
+    }
+    if (passed_home) {
+      // Some later home's node already appears: ours was never written.
+      return std::optional<EntrymapPayload>(std::nullopt);
+    }
+    // The node can sit a few blocks past its home (displaced landing after
+    // a garbage write, §2.3.2); keep probing within the window.
+    ++pos;
+  }
+  return merged.has_value() ? Result<std::optional<EntrymapPayload>>(merged)
+                            : std::optional<EntrymapPayload>(std::nullopt);
+}
+
+Result<Bytes> LogVolume::GroupBitmap(LogFileId id, int level, uint64_t home,
+                                     OpStats* stats) {
+  const uint64_t limit = end_including_staged();
+  if (home < limit) {
+    CLIO_ASSIGN_OR_RETURN(std::optional<EntrymapPayload> payload,
+                          FetchEntrymap(level, home, stats));
+    if (payload.has_value()) {
+      const EntrymapPayload::PerFile* f = payload->Find(id);
+      return f != nullptr ? f->bitmap : EmptyBitmap(geometry_.bitmap_bytes());
+    }
+    // Missing: synthesize below.
+  } else {
+    if (accumulator_ready_) {
+      // Not on media: the node (if any) is pending in the accumulator,
+      // keyed by its home block.
+      Bytes bitmap = LiveAccumulator().BitmapOf(level, home, id);
+      return bitmap.empty() ? EmptyBitmap(geometry_.bitmap_bytes()) : bitmap;
+    }
+    // During recovery replay the accumulator does not exist yet; synthesize.
+  }
+
+  // Fallback (§2.3.2): assume the entrymap entry is absent and search the
+  // lower levels / the blocks themselves.
+  Bytes bitmap = EmptyBitmap(geometry_.bitmap_bytes());
+  const uint64_t lo = home - geometry_.PowN(level);
+  const uint64_t step = geometry_.PowN(level - 1);
+  for (uint32_t bit = 0; bit < geometry_.degree(); ++bit) {
+    uint64_t sub_lo = lo + bit * step;
+    if (sub_lo >= limit) {
+      break;
+    }
+    bool any = false;
+    if (level == 1) {
+      if (sub_lo >= 1) {
+        auto parsed = GetBlock(sub_lo, stats);
+        any = parsed.ok() && BlockHas(parsed.value(), id);
+      }
+    } else {
+      CLIO_ASSIGN_OR_RETURN(Bytes sub,
+                            GroupBitmap(id, level - 1, sub_lo + step, stats));
+      any = AnyBitSet(sub);
+    }
+    if (any) {
+      bitmap[bit / 8] |= static_cast<std::byte>(1u << (bit % 8));
+    }
+  }
+  return bitmap;
+}
+
+Result<std::optional<uint64_t>> LogVolume::DescendHighest(LogFileId id,
+                                                          int level,
+                                                          uint64_t lo,
+                                                          OpStats* stats) {
+  if (level == 0) {
+    return std::optional<uint64_t>(lo >= 1 ? std::optional<uint64_t>(lo)
+                                           : std::nullopt);
+  }
+  CLIO_ASSIGN_OR_RETURN(
+      Bytes bitmap, GroupBitmap(id, level, lo + geometry_.PowN(level), stats));
+  uint64_t step = geometry_.PowN(level - 1);
+  for (uint32_t bit = geometry_.degree(); bit > 0; --bit) {
+    if (EntrymapPayload::TestBit(bitmap, bit - 1)) {
+      CLIO_ASSIGN_OR_RETURN(
+          std::optional<uint64_t> r,
+          DescendHighest(id, level - 1, lo + (bit - 1) * step, stats));
+      if (r.has_value()) {
+        return r;
+      }
+    }
+  }
+  return std::optional<uint64_t>(std::nullopt);
+}
+
+Result<std::optional<uint64_t>> LogVolume::DescendLowest(LogFileId id,
+                                                         int level,
+                                                         uint64_t lo,
+                                                         OpStats* stats) {
+  if (level == 0) {
+    return std::optional<uint64_t>(lo >= 1 ? std::optional<uint64_t>(lo)
+                                           : std::nullopt);
+  }
+  CLIO_ASSIGN_OR_RETURN(
+      Bytes bitmap, GroupBitmap(id, level, lo + geometry_.PowN(level), stats));
+  uint64_t step = geometry_.PowN(level - 1);
+  for (uint32_t bit = 0; bit < geometry_.degree(); ++bit) {
+    if (EntrymapPayload::TestBit(bitmap, bit)) {
+      CLIO_ASSIGN_OR_RETURN(
+          std::optional<uint64_t> r,
+          DescendLowest(id, level - 1, lo + bit * step, stats));
+      if (r.has_value()) {
+        return r;
+      }
+    }
+  }
+  return std::optional<uint64_t>(std::nullopt);
+}
+
+Result<std::optional<uint64_t>> LogVolume::LinearPrev(LogFileId id,
+                                                      uint64_t before,
+                                                      OpStats* stats) {
+  uint64_t limit = std::min(before, end_including_staged());
+  for (uint64_t b = limit; b > 1;) {
+    --b;
+    auto parsed = GetBlock(b, stats);
+    if (parsed.ok() && BlockHas(parsed.value(), id)) {
+      return std::optional<uint64_t>(b);
+    }
+  }
+  return std::optional<uint64_t>(std::nullopt);
+}
+
+Result<std::optional<uint64_t>> LogVolume::LinearNext(LogFileId id,
+                                                      uint64_t from,
+                                                      uint64_t limit,
+                                                      OpStats* stats) {
+  for (uint64_t b = std::max<uint64_t>(from, 1); b < limit; ++b) {
+    auto parsed = GetBlock(b, stats);
+    if (parsed.ok() && BlockHas(parsed.value(), id)) {
+      return std::optional<uint64_t>(b);
+    }
+  }
+  return std::optional<uint64_t>(std::nullopt);
+}
+
+Result<std::optional<uint64_t>> LogVolume::PrevBlockWith(LogFileId id,
+                                                         uint64_t before_block,
+                                                         OpStats* stats) {
+  const uint64_t staged_limit = end_including_staged();
+  uint64_t before = std::min(before_block, staged_limit);
+  if (before <= 1) {
+    return std::optional<uint64_t>(std::nullopt);
+  }
+  // The volume sequence log is every block, and the entrymap log is found
+  // by position, not by itself; both scan linearly.
+  if (id == kVolumeSeqLogId || id == kEntrymapLogId) {
+    return LinearPrev(id, before, stats);
+  }
+
+  // The staged tail block is the nearest candidate if it qualifies.
+  if (writer_ != nullptr && writer_->has_staged_entries() &&
+      writer_->staging_block() < before) {
+    auto staged = GetBlock(writer_->staging_block(), stats);
+    if (staged.ok() && BlockHas(staged.value(), id)) {
+      return std::optional<uint64_t>(writer_->staging_block());
+    }
+  }
+
+  const uint64_t limit = std::min(before, end_block());
+  if (limit <= 1) {
+    return std::optional<uint64_t>(std::nullopt);
+  }
+  const uint16_t n = geometry_.degree();
+
+  // Level 1: the group containing the last candidate block.
+  uint64_t h1 = geometry_.HomeFor(limit - 1, 1);
+  CLIO_ASSIGN_OR_RETURN(Bytes bitmap, GroupBitmap(id, 1, h1, stats));
+  uint32_t bit_excl = geometry_.SubgroupOf(limit - 1, 1) + 1;
+  if (auto bit = EntrymapPayload::HighestSetBelow(bitmap, bit_excl)) {
+    uint64_t candidate = h1 - n + *bit;
+    if (candidate >= 1) {
+      return std::optional<uint64_t>(candidate);
+    }
+  }
+  uint64_t searched_lo = h1 - n;
+
+  // Ascend; at each level examine only the subgroups not yet covered.
+  for (int level = 2; level <= geometry_.max_level(); ++level) {
+    if (searched_lo <= 1) {
+      break;
+    }
+    uint64_t hl = geometry_.HomeFor(searched_lo - 1, level);
+    CLIO_ASSIGN_OR_RETURN(Bytes bm, GroupBitmap(id, level, hl, stats));
+    // Subgroups of [hl - N^level, hl) strictly below searched_lo. When
+    // searched_lo sits exactly on the group's upper edge every bit
+    // qualifies (SubgroupOf would wrap to 0 there).
+    uint32_t excl = static_cast<uint32_t>(
+        (searched_lo - (hl - geometry_.PowN(level))) /
+        geometry_.PowN(level - 1));
+    uint64_t step = geometry_.PowN(level - 1);
+    std::optional<uint32_t> bit = EntrymapPayload::HighestSetBelow(bm, excl);
+    while (bit.has_value()) {
+      uint64_t sub_lo = hl - geometry_.PowN(level) + *bit * step;
+      CLIO_ASSIGN_OR_RETURN(std::optional<uint64_t> r,
+                            DescendHighest(id, level - 1, sub_lo, stats));
+      if (r.has_value()) {
+        return r;
+      }
+      bit = EntrymapPayload::HighestSetBelow(bm, *bit);
+    }
+    searched_lo = hl - geometry_.PowN(level);
+  }
+  return std::optional<uint64_t>(std::nullopt);
+}
+
+Result<std::optional<uint64_t>> LogVolume::NextBlockWith(LogFileId id,
+                                                         uint64_t from_block,
+                                                         OpStats* stats) {
+  const uint64_t staged_limit = end_including_staged();
+  uint64_t from = std::max<uint64_t>(from_block, 1);
+  if (from >= staged_limit) {
+    return std::optional<uint64_t>(std::nullopt);
+  }
+  if (id == kVolumeSeqLogId || id == kEntrymapLogId) {
+    return LinearNext(id, from, staged_limit, stats);
+  }
+
+  const uint64_t limit = end_block();
+  const uint16_t n = geometry_.degree();
+  if (from < limit) {
+    uint64_t h1 = geometry_.HomeFor(from, 1);
+    CLIO_ASSIGN_OR_RETURN(Bytes bitmap, GroupBitmap(id, 1, h1, stats));
+    if (auto bit = EntrymapPayload::LowestSetFrom(
+            bitmap, geometry_.SubgroupOf(from, 1), n)) {
+      return std::optional<uint64_t>(h1 - n + *bit);
+    }
+    uint64_t searched_hi = h1;
+    for (int level = 2;
+         level <= geometry_.max_level() && searched_hi < limit; ++level) {
+      uint64_t hl = geometry_.HomeFor(searched_hi, level);
+      CLIO_ASSIGN_OR_RETURN(Bytes bm, GroupBitmap(id, level, hl, stats));
+      uint32_t bit_from = geometry_.SubgroupOf(searched_hi, level);
+      uint64_t step = geometry_.PowN(level - 1);
+      std::optional<uint32_t> bit =
+          EntrymapPayload::LowestSetFrom(bm, bit_from, n);
+      while (bit.has_value()) {
+        uint64_t sub_lo = hl - geometry_.PowN(level) + *bit * step;
+        if (sub_lo >= limit) {
+          break;
+        }
+        CLIO_ASSIGN_OR_RETURN(std::optional<uint64_t> r,
+                              DescendLowest(id, level - 1, sub_lo, stats));
+        if (r.has_value()) {
+          return r;
+        }
+        bit = EntrymapPayload::LowestSetFrom(bm, *bit + 1, n);
+      }
+      searched_hi = hl;
+    }
+  }
+
+  // Finally the staged tail block.
+  if (writer_ != nullptr && writer_->has_staged_entries() &&
+      writer_->staging_block() >= from) {
+    auto staged = GetBlock(writer_->staging_block(), stats);
+    if (staged.ok() && BlockHas(staged.value(), id)) {
+      return std::optional<uint64_t>(writer_->staging_block());
+    }
+  }
+  return std::optional<uint64_t>(std::nullopt);
+}
+
+Result<std::optional<uint64_t>> LogVolume::FindBlockByTime(Timestamp t,
+                                                           OpStats* stats) {
+  const uint64_t limit = end_including_staged();
+  if (limit <= 1) {
+    return std::optional<uint64_t>(std::nullopt);
+  }
+  uint64_t lo = 1;
+  uint64_t hi = limit;
+  std::optional<uint64_t> answer;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    // Prefer probing an entrymap home block: the upper levels of this
+    // search then reuse blocks that are likely already cached (§2.1).
+    for (int level = geometry_.max_level(); level >= 1; --level) {
+      uint64_t snapped = (mid / geometry_.PowN(level)) * geometry_.PowN(level);
+      if (snapped > lo && snapped < hi) {
+        mid = snapped;
+        break;
+      }
+    }
+    // Probe forward past unparseable blocks for a leading timestamp.
+    uint64_t probe = mid;
+    std::optional<Timestamp> ts;
+    while (probe < hi) {
+      auto parsed = GetBlock(probe, stats);
+      if (parsed.ok()) {
+        ts = parsed.value().FirstTimestamp();
+        if (ts.has_value()) {
+          break;
+        }
+      }
+      ++probe;
+    }
+    if (!ts.has_value()) {
+      hi = mid;
+      continue;
+    }
+    if (*ts <= t) {
+      answer = probe;
+      lo = probe + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return answer;
+}
+
+}  // namespace clio

@@ -1,0 +1,74 @@
+#include "src/clio/volume_header.h"
+
+#include "src/util/crc32c.h"
+
+namespace clio {
+namespace {
+
+constexpr uint32_t kVolumeMagic = 0x434C494F;  // "CLIO"
+constexpr uint16_t kVolumeFormatVersion = 1;
+
+}  // namespace
+
+Bytes VolumeHeader::Encode() const {
+  Bytes fields;
+  ByteWriter w(&fields);
+  w.PutU32(kVolumeMagic);
+  w.PutU16(kVolumeFormatVersion);
+  w.PutU32(block_size);
+  w.PutU16(entrymap_degree);
+  w.PutU64(sequence_id);
+  w.PutU32(volume_index);
+  w.PutI64(created_at);
+  w.PutString(label);
+
+  Bytes block(block_size, std::byte{0});
+  // Header must fit with room for the trailing CRC.
+  size_t n = fields.size();
+  if (n > block_size - 4) {
+    n = block_size - 4;
+  }
+  std::copy(fields.begin(), fields.begin() + n, block.begin());
+  uint32_t crc =
+      Crc32c(std::span<const std::byte>(block.data(), block_size - 4));
+  StoreU32(block, block_size - 4, crc);
+  return block;
+}
+
+Result<VolumeHeader> VolumeHeader::Decode(std::span<const std::byte> block) {
+  if (block.size() < 64) {
+    return Corrupt("volume header block too small");
+  }
+  uint32_t stored_crc = LoadU32(block, block.size() - 4);
+  uint32_t computed = Crc32c(block.first(block.size() - 4));
+  if (stored_crc != computed) {
+    return Corrupt("volume header CRC mismatch");
+  }
+  ByteReader r(block);
+  if (r.GetU32() != kVolumeMagic) {
+    return Corrupt("volume header magic mismatch");
+  }
+  uint16_t version = r.GetU16();
+  if (version != kVolumeFormatVersion) {
+    return Corrupt("unsupported volume format version");
+  }
+  VolumeHeader h;
+  h.block_size = r.GetU32();
+  h.entrymap_degree = r.GetU16();
+  h.sequence_id = r.GetU64();
+  h.volume_index = r.GetU32();
+  h.created_at = r.GetI64();
+  h.label = r.GetString();
+  if (r.failed()) {
+    return Corrupt("volume header truncated");
+  }
+  if (h.block_size != block.size()) {
+    return Corrupt("volume header block size disagrees with device");
+  }
+  if (h.entrymap_degree < 2 || (h.entrymap_degree & (h.entrymap_degree - 1))) {
+    return Corrupt("entrymap degree must be a power of two >= 2");
+  }
+  return h;
+}
+
+}  // namespace clio

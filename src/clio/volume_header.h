@@ -1,0 +1,35 @@
+// Volume header: block 0 of every log volume, burned once at format time.
+// Identifies the volume sequence the volume belongs to and its position in
+// it (paper §2.1: "a log file may span several log volumes ... totally
+// ordered by the time of writing"), and fixes the geometry every other
+// structure depends on (block size, entrymap degree N).
+#ifndef SRC_CLIO_VOLUME_HEADER_H_
+#define SRC_CLIO_VOLUME_HEADER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+#include "src/util/time.h"
+
+namespace clio {
+
+struct VolumeHeader {
+  uint32_t block_size = 1024;
+  uint16_t entrymap_degree = 16;  // N: bitmap width / tree fan-out (§2.1)
+  uint64_t sequence_id = 0;       // random id shared by the whole sequence
+  uint32_t volume_index = 0;      // 0-based position within the sequence
+  Timestamp created_at = 0;
+  std::string label;
+
+  // Serializes into a full block image of `block_size` bytes (CRC'd).
+  Bytes Encode() const;
+
+  // Decodes and validates block 0. kCorrupt if magic/CRC fail.
+  static Result<VolumeHeader> Decode(std::span<const std::byte> block);
+};
+
+}  // namespace clio
+
+#endif  // SRC_CLIO_VOLUME_HEADER_H_

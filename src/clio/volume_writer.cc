@@ -1,0 +1,394 @@
+#include "src/clio/volume_writer.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace clio {
+namespace {
+
+// Give up on a burn after this many consecutive garbage-write faults.
+constexpr int kMaxBurnAttempts = 8;
+
+Bytes EncodeBadBlockRecord(uint64_t block) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU64(block);
+  w.PutU8(1);  // reason: garbage write detected at append time
+  return out;
+}
+
+}  // namespace
+
+LogVolumeWriter::LogVolumeWriter(CachedBlockReader* blocks,
+                                 const VolumeHeader& header,
+                                 const EntrymapGeometry* geometry,
+                                 Catalog* catalog, TimeSource* clock,
+                                 NvramTail* nvram)
+    : blocks_(blocks),
+      header_(header),
+      geometry_(geometry),
+      catalog_(catalog),
+      clock_(clock),
+      nvram_(nvram),
+      accumulator_(geometry) {}
+
+Status LogVolumeWriter::Restore(uint64_t next_block,
+                                EntrymapAccumulator accumulator,
+                                const Bytes* staged_image) {
+  staging_block_ = next_block;
+  accumulator_ = std::move(accumulator);
+  builder_.reset();
+  pending_mark_ids_.clear();
+  // The recovered accumulator covers [align_down(end-1, N^l), end) per
+  // level; everything before that boundary is on media.
+  last_home_emitted_.assign(geometry_->max_level() + 1, 0);
+  for (int level = 1; level <= geometry_->max_level(); ++level) {
+    uint64_t n = geometry_->PowN(level);
+    last_home_emitted_[level] =
+        next_block > 0 ? ((next_block - 1) / n) * n : 0;
+  }
+  if (staged_image != nullptr) {
+    // Re-stage the partial tail block preserved in NVRAM across the crash.
+    CLIO_ASSIGN_OR_RETURN(
+        ParsedBlock parsed,
+        ParsedBlock::Parse(std::make_shared<const Bytes>(*staged_image)));
+    builder_ = std::make_unique<BlockBuilder>(header_.block_size);
+    builder_->SetFlags(parsed.flags());
+    for (const ParsedEntry& e : parsed.entries()) {
+      builder_->AddEntry(e.version, e.logfile_id, e.payload,
+                         e.timestamp.value_or(0), e.client_sequence,
+                         e.extra_ids);
+      for (LogFileId id : catalog_->SelfAndAncestors(e.logfile_id)) {
+        pending_mark_ids_.insert(id);
+      }
+      for (LogFileId extra : e.extra_ids) {
+        for (LogFileId id : catalog_->SelfAndAncestors(extra)) {
+          pending_mark_ids_.insert(id);
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status LogVolumeWriter::OpenBuilder() {
+  if (builder_ != nullptr) {
+    return Status::Ok();
+  }
+  builder_ = std::make_unique<BlockBuilder>(header_.block_size);
+  pending_mark_ids_.clear();
+  if (last_home_emitted_.empty()) {
+    last_home_emitted_.assign(geometry_->max_level() + 1, 0);
+  }
+  // Emit a node for every home boundary the staging position has crossed
+  // (usually the boundary it sits on; more when a garbage write displaced
+  // the landing past the home block, §2.3.2).
+  bool emitted = false;
+  for (int level = 1; level <= geometry_->max_level(); ++level) {
+    uint64_t n = geometry_->PowN(level);
+    uint64_t due = (staging_block_ / n) * n;
+    if (due > last_home_emitted_[level]) {
+      if (!emitted) {
+        ++entrymap_upkeep_calls_;
+        emitted = true;
+      }
+      CLIO_RETURN_IF_ERROR(EmitEntrymapNode(level, due));
+      last_home_emitted_[level] = due;
+    }
+  }
+  return Status::Ok();
+}
+
+Status LogVolumeWriter::EmitEntrymapNode(int level, uint64_t home) {
+  const uint32_t per_file_bytes = 2 + geometry_->bitmap_bytes();
+  // Largest encoded payload that fits a fresh block alongside a
+  // timestamped header.
+  const uint32_t max_chunk =
+      header_.block_size - kBlockFooterSize - kSizeSlotBytes -
+      HeaderInlineSize(HeaderVersion::kTimestamped);
+
+  {
+    EntrymapPayload payload = accumulator_.Take(level, home);
+    // Split wide nodes into chunks that each fit in one block; chunks share
+    // (level, home_block) and readers merge them.
+    size_t emitted = 0;
+    do {
+      EntrymapPayload chunk;
+      chunk.level = payload.level;
+      chunk.home_block = payload.home_block;
+      uint32_t budget = max_chunk - 11;  // level + home + count
+      while (emitted < payload.files.size() && budget >= per_file_bytes) {
+        chunk.files.push_back(payload.files[emitted]);
+        ++emitted;
+        budget -= per_file_bytes;
+      }
+      Bytes encoded = chunk.Encode();
+      HeaderVersion v = builder_->empty() ? HeaderVersion::kTimestamped
+                                          : HeaderVersion::kCompact;
+      if (builder_->PayloadCapacity(v) < encoded.size()) {
+        builder_->SetFlags(kFlagEntrymapContinues);
+        CLIO_RETURN_IF_ERROR(BurnBuilder());
+        builder_ = std::make_unique<BlockBuilder>(header_.block_size);
+        v = HeaderVersion::kTimestamped;
+      }
+      space_.entrymap_bytes +=
+          HeaderInlineSize(v) + kSizeSlotBytes + encoded.size();
+      builder_->AddEntry(v, kEntrymapLogId, encoded, clock_->NowUnique());
+    } while (emitted < payload.files.size());
+  }
+  return Status::Ok();
+}
+
+Status LogVolumeWriter::BurnBuilder() {
+  if (builder_ == nullptr) {
+    return Status::Ok();
+  }
+  Bytes image = builder_->Finish();
+  for (int attempt = 0; attempt < kMaxBurnAttempts; ++attempt) {
+    auto result = blocks_->device()->AppendBlock(image);
+    if (result.ok()) {
+      uint64_t actual = result.value();
+      // If the burn landed past where the write head should have been,
+      // garbage occupies the skipped blocks (a wild write while we were
+      // not looking). Invalidate them and record their locations (§2.3.2).
+      for (uint64_t skipped = staging_block_; skipped < actual; ++skipped) {
+        if (blocks_->device()->BlockState(skipped) ==
+            WormBlockState::kScribbled) {
+          CLIO_RETURN_IF_ERROR(blocks_->device()->InvalidateBlock(skipped));
+          blocks_->Evict(skipped);
+          ++space_.invalidated_blocks;
+          pending_bad_blocks_.push_back(skipped);
+        }
+      }
+      if (!pending_mark_ids_.empty()) {
+        std::vector<LogFileId> ids(pending_mark_ids_.begin(),
+                                   pending_mark_ids_.end());
+        accumulator_.Mark(actual, ids);
+      }
+      space_.footer_bytes += kBlockFooterSize;
+      space_.padding_bytes += builder_->free_bytes();
+      ++space_.blocks_burned;
+      blocks_->Put(actual, std::move(image));
+      staging_block_ = actual + 1;
+      builder_.reset();
+      pending_mark_ids_.clear();
+      if (nvram_ != nullptr) {
+        nvram_->Clear();
+      }
+      return Status::Ok();
+    }
+    if (result.status().code() == StatusCode::kNoSpace) {
+      return result.status();
+    }
+    // A garbage write landed in the target block (§2.3.2): invalidate it,
+    // remember to log its location, and retry past it.
+    uint64_t bad = staging_block_;
+    auto end = blocks_->device()->QueryEnd();
+    if (end.ok() && end.value() > 0) {
+      bad = end.value() - 1;
+    }
+    CLIO_RETURN_IF_ERROR(blocks_->device()->InvalidateBlock(bad));
+    blocks_->Evict(bad);
+    ++space_.invalidated_blocks;
+    pending_bad_blocks_.push_back(bad);
+    staging_block_ = bad + 1;
+  }
+  return Unavailable("burn failed after " + std::to_string(kMaxBurnAttempts) +
+                     " attempts");
+}
+
+Status LogVolumeWriter::DrainBadBlockRecords() {
+  if (draining_bad_blocks_ || pending_bad_blocks_.empty()) {
+    return Status::Ok();
+  }
+  draining_bad_blocks_ = true;
+  while (!pending_bad_blocks_.empty()) {
+    uint64_t bad = pending_bad_blocks_.front();
+    pending_bad_blocks_.pop_front();
+    WriteOptions opts;
+    opts.timestamped = true;
+    auto result = Append(kBadBlockLogId, EncodeBadBlockRecord(bad), opts);
+    if (!result.ok()) {
+      pending_bad_blocks_.push_front(bad);
+      draining_bad_blocks_ = false;
+      return result.status();
+    }
+  }
+  draining_bad_blocks_ = false;
+  return Status::Ok();
+}
+
+void LogVolumeWriter::AccountClientEntry(LogFileId id, HeaderVersion v,
+                                         size_t payload_size) {
+  uint64_t header_cost = HeaderInlineSize(v) + kSizeSlotBytes;
+  switch (id) {
+    case kCatalogLogId:
+      space_.catalog_bytes += header_cost + payload_size;
+      break;
+    case kBadBlockLogId:
+      space_.badblock_bytes += header_cost + payload_size;
+      break;
+    default:
+      space_.client_header_bytes += header_cost;
+      space_.client_payload_bytes += payload_size;
+      break;
+  }
+}
+
+Result<AppendResult> LogVolumeWriter::Append(LogFileId id,
+                                             std::span<const std::byte> payload,
+                                             const WriteOptions& options) {
+  if (sealed_) {
+    return FailedPrecondition("volume is sealed");
+  }
+  CLIO_ASSIGN_OR_RETURN(LogFileInfo info, catalog_->Info(id));
+  if (info.sealed) {
+    return FailedPrecondition("log file is sealed");
+  }
+  CLIO_RETURN_IF_ERROR(DrainBadBlockRecords());
+
+  // Membership set: the target log file and its ancestors, plus any extra
+  // memberships (and their ancestors) the client named (§2.1).
+  std::vector<LogFileId> ancestors = catalog_->SelfAndAncestors(id);
+  for (LogFileId extra : options.extra_memberships) {
+    CLIO_ASSIGN_OR_RETURN(LogFileInfo extra_info, catalog_->Info(extra));
+    if (extra_info.sealed) {
+      return FailedPrecondition("extra membership log file is sealed");
+    }
+    for (LogFileId a : catalog_->SelfAndAncestors(extra)) {
+      ancestors.push_back(a);
+    }
+  }
+  const uint32_t n_extra =
+      static_cast<uint32_t>(options.extra_memberships.size());
+  if (n_extra > 255) {
+    return InvalidArgument("at most 255 extra memberships per entry");
+  }
+
+  CLIO_RETURN_IF_ERROR(OpenBuilder());
+
+  HeaderVersion v;
+  if (n_extra > 0) {
+    v = HeaderVersion::kMulti;
+  } else if (options.client_sequence.has_value()) {
+    v = HeaderVersion::kComplete;
+  } else if (options.timestamped || builder_->empty()) {
+    v = HeaderVersion::kTimestamped;
+  } else {
+    v = HeaderVersion::kCompact;
+  }
+
+  // Make room for at least the header; a fresh block always has room.
+  if (builder_->free_bytes() <
+      HeaderInlineSize(v, n_extra) + kSizeSlotBytes) {
+    CLIO_RETURN_IF_ERROR(BurnBuilder());
+    CLIO_RETURN_IF_ERROR(OpenBuilder());
+    if (builder_->empty() && v == HeaderVersion::kCompact) {
+      v = HeaderVersion::kTimestamped;  // first entry of a block
+    }
+  }
+
+  // Stamp the entry only now: OpenBuilder may have emitted entrymap
+  // entries, and timestamps must be non-decreasing in physical order for
+  // the time search (§2.1) to bisect on block-leading timestamps.
+  const Timestamp ts = clock_->NowUnique();
+
+  AppendResult out;
+  out.timestamp = ts;
+  out.position = EntryPosition{header_.volume_index, staging_block_,
+                               builder_->entry_count()};
+
+  std::span<const std::byte> remaining = payload;
+  size_t cap = builder_->PayloadCapacity(v, n_extra);
+  size_t take = std::min(cap, remaining.size());
+  builder_->AddEntry(v, id, remaining.first(take), ts,
+                     options.client_sequence, options.extra_memberships);
+  AccountClientEntry(id, v, take);
+  space_.client_header_bytes += 2 * n_extra;  // the extra id list
+  for (LogFileId a : ancestors) {
+    pending_mark_ids_.insert(a);
+  }
+  remaining = remaining.subspan(take);
+
+  // Fragment the overflow across subsequent blocks (paper footnote 7).
+  int stalls = 0;
+  while (!remaining.empty()) {
+    builder_->SetFlags(kFlagLastEntryContinues);
+    CLIO_RETURN_IF_ERROR(BurnBuilder());
+    CLIO_RETURN_IF_ERROR(OpenBuilder());
+    size_t fcap = builder_->PayloadCapacity(HeaderVersion::kFragment);
+    if (fcap == 0) {
+      // Entrymap entries packed this block solid; move on. This can only
+      // recur as many times as there are tree levels.
+      if (++stalls > geometry_->max_level() + 1) {
+        return Internal("fragment made no progress");
+      }
+      continue;
+    }
+    stalls = 0;
+    size_t n = std::min(fcap, remaining.size());
+    builder_->AddEntry(HeaderVersion::kFragment, id, remaining.first(n), ts);
+    AccountClientEntry(id, HeaderVersion::kFragment, n);
+    for (LogFileId a : ancestors) {
+      pending_mark_ids_.insert(a);
+    }
+    remaining = remaining.subspan(n);
+  }
+
+  if (options.force) {
+    CLIO_RETURN_IF_ERROR(Force());
+  }
+  return out;
+}
+
+Status LogVolumeWriter::AppendInternal(LogFileId id,
+                                       std::span<const std::byte> payload) {
+  WriteOptions opts;
+  opts.timestamped = true;
+  auto result = Append(id, payload, opts);
+  return result.ok() ? Status::Ok() : result.status();
+}
+
+Status LogVolumeWriter::Force() {
+  if (builder_ == nullptr || builder_->empty()) {
+    return Status::Ok();
+  }
+  if (nvram_ != nullptr) {
+    // Rewritable tail: restage the current partial image; nothing burns.
+    return nvram_->Store(staging_block_, builder_->Finish());
+  }
+  ++space_.forced_partial_burns;
+  return BurnBuilder();
+}
+
+Status LogVolumeWriter::Seal() {
+  if (sealed_) {
+    return Status::Ok();
+  }
+  CLIO_RETURN_IF_ERROR(OpenBuilder());
+  builder_->SetFlags(kFlagVolumeSealed);
+  CLIO_RETURN_IF_ERROR(BurnBuilder());
+  if (nvram_ != nullptr) {
+    nvram_->Clear();
+  }
+  sealed_ = true;
+  return Status::Ok();
+}
+
+bool LogVolumeWriter::AlmostFull(size_t payload_size) const {
+  uint64_t needed_blocks =
+      payload_size / header_.block_size + 2 + geometry_->max_level();
+  uint64_t capacity = blocks_->device()->capacity_blocks();
+  return staging_block_ + needed_blocks >= capacity;
+}
+
+std::shared_ptr<const Bytes> LogVolumeWriter::StagedImage() const {
+  if (builder_ == nullptr || builder_->empty()) {
+    return nullptr;
+  }
+  return std::make_shared<const Bytes>(builder_->Finish());
+}
+
+}  // namespace clio

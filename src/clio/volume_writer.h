@@ -1,0 +1,155 @@
+// The append path of one log volume.
+//
+// Entries accumulate in a staging BlockBuilder for the tail block; a block
+// is burned to the WORM device when full, when a write is forced under the
+// pure-WORM policy, or when the volume is sealed. The writer is also
+// responsible for:
+//  - emitting entrymap entries when the staging position reaches a home
+//    block (§2.1),
+//  - upgrading the first entry of every block to a timestamped header,
+//  - fragmenting entries larger than the remaining block space (footnote 7),
+//  - surviving garbage appends: the scribbled block is invalidated, its
+//    location is logged in the bad-block log, and the burn retries past it
+//    (§2.3.2) — displacing any entrymap home that block was meant to be,
+//  - NVRAM tail staging so forced writes need not burn partial blocks
+//    (§2.3.1).
+#ifndef SRC_CLIO_VOLUME_WRITER_H_
+#define SRC_CLIO_VOLUME_WRITER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+
+#include "src/clio/block_format.h"
+#include "src/clio/cached_reader.h"
+#include "src/clio/catalog.h"
+#include "src/clio/entrymap.h"
+#include "src/clio/types.h"
+#include "src/clio/volume_header.h"
+#include "src/device/nvram_tail.h"
+#include "src/util/time.h"
+
+namespace clio {
+
+struct AppendResult {
+  Timestamp timestamp = 0;
+  EntryPosition position;
+};
+
+// Where every burned byte went, for the §3.5 space-overhead experiments.
+struct SpaceAccounting {
+  uint64_t client_payload_bytes = 0;
+  uint64_t client_header_bytes = 0;  // inline headers + size-index slots
+  uint64_t entrymap_bytes = 0;       // whole entrymap records incl. slots
+  uint64_t catalog_bytes = 0;
+  uint64_t badblock_bytes = 0;
+  uint64_t padding_bytes = 0;  // burned free space (forced partial blocks)
+  uint64_t footer_bytes = 0;
+  uint64_t blocks_burned = 0;
+  uint64_t forced_partial_burns = 0;
+  uint64_t invalidated_blocks = 0;
+
+  uint64_t TotalBurned() const {
+    return client_payload_bytes + client_header_bytes + entrymap_bytes +
+           catalog_bytes + badblock_bytes + padding_bytes + footer_bytes;
+  }
+};
+
+class LogVolumeWriter {
+ public:
+  // `nvram` may be null: forced writes then burn partial blocks (pure-WORM
+  // policy). With NVRAM, forced writes restage the tail block instead.
+  LogVolumeWriter(CachedBlockReader* blocks, const VolumeHeader& header,
+                  const EntrymapGeometry* geometry, Catalog* catalog,
+                  TimeSource* clock, NvramTail* nvram);
+
+  LogVolumeWriter(const LogVolumeWriter&) = delete;
+  LogVolumeWriter& operator=(const LogVolumeWriter&) = delete;
+
+  // Positions the writer: `next_block` is where the next burn will land
+  // (1 for a fresh volume, the recovered end otherwise); `accumulator`
+  // carries the open-group bitmaps (empty for fresh). If `staged_image` is
+  // a valid block image recovered from NVRAM, its entries are re-staged.
+  Status Restore(uint64_t next_block, EntrymapAccumulator accumulator,
+                 const Bytes* staged_image);
+
+  // Appends one entry to `id`. Returns the server timestamp assigned to the
+  // entry (its unique id within the sequence for synchronous writers) and
+  // its position. Fails with kNoSpace when the volume cannot take the
+  // entry; the caller (volume sequence) then rolls to a successor volume.
+  Result<AppendResult> Append(LogFileId id, std::span<const std::byte> payload,
+                              const WriteOptions& options);
+
+  // Makes everything appended so far durable (§2.3.1). Pure WORM: burn the
+  // partial tail block. NVRAM: restage the tail image.
+  Status Force();
+
+  // Burns the tail with the volume-sealed flag; no appends accepted after.
+  Status Seal();
+
+  // True if appending `payload_size` more bytes may not fit on the device;
+  // the sequence uses this to roll volumes before hitting kNoSpace.
+  bool AlmostFull(size_t payload_size) const;
+
+  bool sealed() const { return sealed_; }
+
+  // Queues a corrupted-block location discovered outside the append path
+  // (recovery finds torn tail blocks this way) for logging to the bad-block
+  // log file on the next append.
+  void NoteBadBlock(uint64_t block) { pending_bad_blocks_.push_back(block); }
+
+  // Device block the staging buffer will burn to.
+  uint64_t staging_block() const { return staging_block_; }
+  bool has_staged_entries() const {
+    return builder_ != nullptr && !builder_->empty();
+  }
+  // Current image of the staged (partial) tail block, for live readers.
+  std::shared_ptr<const Bytes> StagedImage() const;
+
+  const EntrymapAccumulator& accumulator() const { return accumulator_; }
+  const SpaceAccounting& space() const { return space_; }
+
+  // Total time (us of TimeSource progression) spent maintaining + logging
+  // entrymap information, for the §3.2 breakdown bench.
+  uint64_t entrymap_upkeep_calls() const { return entrymap_upkeep_calls_; }
+
+ private:
+  Status OpenBuilder();  // starts a block; emits due entrymap entries
+  Status BurnBuilder();
+  // Emits the level-`level` entrymap node homed at `home` into the current
+  // builder (possibly spilling across blocks).
+  Status EmitEntrymapNode(int level, uint64_t home);
+  void AccountClientEntry(LogFileId id, HeaderVersion v, size_t payload_size);
+  Status AppendInternal(LogFileId id, std::span<const std::byte> payload);
+  Status DrainBadBlockRecords();
+
+  CachedBlockReader* blocks_;
+  VolumeHeader header_;
+  const EntrymapGeometry* geometry_;
+  Catalog* catalog_;
+  TimeSource* clock_;
+  NvramTail* nvram_;
+
+  std::unique_ptr<BlockBuilder> builder_;
+  uint64_t staging_block_ = 1;
+  std::set<LogFileId> pending_mark_ids_;
+  EntrymapAccumulator accumulator_;
+  // Home block of the last node emitted per level. Emission happens when
+  // the staging position *crosses* a home boundary, not only when it lands
+  // exactly on one — a garbage write can make the landing skip the home
+  // block itself (§2.3.2: the node then goes to the next good block).
+  std::vector<uint64_t> last_home_emitted_;
+  std::deque<uint64_t> pending_bad_blocks_;
+  bool draining_bad_blocks_ = false;
+  bool sealed_ = false;
+
+  SpaceAccounting space_;
+  uint64_t entrymap_upkeep_calls_ = 0;
+};
+
+}  // namespace clio
+
+#endif  // SRC_CLIO_VOLUME_WRITER_H_

@@ -1,0 +1,44 @@
+#include "src/device/fault_injection.h"
+
+namespace clio {
+
+Status FaultInjectingWormDevice::ReadBlock(uint64_t index,
+                                           std::span<std::byte> out) {
+  if (policy_.transient_read_failure_per_mille > 0 &&
+      rng_.Chance(policy_.transient_read_failure_per_mille, 1000)) {
+    ++read_failures_;
+    return Unavailable("injected transient read failure");
+  }
+  return base_->ReadBlock(index, out);
+}
+
+Result<uint64_t> FaultInjectingWormDevice::AppendBlock(
+    std::span<const std::byte> data) {
+  if (policy_.garbage_append_per_mille > 0 &&
+      rng_.Chance(policy_.garbage_append_per_mille, 1000)) {
+    // A wild write: garbage lands in the block the append targeted, and the
+    // append itself reports failure. The next good append will land after
+    // the scribbled block.
+    ++garbage_appends_;
+    Bytes garbage(block_size());
+    for (auto& b : garbage) {
+      b = static_cast<std::byte>(rng_.Below(256));
+    }
+    base_->Scribble(base_->frontier(), garbage);
+    return Unavailable("injected garbage write");
+  }
+  if (policy_.silent_corruption_per_mille > 0 &&
+      rng_.Chance(policy_.silent_corruption_per_mille, 1000)) {
+    // The media accepts the append but flips some bits.
+    ++corruptions_;
+    Bytes corrupted(data.begin(), data.end());
+    for (int i = 0; i < 8; ++i) {
+      size_t pos = rng_.Below(corrupted.size());
+      corrupted[pos] ^= static_cast<std::byte>(1u << rng_.Below(8));
+    }
+    return base_->AppendBlock(corrupted);
+  }
+  return base_->AppendBlock(data);
+}
+
+}  // namespace clio

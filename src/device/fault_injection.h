@@ -1,0 +1,72 @@
+// Fault-injecting decorator over a MemoryWormDevice.
+//
+// Models the failure classes of paper §2.3: a crash or software bug may
+// cause garbage to be written to the log volume — most likely to blocks
+// beyond the current end (wild appends), more rarely over previously
+// written blocks. Also supports transient read failures so callers'
+// retry/propagation paths get exercised.
+#ifndef SRC_DEVICE_FAULT_INJECTION_H_
+#define SRC_DEVICE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "src/device/memory_worm_device.h"
+#include "src/util/rng.h"
+
+namespace clio {
+
+struct FaultPolicy {
+  // Per-append probability (numerator over 1000) that the append instead
+  // deposits garbage in the target block and reports failure.
+  uint32_t garbage_append_per_mille = 0;
+  // Per-append probability that the stored payload is silently bit-flipped
+  // (the append "succeeds" but the media lies).
+  uint32_t silent_corruption_per_mille = 0;
+  // Per-read probability of a transient kUnavailable failure.
+  uint32_t transient_read_failure_per_mille = 0;
+};
+
+class FaultInjectingWormDevice : public WormDevice {
+ public:
+  FaultInjectingWormDevice(std::unique_ptr<MemoryWormDevice> base,
+                           const FaultPolicy& policy, uint64_t seed)
+      : base_(std::move(base)), policy_(policy), rng_(seed) {}
+
+  uint32_t block_size() const override { return base_->block_size(); }
+  uint64_t capacity_blocks() const override {
+    return base_->capacity_blocks();
+  }
+
+  Status ReadBlock(uint64_t index, std::span<std::byte> out) override;
+  Result<uint64_t> AppendBlock(std::span<const std::byte> data) override;
+  Status InvalidateBlock(uint64_t index) override {
+    return base_->InvalidateBlock(index);
+  }
+  Result<uint64_t> QueryEnd() override { return base_->QueryEnd(); }
+  WormBlockState BlockState(uint64_t index) const override {
+    return base_->BlockState(index);
+  }
+
+  const DeviceStats& stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+  MemoryWormDevice* base() { return base_.get(); }
+
+  uint64_t injected_garbage_appends() const { return garbage_appends_; }
+  uint64_t injected_corruptions() const { return corruptions_; }
+  uint64_t injected_read_failures() const { return read_failures_; }
+
+ private:
+  std::unique_ptr<MemoryWormDevice> base_;
+  FaultPolicy policy_;
+  Rng rng_;
+  uint64_t garbage_appends_ = 0;
+  uint64_t corruptions_ = 0;
+  uint64_t read_failures_ = 0;
+};
+
+}  // namespace clio
+
+#endif  // SRC_DEVICE_FAULT_INJECTION_H_

@@ -1,0 +1,72 @@
+// File-backed write-once device: persists across process restarts, so the
+// crash-recovery tests and examples can reboot a "server" against the same
+// volume. Data lives in <path>; per-block lifecycle state lives in a
+// sidecar <path>.state (one byte per block). The sidecar stands in for the
+// physical written/unwritten detectability of real optical media — it is
+// bookkeeping for the simulation, not rewritable file-system metadata in
+// the sense the paper argues against.
+#ifndef SRC_DEVICE_FILE_WORM_DEVICE_H_
+#define SRC_DEVICE_FILE_WORM_DEVICE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/device/block_device.h"
+
+namespace clio {
+
+struct FileWormOptions {
+  uint32_t block_size = 1024;
+  uint64_t capacity_blocks = 1 << 16;
+  bool supports_end_query = true;
+};
+
+class FileWormDevice : public WormDevice {
+ public:
+  // Opens (creating if necessary) the device files at `path` / `path.state`.
+  // Fails if an existing device has a different geometry.
+  static Result<std::unique_ptr<FileWormDevice>> Open(
+      const std::string& path, const FileWormOptions& options);
+
+  ~FileWormDevice() override;
+
+  FileWormDevice(const FileWormDevice&) = delete;
+  FileWormDevice& operator=(const FileWormDevice&) = delete;
+
+  uint32_t block_size() const override { return options_.block_size; }
+  uint64_t capacity_blocks() const override {
+    return options_.capacity_blocks;
+  }
+
+  Status ReadBlock(uint64_t index, std::span<std::byte> out) override;
+  Result<uint64_t> AppendBlock(std::span<const std::byte> data) override;
+  Status InvalidateBlock(uint64_t index) override;
+  Result<uint64_t> QueryEnd() override;
+  WormBlockState BlockState(uint64_t index) const override;
+
+  const DeviceStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_.Reset(); }
+
+ private:
+  FileWormDevice(const FileWormOptions& options, std::FILE* data_file,
+                 std::FILE* state_file, std::vector<WormBlockState> states);
+
+  Status WriteBlockAt(uint64_t index, std::span<const std::byte> data,
+                      WormBlockState new_state);
+  uint64_t AdvanceFrontier(uint64_t from) const;
+
+  FileWormOptions options_;
+  std::FILE* data_file_;
+  std::FILE* state_file_;
+  std::vector<WormBlockState> states_;  // authoritative in-memory copy
+  uint64_t frontier_ = 0;
+  DeviceStats stats_;
+};
+
+}  // namespace clio
+
+#endif  // SRC_DEVICE_FILE_WORM_DEVICE_H_

@@ -1,0 +1,44 @@
+#include "src/device/memory_rewritable_device.h"
+
+#include <algorithm>
+
+namespace clio {
+
+Status MemoryRewritableDevice::ReadBlock(uint64_t index,
+                                         std::span<std::byte> out) {
+  ++stats_.reads;
+  if (index >= capacity_blocks_) {
+    ++stats_.failed_ops;
+    return OutOfRange("read beyond device capacity");
+  }
+  if (out.size() != block_size_) {
+    ++stats_.failed_ops;
+    return InvalidArgument("read buffer size != block size");
+  }
+  if (index >= blocks_.size() || blocks_[index].empty()) {
+    std::fill(out.begin(), out.end(), std::byte{0});
+    return Status::Ok();
+  }
+  std::copy(blocks_[index].begin(), blocks_[index].end(), out.begin());
+  return Status::Ok();
+}
+
+Status MemoryRewritableDevice::WriteBlock(uint64_t index,
+                                          std::span<const std::byte> data) {
+  if (index >= capacity_blocks_) {
+    ++stats_.failed_ops;
+    return OutOfRange("write beyond device capacity");
+  }
+  if (data.size() != block_size_) {
+    ++stats_.failed_ops;
+    return InvalidArgument("write size != block size");
+  }
+  ++stats_.rewrites;
+  if (blocks_.size() <= index) {
+    blocks_.resize(index + 1);
+  }
+  blocks_[index].assign(data.begin(), data.end());
+  return Status::Ok();
+}
+
+}  // namespace clio

@@ -1,0 +1,39 @@
+// In-memory conventional (rewritable) block device, used by the baseline
+// file systems in src/vfs and as the backing store for the NVRAM staging
+// tail. Reads of never-written blocks return zeros, like a fresh disk.
+#ifndef SRC_DEVICE_MEMORY_REWRITABLE_DEVICE_H_
+#define SRC_DEVICE_MEMORY_REWRITABLE_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/device/block_device.h"
+#include "src/util/bytes.h"
+
+namespace clio {
+
+class MemoryRewritableDevice : public RewritableBlockDevice {
+ public:
+  MemoryRewritableDevice(uint32_t block_size, uint64_t capacity_blocks)
+      : block_size_(block_size), capacity_blocks_(capacity_blocks) {}
+
+  uint32_t block_size() const override { return block_size_; }
+  uint64_t capacity_blocks() const override { return capacity_blocks_; }
+
+  Status ReadBlock(uint64_t index, std::span<std::byte> out) override;
+  Status WriteBlock(uint64_t index, std::span<const std::byte> data) override;
+
+  const DeviceStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_.Reset(); }
+
+ private:
+  uint32_t block_size_;
+  uint64_t capacity_blocks_;
+  std::vector<Bytes> blocks_;
+  DeviceStats stats_;
+};
+
+}  // namespace clio
+
+#endif  // SRC_DEVICE_MEMORY_REWRITABLE_DEVICE_H_

@@ -1,0 +1,53 @@
+// Battery-backed-RAM staging for the tail block of a log device.
+//
+// Paper §2.3.1: on a purely write-once device, frequent forced writes burn
+// a partial block each time (internal fragmentation); "ideally ... the tail
+// end of the log device is implemented as rewriteable non-volatile storage,
+// such as battery backed-up RAM". NvramTail models that component: a
+// one-block rewritable buffer that survives server crashes (the harness
+// keeps the object alive across simulated reboots; optionally it persists
+// to a file so whole-process restarts survive too).
+#ifndef SRC_DEVICE_NVRAM_TAIL_H_
+#define SRC_DEVICE_NVRAM_TAIL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace clio {
+
+class NvramTail {
+ public:
+  explicit NvramTail(uint32_t block_size) : block_size_(block_size) {}
+
+  uint32_t block_size() const { return block_size_; }
+
+  // Rewritable store of the current partial tail block. `used` bytes of
+  // `data` are meaningful. Overwrites whatever was staged before —
+  // precisely the operation a pure WORM device cannot do.
+  Status Store(uint64_t block_index, std::span<const std::byte> data);
+
+  bool has_data() const { return has_data_; }
+  uint64_t block_index() const { return block_index_; }
+  std::span<const std::byte> data() const { return data_; }
+
+  // Called once the tail block has been burned to the WORM device.
+  void Clear();
+
+  // Counters for the fragmentation ablation bench.
+  uint64_t store_count() const { return store_count_; }
+
+ private:
+  uint32_t block_size_;
+  bool has_data_ = false;
+  uint64_t block_index_ = 0;
+  Bytes data_;
+  uint64_t store_count_ = 0;
+};
+
+}  // namespace clio
+
+#endif  // SRC_DEVICE_NVRAM_TAIL_H_

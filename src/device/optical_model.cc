@@ -1,0 +1,74 @@
+#include "src/device/optical_model.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace clio {
+
+SimulatedOpticalDevice::SimulatedOpticalDevice(
+    std::unique_ptr<WormDevice> base, const OpticalModelOptions& options)
+    : base_(std::move(base)), options_(options) {}
+
+uint64_t SimulatedOpticalDevice::SeekCost(uint64_t& head_pos,
+                                          uint64_t target) const {
+  if (head_pos == target) {
+    return 0;
+  }
+  uint64_t distance =
+      head_pos > target ? head_pos - target : target - head_pos;
+  uint64_t half = capacity_blocks() / 2;
+  if (half == 0) {
+    half = 1;
+  }
+  // Linear distance model calibrated so distance == half-device gives
+  // avg_seek_us; short hops are dominated by settle + rotation.
+  uint64_t travel = options_.avg_seek_us * distance / half;
+  head_pos = target;
+  return options_.settle_us + options_.rotation_us + travel;
+}
+
+Status SimulatedOpticalDevice::ReadBlock(uint64_t index,
+                                         std::span<std::byte> out) {
+  if (!options_.separate_heads) {
+    read_head_ = write_head_;  // shared head: start wherever writing left it
+  }
+  simulated_us_ += SeekCost(read_head_, index);
+  simulated_us_ += options_.transfer_us_per_block;
+  read_head_ = index + 1;
+  if (!options_.separate_heads) {
+    write_head_ = read_head_;
+  }
+  return base_->ReadBlock(index, out);
+}
+
+Result<uint64_t> SimulatedOpticalDevice::AppendBlock(
+    std::span<const std::byte> data) {
+  auto result = base_->AppendBlock(data);
+  if (!result.ok()) {
+    return result;
+  }
+  uint64_t index = result.value();
+  if (!options_.separate_heads) {
+    write_head_ = read_head_;
+  }
+  simulated_us_ += SeekCost(write_head_, index);
+  simulated_us_ += options_.transfer_us_per_block;
+  write_head_ = index + 1;
+  if (!options_.separate_heads) {
+    read_head_ = write_head_;
+  }
+  return index;
+}
+
+Status SimulatedOpticalDevice::InvalidateBlock(uint64_t index) {
+  simulated_us_ += SeekCost(write_head_, index);
+  simulated_us_ += options_.transfer_us_per_block;
+  write_head_ = index + 1;
+  return base_->InvalidateBlock(index);
+}
+
+Result<uint64_t> SimulatedOpticalDevice::QueryEnd() {
+  return base_->QueryEnd();
+}
+
+}  // namespace clio

@@ -1,0 +1,77 @@
+#include "src/ipc/channel.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace clio {
+
+void IpcChannel::ChargeLatency() const {
+  if (latency_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+  }
+}
+
+Result<IpcMessage> IpcChannel::Call(const IpcMessage& request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !client_busy_ || shutdown_; });
+  if (shutdown_) {
+    return Unavailable("IPC channel shut down");
+  }
+  client_busy_ = true;
+
+  lock.unlock();
+  ChargeLatency();  // request delivery
+  lock.lock();
+
+  request_slot_ = request;
+  request_pending_ = true;
+  reply_ready_ = false;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return reply_ready_ || shutdown_; });
+  if (shutdown_ && !reply_ready_) {
+    client_busy_ = false;
+    cv_.notify_all();
+    return Unavailable("IPC channel shut down");
+  }
+  IpcMessage reply = std::move(reply_slot_);
+  reply_ready_ = false;
+  client_busy_ = false;
+  ++calls_;
+  cv_.notify_all();
+
+  lock.unlock();
+  ChargeLatency();  // reply delivery
+  return reply;
+}
+
+bool IpcChannel::WaitForRequest(IpcMessage* request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return request_pending_ || shutdown_; });
+  if (!request_pending_) {
+    return false;  // shutdown
+  }
+  *request = std::move(request_slot_);
+  request_pending_ = false;
+  request_taken_ = true;
+  return true;
+}
+
+void IpcChannel::Reply(IpcMessage reply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!request_taken_) {
+    return;  // defensive: reply without request
+  }
+  reply_slot_ = std::move(reply);
+  request_taken_ = false;
+  reply_ready_ = true;
+  cv_.notify_all();
+}
+
+void IpcChannel::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+}  // namespace clio

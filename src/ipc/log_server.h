@@ -1,0 +1,102 @@
+// The log server endpoint and its client stub.
+//
+// The paper implements Clio as an extension of a file server process that
+// clients reach through kernel IPC; §3.2's measurements are of exactly this
+// client -> IPC -> server -> block-cache path. LogServer services a
+// LogService over an IpcChannel on its own thread; LogClient is the
+// marshalled client stub.
+#ifndef SRC_IPC_LOG_SERVER_H_
+#define SRC_IPC_LOG_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "src/clio/log_service.h"
+#include "src/ipc/channel.h"
+
+namespace clio {
+
+// Wire operations.
+enum class LogOp : uint32_t {
+  kCreateLogFile = 1,
+  kAppend = 2,
+  kOpenReader = 3,
+  kCloseReader = 4,
+  kReadNext = 5,
+  kReadPrev = 6,
+  kSeekToTime = 7,
+  kSeekToStart = 8,
+  kSeekToEnd = 9,
+  kStat = 10,
+  kForce = 11,
+};
+
+class LogServer {
+ public:
+  LogServer(LogService* service, IpcChannel* channel)
+      : service_(service), channel_(channel) {}
+  ~LogServer() { Stop(); }
+
+  LogServer(const LogServer&) = delete;
+  LogServer& operator=(const LogServer&) = delete;
+
+  // Spawns the service thread. Stop() (or destruction) shuts it down.
+  void Start();
+  void Stop();
+
+  // Serves requests on the calling thread until the channel shuts down.
+  void Run();
+
+ private:
+  IpcMessage Dispatch(const IpcMessage& request);
+
+  LogService* service_;
+  IpcChannel* channel_;
+  std::thread thread_;
+  std::map<uint64_t, std::unique_ptr<LogReader>> readers_;
+  uint64_t next_handle_ = 1;
+};
+
+// A log entry as unmarshalled by the client stub.
+struct RemoteEntry {
+  LogFileId logfile_id = kNoLogFileId;
+  Timestamp timestamp = 0;
+  bool timestamp_exact = false;
+  Bytes payload;
+};
+
+class LogClient {
+ public:
+  explicit LogClient(IpcChannel* channel) : channel_(channel) {}
+
+  Result<LogFileId> CreateLogFile(std::string_view path,
+                                  uint32_t permissions = 0644);
+  // Returns the server-assigned timestamp (the entry's unique id for
+  // synchronous writers, §2.1).
+  Result<Timestamp> Append(std::string_view path,
+                           std::span<const std::byte> payload,
+                           bool timestamped = false, bool force = false);
+  Result<uint64_t> OpenReader(std::string_view path);
+  Status CloseReader(uint64_t handle);
+  Result<std::optional<RemoteEntry>> ReadNext(uint64_t handle);
+  Result<std::optional<RemoteEntry>> ReadPrev(uint64_t handle);
+  Status SeekToTime(uint64_t handle, Timestamp t);
+  Status SeekToStart(uint64_t handle);
+  Status SeekToEnd(uint64_t handle);
+  Result<LogFileInfo> Stat(std::string_view path);
+  Status Force();
+
+ private:
+  Result<Bytes> Call(LogOp op, const Bytes& body);
+
+  IpcChannel* channel_;
+};
+
+}  // namespace clio
+
+#endif  // SRC_IPC_LOG_SERVER_H_

@@ -1,0 +1,155 @@
+#include "src/uio/uio.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace clio {
+
+// ---------------------------------------------------------------------------
+// LogUioFile
+
+Result<std::unique_ptr<LogUioFile>> LogUioFile::Open(LogService* service,
+                                                     std::string_view path) {
+  CLIO_ASSIGN_OR_RETURN(auto reader, service->OpenReader(path));
+  return std::unique_ptr<LogUioFile>(
+      new LogUioFile(service, std::string(path), std::move(reader)));
+}
+
+Result<Bytes> LogUioFile::Read() {
+  CLIO_ASSIGN_OR_RETURN(auto record, reader_->Next());
+  if (!record.has_value()) {
+    return Bytes{};
+  }
+  return std::move(record->payload);
+}
+
+Result<size_t> LogUioFile::Write(std::span<const std::byte> data) {
+  // Persist a timestamp so Seek(kTime) resolves to individual records.
+  WriteOptions opts;
+  opts.timestamped = true;
+  CLIO_ASSIGN_OR_RETURN(AppendResult result,
+                        service_->Append(path_, data, opts));
+  (void)result;
+  return data.size();
+}
+
+Status LogUioFile::Seek(Whence whence, int64_t arg) {
+  switch (whence) {
+    case Whence::kStart:
+      reader_->SeekToStart();
+      return Status::Ok();
+    case Whence::kEnd:
+      reader_->SeekToEnd();
+      return Status::Ok();
+    case Whence::kTime:
+      return reader_->SeekToTime(arg);
+  }
+  return InvalidArgument("bad whence");
+}
+
+// ---------------------------------------------------------------------------
+// UnixUioFile
+
+Result<std::unique_ptr<UnixUioFile>> UnixUioFile::Open(UnixFs* fs,
+                                                       std::string_view path,
+                                                       bool create) {
+  auto inode = fs->Lookup(path);
+  if (!inode.ok()) {
+    if (!create || inode.status().code() != StatusCode::kNotFound) {
+      return inode.status();
+    }
+    CLIO_ASSIGN_OR_RETURN(uint32_t fresh, fs->CreateFile(path));
+    return std::unique_ptr<UnixUioFile>(new UnixUioFile(fs, fresh));
+  }
+  return std::unique_ptr<UnixUioFile>(new UnixUioFile(fs, inode.value()));
+}
+
+Result<Bytes> UnixUioFile::Read() {
+  Bytes buffer(kChunk);
+  CLIO_ASSIGN_OR_RETURN(size_t n, fs_->Read(inode_, position_, buffer));
+  buffer.resize(n);
+  position_ += n;
+  return buffer;
+}
+
+Result<size_t> UnixUioFile::Write(std::span<const std::byte> data) {
+  CLIO_RETURN_IF_ERROR(fs_->Write(inode_, position_, data));
+  position_ += data.size();
+  return data.size();
+}
+
+Status UnixUioFile::Seek(Whence whence, int64_t arg) {
+  switch (whence) {
+    case Whence::kStart:
+      position_ = static_cast<uint64_t>(std::max<int64_t>(arg, 0));
+      return Status::Ok();
+    case Whence::kEnd: {
+      CLIO_ASSIGN_OR_RETURN(UnixFsStat stat, fs_->StatInode(inode_));
+      position_ = stat.size;
+      return Status::Ok();
+    }
+    case Whence::kTime:
+      return Unimplemented(
+          "conventional files have no time axis; log files do (§2)");
+  }
+  return InvalidArgument("bad whence");
+}
+
+// ---------------------------------------------------------------------------
+// UioNamespace
+
+void UioNamespace::MountLogService(std::string prefix, LogService* service) {
+  Mount mount;
+  mount.prefix = std::move(prefix);
+  mount.log_service = service;
+  mounts_.push_back(std::move(mount));
+}
+
+void UioNamespace::MountUnixFs(std::string prefix, UnixFs* fs) {
+  Mount mount;
+  mount.prefix = std::move(prefix);
+  mount.unix_fs = fs;
+  mounts_.push_back(std::move(mount));
+}
+
+const UioNamespace::Mount* UioNamespace::FindMount(
+    std::string_view path) const {
+  const Mount* best = nullptr;
+  for (const Mount& mount : mounts_) {
+    if (path.substr(0, mount.prefix.size()) == mount.prefix &&
+        (path.size() == mount.prefix.size() ||
+         path[mount.prefix.size()] == '/')) {
+      if (best == nullptr || mount.prefix.size() > best->prefix.size()) {
+        best = &mount;
+      }
+    }
+  }
+  return best;
+}
+
+Result<std::unique_ptr<UioFile>> UioNamespace::Open(std::string_view path,
+                                                    bool create) {
+  const Mount* mount = FindMount(path);
+  if (mount == nullptr) {
+    return NotFound("no mount serves '" + std::string(path) + "'");
+  }
+  std::string_view rest = path.substr(mount->prefix.size());
+  std::string inner = rest.empty() ? "/" : std::string(rest);
+  if (mount->log_service != nullptr) {
+    if (create) {
+      auto created = mount->log_service->CreateLogFile(inner);
+      if (!created.ok() &&
+          created.status().code() != StatusCode::kAlreadyExists) {
+        return created.status();
+      }
+    }
+    CLIO_ASSIGN_OR_RETURN(auto file,
+                          LogUioFile::Open(mount->log_service, inner));
+    return std::unique_ptr<UioFile>(std::move(file));
+  }
+  CLIO_ASSIGN_OR_RETURN(auto file,
+                        UnixUioFile::Open(mount->unix_fs, inner, create));
+  return std::unique_ptr<UioFile>(std::move(file));
+}
+
+}  // namespace clio

@@ -1,0 +1,116 @@
+// Uniform I/O (paper §6, citing Cheriton's UIO): log files "fit naturally
+// into the abstraction provided by conventional file systems, since such
+// files can be accessed in the same way as regular append-only files".
+//
+// UioFile is the shared interface; adapters wrap Clio log files and UnixFs
+// regular files. A UioNamespace routes paths to whichever store is mounted
+// at the matching prefix, so "/logs/audit" and "/files/etc/passwd" are
+// opened, read and written through identical code.
+#ifndef SRC_UIO_UIO_H_
+#define SRC_UIO_UIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/clio/log_service.h"
+#include "src/util/time.h"
+#include "src/vfs/unix_fs.h"
+
+namespace clio {
+
+class UioFile {
+ public:
+  enum class Whence {
+    kStart,
+    kEnd,
+    kTime,  // log files only: seek to a point in time (§2)
+  };
+
+  virtual ~UioFile() = default;
+
+  // Reads the next record. Log files yield one log entry per call; byte
+  // files yield the next chunk (up to an implementation-chosen size).
+  // An empty result means end-of-file.
+  virtual Result<Bytes> Read() = 0;
+
+  // Appends (log files) or writes at the cursor (regular files).
+  virtual Result<size_t> Write(std::span<const std::byte> data) = 0;
+
+  virtual Status Seek(Whence whence, int64_t arg = 0) = 0;
+
+  // Log files are append-only: writes always go to the end (§2).
+  virtual bool append_only() const = 0;
+};
+
+// Adapter: a Clio log file behind the UIO interface.
+class LogUioFile : public UioFile {
+ public:
+  static Result<std::unique_ptr<LogUioFile>> Open(LogService* service,
+                                                  std::string_view path);
+
+  Result<Bytes> Read() override;
+  Result<size_t> Write(std::span<const std::byte> data) override;
+  Status Seek(Whence whence, int64_t arg) override;
+  bool append_only() const override { return true; }
+
+ private:
+  LogUioFile(LogService* service, std::string path,
+             std::unique_ptr<LogReader> reader)
+      : service_(service), path_(std::move(path)), reader_(std::move(reader)) {}
+
+  LogService* service_;
+  std::string path_;
+  std::unique_ptr<LogReader> reader_;
+};
+
+// Adapter: a UnixFs regular file behind the UIO interface.
+class UnixUioFile : public UioFile {
+ public:
+  static Result<std::unique_ptr<UnixUioFile>> Open(UnixFs* fs,
+                                                   std::string_view path,
+                                                   bool create);
+
+  Result<Bytes> Read() override;
+  Result<size_t> Write(std::span<const std::byte> data) override;
+  Status Seek(Whence whence, int64_t arg) override;
+  bool append_only() const override { return false; }
+
+ private:
+  UnixUioFile(UnixFs* fs, uint32_t inode) : fs_(fs), inode_(inode) {}
+
+  static constexpr size_t kChunk = 4096;
+
+  UnixFs* fs_;
+  uint32_t inode_;
+  uint64_t position_ = 0;
+};
+
+// Path router: mounts stores at prefixes and opens files uniformly.
+class UioNamespace {
+ public:
+  void MountLogService(std::string prefix, LogService* service);
+  void MountUnixFs(std::string prefix, UnixFs* fs);
+
+  // Opens (optionally creating) the file at `path` through whichever mount
+  // owns the longest matching prefix.
+  Result<std::unique_ptr<UioFile>> Open(std::string_view path,
+                                        bool create = false);
+
+ private:
+  struct Mount {
+    std::string prefix;
+    LogService* log_service = nullptr;
+    UnixFs* unix_fs = nullptr;
+  };
+
+  const Mount* FindMount(std::string_view path) const;
+
+  std::vector<Mount> mounts_;
+};
+
+}  // namespace clio
+
+#endif  // SRC_UIO_UIO_H_

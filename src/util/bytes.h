@@ -1,0 +1,175 @@
+// Little-endian byte codecs over std::span<std::byte>.
+//
+// All on-device structures in this codebase are serialized explicitly with
+// these helpers; nothing is ever memcpy'd from a struct, so the on-disk
+// format is independent of host padding/endianness.
+#ifndef SRC_UTIL_BYTES_H_
+#define SRC_UTIL_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clio {
+
+using Bytes = std::vector<std::byte>;
+
+inline std::span<const std::byte> AsBytes(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+inline std::string_view AsStringView(std::span<const std::byte> b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+inline Bytes ToBytes(std::string_view s) {
+  auto sp = AsBytes(s);
+  return Bytes(sp.begin(), sp.end());
+}
+
+inline std::string ToString(std::span<const std::byte> b) {
+  return std::string(AsStringView(b));
+}
+
+// -- Fixed-width little-endian store/load. Caller guarantees bounds. --
+
+inline void StoreU16(std::span<std::byte> dst, size_t off, uint16_t v) {
+  dst[off] = static_cast<std::byte>(v & 0xFF);
+  dst[off + 1] = static_cast<std::byte>((v >> 8) & 0xFF);
+}
+
+inline void StoreU32(std::span<std::byte> dst, size_t off, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    dst[off + i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+inline void StoreU64(std::span<std::byte> dst, size_t off, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst[off + i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+inline void StoreI64(std::span<std::byte> dst, size_t off, int64_t v) {
+  StoreU64(dst, off, static_cast<uint64_t>(v));
+}
+
+inline uint16_t LoadU16(std::span<const std::byte> src, size_t off) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(src[off]) |
+                               (static_cast<uint16_t>(src[off + 1]) << 8));
+}
+
+inline uint32_t LoadU32(std::span<const std::byte> src, size_t off) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(src[off + i]);
+  }
+  return v;
+}
+
+inline uint64_t LoadU64(std::span<const std::byte> src, size_t off) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(src[off + i]);
+  }
+  return v;
+}
+
+inline int64_t LoadI64(std::span<const std::byte> src, size_t off) {
+  return static_cast<int64_t>(LoadU64(src, off));
+}
+
+// -- Growable writer / bounds-checked reader for variable records. --
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<std::byte>(v)); }
+  void PutU16(uint16_t v) { Grow(2), StoreU16(*out_, out_->size() - 2, v); }
+  void PutU32(uint32_t v) { Grow(4), StoreU32(*out_, out_->size() - 4, v); }
+  void PutU64(uint64_t v) { Grow(8), StoreU64(*out_, out_->size() - 8, v); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  void PutBytes(std::span<const std::byte> data) {
+    out_->insert(out_->end(), data.begin(), data.end());
+  }
+
+  // Length-prefixed (u16) string; strings longer than 64 KiB are a caller
+  // bug and are truncated defensively.
+  void PutString(std::string_view s) {
+    size_t n = s.size() > 0xFFFF ? 0xFFFF : s.size();
+    PutU16(static_cast<uint16_t>(n));
+    PutBytes(AsBytes(s.substr(0, n)));
+  }
+
+ private:
+  void Grow(size_t n) { out_->resize(out_->size() + n); }
+  Bytes* out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool failed() const { return failed_; }
+  size_t pos() const { return pos_; }
+
+  uint8_t GetU8() {
+    if (!Check(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint16_t GetU16() {
+    if (!Check(2)) return 0;
+    uint16_t v = LoadU16(data_, pos_);
+    pos_ += 2;
+    return v;
+  }
+  uint32_t GetU32() {
+    if (!Check(4)) return 0;
+    uint32_t v = LoadU32(data_, pos_);
+    pos_ += 4;
+    return v;
+  }
+  uint64_t GetU64() {
+    if (!Check(8)) return 0;
+    uint64_t v = LoadU64(data_, pos_);
+    pos_ += 8;
+    return v;
+  }
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+
+  std::span<const std::byte> GetBytes(size_t n) {
+    if (!Check(n)) return {};
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string GetString() {
+    uint16_t n = GetU16();
+    return ToString(GetBytes(n));
+  }
+
+ private:
+  bool Check(size_t n) {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace clio
+
+#endif  // SRC_UTIL_BYTES_H_

@@ -1,0 +1,39 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+
+namespace clio {
+namespace {
+
+// Table-driven CRC32C, reflected form, polynomial 0x1EDC6F41.
+constexpr uint32_t kPoly = 0x82F63B78;  // reversed 0x1EDC6F41
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, std::span<const std::byte> data) {
+  crc = ~crc;
+  for (std::byte b : data) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(b)) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(std::span<const std::byte> data) {
+  return Crc32cExtend(0, data);
+}
+
+}  // namespace clio

@@ -1,0 +1,96 @@
+#include "src/util/status.h"
+
+namespace clio {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kNotWritten:
+      return "not written";
+    case StatusCode::kWriteOnce:
+      return "write-once violation";
+    case StatusCode::kCorrupt:
+      return "corrupt";
+    case StatusCode::kInvalidated:
+      return "invalidated";
+    case StatusCode::kNoSpace:
+      return "no space";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kPermissionDenied:
+      return "permission denied";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status AlreadyExists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status OutOfRange(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status NotWritten(std::string message) {
+  return Status(StatusCode::kNotWritten, std::move(message));
+}
+Status WriteOnce(std::string message) {
+  return Status(StatusCode::kWriteOnce, std::move(message));
+}
+Status Corrupt(std::string message) {
+  return Status(StatusCode::kCorrupt, std::move(message));
+}
+Status Invalidated(std::string message) {
+  return Status(StatusCode::kInvalidated, std::move(message));
+}
+Status NoSpace(std::string message) {
+  return Status(StatusCode::kNoSpace, std::move(message));
+}
+Status FailedPrecondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status Unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status PermissionDenied(std::string message) {
+  return Status(StatusCode::kPermissionDenied, std::move(message));
+}
+Status Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+Status Unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+
+}  // namespace clio

@@ -1,0 +1,151 @@
+// Status and Result<T>: error handling without exceptions.
+//
+// Every fallible operation in this codebase returns either a Status (for
+// void operations) or a Result<T>. Statuses carry a code plus a free-form
+// message so failures deep in a device or codec surface with context.
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace clio {
+
+// Error taxonomy. Codes are deliberately coarse; the message carries detail.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // caller error: bad parameter, malformed name, ...
+  kNotFound,          // named object does not exist
+  kAlreadyExists,     // create of an existing object
+  kOutOfRange,        // read past end, block index beyond device, ...
+  kNotWritten,        // read of a never-written WORM block
+  kWriteOnce,         // attempted rewrite of write-once storage
+  kCorrupt,           // stored bytes fail validation (CRC, magic, framing)
+  kInvalidated,       // block was deliberately invalidated (burned to 1s)
+  kNoSpace,           // device or volume is full
+  kFailedPrecondition,// object in wrong state for the operation
+  kUnavailable,       // transient failure (injected fault, device offline)
+  kPermissionDenied,  // access control rejected the operation
+  kInternal,          // invariant violation: a bug in this library
+  kUnimplemented,
+};
+
+// Human-readable name of a code ("kCorrupt" -> "corrupt").
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no message
+// allocation); error construction allocates for the message.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "corrupt: bad trailer magic in block 17"
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors, e.g. return NotFound("log file /mail/smith").
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status OutOfRange(std::string message);
+Status NotWritten(std::string message);
+Status WriteOnce(std::string message);
+Status Corrupt(std::string message);
+Status Invalidated(std::string message);
+Status NoSpace(std::string message);
+Status FailedPrecondition(std::string message);
+Status Unavailable(std::string message);
+Status PermissionDenied(std::string message);
+Status Internal(std::string message);
+Status Unimplemented(std::string message);
+
+// Result<T>: holds either a T or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit conversions keep call sites terse:
+  //   Result<int> F() { return 42; }
+  //   Result<int> G() { return NotFound("x"); }
+  Result(T value) : rep_(std::move(value)) {}
+  Result(Status status) : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  // Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagate a non-OK Status from an expression yielding Status.
+#define CLIO_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::clio::Status _st = (expr);              \
+    if (!_st.ok()) {                          \
+      return _st;                             \
+    }                                         \
+  } while (0)
+
+// Evaluate an expression yielding Result<T>; on error propagate the Status,
+// on success bind the value. Usage: CLIO_ASSIGN_OR_RETURN(auto v, F());
+#define CLIO_ASSIGN_OR_RETURN(decl, expr)                   \
+  CLIO_ASSIGN_OR_RETURN_IMPL_(                              \
+      CLIO_STATUS_CONCAT_(_clio_result_, __LINE__), decl, expr)
+
+#define CLIO_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  decl = std::move(tmp).value()
+
+#define CLIO_STATUS_CONCAT_INNER_(a, b) a##b
+#define CLIO_STATUS_CONCAT_(a, b) CLIO_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace clio
+
+#endif  // SRC_UTIL_STATUS_H_

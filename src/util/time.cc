@@ -1,0 +1,27 @@
+#include "src/util/time.h"
+
+#include <chrono>
+
+namespace clio {
+
+Timestamp TimeSource::NowUnique() {
+  Timestamp candidate = Now();
+  Timestamp prev = last_unique_.load(std::memory_order_relaxed);
+  while (true) {
+    if (candidate <= prev) {
+      candidate = prev + 1;
+    }
+    if (last_unique_.compare_exchange_weak(prev, candidate,
+                                           std::memory_order_relaxed)) {
+      return candidate;
+    }
+    // prev was reloaded by compare_exchange; retry with the fresher value.
+  }
+}
+
+Timestamp RealTimeSource::Now() {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+}
+
+}  // namespace clio

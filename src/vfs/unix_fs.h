@@ -1,0 +1,139 @@
+// A conventional Unix-like (indirect-block) file system on a rewritable
+// block device.
+//
+// This is the baseline the paper argues against for large, continually
+// growing log files (§1): "in indirect block file systems (such as Unix),
+// blocks at the tail end of such files become increasingly expensive to
+// read and write", and backups copy whole files. The implementation is a
+// classic inode design — 10 direct pointers, one single-, one double- and
+// one triple-indirect pointer — with a free-block bitmap, an inode table
+// and path-based directories, enough to measure exactly those effects
+// (bench M) and to act as the "conventional file server" Clio extends.
+#ifndef SRC_VFS_UNIX_FS_H_
+#define SRC_VFS_UNIX_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cache/block_cache.h"
+#include "src/device/block_device.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace clio {
+
+// Per-operation cost counters for the baseline benchmarks.
+struct VfsOpStats {
+  uint64_t blocks_read = 0;
+  uint64_t blocks_written = 0;
+  uint64_t cache_hits = 0;
+
+  void Reset() { *this = VfsOpStats{}; }
+};
+
+struct UnixFsStat {
+  uint32_t inode = 0;
+  bool is_directory = false;
+  uint64_t size = 0;
+  uint32_t allocated_blocks = 0;
+};
+
+class UnixFs {
+ public:
+  struct FormatOptions {
+    uint32_t inode_count = 1024;
+  };
+
+  // `cache` may be null. The cache is write-through: every block write both
+  // updates the cache and hits the device.
+  static Result<std::unique_ptr<UnixFs>> Format(RewritableBlockDevice* device,
+                                                BlockCache* cache,
+                                                uint64_t cache_device_id,
+                                                const FormatOptions& options);
+  static Result<std::unique_ptr<UnixFs>> Mount(RewritableBlockDevice* device,
+                                               BlockCache* cache,
+                                               uint64_t cache_device_id);
+
+  // -- Namespace. --
+  Result<uint32_t> CreateFile(std::string_view path);
+  Result<uint32_t> Mkdir(std::string_view path);
+  Result<uint32_t> Lookup(std::string_view path) const;
+  Result<std::vector<std::pair<std::string, uint32_t>>> ReadDir(
+      std::string_view path) const;
+  Status Remove(std::string_view path);  // files only
+
+  // -- Data. --
+  Status Write(uint32_t inode, uint64_t offset,
+               std::span<const std::byte> data, VfsOpStats* stats = nullptr);
+  Status Append(uint32_t inode, std::span<const std::byte> data,
+                VfsOpStats* stats = nullptr);
+  Result<size_t> Read(uint32_t inode, uint64_t offset,
+                      std::span<std::byte> out,
+                      VfsOpStats* stats = nullptr) const;
+  Result<UnixFsStat> StatInode(uint32_t inode) const;
+  Status Truncate(uint32_t inode, uint64_t new_size);
+
+  uint32_t block_size() const { return block_size_; }
+  uint64_t free_blocks() const;
+
+  // Number of device blocks a read of [offset, offset+len) must touch,
+  // counting indirect-chain blocks — the analytical core of bench M.
+  Result<uint64_t> BlocksToRead(uint32_t inode, uint64_t offset,
+                                uint64_t len) const;
+
+ private:
+  struct Inode;
+
+  UnixFs(RewritableBlockDevice* device, BlockCache* cache,
+         uint64_t cache_device_id);
+
+  Status LoadSuper();
+  Status FlushBitmap();
+  Result<uint32_t> AllocBlock();
+  Status FreeBlock(uint32_t block);
+  Result<Inode> GetInode(uint32_t number) const;
+  Status PutInode(uint32_t number, const Inode& inode);
+  Result<uint32_t> AllocInode();
+
+  // Maps a file block index to a device block. The const variant returns 0
+  // for holes; the allocating variant materializes the indirect chain.
+  Result<uint32_t> MapBlockConst(const Inode& inode, uint64_t file_block,
+                                 VfsOpStats* stats) const;
+  Result<uint32_t> MapBlockAlloc(Inode* inode, uint64_t file_block,
+                                 VfsOpStats* stats);
+
+  Result<Bytes> ReadBlockCached(uint32_t block, VfsOpStats* stats) const;
+  Status WriteBlockThrough(uint32_t block, std::span<const std::byte> data,
+                           VfsOpStats* stats);
+
+  Result<uint32_t> LookupIn(uint32_t dir_inode, std::string_view name) const;
+  Status AddDirEntry(uint32_t dir_inode, std::string_view name,
+                     uint32_t inode);
+  Status RemoveDirEntry(uint32_t dir_inode, std::string_view name);
+  Result<std::pair<uint32_t, std::string>> ResolveParent(
+      std::string_view path) const;
+
+  RewritableBlockDevice* device_;
+  BlockCache* cache_;
+  uint64_t cache_device_id_;
+  uint32_t block_size_;
+
+  // Superblock fields.
+  uint32_t inode_count_ = 0;
+  uint32_t bitmap_start_ = 0;
+  uint32_t bitmap_blocks_ = 0;
+  uint32_t inode_table_start_ = 0;
+  uint32_t inode_table_blocks_ = 0;
+  uint32_t data_start_ = 0;
+
+  std::vector<uint8_t> bitmap_;  // in-memory free bitmap, flushed on change
+};
+
+}  // namespace clio
+
+#endif  // SRC_VFS_UNIX_FS_H_

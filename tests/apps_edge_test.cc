@@ -1,0 +1,190 @@
+// Edge cases for the history-based applications and cross-app interaction
+// on one shared log service.
+#include <gtest/gtest.h>
+
+#include "src/apps/audit_trail.h"
+#include "src/apps/history_file_server.h"
+#include "src/apps/mail_system.h"
+#include "src/apps/txn_log.h"
+#include "tests/test_util.h"
+
+namespace clio {
+namespace {
+
+using testing::RandomPayload;
+using testing::ServiceFixture;
+
+TEST(AppsEdge, AllAppsShareOneVolumeSequence) {
+  // The paper's point about integration: one log server, one buffer pool,
+  // many subsystems. All four applications run on the same service and
+  // none of them sees the others' entries.
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto hfs, HistoryFileServer::Create(fx.service.get()));
+  ASSERT_OK_AND_ASSIGN(auto mail, MailSystem::Create(fx.service.get()));
+  ASSERT_OK_AND_ASSIGN(auto audit, AuditTrail::Create(fx.service.get()));
+  ASSERT_OK_AND_ASSIGN(auto txn, TxnKvStore::Create(fx.service.get()));
+
+  ASSERT_OK(hfs->CreateFile("f"));
+  ASSERT_OK(hfs->Write("f", 0, AsBytes("files")));
+  ASSERT_OK(mail->CreateMailbox("u"));
+  ASSERT_OK(mail->Deliver("u", "s", "subj", "mail").status());
+  ASSERT_OK(audit->Record(AuditEventType::kLogin, "u", "t").status());
+  ASSERT_OK_AND_ASSIGN(uint64_t t, txn->Begin());
+  ASSERT_OK(txn->Put(t, "k", "txn"));
+  ASSERT_OK(txn->Commit(t));
+
+  ASSERT_OK_AND_ASSIGN(Bytes file, hfs->ReadCurrent("f"));
+  EXPECT_EQ(ToString(file), "files");
+  ASSERT_OK_AND_ASSIGN(auto box, mail->Mailbox("u"));
+  ASSERT_EQ(box.size(), 1u);
+  EXPECT_EQ(box[0].body, "mail");
+  EXPECT_EQ(txn->Get("k"), "txn");
+  ASSERT_OK_AND_ASSIGN(
+      auto events, audit->EventsBetween(kTimestampMin + 1, kTimestampMax));
+  ASSERT_EQ(events.size(), 1u);
+
+  // And the volume sequence log sees everything, in order.
+  ASSERT_OK_AND_ASSIGN(auto reader, fx.service->OpenReader("/"));
+  reader->SeekToStart();
+  int total = 0;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+    if (!record.has_value()) {
+      break;
+    }
+    ++total;
+  }
+  EXPECT_GT(total, 8);  // app records + catalog creates
+}
+
+TEST(AppsEdge, HfsRejectsUnknownFiles) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto hfs, HistoryFileServer::Create(fx.service.get()));
+  EXPECT_EQ(hfs->Write("ghost", 0, AsBytes("x")).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(hfs->ReadCurrent("ghost").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(hfs->Truncate("ghost", 0).code(), StatusCode::kNotFound);
+}
+
+TEST(AppsEdge, HfsSparseWritesZeroFill) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto hfs, HistoryFileServer::Create(fx.service.get()));
+  ASSERT_OK(hfs->CreateFile("sparse"));
+  ASSERT_OK(hfs->Write("sparse", 10, AsBytes("end")));
+  ASSERT_OK_AND_ASSIGN(Bytes data, hfs->ReadCurrent("sparse"));
+  ASSERT_EQ(data.size(), 13u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(data[i], std::byte{0});
+  }
+  EXPECT_EQ(ToString(std::span<const std::byte>(data).subspan(10)), "end");
+}
+
+TEST(AppsEdge, MailToUnknownMailboxFails) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto mail, MailSystem::Create(fx.service.get()));
+  EXPECT_EQ(mail->Deliver("nobody", "s", "x", "y").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(mail->Mailbox("nobody").status().code(), StatusCode::kNotFound);
+}
+
+TEST(AppsEdge, MailManyMailboxesStayDisjoint) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto mail, MailSystem::Create(fx.service.get()));
+  Rng rng(6);
+  std::map<std::string, int> delivered;
+  for (int u = 0; u < 10; ++u) {
+    ASSERT_OK(mail->CreateMailbox("user" + std::to_string(u)));
+  }
+  for (int i = 0; i < 200; ++i) {
+    std::string user = "user" + std::to_string(rng.Below(10));
+    ASSERT_OK(mail->Deliver(user, "sender", "m" + std::to_string(i), "body")
+                  .status());
+    delivered[user]++;
+  }
+  for (const auto& [user, count] : delivered) {
+    ASSERT_OK_AND_ASSIGN(auto box, mail->Mailbox(user));
+    EXPECT_EQ(box.size(), static_cast<size_t>(count)) << user;
+  }
+}
+
+TEST(AppsEdge, TxnInterleavedTransactionsIsolate) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto store, TxnKvStore::Create(fx.service.get()));
+  ASSERT_OK_AND_ASSIGN(uint64_t t1, store->Begin());
+  ASSERT_OK_AND_ASSIGN(uint64_t t2, store->Begin());
+  ASSERT_OK(store->Put(t1, "k", "from-t1"));
+  ASSERT_OK(store->Put(t2, "k", "from-t2"));
+  ASSERT_OK(store->Commit(t1));
+  EXPECT_EQ(store->Get("k"), "from-t1");
+  ASSERT_OK(store->Commit(t2));
+  EXPECT_EQ(store->Get("k"), "from-t2");  // commit order wins
+}
+
+TEST(AppsEdge, TxnRecoveryWithInterleavedCommits) {
+  auto fx = ServiceFixture::Make();
+  {
+    ASSERT_OK_AND_ASSIGN(auto store, TxnKvStore::Create(fx.service.get()));
+    ASSERT_OK_AND_ASSIGN(uint64_t a, store->Begin());
+    ASSERT_OK_AND_ASSIGN(uint64_t b, store->Begin());
+    ASSERT_OK_AND_ASSIGN(uint64_t c, store->Begin());
+    ASSERT_OK(store->Put(a, "x", "1"));
+    ASSERT_OK(store->Put(b, "x", "2"));
+    ASSERT_OK(store->Put(c, "y", "3"));
+    ASSERT_OK(store->Commit(b));
+    ASSERT_OK(store->Commit(a));   // commit order b then a: a wins on x
+    ASSERT_OK(store->Abort(c));
+  }
+  ASSERT_OK_AND_ASSIGN(auto recovered, TxnKvStore::Recover(fx.service.get()));
+  EXPECT_EQ(recovered->Get("x"), "1");
+  EXPECT_FALSE(recovered->Get("y").has_value());
+  EXPECT_EQ(recovered->replayed_txns(), 2u);
+}
+
+TEST(AppsEdge, AuditWindowBoundariesAreInclusive) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto audit, AuditTrail::Create(fx.service.get()));
+  ASSERT_OK_AND_ASSIGN(Timestamp first,
+                       audit->Record(AuditEventType::kLogin, "a", "t"));
+  fx.clock->Advance(1000);
+  ASSERT_OK_AND_ASSIGN(Timestamp second,
+                       audit->Record(AuditEventType::kLogin, "b", "t"));
+  ASSERT_OK_AND_ASSIGN(auto exact, audit->EventsBetween(first, second));
+  EXPECT_EQ(exact.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(auto only_first,
+                       audit->EventsBetween(first, second - 1));
+  EXPECT_EQ(only_first.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(auto only_second,
+                       audit->EventsBetween(first + 1, second));
+  EXPECT_EQ(only_second.size(), 1u);
+}
+
+TEST(AppsEdge, HfsManyVersionsReplayConsistently) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto hfs, HistoryFileServer::Create(fx.service.get()));
+  ASSERT_OK(hfs->CreateFile("doc"));
+  Rng rng(8);
+  std::vector<std::pair<Timestamp, Bytes>> versions;
+  Bytes model;
+  for (int i = 0; i < 50; ++i) {
+    uint64_t offset = rng.Below(200);
+    Bytes data = RandomPayload(&rng, 1 + rng.Below(40));
+    ASSERT_OK(hfs->Write("doc", offset, data));
+    if (model.size() < offset + data.size()) {
+      model.resize(offset + data.size(), std::byte{0});
+    }
+    std::copy(data.begin(), data.end(), model.begin() + offset);
+    versions.emplace_back(fx.clock->Now(), model);
+    fx.clock->Advance(10'000);
+  }
+  // Spot-check ten snapshots.
+  for (int i = 0; i < 50; i += 5) {
+    ASSERT_OK_AND_ASSIGN(Bytes snapshot,
+                         hfs->ReadVersionAt("doc", versions[i].first));
+    EXPECT_EQ(ToString(snapshot), ToString(versions[i].second))
+        << "version " << i;
+  }
+}
+
+}  // namespace
+}  // namespace clio

@@ -1,0 +1,246 @@
+// History-based application tests (paper §4): the file server, the mail
+// system, the audit trail and transaction recovery.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/apps/audit_trail.h"
+#include "src/apps/history_file_server.h"
+#include "src/apps/mail_system.h"
+#include "src/apps/txn_log.h"
+#include "tests/test_util.h"
+
+namespace clio {
+namespace {
+
+using testing::ServiceFixture;
+
+TEST(Hfs, WriteReadCurrent) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto hfs, HistoryFileServer::Create(fx.service.get()));
+  ASSERT_OK(hfs->CreateFile("notes.txt"));
+  ASSERT_OK(hfs->Write("notes.txt", 0, AsBytes("hello")));
+  ASSERT_OK(hfs->Write("notes.txt", 5, AsBytes(" world")));
+  ASSERT_OK_AND_ASSIGN(Bytes current, hfs->ReadCurrent("notes.txt"));
+  EXPECT_EQ(ToString(current), "hello world");
+}
+
+TEST(Hfs, VersionAtTimeTravelsBack) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto hfs, HistoryFileServer::Create(fx.service.get()));
+  ASSERT_OK(hfs->CreateFile("doc"));
+  ASSERT_OK(hfs->Write("doc", 0, AsBytes("version one")));
+  Timestamp after_v1 = fx.clock->Now() + 1;
+  fx.clock->Advance(10'000);
+  ASSERT_OK(hfs->Write("doc", 8, AsBytes("two")));
+  ASSERT_OK(hfs->Truncate("doc", 11));
+
+  ASSERT_OK_AND_ASSIGN(Bytes v1, hfs->ReadVersionAt("doc", after_v1));
+  EXPECT_EQ(ToString(v1), "version one");
+  ASSERT_OK_AND_ASSIGN(Bytes v2, hfs->ReadVersionAt("doc", kTimestampMax));
+  EXPECT_EQ(ToString(v2), "version two");
+  ASSERT_OK_AND_ASSIGN(Bytes current, hfs->ReadCurrent("doc"));
+  EXPECT_EQ(ToString(current), "version two");
+}
+
+TEST(Hfs, CacheRebuildMatchesHistory) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto hfs, HistoryFileServer::Create(fx.service.get()));
+  ASSERT_OK(hfs->CreateFile("a"));
+  ASSERT_OK(hfs->CreateFile("b"));
+  ASSERT_OK(hfs->Write("a", 0, AsBytes("alpha")));
+  ASSERT_OK(hfs->Write("b", 0, AsBytes("beta")));
+  ASSERT_OK(hfs->Write("a", 0, AsBytes("ALPHA")));
+  // Drop the cached summaries and rebuild from the histories (§4: current
+  // state "can be completely reconstructed from the log files").
+  ASSERT_OK(hfs->RebuildCache());
+  ASSERT_OK_AND_ASSIGN(Bytes a, hfs->ReadCurrent("a"));
+  ASSERT_OK_AND_ASSIGN(Bytes b, hfs->ReadCurrent("b"));
+  EXPECT_EQ(ToString(a), "ALPHA");
+  EXPECT_EQ(ToString(b), "beta");
+  EXPECT_EQ(hfs->ListFiles(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Hfs, AttachRebuildsFromService) {
+  auto fx = ServiceFixture::Make();
+  {
+    ASSERT_OK_AND_ASSIGN(auto hfs,
+                         HistoryFileServer::Create(fx.service.get()));
+    ASSERT_OK(hfs->CreateFile("persist"));
+    ASSERT_OK(hfs->Write("persist", 0, AsBytes("saved")));
+  }
+  ASSERT_OK_AND_ASSIGN(auto hfs, HistoryFileServer::Attach(fx.service.get()));
+  ASSERT_OK_AND_ASSIGN(Bytes data, hfs->ReadCurrent("persist"));
+  EXPECT_EQ(ToString(data), "saved");
+  ASSERT_OK_AND_ASSIGN(auto history, hfs->History("persist"));
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history[0].second, "write 5B @0");
+}
+
+TEST(Mail, DeliverAndReadMailbox) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto mail, MailSystem::Create(fx.service.get()));
+  ASSERT_OK(mail->CreateMailbox("smith"));
+  ASSERT_OK(mail->Deliver("smith", "jones", "lunch?", "noon at the usual")
+                .status());
+  ASSERT_OK(mail->Deliver("smith", "root", "quota", "you are over").status());
+  ASSERT_OK_AND_ASSIGN(auto box, mail->Mailbox("smith"));
+  ASSERT_EQ(box.size(), 2u);
+  EXPECT_EQ(box[0].sender, "jones");
+  EXPECT_EQ(box[1].subject, "quota");
+  EXPECT_FALSE(box[0].read);
+}
+
+TEST(Mail, DeleteHidesButHistoryKeeps) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto mail, MailSystem::Create(fx.service.get()));
+  ASSERT_OK(mail->CreateMailbox("smith"));
+  ASSERT_OK_AND_ASSIGN(Timestamp id,
+                       mail->Deliver("smith", "spam", "offer", "buy now"));
+  ASSERT_OK(mail->Delete("smith", id));
+  ASSERT_OK_AND_ASSIGN(auto box, mail->Mailbox("smith"));
+  EXPECT_TRUE(box.empty());
+  // §4.2: messages are permanently accessible despite 'deletion'.
+  ASSERT_OK_AND_ASSIGN(auto history, mail->FullHistory("smith"));
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_TRUE(history[0].deleted);
+  EXPECT_EQ(history[0].body, "buy now");
+}
+
+TEST(Mail, MarkReadSurvivesRebuild) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto mail, MailSystem::Create(fx.service.get()));
+  ASSERT_OK(mail->CreateMailbox("smith"));
+  ASSERT_OK_AND_ASSIGN(Timestamp id,
+                       mail->Deliver("smith", "a", "b", "c"));
+  ASSERT_OK(mail->MarkRead("smith", id));
+  ASSERT_OK_AND_ASSIGN(auto rebuilt, MailSystem::Attach(fx.service.get()));
+  ASSERT_OK_AND_ASSIGN(auto box, rebuilt->Mailbox("smith"));
+  ASSERT_EQ(box.size(), 1u);
+  EXPECT_TRUE(box[0].read);
+}
+
+TEST(Mail, DeliveredSinceUsesTimeSearch) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto mail, MailSystem::Create(fx.service.get()));
+  ASSERT_OK(mail->CreateMailbox("smith"));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(mail->Deliver("smith", "s", "old " + std::to_string(i), "x")
+                  .status());
+  }
+  Timestamp cut = fx.clock->Now() + 1;
+  fx.clock->Advance(100'000);
+  ASSERT_OK(mail->Deliver("smith", "s", "new", "y").status());
+  ASSERT_OK_AND_ASSIGN(auto recent, mail->DeliveredSince("smith", cut));
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].subject, "new");
+}
+
+TEST(Audit, RecordAndQueryWindow) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto audit, AuditTrail::Create(fx.service.get()));
+  ASSERT_OK(audit->Record(AuditEventType::kLogin, "smith", "tty1").status());
+  Timestamp mid_start = fx.clock->Now() + 1;
+  fx.clock->Advance(50'000);
+  ASSERT_OK(audit->Record(AuditEventType::kLogout, "smith", "tty1").status());
+  Timestamp mid_end = fx.clock->Now() + 1;
+  fx.clock->Advance(50'000);
+  ASSERT_OK(audit->Record(AuditEventType::kLogin, "jones", "tty2").status());
+
+  ASSERT_OK_AND_ASSIGN(auto window,
+                       audit->EventsBetween(mid_start, mid_end));
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].type, AuditEventType::kLogout);
+  EXPECT_EQ(window[0].user, "smith");
+}
+
+TEST(Audit, SublogScanSeesOnlyCategory) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto audit, AuditTrail::Create(fx.service.get()));
+  ASSERT_OK(audit->Record(AuditEventType::kLogin, "smith", "t").status());
+  ASSERT_OK(audit->Record(AuditEventType::kLoginFailed, "evil", "t")
+                .status());
+  ASSERT_OK(audit->Record(AuditEventType::kLogin, "jones", "t").status());
+  ASSERT_OK_AND_ASSIGN(
+      auto failures,
+      audit->FailedLoginsBetween(kTimestampMin + 1, kTimestampMax));
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].user, "evil");
+}
+
+TEST(Audit, BruteForceDetector) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto audit, AuditTrail::Create(fx.service.get()));
+  // "mallory" fails 5 times in a tight window; "clumsy" fails twice, far
+  // apart.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(audit->Record(AuditEventType::kLoginFailed, "mallory", "net")
+                  .status());
+  }
+  ASSERT_OK(audit->Record(AuditEventType::kLoginFailed, "clumsy", "tty")
+                .status());
+  fx.clock->Advance(10'000'000);
+  ASSERT_OK(audit->Record(AuditEventType::kLoginFailed, "clumsy", "tty")
+                .status());
+  ASSERT_OK_AND_ASSIGN(auto flagged,
+                       audit->DetectBruteForce(/*window=*/1'000'000,
+                                               /*threshold=*/3));
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], "mallory");
+}
+
+TEST(Txn, CommitAppliesAtomically) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto store, TxnKvStore::Create(fx.service.get()));
+  ASSERT_OK_AND_ASSIGN(uint64_t txn, store->Begin());
+  ASSERT_OK(store->Put(txn, "k1", "v1"));
+  ASSERT_OK(store->Put(txn, "k2", "v2"));
+  EXPECT_FALSE(store->Get("k1").has_value());  // not visible pre-commit
+  ASSERT_OK(store->Commit(txn));
+  EXPECT_EQ(store->Get("k1"), "v1");
+  EXPECT_EQ(store->Get("k2"), "v2");
+}
+
+TEST(Txn, AbortDiscards) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto store, TxnKvStore::Create(fx.service.get()));
+  ASSERT_OK_AND_ASSIGN(uint64_t txn, store->Begin());
+  ASSERT_OK(store->Put(txn, "ghost", "boo"));
+  ASSERT_OK(store->Abort(txn));
+  EXPECT_FALSE(store->Get("ghost").has_value());
+}
+
+TEST(Txn, RecoveryReplaysOnlyCommitted) {
+  auto fx = ServiceFixture::Make();
+  {
+    ASSERT_OK_AND_ASSIGN(auto store, TxnKvStore::Create(fx.service.get()));
+    ASSERT_OK_AND_ASSIGN(uint64_t committed, store->Begin());
+    ASSERT_OK(store->Put(committed, "durable", "yes"));
+    ASSERT_OK(store->Commit(committed));
+    ASSERT_OK_AND_ASSIGN(uint64_t dangling, store->Begin());
+    ASSERT_OK(store->Put(dangling, "volatile", "no"));
+    // No commit: the "crash" happens here (the store object is dropped and
+    // the unforced operations were never durable anyway).
+  }
+  ASSERT_OK_AND_ASSIGN(auto recovered, TxnKvStore::Recover(fx.service.get()));
+  EXPECT_EQ(recovered->Get("durable"), "yes");
+  EXPECT_FALSE(recovered->Get("volatile").has_value());
+  EXPECT_EQ(recovered->replayed_txns(), 1u);
+}
+
+TEST(Txn, EraseInsideTransaction) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(auto store, TxnKvStore::Create(fx.service.get()));
+  ASSERT_OK_AND_ASSIGN(uint64_t t1, store->Begin());
+  ASSERT_OK(store->Put(t1, "key", "value"));
+  ASSERT_OK(store->Commit(t1));
+  ASSERT_OK_AND_ASSIGN(uint64_t t2, store->Begin());
+  ASSERT_OK(store->Erase(t2, "key"));
+  ASSERT_OK(store->Commit(t2));
+  EXPECT_FALSE(store->Get("key").has_value());
+  EXPECT_EQ(store->size(), 0u);
+}
+
+}  // namespace
+}  // namespace clio

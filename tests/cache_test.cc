@@ -1,0 +1,110 @@
+// Block cache (buffer pool) behaviour: LRU order, eviction, per-device
+// erasure, stats, and the zero-capacity "no caching" mode the analytical
+// benches use.
+#include "src/cache/block_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace clio {
+namespace {
+
+Bytes Payload(uint8_t tag) { return Bytes(16, std::byte{tag}); }
+
+TEST(Cache, HitAfterInsert) {
+  BlockCache cache(4);
+  cache.Insert({1, 10}, Payload(1));
+  auto hit = cache.Lookup({1, 10});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], std::byte{1});
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, MissOnAbsentKey) {
+  BlockCache cache(4);
+  EXPECT_EQ(cache.Lookup({1, 10}), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  BlockCache cache(2);
+  cache.Insert({1, 1}, Payload(1));
+  cache.Insert({1, 2}, Payload(2));
+  // Touch 1 so 2 becomes LRU.
+  ASSERT_NE(cache.Lookup({1, 1}), nullptr);
+  cache.Insert({1, 3}, Payload(3));
+  EXPECT_NE(cache.Lookup({1, 1}), nullptr);
+  EXPECT_EQ(cache.Lookup({1, 2}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 3}), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(Cache, ReinsertReplacesData) {
+  BlockCache cache(4);
+  cache.Insert({1, 1}, Payload(1));
+  cache.Insert({1, 1}, Payload(9));
+  auto hit = cache.Lookup({1, 1});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], std::byte{9});
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, EvictedBlockSurvivesForHolders) {
+  BlockCache cache(1);
+  auto held = cache.Insert({1, 1}, Payload(1));
+  cache.Insert({1, 2}, Payload(2));  // evicts block 1
+  EXPECT_EQ(cache.Lookup({1, 1}), nullptr);
+  EXPECT_EQ((*held)[0], std::byte{1});  // the shared_ptr keeps it alive
+}
+
+TEST(Cache, EraseAndEraseDevice) {
+  BlockCache cache(8);
+  cache.Insert({1, 1}, Payload(1));
+  cache.Insert({1, 2}, Payload(2));
+  cache.Insert({2, 1}, Payload(3));
+  cache.Erase({1, 1});
+  EXPECT_EQ(cache.Lookup({1, 1}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 2}), nullptr);
+  cache.EraseDevice(1);
+  EXPECT_EQ(cache.Lookup({1, 2}), nullptr);
+  EXPECT_NE(cache.Lookup({2, 1}), nullptr);
+}
+
+TEST(Cache, ZeroCapacityCachesNothing) {
+  BlockCache cache(0);
+  auto returned = cache.Insert({1, 1}, Payload(1));
+  EXPECT_NE(returned, nullptr);  // caller still gets the block
+  EXPECT_EQ(cache.Lookup({1, 1}), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Cache, HitRatioComputes) {
+  BlockCache cache(4);
+  cache.Insert({1, 1}, Payload(1));
+  (void)cache.Lookup({1, 1});
+  (void)cache.Lookup({1, 2});
+  EXPECT_DOUBLE_EQ(cache.stats().HitRatio(), 0.5);
+}
+
+TEST(Cache, ManyDevicesDoNotCollide) {
+  BlockCache cache(1024);
+  for (uint64_t device = 0; device < 8; ++device) {
+    for (uint64_t block = 0; block < 32; ++block) {
+      cache.Insert({device, block},
+                   Bytes(8, std::byte{static_cast<uint8_t>(device * 32 +
+                                                           block)}));
+    }
+  }
+  for (uint64_t device = 0; device < 8; ++device) {
+    for (uint64_t block = 0; block < 32; ++block) {
+      auto hit = cache.Lookup({device, block});
+      ASSERT_NE(hit, nullptr);
+      EXPECT_EQ((*hit)[0],
+                std::byte{static_cast<uint8_t>(device * 32 + block)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clio

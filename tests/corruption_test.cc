@@ -1,0 +1,264 @@
+// Log volume corruption tests (paper §2.3.2): garbage writes, invalidated
+// blocks, displaced entrymap entries, and the rule that corruption of one
+// block must never render the rest of the volume unusable.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/clio/log_service.h"
+#include "src/device/fault_injection.h"
+#include "src/device/memory_worm_device.h"
+#include "tests/test_util.h"
+
+namespace clio {
+namespace {
+
+using testing::RandomPayload;
+
+// A service over a fault-injecting device; the injector deposits garbage on
+// a fraction of appends, exactly the failure the paper's bad-block handling
+// targets.
+struct FaultyRig {
+  std::unique_ptr<SimulatedClock> clock =
+      std::make_unique<SimulatedClock>(1'000'000, 7);
+  FaultInjectingWormDevice* injector = nullptr;
+  std::unique_ptr<LogService> service;
+
+  static FaultyRig Make(const FaultPolicy& policy, uint64_t seed,
+                        uint16_t degree = 8) {
+    FaultyRig rig;
+    MemoryWormOptions dev;
+    dev.block_size = 512;
+    dev.capacity_blocks = 1 << 14;
+    auto injecting = std::make_unique<FaultInjectingWormDevice>(
+        std::make_unique<MemoryWormDevice>(dev), policy, seed);
+    rig.injector = injecting.get();
+    LogServiceOptions options;
+    options.entrymap_degree = degree;
+    auto service = LogService::Create(std::move(injecting), rig.clock.get(),
+                                      options);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    rig.service = std::move(service).value();
+    return rig;
+  }
+};
+
+TEST(Corruption, GarbageAppendsAreInvalidatedAndLogged) {
+  FaultPolicy policy;
+  policy.garbage_append_per_mille = 100;  // 10% of burns fail with garbage
+  auto rig = FaultyRig::Make(policy, /*seed=*/99);
+  ASSERT_OK(rig.service->CreateLogFile("/log").status());
+  WriteOptions forced;
+  forced.force = true;
+  Rng rng(1);
+  std::vector<std::string> wrote;
+  for (int i = 0; i < 300; ++i) {
+    std::string data = "entry-" + std::to_string(i);
+    wrote.push_back(data);
+    ASSERT_OK(rig.service->Append("/log", AsBytes(data), forced).status());
+  }
+  ASSERT_GT(rig.injector->injected_garbage_appends(), 10u);
+
+  // Every entry survives despite the injected garbage.
+  ASSERT_OK_AND_ASSIGN(auto reader, rig.service->OpenReader("/log"));
+  reader->SeekToStart();
+  for (size_t i = 0; i < wrote.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+    ASSERT_TRUE(record.has_value()) << i;
+    EXPECT_EQ(ToString(record->payload), wrote[i]);
+  }
+
+  // The bad-block log file records every invalidated block.
+  ASSERT_OK_AND_ASSIGN(auto bad, rig.service->OpenReaderById(kBadBlockLogId));
+  bad->SeekToStart();
+  size_t recorded = 0;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(auto record, bad->Next());
+    if (!record.has_value()) {
+      break;
+    }
+    ++recorded;
+    ASSERT_EQ(record->payload.size(), 9u);  // u64 block + u8 reason
+  }
+  EXPECT_EQ(recorded, rig.injector->injected_garbage_appends());
+}
+
+TEST(Corruption, ReverseReadSurvivesGarbage) {
+  FaultPolicy policy;
+  policy.garbage_append_per_mille = 80;
+  auto rig = FaultyRig::Make(policy, /*seed=*/7);
+  ASSERT_OK(rig.service->CreateLogFile("/log").status());
+  WriteOptions forced;
+  forced.force = true;
+  std::vector<std::string> wrote;
+  for (int i = 0; i < 200; ++i) {
+    std::string data = "e" + std::to_string(i);
+    wrote.push_back(data);
+    ASSERT_OK(rig.service->Append("/log", AsBytes(data), forced).status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, rig.service->OpenReader("/log"));
+  reader->SeekToEnd();
+  for (int i = 199; i >= 0; --i) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Prev());
+    ASSERT_TRUE(record.has_value()) << i;
+    EXPECT_EQ(ToString(record->payload), wrote[i]) << i;
+  }
+}
+
+TEST(Corruption, DisplacedEntrymapHomeStillSearchable) {
+  // Force garbage into an entrymap home block's burn: the entrymap entry
+  // shifts to the next good block and searches must still work.
+  MemoryWormOptions dev;
+  dev.block_size = 512;
+  dev.capacity_blocks = 1 << 14;
+  auto base = std::make_unique<MemoryWormDevice>(dev);
+  auto* raw = base.get();
+  SimulatedClock clock(1'000'000, 7);
+  LogServiceOptions options;
+  options.entrymap_degree = 8;
+  ASSERT_OK_AND_ASSIGN(
+      auto service,
+      LogService::Create(std::unique_ptr<WormDevice>(std::move(base)),
+                         &clock, options));
+  ASSERT_OK(service->CreateLogFile("/rare").status());
+  ASSERT_OK(service->CreateLogFile("/noise").status());
+  WriteOptions forced;
+  forced.force = true;
+  Rng rng(5);
+  ASSERT_OK(service->Append("/rare", AsBytes("needle"), forced).status());
+
+  LogVolume* volume = service->current_volume();
+  // Walk to just before the next level-1 home block, then scribble into it
+  // so the home burn is displaced.
+  while (volume->writer()->staging_block() % 8 != 0) {
+    ASSERT_OK(
+        service->Append("/noise", RandomPayload(&rng, 64), forced).status());
+  }
+  uint64_t home = volume->writer()->staging_block();
+  Bytes garbage = RandomPayload(&rng, 512);
+  raw->Scribble(home, garbage);
+
+  // The next burn (which carries the entrymap entries for the finished
+  // group) hits the scribble, invalidates it and lands one block later.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(
+        service->Append("/noise", RandomPayload(&rng, 64), forced).status());
+  }
+  EXPECT_EQ(raw->BlockState(home), WormBlockState::kInvalidated);
+
+  // Far-back search for the needle still succeeds (displacement chase or
+  // lower-level fallback, both §2.3.2 behaviours).
+  ASSERT_OK_AND_ASSIGN(auto reader, service->OpenReader("/rare"));
+  reader->SeekToEnd();
+  ASSERT_OK_AND_ASSIGN(auto record, reader->Prev());
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(ToString(record->payload), "needle");
+}
+
+TEST(Corruption, SilentBitFlipsAreDetectedAndSkipped) {
+  FaultPolicy policy;
+  policy.silent_corruption_per_mille = 50;  // media lies on 5% of burns
+  auto rig = FaultyRig::Make(policy, /*seed=*/13);
+  ASSERT_OK(rig.service->CreateLogFile("/log").status());
+  WriteOptions forced;
+  forced.force = true;
+  int wrote = 0;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(rig.service
+                  ->Append("/log", AsBytes("e" + std::to_string(i)), forced)
+                  .status());
+    ++wrote;
+  }
+  ASSERT_GT(rig.injector->injected_corruptions(), 2u);
+  // Reads skip the CRC-failing blocks but return every intact entry; no
+  // corrupt payload is ever surfaced as valid data.
+  ASSERT_OK_AND_ASSIGN(auto reader, rig.service->OpenReader("/log"));
+  reader->SeekToStart();
+  int intact = 0;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+    if (!record.has_value()) {
+      break;
+    }
+    std::string payload = ToString(record->payload);
+    EXPECT_EQ(payload.rfind('e', 0), 0u);
+    ++intact;
+  }
+  EXPECT_GT(intact, 0);
+  EXPECT_LE(intact, wrote);
+  EXPECT_GE(intact,
+            wrote - static_cast<int>(rig.injector->injected_corruptions()));
+}
+
+TEST(Corruption, TornTailIsInvalidatedAtRecovery) {
+  // Torn garbage in the trailing blocks (a crash mid-burn) is invalidated
+  // at recovery and everything else replays.
+  MemoryWormOptions dev;
+  dev.block_size = 512;
+  dev.capacity_blocks = 4096;
+  MemoryWormDevice media(dev);
+  SimulatedClock clock(1'000'000, 7);
+  LogServiceOptions options;
+  options.entrymap_degree = 8;
+  {
+    ASSERT_OK_AND_ASSIGN(
+        auto service,
+        LogService::Create(
+            std::make_unique<testing::BorrowedDevice>(&media), &clock,
+            options));
+    ASSERT_OK(service->CreateLogFile("/log").status());
+    WriteOptions forced;
+    forced.force = true;
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK(service->Append("/log", AsBytes("e" + std::to_string(i)),
+                                forced)
+                    .status());
+    }
+    // The crash leaves torn garbage just past the written end.
+    Rng rng(3);
+    media.Scribble(media.frontier(), RandomPayload(&rng, 512));
+  }
+  uint64_t torn_block = 0;
+  for (uint64_t b = 0; b < 4096; ++b) {
+    if (media.BlockState(b) == WormBlockState::kScribbled) {
+      torn_block = b;
+    }
+  }
+  ASSERT_GT(torn_block, 0u);
+
+  RecoveryReport report;
+  std::vector<std::unique_ptr<WormDevice>> devices;
+  devices.push_back(std::make_unique<testing::BorrowedDevice>(&media));
+  ASSERT_OK_AND_ASSIGN(auto service, LogService::Recover(std::move(devices),
+                                                         &clock, options,
+                                                         &report));
+  EXPECT_EQ(report.invalidated_blocks, 1u);
+  EXPECT_EQ(media.BlockState(torn_block), WormBlockState::kInvalidated);
+  ASSERT_OK_AND_ASSIGN(auto reader, service->OpenReader("/log"));
+  reader->SeekToStart();
+  int intact = 0;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+    if (!record.has_value()) {
+      break;
+    }
+    ++intact;
+  }
+  EXPECT_EQ(intact, 50);
+
+  // The torn block's location lands in the bad-block log on the next
+  // append.
+  WriteOptions forced;
+  forced.force = true;
+  ASSERT_OK(service->Append("/log", AsBytes("after"), forced).status());
+  ASSERT_OK_AND_ASSIGN(auto bad, service->OpenReaderById(kBadBlockLogId));
+  bad->SeekToStart();
+  ASSERT_OK_AND_ASSIGN(auto record, bad->Next());
+  ASSERT_TRUE(record.has_value());
+  ByteReader payload(record->payload);
+  EXPECT_EQ(payload.GetU64(), torn_block);
+}
+
+}  // namespace
+}  // namespace clio

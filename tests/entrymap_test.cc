@@ -1,0 +1,183 @@
+// Entrymap unit tests: geometry arithmetic, bitmap payload codec and the
+// accumulator (paper §2.1, Figure 2).
+#include "src/clio/entrymap.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace clio {
+namespace {
+
+TEST(Geometry, PowersAndLevels) {
+  EntrymapGeometry geometry(16, 1 << 20);
+  EXPECT_EQ(geometry.degree(), 16);
+  EXPECT_EQ(geometry.PowN(0), 1u);
+  EXPECT_EQ(geometry.PowN(1), 16u);
+  EXPECT_EQ(geometry.PowN(2), 256u);
+  // 16^5 = 2^20 == capacity, so 5 levels.
+  EXPECT_EQ(geometry.max_level(), 5);
+  EXPECT_EQ(geometry.bitmap_bytes(), 2u);
+}
+
+TEST(Geometry, TinyDegreeBitmapBytes) {
+  EntrymapGeometry geometry(4, 1 << 10);
+  EXPECT_EQ(geometry.bitmap_bytes(), 1u);  // ceil(4/8)
+}
+
+TEST(Geometry, HomeDetection) {
+  EntrymapGeometry geometry(16, 1 << 20);
+  EXPECT_EQ(geometry.HomeLevel(0), 0);
+  EXPECT_EQ(geometry.HomeLevel(5), 0);
+  EXPECT_EQ(geometry.HomeLevel(16), 1);
+  EXPECT_EQ(geometry.HomeLevel(32), 1);
+  EXPECT_EQ(geometry.HomeLevel(256), 2);
+  EXPECT_EQ(geometry.HomeLevel(4096), 3);
+  EXPECT_TRUE(geometry.IsHome(256, 1));
+  EXPECT_TRUE(geometry.IsHome(256, 2));
+  EXPECT_FALSE(geometry.IsHome(256, 3));
+}
+
+TEST(Geometry, HomeForAndGroups) {
+  EntrymapGeometry geometry(16, 1 << 20);
+  // Block 100's level-1 group is [96, 112), homed at 112.
+  EXPECT_EQ(geometry.HomeFor(100, 1), 112u);
+  EXPECT_EQ(geometry.GroupStart(112, 1), 96u);
+  EXPECT_EQ(geometry.SubgroupOf(100, 1), 4u);  // (100 % 16) / 1
+  // Level 2: group [0, 256) homed at 256; 100 is in subgroup 6.
+  EXPECT_EQ(geometry.HomeFor(100, 2), 256u);
+  EXPECT_EQ(geometry.SubgroupOf(100, 2), 6u);
+}
+
+TEST(Payload, EncodeDecodeRoundTrip) {
+  EntrymapPayload payload;
+  payload.level = 2;
+  payload.home_block = 512;
+  payload.files.push_back({7, Bytes{std::byte{0xA5}, std::byte{0x01}}});
+  payload.files.push_back({9, Bytes{std::byte{0x00}, std::byte{0x80}}});
+  ASSERT_OK_AND_ASSIGN(EntrymapPayload decoded,
+                       EntrymapPayload::Decode(payload.Encode(), 2));
+  EXPECT_EQ(decoded.level, 2);
+  EXPECT_EQ(decoded.home_block, 512u);
+  ASSERT_EQ(decoded.files.size(), 2u);
+  EXPECT_EQ(decoded.files[0].id, 7);
+  EXPECT_EQ(decoded.files[1].id, 9);
+  EXPECT_TRUE(EntrymapPayload::TestBit(decoded.files[0].bitmap, 0));
+  EXPECT_FALSE(EntrymapPayload::TestBit(decoded.files[0].bitmap, 1));
+  EXPECT_TRUE(EntrymapPayload::TestBit(decoded.files[1].bitmap, 15));
+}
+
+TEST(Payload, DecodeRejectsTruncation) {
+  EntrymapPayload payload;
+  payload.level = 1;
+  payload.home_block = 16;
+  payload.files.push_back({7, Bytes(2, std::byte{0xFF})});
+  Bytes encoded = payload.Encode();
+  encoded.resize(encoded.size() - 1);
+  EXPECT_EQ(EntrymapPayload::Decode(encoded, 2).status().code(),
+            StatusCode::kCorrupt);
+}
+
+TEST(Payload, BitScans) {
+  Bytes bitmap{std::byte{0b00100100}, std::byte{0}};
+  EXPECT_EQ(EntrymapPayload::HighestSetBelow(bitmap, 16), 5u);
+  EXPECT_EQ(EntrymapPayload::HighestSetBelow(bitmap, 5), 2u);
+  EXPECT_EQ(EntrymapPayload::HighestSetBelow(bitmap, 2), std::nullopt);
+  EXPECT_EQ(EntrymapPayload::LowestSetFrom(bitmap, 0, 16), 2u);
+  EXPECT_EQ(EntrymapPayload::LowestSetFrom(bitmap, 3, 16), 5u);
+  EXPECT_EQ(EntrymapPayload::LowestSetFrom(bitmap, 6, 16), std::nullopt);
+}
+
+TEST(Accumulator, MarkSetsAllLevelsKeyedByHome) {
+  EntrymapGeometry geometry(16, 1 << 20);
+  EntrymapAccumulator acc(&geometry);
+  LogFileId ids[] = {7};
+  acc.Mark(100, ids);
+  // Block 100: level-1 group homed at 112, bit 4; level-2 group homed at
+  // 256, bit 6; level-3 group homed at 4096, bit 0.
+  EXPECT_TRUE(EntrymapPayload::TestBit(acc.BitmapOf(1, 112, 7), 4));
+  EXPECT_TRUE(EntrymapPayload::TestBit(acc.BitmapOf(2, 256, 7), 6));
+  EXPECT_TRUE(EntrymapPayload::TestBit(acc.BitmapOf(3, 4096, 7), 0));
+  // Other homes hold nothing.
+  EXPECT_TRUE(acc.BitmapOf(1, 128, 7).empty());
+}
+
+TEST(Accumulator, UntrackedIdsIgnored) {
+  EntrymapGeometry geometry(16, 1 << 20);
+  EntrymapAccumulator acc(&geometry);
+  LogFileId ids[] = {kVolumeSeqLogId, kEntrymapLogId, 7};
+  acc.Mark(5, ids);
+  EXPECT_TRUE(acc.BitmapOf(1, 16, kVolumeSeqLogId).empty());
+  EXPECT_TRUE(acc.BitmapOf(1, 16, kEntrymapLogId).empty());
+  EXPECT_FALSE(acc.BitmapOf(1, 16, 7).empty());
+}
+
+TEST(Accumulator, TakeHarvestsAndClearsOneNode) {
+  EntrymapGeometry geometry(16, 1 << 20);
+  EntrymapAccumulator acc(&geometry);
+  LogFileId seven[] = {7};
+  LogFileId nine[] = {9};
+  acc.Mark(3, seven);
+  acc.Mark(5, nine);
+  EntrymapPayload payload = acc.Take(1, 16);
+  EXPECT_EQ(payload.level, 1);
+  EXPECT_EQ(payload.home_block, 16u);
+  ASSERT_EQ(payload.files.size(), 2u);
+  EXPECT_TRUE(EntrymapPayload::TestBit(payload.Find(7)->bitmap, 3));
+  EXPECT_TRUE(EntrymapPayload::TestBit(payload.Find(9)->bitmap, 5));
+  // The level-1 node is consumed; the level-2 node is untouched.
+  EXPECT_TRUE(acc.BitmapOf(1, 16, 7).empty());
+  EXPECT_FALSE(acc.BitmapOf(2, 256, 7).empty());
+}
+
+TEST(Accumulator, AdjacentGroupsStayDisjoint) {
+  // The fix the soak test forced: marks on either side of a home boundary
+  // must never mix, even if no Take happens in between (a burn can skip
+  // past a home block after a garbage write, section 2.3.2).
+  EntrymapGeometry geometry(16, 1 << 20);
+  EntrymapAccumulator acc(&geometry);
+  LogFileId ids[] = {7};
+  acc.Mark(15, ids);  // last block of group homed at 16
+  acc.Mark(16, ids);  // first block of group homed at 32
+  EntrymapPayload old_group = acc.Take(1, 16);
+  ASSERT_EQ(old_group.files.size(), 1u);
+  EXPECT_TRUE(EntrymapPayload::TestBit(old_group.files[0].bitmap, 15));
+  EXPECT_FALSE(EntrymapPayload::TestBit(old_group.files[0].bitmap, 0));
+  EntrymapPayload new_group = acc.Take(1, 32);
+  ASSERT_EQ(new_group.files.size(), 1u);
+  EXPECT_TRUE(EntrymapPayload::TestBit(new_group.files[0].bitmap, 0));
+}
+
+TEST(Accumulator, TakeOfQuietGroupIsEmpty) {
+  EntrymapGeometry geometry(16, 1 << 20);
+  EntrymapAccumulator acc(&geometry);
+  EntrymapPayload payload = acc.Take(1, 16);
+  EXPECT_TRUE(payload.files.empty());
+}
+
+TEST(Accumulator, MarkedIdsAndBitmapOf) {
+  EntrymapGeometry geometry(16, 1 << 20);
+  EntrymapAccumulator acc(&geometry);
+  LogFileId ids[] = {4, 9};
+  acc.Mark(2, ids);
+  auto marked = acc.MarkedIds(1, 16);
+  ASSERT_EQ(marked.size(), 2u);
+  EXPECT_EQ(marked[0], 4);
+  EXPECT_EQ(marked[1], 9);
+  EXPECT_TRUE(EntrymapPayload::TestBit(acc.BitmapOf(1, 16, 4), 2));
+  EXPECT_TRUE(acc.BitmapOf(1, 16, 99).empty());
+  EXPECT_TRUE(acc.MarkedIds(1, 32).empty());
+}
+
+TEST(Tracks, ExclusionsMatchPaperFootnote) {
+  // Footnote 6: the volume sequence log and the entrymap log itself are
+  // not tracked; the catalog and bad-block logs are.
+  EXPECT_FALSE(EntrymapTracks(kVolumeSeqLogId));
+  EXPECT_FALSE(EntrymapTracks(kEntrymapLogId));
+  EXPECT_TRUE(EntrymapTracks(kCatalogLogId));
+  EXPECT_TRUE(EntrymapTracks(kBadBlockLogId));
+  EXPECT_TRUE(EntrymapTracks(kFirstClientLogId));
+}
+
+}  // namespace
+}  // namespace clio

@@ -1,0 +1,188 @@
+// IPC channel and log-server protocol tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/ipc/channel.h"
+#include "src/ipc/log_server.h"
+#include "tests/test_util.h"
+
+namespace clio {
+namespace {
+
+using testing::ServiceFixture;
+
+TEST(IpcChannel, RoundTrip) {
+  IpcChannel channel;
+  std::thread server([&] {
+    IpcMessage request;
+    while (channel.WaitForRequest(&request)) {
+      IpcMessage reply;
+      reply.op = request.op + 1;
+      reply.body = request.body;
+      channel.Reply(std::move(reply));
+    }
+  });
+  IpcMessage request;
+  request.op = 41;
+  request.body = ToBytes("ping");
+  ASSERT_OK_AND_ASSIGN(IpcMessage reply, channel.Call(request));
+  EXPECT_EQ(reply.op, 42u);
+  EXPECT_EQ(ToString(reply.body), "ping");
+  channel.Shutdown();
+  server.join();
+}
+
+TEST(IpcChannel, ConcurrentClientsSerialize) {
+  IpcChannel channel;
+  std::atomic<int> served{0};
+  std::thread server([&] {
+    IpcMessage request;
+    while (channel.WaitForRequest(&request)) {
+      ++served;
+      channel.Reply(IpcMessage{request.op, {}});
+    }
+  });
+  std::vector<std::thread> clients;
+  std::atomic<int> completed{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 50; ++i) {
+        auto reply = channel.Call(IpcMessage{static_cast<uint32_t>(c), {}});
+        if (reply.ok()) {
+          ++completed;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(completed.load(), 200);
+  EXPECT_EQ(served.load(), 200);
+  channel.Shutdown();
+  server.join();
+}
+
+TEST(IpcChannel, ShutdownUnblocksClients) {
+  IpcChannel channel;
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    channel.Shutdown();
+  });
+  auto result = channel.Call(IpcMessage{1, {}});
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  late.join();
+}
+
+TEST(IpcChannel, SimulatedLatencyIsCharged) {
+  IpcChannel channel(/*simulated_latency_us=*/2000);  // 2 ms each way
+  std::thread server([&] {
+    IpcMessage request;
+    while (channel.WaitForRequest(&request)) {
+      channel.Reply(IpcMessage{});
+    }
+  });
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_OK(channel.Call(IpcMessage{1, {}}).status());
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 4000);
+  channel.Shutdown();
+  server.join();
+}
+
+class LogServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fx_ = ServiceFixture::Make();
+    server_ = std::make_unique<LogServer>(fx_.service.get(), &channel_);
+    server_->Start();
+  }
+  void TearDown() override { server_->Stop(); }
+
+  ServiceFixture fx_;
+  IpcChannel channel_;
+  std::unique_ptr<LogServer> server_;
+};
+
+TEST_F(LogServerTest, CreateAppendReadOverIpc) {
+  LogClient client(&channel_);
+  ASSERT_OK(client.CreateLogFile("/remote").status());
+  ASSERT_OK_AND_ASSIGN(Timestamp first,
+                       client.Append("/remote", AsBytes("one"), true));
+  ASSERT_OK_AND_ASSIGN(Timestamp second,
+                       client.Append("/remote", AsBytes("two"), true));
+  EXPECT_GT(second, first);
+
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, client.OpenReader("/remote"));
+  ASSERT_OK(client.SeekToStart(handle));
+  ASSERT_OK_AND_ASSIGN(auto a, client.ReadNext(handle));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(ToString(a->payload), "one");
+  EXPECT_EQ(a->timestamp, first);
+  EXPECT_TRUE(a->timestamp_exact);
+  ASSERT_OK_AND_ASSIGN(auto b, client.ReadNext(handle));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(ToString(b->payload), "two");
+  ASSERT_OK_AND_ASSIGN(auto end, client.ReadNext(handle));
+  EXPECT_FALSE(end.has_value());
+
+  // Backwards too.
+  ASSERT_OK(client.SeekToEnd(handle));
+  ASSERT_OK_AND_ASSIGN(auto last, client.ReadPrev(handle));
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(ToString(last->payload), "two");
+  ASSERT_OK(client.CloseReader(handle));
+}
+
+TEST_F(LogServerTest, SeekToTimeOverIpc) {
+  LogClient client(&channel_);
+  ASSERT_OK(client.CreateLogFile("/t").status());
+  std::vector<Timestamp> stamps;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK_AND_ASSIGN(
+        Timestamp ts,
+        client.Append("/t", AsBytes("e" + std::to_string(i)), true));
+    stamps.push_back(ts);
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, client.OpenReader("/t"));
+  ASSERT_OK(client.SeekToTime(handle, stamps[10]));
+  ASSERT_OK_AND_ASSIGN(auto at, client.ReadPrev(handle));
+  ASSERT_TRUE(at.has_value());
+  EXPECT_EQ(ToString(at->payload), "e10");
+}
+
+TEST_F(LogServerTest, ErrorsPropagateThroughWire) {
+  LogClient client(&channel_);
+  EXPECT_EQ(client.Append("/nosuch", AsBytes("x")).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client.OpenReader("/nosuch").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client.CreateLogFile("bad-path").status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_OK(client.CreateLogFile("/exists").status());
+  EXPECT_EQ(client.CreateLogFile("/exists").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(LogServerTest, StatOverIpc) {
+  LogClient client(&channel_);
+  ASSERT_OK(client.CreateLogFile("/stat-me", 0600).status());
+  ASSERT_OK_AND_ASSIGN(LogFileInfo info, client.Stat("/stat-me"));
+  EXPECT_EQ(info.name, "stat-me");
+  EXPECT_EQ(info.permissions, 0600u);
+  EXPECT_FALSE(info.sealed);
+}
+
+TEST_F(LogServerTest, ForcedWriteViaIpcIsDurable) {
+  LogClient client(&channel_);
+  ASSERT_OK(client.CreateLogFile("/commit").status());
+  ASSERT_OK(client.Append("/commit", AsBytes("record"), true, true).status());
+  EXPECT_GE(fx_.service->current_volume()->end_block(), 2u);
+}
+
+}  // namespace
+}  // namespace clio

@@ -1,0 +1,342 @@
+// Crash-recovery tests (paper §2.3.1 / §3.4): the in-memory state is
+// disposable; everything must be reconstructible from the device. These
+// tests write workloads, "crash" (drop the service), recover against the
+// same devices and verify equivalence.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/clio/log_service.h"
+#include "src/device/fault_injection.h"
+#include "src/device/memory_worm_device.h"
+#include "src/device/nvram_tail.h"
+#include "tests/test_util.h"
+
+namespace clio {
+namespace {
+
+using testing::RandomPayload;
+
+struct CrashRig {
+  std::unique_ptr<SimulatedClock> clock =
+      std::make_unique<SimulatedClock>(1'000'000, 7);
+  std::vector<std::unique_ptr<MemoryWormDevice>> devices;
+  std::unique_ptr<LogService> service;
+  LogServiceOptions options;
+
+  static CrashRig Make(uint32_t block_size = 1024,
+                       uint64_t capacity = 4096, uint16_t degree = 16,
+                       NvramTail* nvram = nullptr) {
+    CrashRig rig;
+    MemoryWormOptions dev;
+    dev.block_size = block_size;
+    dev.capacity_blocks = capacity;
+    rig.devices.push_back(std::make_unique<MemoryWormDevice>(dev));
+    rig.options.entrymap_degree = degree;
+    rig.options.sequence_id = 0xFEED;
+    rig.options.nvram = nvram;
+    // The service borrows the devices: a "crash" destroys the service but
+    // the devices (the media) survive.
+    auto borrowing = std::unique_ptr<WormDevice>(
+        new BorrowedDevice(rig.devices[0].get()));
+    auto service = LogService::Create(std::move(borrowing),
+                                      rig.clock.get(), rig.options);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    rig.service = std::move(service).value();
+    return rig;
+  }
+
+  // Simulates a server crash: all volatile state is lost; the devices and
+  // (optionally) the NVRAM tail survive. Returns the recovery report.
+  RecoveryReport Crash() {
+    service.reset();
+    std::vector<std::unique_ptr<WormDevice>> borrowed;
+    borrowed.reserve(devices.size());
+    for (auto& d : devices) {
+      borrowed.push_back(std::unique_ptr<WormDevice>(
+          new BorrowedDevice(d.get())));
+    }
+    RecoveryReport report;
+    auto recovered = LogService::Recover(std::move(borrowed), clock.get(),
+                                         options, &report);
+    EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+    service = std::move(recovered).value();
+    return report;
+  }
+
+  // A WormDevice view that does not own the underlying device.
+  class BorrowedDevice : public WormDevice {
+   public:
+    explicit BorrowedDevice(MemoryWormDevice* base) : base_(base) {}
+    uint32_t block_size() const override { return base_->block_size(); }
+    uint64_t capacity_blocks() const override {
+      return base_->capacity_blocks();
+    }
+    Status ReadBlock(uint64_t i, std::span<std::byte> out) override {
+      return base_->ReadBlock(i, out);
+    }
+    Result<uint64_t> AppendBlock(std::span<const std::byte> d) override {
+      return base_->AppendBlock(d);
+    }
+    Status InvalidateBlock(uint64_t i) override {
+      return base_->InvalidateBlock(i);
+    }
+    Result<uint64_t> QueryEnd() override { return base_->QueryEnd(); }
+    WormBlockState BlockState(uint64_t i) const override {
+      return base_->BlockState(i);
+    }
+    const DeviceStats& stats() const override { return base_->stats(); }
+    void ResetStats() override { base_->ResetStats(); }
+
+   private:
+    MemoryWormDevice* base_;
+  };
+};
+
+std::vector<std::string> ReadAll(LogService* service,
+                                 const std::string& path) {
+  auto reader = service->OpenReader(path);
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  std::vector<std::string> out;
+  reader.value()->SeekToStart();
+  while (true) {
+    auto record = reader.value()->Next();
+    EXPECT_TRUE(record.ok()) << record.status().ToString();
+    if (!record.ok() || !record.value().has_value()) {
+      break;
+    }
+    out.push_back(ToString(record.value()->payload));
+  }
+  return out;
+}
+
+TEST(Recovery, ForcedDataSurvivesCrash) {
+  auto rig = CrashRig::Make();
+  ASSERT_OK(rig.service->CreateLogFile("/wal").status());
+  WriteOptions forced;
+  forced.force = true;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_OK(rig.service
+                  ->Append("/wal", AsBytes("commit-" + std::to_string(i)),
+                           forced)
+                  .status());
+  }
+  rig.Crash();
+  auto entries = ReadAll(rig.service.get(), "/wal");
+  ASSERT_EQ(entries.size(), 30u);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(entries[i], "commit-" + std::to_string(i));
+  }
+}
+
+TEST(Recovery, UnforcedTailIsLostWithoutNvram) {
+  auto rig = CrashRig::Make();
+  ASSERT_OK(rig.service->CreateLogFile("/log").status());
+  WriteOptions forced;
+  forced.force = true;
+  ASSERT_OK(rig.service->Append("/log", AsBytes("durable"), forced).status());
+  // Unforced appends sit in the volatile staging buffer.
+  ASSERT_OK(rig.service->Append("/log", AsBytes("volatile-1")).status());
+  ASSERT_OK(rig.service->Append("/log", AsBytes("volatile-2")).status());
+  rig.Crash();
+  auto entries = ReadAll(rig.service.get(), "/log");
+  EXPECT_EQ(entries, std::vector<std::string>{"durable"});
+}
+
+TEST(Recovery, NvramTailPreservesForcedPartialBlock) {
+  NvramTail nvram(1024);
+  auto rig = CrashRig::Make(1024, 4096, 16, &nvram);
+  ASSERT_OK(rig.service->CreateLogFile("/log").status());
+  WriteOptions forced;
+  forced.force = true;
+  // With NVRAM, a forced write stages the partial block instead of burning
+  // it; a crash must still not lose it.
+  ASSERT_OK(rig.service->Append("/log", AsBytes("alpha"), forced).status());
+  ASSERT_OK(rig.service->Append("/log", AsBytes("beta"), forced).status());
+  uint64_t burned = rig.devices[0]->frontier();
+  RecoveryReport report = rig.Crash();
+  EXPECT_TRUE(report.restored_nvram_tail);
+  auto entries = ReadAll(rig.service.get(), "/log");
+  EXPECT_EQ(entries, (std::vector<std::string>{"alpha", "beta"}));
+  // And the device tail really was not burned for those forces.
+  EXPECT_EQ(rig.devices[0]->frontier(), burned);
+  // Appends keep working after the restore.
+  ASSERT_OK(rig.service->Append("/log", AsBytes("gamma"), forced).status());
+  auto after = ReadAll(rig.service.get(), "/log");
+  EXPECT_EQ(after, (std::vector<std::string>{"alpha", "beta", "gamma"}));
+}
+
+TEST(Recovery, CatalogSurvivesCrash) {
+  auto rig = CrashRig::Make();
+  ASSERT_OK(rig.service->CreateLogFile("/mail").status());
+  ASSERT_OK(rig.service->CreateLogFile("/mail/smith", 0600).status());
+  ASSERT_OK(rig.service->SealLogFile("/mail/smith"));
+  ASSERT_OK(rig.service->Force());
+  rig.Crash();
+  ASSERT_OK_AND_ASSIGN(LogFileInfo info, rig.service->Stat("/mail/smith"));
+  EXPECT_EQ(info.permissions, 0600u);
+  EXPECT_TRUE(info.sealed);
+  ASSERT_OK_AND_ASSIGN(auto children, rig.service->List("/mail"));
+  EXPECT_EQ(children.size(), 1u);
+}
+
+TEST(Recovery, RepeatedCrashesPreserveEverything) {
+  auto rig = CrashRig::Make();
+  WriteOptions forced;
+  forced.force = true;
+  std::map<std::string, std::vector<std::string>> wrote;
+  Rng rng(17);
+  ASSERT_OK(rig.service->CreateLogFile("/a").status());
+  ASSERT_OK(rig.service->CreateLogFile("/b").status());
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      std::string path = rng.Chance(1, 2) ? "/a" : "/b";
+      std::string data = path.substr(1) + "-" + std::to_string(round) + "-" +
+                         std::to_string(i);
+      wrote[path].push_back(data);
+      ASSERT_OK(rig.service->Append(path, AsBytes(data), forced).status());
+    }
+    rig.Crash();
+    for (const auto& [path, expected] : wrote) {
+      EXPECT_EQ(ReadAll(rig.service.get(), path), expected)
+          << path << " after crash round " << round;
+    }
+  }
+}
+
+TEST(Recovery, EntrymapAccumulatorRebuildMatchesLiveSearch) {
+  // Write entries of a rare log file, crash mid-group, and verify the
+  // far-back search still finds them (the rebuilt accumulator must cover
+  // the un-logged tail of the entrymap, §3.4 step 2).
+  auto rig = CrashRig::Make(/*block_size=*/512, /*capacity=*/4096,
+                            /*degree=*/8);
+  ASSERT_OK(rig.service->CreateLogFile("/rare").status());
+  ASSERT_OK(rig.service->CreateLogFile("/noise").status());
+  WriteOptions forced;
+  forced.force = true;
+  Rng rng(23);
+  ASSERT_OK(rig.service->Append("/rare", AsBytes("needle-1"), forced)
+                .status());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_OK(rig.service
+                  ->Append("/noise", RandomPayload(&rng, 100), forced)
+                  .status());
+  }
+  ASSERT_OK(rig.service->Append("/rare", AsBytes("needle-2"), forced)
+                .status());
+  for (int i = 0; i < 37; ++i) {  // end mid-group at several levels
+    ASSERT_OK(rig.service
+                  ->Append("/noise", RandomPayload(&rng, 100), forced)
+                  .status());
+  }
+  rig.Crash();
+  EXPECT_EQ(ReadAll(rig.service.get(), "/rare"),
+            (std::vector<std::string>{"needle-1", "needle-2"}));
+  // Reverse search exercises the entrymap tree from the recovered end.
+  ASSERT_OK_AND_ASSIGN(auto reader, rig.service->OpenReader("/rare"));
+  reader->SeekToEnd();
+  ASSERT_OK_AND_ASSIGN(auto last, reader->Prev());
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(ToString(last->payload), "needle-2");
+  ASSERT_OK_AND_ASSIGN(auto first, reader->Prev());
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(ToString(first->payload), "needle-1");
+}
+
+TEST(Recovery, MultiVolumeSequenceRecovers) {
+  auto rig = CrashRig::Make(/*block_size=*/512, /*capacity=*/64,
+                            /*degree=*/4);
+  MemoryWormOptions dev;
+  dev.block_size = 512;
+  dev.capacity_blocks = 64;
+  // Successor volumes are recorded in the rig so Crash() can reopen them.
+  auto* devices = &rig.devices;
+  rig.service->set_volume_factory(
+      [devices, dev](uint32_t) -> Result<std::unique_ptr<WormDevice>> {
+        devices->push_back(std::make_unique<MemoryWormDevice>(dev));
+        return std::unique_ptr<WormDevice>(
+            new CrashRig::BorrowedDevice(devices->back().get()));
+      });
+  ASSERT_OK(rig.service->CreateLogFile("/big").status());
+  WriteOptions forced;
+  forced.force = true;
+  Rng rng(31);
+  std::vector<std::string> wrote;
+  for (int i = 0; i < 300; ++i) {
+    std::string data = "entry-" + std::to_string(i);
+    wrote.push_back(data);
+    ASSERT_OK(rig.service->Append("/big", AsBytes(data), forced).status());
+  }
+  ASSERT_GT(rig.service->volume_count(), 2u);
+  size_t volumes_before = rig.service->volume_count();
+  rig.Crash();
+  EXPECT_EQ(rig.service->volume_count(), volumes_before);
+  EXPECT_EQ(ReadAll(rig.service.get(), "/big"), wrote);
+  // The sequence keeps growing after recovery.
+  ASSERT_OK(rig.service->Append("/big", AsBytes("after"), forced).status());
+  wrote.push_back("after");
+  EXPECT_EQ(ReadAll(rig.service.get(), "/big"), wrote);
+}
+
+TEST(Recovery, TimestampsStayUniqueAcrossCrash) {
+  auto rig = CrashRig::Make();
+  ASSERT_OK(rig.service->CreateLogFile("/t").status());
+  WriteOptions forced;
+  forced.force = true;
+  forced.timestamped = true;
+  Timestamp last = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(AppendResult r,
+                         rig.service->Append("/t", AsBytes("x"), forced));
+    last = r.timestamp;
+  }
+  // Adversarial: the clock jumps backwards across the crash.
+  rig.clock->Set(0);
+  rig.Crash();
+  ASSERT_OK_AND_ASSIGN(AppendResult r,
+                       rig.service->Append("/t", AsBytes("y"), forced));
+  EXPECT_GT(r.timestamp, last);
+}
+
+TEST(Recovery, BinarySearchEndLocationWorks) {
+  // A device that cannot report its write frontier forces the binary
+  // search path (§3.4 step 1, cost log2 V).
+  MemoryWormOptions dev;
+  dev.block_size = 512;
+  dev.capacity_blocks = 2048;
+  dev.supports_end_query = false;
+  auto real = std::make_unique<MemoryWormDevice>(dev);
+  SimulatedClock clock(1'000'000, 7);
+  LogServiceOptions options;
+  options.entrymap_degree = 8;
+  // The service gets a borrowed view so the media outlives the "crash".
+  auto service = LogService::Create(
+      std::unique_ptr<WormDevice>(new CrashRig::BorrowedDevice(real.get())),
+      &clock, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_OK(service.value()->CreateLogFile("/x").status());
+  WriteOptions forced;
+  forced.force = true;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(service.value()
+                  ->Append("/x", AsBytes("e" + std::to_string(i)), forced)
+                  .status());
+  }
+  service.value().reset();
+
+  RecoveryReport report;
+  std::vector<std::unique_ptr<WormDevice>> devices;
+  devices.push_back(std::unique_ptr<WormDevice>(
+      new CrashRig::BorrowedDevice(real.get())));
+  auto recovered = LogService::Recover(std::move(devices), &clock, options,
+                                       &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_GT(report.end_location_reads, 5u);  // ~log2(2048) + window
+  auto entries = ReadAll(recovered.value().get(), "/x");
+  EXPECT_EQ(entries.size(), 100u);
+}
+
+}  // namespace
+}  // namespace clio

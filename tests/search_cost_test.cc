@@ -1,0 +1,138 @@
+// Validates the entrymap search-tree cost model of paper §3.3 / Table 1:
+// locating an entry d = N^k blocks away examines 2k-1 entrymap log entries
+// (ascend k levels, descend k-1). These counts are what the Table 1 and
+// Figure 3 benches report, so they are pinned here as tests.
+#include <gtest/gtest.h>
+
+#include "src/clio/log_service.h"
+#include "tests/test_util.h"
+
+namespace clio {
+namespace {
+
+using testing::RandomPayload;
+using testing::ServiceFixture;
+
+// Builds a volume where one "needle" entry of /rare sits at an
+// N^3-aligned block, with /noise filling every other block (one forced
+// append per block), then checks examined-entry counts for searches
+// started at controlled distances.
+class SearchCostTest : public ::testing::Test {
+ protected:
+  static constexpr uint16_t kN = 4;
+
+  void SetUp() override {
+    fx_ = ServiceFixture::Make(/*block_size=*/512, /*capacity_blocks=*/1 << 16,
+                               /*degree=*/kN);
+    ASSERT_OK(fx_.service->CreateLogFile("/rare").status());
+    ASSERT_OK(fx_.service->CreateLogFile("/noise").status());
+    forced_.force = true;
+
+    // Advance to the next N^3 boundary.
+    LogVolume* volume = fx_.service->current_volume();
+    uint64_t n3 = kN * kN * kN;
+    while (volume->writer()->staging_block() % n3 != 0 ||
+           volume->writer()->has_staged_entries()) {
+      Noise();
+    }
+    needle_block_ = volume->writer()->staging_block();
+    ASSERT_OK(fx_.service->Append("/rare", AsBytes("needle"), forced_)
+                  .status());
+    ASSERT_EQ(volume->writer()->staging_block(), needle_block_ + 1);
+
+    // Fill well past the needle so every home block consulted is on media.
+    for (uint64_t i = 0; i < 2 * n3 + 4 * kN; ++i) {
+      Noise();
+    }
+  }
+
+  void Noise() {
+    ASSERT_OK(
+        fx_.service->Append("/noise", RandomPayload(&rng_, 64), forced_)
+            .status());
+  }
+
+  // Entrymap entries examined by a backward search for /rare from a cursor
+  // positioned `distance` blocks past the needle (the paper's "search
+  // distance": the region searched is strictly before the start block).
+  uint64_t ExaminedAtDistance(uint64_t distance) {
+    LogVolume* volume = fx_.service->current_volume();
+    auto _res = fx_.service->Resolve("/rare");
+    EXPECT_TRUE(_res.ok()) << _res.status().ToString();
+    LogFileId id = std::move(_res).value();
+    OpStats stats;
+    auto found =
+        volume->PrevBlockWith(id, needle_block_ + distance, &stats);
+    EXPECT_TRUE(found.ok()) << found.status().ToString();
+    EXPECT_TRUE(found.value().has_value());
+    if (found.ok() && found.value().has_value()) {
+      EXPECT_EQ(*found.value(), needle_block_);
+    }
+    return stats.entrymap_entries_examined;
+  }
+
+  ServiceFixture fx_;
+  WriteOptions forced_;
+  Rng rng_{42};
+  uint64_t needle_block_ = 0;
+};
+
+// Paper Table 1: search distance N^k examines 2k-1 entrymap log entries.
+TEST_F(SearchCostTest, DistanceNExaminesOneEntry) {
+  EXPECT_EQ(ExaminedAtDistance(1), 1u);
+  EXPECT_EQ(ExaminedAtDistance(kN), 1u);
+}
+
+TEST_F(SearchCostTest, DistanceNSquaredExaminesThreeEntries) {
+  EXPECT_EQ(ExaminedAtDistance(kN + 1), 3u);
+  EXPECT_EQ(ExaminedAtDistance(kN * kN), 3u);
+}
+
+TEST_F(SearchCostTest, DistanceNCubedExaminesFiveEntries) {
+  // With the needle group-aligned, the level-3 ascent starts once the
+  // distance exceeds a full level-2 group plus the start's level-1 group.
+  EXPECT_EQ(ExaminedAtDistance(kN * kN + kN + 1), 5u);
+  EXPECT_EQ(ExaminedAtDistance(kN * kN * kN), 5u);
+}
+
+TEST_F(SearchCostTest, CountsGrowLogarithmically) {
+  // The shape of Figure 3: examined entries grow as 2*log_N(d) - 1.
+  int k = 1;
+  for (uint64_t d = kN; d <= kN * kN * kN; d *= kN, ++k) {
+    EXPECT_EQ(ExaminedAtDistance(d), static_cast<uint64_t>(2 * k - 1))
+        << "distance " << d;
+  }
+}
+
+TEST_F(SearchCostTest, ForwardSearchMirrorsBackward) {
+  // Locate the needle forward from a start before it.
+  LogVolume* volume = fx_.service->current_volume();
+  ASSERT_OK_AND_ASSIGN(LogFileId id, fx_.service->Resolve("/rare"));
+  for (uint64_t distance : {uint64_t{2}, uint64_t{kN + 1},
+                            uint64_t{kN * kN + 1}}) {
+    OpStats stats;
+    ASSERT_OK_AND_ASSIGN(
+        auto found,
+        volume->NextBlockWith(id, needle_block_ - distance, &stats));
+    ASSERT_TRUE(found.has_value()) << "distance " << distance;
+    EXPECT_EQ(*found, needle_block_);
+    EXPECT_LE(stats.entrymap_entries_examined, 7u);
+  }
+}
+
+TEST_F(SearchCostTest, BlocksReadTracksEntrymapEntries) {
+  // Each examined entrymap entry lives in its own home block here, so
+  // blocks read ~= entrymap entries examined (Table 1's two columns).
+  LogVolume* volume = fx_.service->current_volume();
+  ASSERT_OK_AND_ASSIGN(LogFileId id, fx_.service->Resolve("/rare"));
+  OpStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto found,
+      volume->PrevBlockWith(id, needle_block_ + kN * kN + 1, &stats));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_GE(stats.blocks_read, stats.entrymap_entries_examined);
+  EXPECT_LE(stats.blocks_read, stats.entrymap_entries_examined + 2);
+}
+
+}  // namespace
+}  // namespace clio

@@ -1,0 +1,393 @@
+// End-to-end tests of the LogService public API: namespace, appends,
+// sequential and reverse reads, sublogs, time search, permissions and
+// multi-volume sequences.
+#include "src/clio/log_service.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace clio {
+namespace {
+
+using testing::RandomPayload;
+using testing::ServiceFixture;
+
+TEST(Service, CreateAndStatLogFile) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK_AND_ASSIGN(LogFileId id, fx.service->CreateLogFile("/mail"));
+  EXPECT_GE(id, kFirstClientLogId);
+  ASSERT_OK_AND_ASSIGN(LogFileInfo info, fx.service->Stat("/mail"));
+  EXPECT_EQ(info.name, "mail");
+  EXPECT_EQ(info.parent, kVolumeSeqLogId);
+  EXPECT_EQ(info.permissions, 0644u);
+}
+
+TEST(Service, CreateRejectsDuplicatesAndBadPaths) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/mail").status());
+  EXPECT_EQ(fx.service->CreateLogFile("/mail").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(fx.service->CreateLogFile("mail").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fx.service->CreateLogFile("/@evil").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fx.service->CreateLogFile("/nosuch/sub").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Service, SublogCreationAndListing) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/mail").status());
+  ASSERT_OK(fx.service->CreateLogFile("/mail/smith").status());
+  ASSERT_OK(fx.service->CreateLogFile("/mail/jones").status());
+  ASSERT_OK_AND_ASSIGN(auto children, fx.service->List("/mail"));
+  EXPECT_EQ(children.size(), 2u);
+  EXPECT_TRUE(children.count("smith"));
+  EXPECT_TRUE(children.count("jones"));
+}
+
+TEST(Service, AppendAndSequentialRead) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/log").status());
+  std::vector<std::string> wrote;
+  for (int i = 0; i < 200; ++i) {
+    std::string data = "entry-" + std::to_string(i);
+    wrote.push_back(data);
+    ASSERT_OK(fx.service->Append("/log", AsBytes(data)).status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, fx.service->OpenReader("/log"));
+  reader->SeekToStart();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+    ASSERT_TRUE(record.has_value()) << "entry " << i;
+    EXPECT_EQ(ToString(record->payload), wrote[i]);
+  }
+  ASSERT_OK_AND_ASSIGN(auto end, reader->Next());
+  EXPECT_FALSE(end.has_value());
+}
+
+TEST(Service, ReverseReadYieldsNewestFirst) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/log").status());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(
+        fx.service->Append("/log", AsBytes("e" + std::to_string(i))).status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, fx.service->OpenReader("/log"));
+  reader->SeekToEnd();
+  for (int i = 99; i >= 0; --i) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Prev());
+    ASSERT_TRUE(record.has_value()) << "entry " << i;
+    EXPECT_EQ(ToString(record->payload), "e" + std::to_string(i));
+  }
+  ASSERT_OK_AND_ASSIGN(auto front, reader->Prev());
+  EXPECT_FALSE(front.has_value());
+}
+
+TEST(Service, NextPrevAlternationReturnsSameEntry) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/log").status());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(
+        fx.service->Append("/log", AsBytes("e" + std::to_string(i))).status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, fx.service->OpenReader("/log"));
+  reader->SeekToStart();
+  ASSERT_OK_AND_ASSIGN(auto a, reader->Next());
+  ASSERT_OK_AND_ASSIGN(auto b, reader->Next());
+  ASSERT_OK_AND_ASSIGN(auto again, reader->Prev());
+  ASSERT_TRUE(a && b && again);
+  EXPECT_EQ(ToString(again->payload), ToString(b->payload));
+  ASSERT_OK_AND_ASSIGN(auto forward, reader->Next());
+  EXPECT_EQ(ToString(forward->payload), ToString(b->payload));
+}
+
+TEST(Service, InterleavedLogFilesReadBackSeparately) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/a").status());
+  ASSERT_OK(fx.service->CreateLogFile("/b").status());
+  ASSERT_OK(fx.service->CreateLogFile("/c").status());
+  std::map<std::string, std::vector<std::string>> wrote;
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    std::string path(1, static_cast<char>('a' + rng.Below(3)));
+    std::string full = "/" + path;
+    std::string data = path + std::to_string(i);
+    wrote[full].push_back(data);
+    ASSERT_OK(fx.service->Append(full, AsBytes(data)).status());
+  }
+  for (const auto& [path, expected] : wrote) {
+    ASSERT_OK_AND_ASSIGN(auto reader, fx.service->OpenReader(path));
+    reader->SeekToStart();
+    for (const std::string& want : expected) {
+      ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+      ASSERT_TRUE(record.has_value()) << path << " " << want;
+      EXPECT_EQ(ToString(record->payload), want);
+    }
+    ASSERT_OK_AND_ASSIGN(auto end, reader->Next());
+    EXPECT_FALSE(end.has_value()) << path;
+  }
+}
+
+TEST(Service, ParentLogSeesSublogEntries) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/mail").status());
+  ASSERT_OK(fx.service->CreateLogFile("/mail/smith").status());
+  ASSERT_OK(fx.service->CreateLogFile("/mail/jones").status());
+  ASSERT_OK(fx.service->Append("/mail/smith", AsBytes("to smith")).status());
+  ASSERT_OK(fx.service->Append("/mail/jones", AsBytes("to jones")).status());
+  ASSERT_OK(fx.service->Append("/mail", AsBytes("broadcast")).status());
+
+  // The parent log file sees all three (§2.1: an entry logged in a sublog
+  // also belongs to the parent).
+  ASSERT_OK_AND_ASSIGN(auto reader, fx.service->OpenReader("/mail"));
+  reader->SeekToStart();
+  std::vector<std::string> got;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+    if (!record.has_value()) {
+      break;
+    }
+    got.push_back(ToString(record->payload));
+  }
+  EXPECT_EQ(got, (std::vector<std::string>{"to smith", "to jones",
+                                           "broadcast"}));
+
+  // The sublog sees only its own.
+  ASSERT_OK_AND_ASSIGN(auto smith, fx.service->OpenReader("/mail/smith"));
+  smith->SeekToStart();
+  ASSERT_OK_AND_ASSIGN(auto record, smith->Next());
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(ToString(record->payload), "to smith");
+  ASSERT_OK_AND_ASSIGN(auto end, smith->Next());
+  EXPECT_FALSE(end.has_value());
+}
+
+TEST(Service, VolumeSequenceLogSeesEverything) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/x").status());
+  ASSERT_OK(fx.service->Append("/x", AsBytes("payload")).status());
+  ASSERT_OK_AND_ASSIGN(auto reader, fx.service->OpenReader("/"));
+  reader->SeekToStart();
+  int catalog_entries = 0;
+  int client_entries = 0;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+    if (!record.has_value()) {
+      break;
+    }
+    if (record->logfile_id == kCatalogLogId) {
+      ++catalog_entries;
+    }
+    if (record->logfile_id >= kFirstClientLogId) {
+      ++client_entries;
+    }
+  }
+  EXPECT_EQ(catalog_entries, 1);  // the create record
+  EXPECT_EQ(client_entries, 1);
+}
+
+TEST(Service, LargeEntriesFragmentAndReassemble) {
+  auto fx = ServiceFixture::Make(/*block_size=*/512);
+  ASSERT_OK(fx.service->CreateLogFile("/big").status());
+  Rng rng(11);
+  std::vector<Bytes> wrote;
+  // Several entries each spanning multiple 512-byte blocks.
+  for (int i = 0; i < 10; ++i) {
+    Bytes payload = RandomPayload(&rng, 1500 + rng.Below(2000));
+    wrote.push_back(payload);
+    ASSERT_OK(fx.service->Append("/big", payload).status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, fx.service->OpenReader("/big"));
+  reader->SeekToStart();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+    ASSERT_TRUE(record.has_value()) << i;
+    EXPECT_FALSE(record->truncated);
+    EXPECT_EQ(ToString(record->payload), ToString(wrote[i])) << i;
+  }
+  // And backwards.
+  reader->SeekToEnd();
+  for (int i = 9; i >= 0; --i) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Prev());
+    ASSERT_TRUE(record.has_value()) << i;
+    EXPECT_EQ(record->payload.size(), wrote[i].size()) << i;
+    EXPECT_EQ(ToString(record->payload), ToString(wrote[i])) << i;
+  }
+}
+
+TEST(Service, TimestampsAreStrictlyIncreasing) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/t").status());
+  Timestamp last = 0;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK_AND_ASSIGN(AppendResult result,
+                         fx.service->Append("/t", AsBytes("x")));
+    EXPECT_GT(result.timestamp, last);
+    last = result.timestamp;
+  }
+}
+
+TEST(Service, SeekToTimePositionsCorrectly) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/t").status());
+  std::vector<Timestamp> stamps;
+  for (int i = 0; i < 120; ++i) {
+    WriteOptions opts;
+    opts.timestamped = true;
+    ASSERT_OK_AND_ASSIGN(
+        AppendResult result,
+        fx.service->Append("/t", AsBytes("e" + std::to_string(i)), opts));
+    stamps.push_back(result.timestamp);
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, fx.service->OpenReader("/t"));
+
+  // Seek to the exact timestamp of entry 60: Prev -> 60, Next -> 61.
+  ASSERT_OK(reader->SeekToTime(stamps[60]));
+  ASSERT_OK_AND_ASSIGN(auto at, reader->Prev());
+  ASSERT_TRUE(at.has_value());
+  EXPECT_EQ(ToString(at->payload), "e60");
+  ASSERT_OK_AND_ASSIGN(auto after, reader->Next());
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(ToString(after->payload), "e60");  // Next after Prev re-yields
+  ASSERT_OK_AND_ASSIGN(auto then, reader->Next());
+  ASSERT_TRUE(then.has_value());
+  EXPECT_EQ(ToString(then->payload), "e61");
+
+  // A time before everything: Prev empty, Next yields entry 0.
+  ASSERT_OK(reader->SeekToTime(stamps[0] - 1000));
+  ASSERT_OK_AND_ASSIGN(auto nothing, reader->Prev());
+  EXPECT_FALSE(nothing.has_value());
+  ASSERT_OK_AND_ASSIGN(auto first, reader->Next());
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(ToString(first->payload), "e0");
+
+  // A time after everything: Next empty, Prev yields the last entry.
+  ASSERT_OK(reader->SeekToTime(stamps.back() + 1000));
+  ASSERT_OK_AND_ASSIGN(auto none, reader->Next());
+  EXPECT_FALSE(none.has_value());
+  ASSERT_OK_AND_ASSIGN(auto tail, reader->Prev());
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(ToString(tail->payload), "e119");
+}
+
+TEST(Service, FindByClientIdLocatesAsyncEntry) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/txn").status());
+  // A client with a skewed clock writes asynchronously, tagging entries
+  // with its own sequence numbers.
+  SkewedClock client_clock(fx.clock.get(), /*skew=*/-400);
+  std::map<uint32_t, Timestamp> client_times;
+  for (uint32_t seq = 1; seq <= 40; ++seq) {
+    WriteOptions opts;
+    opts.client_sequence = seq;
+    Timestamp client_now = client_clock.Now();
+    client_times[seq] = client_now;
+    ASSERT_OK(
+        fx.service->Append("/txn", AsBytes("txn" + std::to_string(seq)), opts)
+            .status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, fx.service->OpenReader("/txn"));
+  ASSERT_OK_AND_ASSIGN(
+      auto found,
+      reader->FindByClientId(17, client_times[17], /*max_skew=*/1000));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(ToString(found->payload), "txn17");
+
+  // A sequence number that was never written.
+  ASSERT_OK_AND_ASSIGN(
+      auto missing,
+      reader->FindByClientId(999, client_times[17], /*max_skew=*/1000));
+  EXPECT_FALSE(missing.has_value());
+}
+
+TEST(Service, PermissionsEnforced) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/secret", 0000).status());
+  EXPECT_EQ(fx.service->Append("/secret", AsBytes("x")).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(fx.service->OpenReader("/secret").status().code(),
+            StatusCode::kPermissionDenied);
+  ASSERT_OK(fx.service->SetPermissions("/secret", 0644));
+  EXPECT_OK(fx.service->Append("/secret", AsBytes("x")).status());
+  EXPECT_OK(fx.service->OpenReader("/secret").status());
+}
+
+TEST(Service, ServiceLogFilesAreNotClientWritable) {
+  auto fx = ServiceFixture::Make();
+  EXPECT_EQ(fx.service->Append(kCatalogLogId, AsBytes("x")).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(fx.service->Append(kEntrymapLogId, AsBytes("x")).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(Service, SealedLogFileRejectsAppends) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/done").status());
+  ASSERT_OK(fx.service->Append("/done", AsBytes("x")).status());
+  ASSERT_OK(fx.service->SealLogFile("/done"));
+  EXPECT_EQ(fx.service->Append("/done", AsBytes("y")).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Service, TailReaderSeesNewAppends) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/tail").status());
+  ASSERT_OK_AND_ASSIGN(auto reader, fx.service->OpenReader("/tail"));
+  reader->SeekToEnd();
+  ASSERT_OK_AND_ASSIGN(auto none, reader->Next());
+  EXPECT_FALSE(none.has_value());
+  ASSERT_OK(fx.service->Append("/tail", AsBytes("new!")).status());
+  ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(ToString(record->payload), "new!");
+}
+
+TEST(Service, RollsToSuccessorVolumeWhenFull) {
+  // A deliberately tiny volume: 64 blocks of 512 bytes.
+  auto fx = ServiceFixture::Make(/*block_size=*/512, /*capacity_blocks=*/64,
+                                 /*degree=*/4);
+  ASSERT_OK(fx.service->CreateLogFile("/big").status());
+  Rng rng(5);
+  std::vector<Bytes> wrote;
+  for (int i = 0; i < 400; ++i) {
+    Bytes payload = RandomPayload(&rng, 200);
+    wrote.push_back(payload);
+    ASSERT_OK(fx.service->Append("/big", payload).status());
+  }
+  EXPECT_GT(fx.service->volume_count(), 2u);
+
+  // Everything reads back, across all volume boundaries.
+  ASSERT_OK_AND_ASSIGN(auto reader, fx.service->OpenReader("/big"));
+  reader->SeekToStart();
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+    ASSERT_TRUE(record.has_value()) << i;
+    EXPECT_EQ(ToString(record->payload), ToString(wrote[i])) << i;
+  }
+  // And backwards.
+  reader->SeekToEnd();
+  for (int i = 399; i >= 0; --i) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Prev());
+    ASSERT_TRUE(record.has_value()) << i;
+    EXPECT_EQ(ToString(record->payload), ToString(wrote[i])) << i;
+  }
+}
+
+TEST(Service, ForceMakesDataDurable) {
+  auto fx = ServiceFixture::Make();
+  ASSERT_OK(fx.service->CreateLogFile("/f").status());
+  WriteOptions opts;
+  opts.force = true;
+  ASSERT_OK(fx.service->Append("/f", AsBytes("committed"), opts).status());
+  // A forced entry is on the device, not just staged.
+  EXPECT_GE(fx.service->current_volume()->end_block(), 2u);
+}
+
+}  // namespace
+}  // namespace clio

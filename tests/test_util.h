@@ -1,0 +1,117 @@
+// Shared helpers for the test suite.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/clio/log_service.h"
+#include "src/device/memory_worm_device.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+// gtest-friendly Status/Result assertions.
+#define ASSERT_OK(expr)                                                   \
+  do {                                                                    \
+    auto _assert_ok_st = (expr);                                          \
+    ASSERT_TRUE(_assert_ok_st.ok()) << _assert_ok_st.ToString();          \
+  } while (0)
+
+#define EXPECT_OK(expr)                                                   \
+  do {                                                                    \
+    auto _expect_ok_st = (expr);                                          \
+    EXPECT_TRUE(_expect_ok_st.ok()) << _expect_ok_st.ToString();          \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(decl, expr)                                   \
+  ASSERT_OK_AND_ASSIGN_IMPL_(                                              \
+      CLIO_STATUS_CONCAT_(_assert_res_, __LINE__), decl, expr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL_(tmp, decl, expr)                        \
+  auto tmp = (expr);                                                       \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();                        \
+  decl = std::move(tmp).value()
+
+namespace clio {
+namespace testing {
+
+// A WormDevice view that does not own the underlying device; lets a test
+// destroy the service ("crash") while the media survives.
+class BorrowedDevice : public WormDevice {
+ public:
+  explicit BorrowedDevice(WormDevice* base) : base_(base) {}
+  uint32_t block_size() const override { return base_->block_size(); }
+  uint64_t capacity_blocks() const override {
+    return base_->capacity_blocks();
+  }
+  Status ReadBlock(uint64_t i, std::span<std::byte> out) override {
+    return base_->ReadBlock(i, out);
+  }
+  Result<uint64_t> AppendBlock(std::span<const std::byte> d) override {
+    return base_->AppendBlock(d);
+  }
+  Status InvalidateBlock(uint64_t i) override {
+    return base_->InvalidateBlock(i);
+  }
+  Result<uint64_t> QueryEnd() override { return base_->QueryEnd(); }
+  WormBlockState BlockState(uint64_t i) const override {
+    return base_->BlockState(i);
+  }
+  const DeviceStats& stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+ private:
+  WormDevice* base_;
+};
+
+// Random printable payload of the given size.
+inline Bytes RandomPayload(Rng* rng, size_t size) {
+  Bytes out(size);
+  for (auto& b : out) {
+    b = static_cast<std::byte>('a' + rng->Below(26));
+  }
+  return out;
+}
+
+struct ServiceFixture {
+  // Heap-held so the fixture stays movable (the service keeps a pointer).
+  std::unique_ptr<SimulatedClock> clock =
+      std::make_unique<SimulatedClock>(1'000'000, /*auto_tick=*/7);
+  std::unique_ptr<LogService> service;
+
+  // Creates a service on a fresh in-memory WORM device; devices created by
+  // the factory (for successor volumes) share the geometry.
+  static ServiceFixture Make(uint32_t block_size = 1024,
+                             uint64_t capacity_blocks = 4096,
+                             uint16_t degree = 16,
+                             size_t cache_blocks = 4096,
+                             NvramTail* nvram = nullptr) {
+    ServiceFixture fx;
+    MemoryWormOptions dev_options;
+    dev_options.block_size = block_size;
+    dev_options.capacity_blocks = capacity_blocks;
+    LogServiceOptions options;
+    options.entrymap_degree = degree;
+    options.cache_blocks = cache_blocks;
+    options.sequence_id = 0xC110C110;
+    options.nvram = nvram;
+    auto service = LogService::Create(
+        std::make_unique<MemoryWormDevice>(dev_options), fx.clock.get(),
+        options);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    fx.service = std::move(service).value();
+    fx.service->set_volume_factory(
+        [dev_options](uint32_t) -> Result<std::unique_ptr<WormDevice>> {
+          return std::unique_ptr<WormDevice>(
+              std::make_unique<MemoryWormDevice>(dev_options));
+        });
+    return fx;
+  }
+};
+
+}  // namespace testing
+}  // namespace clio
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -1,0 +1,185 @@
+// Utility-layer tests: Status/Result, byte codecs, clocks, RNG determinism.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/time.h"
+#include "tests/test_util.h"
+
+namespace clio {
+namespace {
+
+TEST(Status, OkIsDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status status = Corrupt("bad trailer in block 17");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorrupt);
+  EXPECT_EQ(status.ToString(), "corrupt: bad trailer in block 17");
+}
+
+TEST(Status, AllConstructorsMapToCodes) {
+  EXPECT_EQ(InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(NotWritten("x").code(), StatusCode::kNotWritten);
+  EXPECT_EQ(WriteOnce("x").code(), StatusCode::kWriteOnce);
+  EXPECT_EQ(Corrupt("x").code(), StatusCode::kCorrupt);
+  EXPECT_EQ(Invalidated("x").code(), StatusCode::kInvalidated);
+  EXPECT_EQ(NoSpace("x").code(), StatusCode::kNoSpace);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(PermissionDenied("x").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) {
+    return InvalidArgument("not positive");
+  }
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  CLIO_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  auto ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  auto err = Doubled(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  Bytes buffer(32, std::byte{0});
+  StoreU16(buffer, 0, 0xBEEF);
+  StoreU32(buffer, 2, 0xDEADBEEF);
+  StoreU64(buffer, 6, 0x0123456789ABCDEFull);
+  StoreI64(buffer, 14, -42);
+  EXPECT_EQ(LoadU16(buffer, 0), 0xBEEF);
+  EXPECT_EQ(LoadU32(buffer, 2), 0xDEADBEEFu);
+  EXPECT_EQ(LoadU64(buffer, 6), 0x0123456789ABCDEFull);
+  EXPECT_EQ(LoadI64(buffer, 14), -42);
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  Bytes buffer(4, std::byte{0});
+  StoreU32(buffer, 0, 0x01020304);
+  EXPECT_EQ(buffer[0], std::byte{0x04});
+  EXPECT_EQ(buffer[3], std::byte{0x01});
+}
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU8(7);
+  w.PutU16(300);
+  w.PutU32(70000);
+  w.PutU64(1ull << 40);
+  w.PutI64(-99);
+  w.PutString("clio");
+  ByteReader r(out);
+  EXPECT_EQ(r.GetU8(), 7);
+  EXPECT_EQ(r.GetU16(), 300);
+  EXPECT_EQ(r.GetU32(), 70000u);
+  EXPECT_EQ(r.GetU64(), 1ull << 40);
+  EXPECT_EQ(r.GetI64(), -99);
+  EXPECT_EQ(r.GetString(), "clio");
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(Bytes, ReaderFailsGracefullyOnTruncation) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU16(1234);
+  ByteReader r(out);
+  (void)r.GetU32();  // asks for more than present
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.GetU64(), 0u);  // stays failed, returns zeros
+}
+
+TEST(Time, NowUniqueStrictlyIncreases) {
+  SimulatedClock clock(100, /*auto_tick=*/0);  // frozen clock
+  Timestamp a = clock.NowUnique();
+  Timestamp b = clock.NowUnique();
+  Timestamp c = clock.NowUnique();
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(Time, FloorUniqueBumpsPastRecoveredTimestamps) {
+  SimulatedClock clock(100, 0);
+  clock.FloorUnique(5000);
+  EXPECT_GT(clock.NowUnique(), 5000);
+}
+
+TEST(Time, SkewedClockOffsets) {
+  SimulatedClock base(1000, 0);
+  SkewedClock fast(&base, 250);
+  SkewedClock slow(&base, -250);
+  EXPECT_EQ(fast.Now(), 1250);
+  EXPECT_EQ(slow.Now(), 750);
+}
+
+TEST(Time, NowUniqueIsThreadSafe) {
+  SimulatedClock clock(0, 1);
+  std::vector<Timestamp> seen(4000);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 1000; ++i) {
+        seen[t * 1000 + i] = clock.NowUnique();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+      << "duplicate timestamps issued";
+}
+
+TEST(Rng, DeterministicAcrossRuns) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, RangeAndChanceBehave) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.Chance(1, 2) ? 1 : 0;
+  }
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+}  // namespace
+}  // namespace clio
