@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nvram.dir/bench_ablation_nvram.cpp.o"
+  "CMakeFiles/bench_ablation_nvram.dir/bench_ablation_nvram.cpp.o.d"
+  "bench_ablation_nvram"
+  "bench_ablation_nvram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nvram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_fs.dir/bench_baseline_fs.cpp.o"
+  "CMakeFiles/bench_baseline_fs.dir/bench_baseline_fs.cpp.o.d"
+  "bench_baseline_fs"
+  "bench_baseline_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_economics.dir/bench_cache_economics.cpp.o"
+  "CMakeFiles/bench_cache_economics.dir/bench_cache_economics.cpp.o.d"
+  "bench_cache_economics"
+  "bench_cache_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_space_overhead.dir/bench_space_overhead.cpp.o"
+  "CMakeFiles/bench_space_overhead.dir/bench_space_overhead.cpp.o.d"
+  "bench_space_overhead"
+  "bench_space_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_space_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

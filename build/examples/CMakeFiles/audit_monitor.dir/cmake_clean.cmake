@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_monitor.dir/audit_monitor.cpp.o"
+  "CMakeFiles/audit_monitor.dir/audit_monitor.cpp.o.d"
+  "audit_monitor"
+  "audit_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

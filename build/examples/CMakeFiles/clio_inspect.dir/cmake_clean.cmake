@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clio_inspect.dir/clio_inspect.cpp.o"
+  "CMakeFiles/clio_inspect.dir/clio_inspect.cpp.o.d"
+  "clio_inspect"
+  "clio_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clio_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

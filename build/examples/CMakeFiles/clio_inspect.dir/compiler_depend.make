@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for clio_inspect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_history.dir/mail_history.cpp.o"
+  "CMakeFiles/mail_history.dir/mail_history.cpp.o.d"
+  "mail_history"
+  "mail_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_logging.dir/remote_logging.cpp.o"
+  "CMakeFiles/remote_logging.dir/remote_logging.cpp.o.d"
+  "remote_logging"
+  "remote_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_recovery.dir/transaction_recovery.cpp.o"
+  "CMakeFiles/transaction_recovery.dir/transaction_recovery.cpp.o.d"
+  "transaction_recovery"
+  "transaction_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

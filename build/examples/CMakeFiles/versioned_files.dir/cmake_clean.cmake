@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_files.dir/versioned_files.cpp.o"
+  "CMakeFiles/versioned_files.dir/versioned_files.cpp.o.d"
+  "versioned_files"
+  "versioned_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/atomic_update.cc" "src/apps/CMakeFiles/clio_apps.dir/atomic_update.cc.o" "gcc" "src/apps/CMakeFiles/clio_apps.dir/atomic_update.cc.o.d"
+  "/root/repo/src/apps/audit_trail.cc" "src/apps/CMakeFiles/clio_apps.dir/audit_trail.cc.o" "gcc" "src/apps/CMakeFiles/clio_apps.dir/audit_trail.cc.o.d"
+  "/root/repo/src/apps/history_file_server.cc" "src/apps/CMakeFiles/clio_apps.dir/history_file_server.cc.o" "gcc" "src/apps/CMakeFiles/clio_apps.dir/history_file_server.cc.o.d"
+  "/root/repo/src/apps/mail_system.cc" "src/apps/CMakeFiles/clio_apps.dir/mail_system.cc.o" "gcc" "src/apps/CMakeFiles/clio_apps.dir/mail_system.cc.o.d"
+  "/root/repo/src/apps/txn_log.cc" "src/apps/CMakeFiles/clio_apps.dir/txn_log.cc.o" "gcc" "src/apps/CMakeFiles/clio_apps.dir/txn_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clio/CMakeFiles/clio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/clio_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/clio_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/clio_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

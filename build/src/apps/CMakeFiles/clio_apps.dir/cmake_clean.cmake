@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clio_apps.dir/atomic_update.cc.o"
+  "CMakeFiles/clio_apps.dir/atomic_update.cc.o.d"
+  "CMakeFiles/clio_apps.dir/audit_trail.cc.o"
+  "CMakeFiles/clio_apps.dir/audit_trail.cc.o.d"
+  "CMakeFiles/clio_apps.dir/history_file_server.cc.o"
+  "CMakeFiles/clio_apps.dir/history_file_server.cc.o.d"
+  "CMakeFiles/clio_apps.dir/mail_system.cc.o"
+  "CMakeFiles/clio_apps.dir/mail_system.cc.o.d"
+  "CMakeFiles/clio_apps.dir/txn_log.cc.o"
+  "CMakeFiles/clio_apps.dir/txn_log.cc.o.d"
+  "libclio_apps.a"
+  "libclio_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clio_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

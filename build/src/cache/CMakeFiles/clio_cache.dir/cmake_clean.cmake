@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clio_cache.dir/block_cache.cc.o"
+  "CMakeFiles/clio_cache.dir/block_cache.cc.o.d"
+  "libclio_cache.a"
+  "libclio_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clio_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

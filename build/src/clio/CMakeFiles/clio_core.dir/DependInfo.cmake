@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clio/block_format.cc" "src/clio/CMakeFiles/clio_core.dir/block_format.cc.o" "gcc" "src/clio/CMakeFiles/clio_core.dir/block_format.cc.o.d"
+  "/root/repo/src/clio/cached_reader.cc" "src/clio/CMakeFiles/clio_core.dir/cached_reader.cc.o" "gcc" "src/clio/CMakeFiles/clio_core.dir/cached_reader.cc.o.d"
+  "/root/repo/src/clio/catalog.cc" "src/clio/CMakeFiles/clio_core.dir/catalog.cc.o" "gcc" "src/clio/CMakeFiles/clio_core.dir/catalog.cc.o.d"
+  "/root/repo/src/clio/cursor.cc" "src/clio/CMakeFiles/clio_core.dir/cursor.cc.o" "gcc" "src/clio/CMakeFiles/clio_core.dir/cursor.cc.o.d"
+  "/root/repo/src/clio/entrymap.cc" "src/clio/CMakeFiles/clio_core.dir/entrymap.cc.o" "gcc" "src/clio/CMakeFiles/clio_core.dir/entrymap.cc.o.d"
+  "/root/repo/src/clio/log_service.cc" "src/clio/CMakeFiles/clio_core.dir/log_service.cc.o" "gcc" "src/clio/CMakeFiles/clio_core.dir/log_service.cc.o.d"
+  "/root/repo/src/clio/verify.cc" "src/clio/CMakeFiles/clio_core.dir/verify.cc.o" "gcc" "src/clio/CMakeFiles/clio_core.dir/verify.cc.o.d"
+  "/root/repo/src/clio/volume.cc" "src/clio/CMakeFiles/clio_core.dir/volume.cc.o" "gcc" "src/clio/CMakeFiles/clio_core.dir/volume.cc.o.d"
+  "/root/repo/src/clio/volume_header.cc" "src/clio/CMakeFiles/clio_core.dir/volume_header.cc.o" "gcc" "src/clio/CMakeFiles/clio_core.dir/volume_header.cc.o.d"
+  "/root/repo/src/clio/volume_writer.cc" "src/clio/CMakeFiles/clio_core.dir/volume_writer.cc.o" "gcc" "src/clio/CMakeFiles/clio_core.dir/volume_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/clio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/clio_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/clio_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clio_core.dir/block_format.cc.o"
+  "CMakeFiles/clio_core.dir/block_format.cc.o.d"
+  "CMakeFiles/clio_core.dir/cached_reader.cc.o"
+  "CMakeFiles/clio_core.dir/cached_reader.cc.o.d"
+  "CMakeFiles/clio_core.dir/catalog.cc.o"
+  "CMakeFiles/clio_core.dir/catalog.cc.o.d"
+  "CMakeFiles/clio_core.dir/cursor.cc.o"
+  "CMakeFiles/clio_core.dir/cursor.cc.o.d"
+  "CMakeFiles/clio_core.dir/entrymap.cc.o"
+  "CMakeFiles/clio_core.dir/entrymap.cc.o.d"
+  "CMakeFiles/clio_core.dir/log_service.cc.o"
+  "CMakeFiles/clio_core.dir/log_service.cc.o.d"
+  "CMakeFiles/clio_core.dir/verify.cc.o"
+  "CMakeFiles/clio_core.dir/verify.cc.o.d"
+  "CMakeFiles/clio_core.dir/volume.cc.o"
+  "CMakeFiles/clio_core.dir/volume.cc.o.d"
+  "CMakeFiles/clio_core.dir/volume_header.cc.o"
+  "CMakeFiles/clio_core.dir/volume_header.cc.o.d"
+  "CMakeFiles/clio_core.dir/volume_writer.cc.o"
+  "CMakeFiles/clio_core.dir/volume_writer.cc.o.d"
+  "libclio_core.a"
+  "libclio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

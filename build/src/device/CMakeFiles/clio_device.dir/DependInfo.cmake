@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/fault_injection.cc" "src/device/CMakeFiles/clio_device.dir/fault_injection.cc.o" "gcc" "src/device/CMakeFiles/clio_device.dir/fault_injection.cc.o.d"
+  "/root/repo/src/device/file_worm_device.cc" "src/device/CMakeFiles/clio_device.dir/file_worm_device.cc.o" "gcc" "src/device/CMakeFiles/clio_device.dir/file_worm_device.cc.o.d"
+  "/root/repo/src/device/memory_rewritable_device.cc" "src/device/CMakeFiles/clio_device.dir/memory_rewritable_device.cc.o" "gcc" "src/device/CMakeFiles/clio_device.dir/memory_rewritable_device.cc.o.d"
+  "/root/repo/src/device/memory_worm_device.cc" "src/device/CMakeFiles/clio_device.dir/memory_worm_device.cc.o" "gcc" "src/device/CMakeFiles/clio_device.dir/memory_worm_device.cc.o.d"
+  "/root/repo/src/device/nvram_tail.cc" "src/device/CMakeFiles/clio_device.dir/nvram_tail.cc.o" "gcc" "src/device/CMakeFiles/clio_device.dir/nvram_tail.cc.o.d"
+  "/root/repo/src/device/optical_model.cc" "src/device/CMakeFiles/clio_device.dir/optical_model.cc.o" "gcc" "src/device/CMakeFiles/clio_device.dir/optical_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/clio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clio_device.dir/fault_injection.cc.o"
+  "CMakeFiles/clio_device.dir/fault_injection.cc.o.d"
+  "CMakeFiles/clio_device.dir/file_worm_device.cc.o"
+  "CMakeFiles/clio_device.dir/file_worm_device.cc.o.d"
+  "CMakeFiles/clio_device.dir/memory_rewritable_device.cc.o"
+  "CMakeFiles/clio_device.dir/memory_rewritable_device.cc.o.d"
+  "CMakeFiles/clio_device.dir/memory_worm_device.cc.o"
+  "CMakeFiles/clio_device.dir/memory_worm_device.cc.o.d"
+  "CMakeFiles/clio_device.dir/nvram_tail.cc.o"
+  "CMakeFiles/clio_device.dir/nvram_tail.cc.o.d"
+  "CMakeFiles/clio_device.dir/optical_model.cc.o"
+  "CMakeFiles/clio_device.dir/optical_model.cc.o.d"
+  "libclio_device.a"
+  "libclio_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clio_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

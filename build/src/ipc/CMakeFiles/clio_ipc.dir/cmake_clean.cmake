@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clio_ipc.dir/channel.cc.o"
+  "CMakeFiles/clio_ipc.dir/channel.cc.o.d"
+  "CMakeFiles/clio_ipc.dir/log_server.cc.o"
+  "CMakeFiles/clio_ipc.dir/log_server.cc.o.d"
+  "libclio_ipc.a"
+  "libclio_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clio_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

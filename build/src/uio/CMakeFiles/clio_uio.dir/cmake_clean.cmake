@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clio_uio.dir/uio.cc.o"
+  "CMakeFiles/clio_uio.dir/uio.cc.o.d"
+  "libclio_uio.a"
+  "libclio_uio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clio_uio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

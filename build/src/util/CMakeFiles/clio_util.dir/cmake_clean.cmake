@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clio_util.dir/crc32c.cc.o"
+  "CMakeFiles/clio_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/clio_util.dir/status.cc.o"
+  "CMakeFiles/clio_util.dir/status.cc.o.d"
+  "CMakeFiles/clio_util.dir/time.cc.o"
+  "CMakeFiles/clio_util.dir/time.cc.o.d"
+  "libclio_util.a"
+  "libclio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclio_util.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clio_vfs.dir/extent_fs.cc.o"
+  "CMakeFiles/clio_vfs.dir/extent_fs.cc.o.d"
+  "CMakeFiles/clio_vfs.dir/unix_fs.cc.o"
+  "CMakeFiles/clio_vfs.dir/unix_fs.cc.o.d"
+  "libclio_vfs.a"
+  "libclio_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clio_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

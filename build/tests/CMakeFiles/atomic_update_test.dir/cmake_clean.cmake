@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_update_test.dir/atomic_update_test.cc.o"
+  "CMakeFiles/atomic_update_test.dir/atomic_update_test.cc.o.d"
+  "atomic_update_test"
+  "atomic_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

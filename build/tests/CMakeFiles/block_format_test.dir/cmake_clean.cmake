@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_format_test.dir/block_format_test.cc.o"
+  "CMakeFiles/block_format_test.dir/block_format_test.cc.o.d"
+  "block_format_test"
+  "block_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entrymap_test.dir/entrymap_test.cc.o"
+  "CMakeFiles/entrymap_test.dir/entrymap_test.cc.o.d"
+  "entrymap_test"
+  "entrymap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entrymap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_membership_test.dir/multi_membership_test.cc.o"
+  "CMakeFiles/multi_membership_test.dir/multi_membership_test.cc.o.d"
+  "multi_membership_test"
+  "multi_membership_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_membership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_volume_test.dir/offline_volume_test.cc.o"
+  "CMakeFiles/offline_volume_test.dir/offline_volume_test.cc.o.d"
+  "offline_volume_test"
+  "offline_volume_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_volume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

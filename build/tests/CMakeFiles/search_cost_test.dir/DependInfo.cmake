@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/search_cost_test.cc" "tests/CMakeFiles/search_cost_test.dir/search_cost_test.cc.o" "gcc" "tests/CMakeFiles/search_cost_test.dir/search_cost_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clio/CMakeFiles/clio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/clio_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/clio_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_cost_test.dir/search_cost_test.cc.o"
+  "CMakeFiles/search_cost_test.dir/search_cost_test.cc.o.d"
+  "search_cost_test"
+  "search_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

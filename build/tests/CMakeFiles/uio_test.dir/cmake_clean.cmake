@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uio_test.dir/uio_test.cc.o"
+  "CMakeFiles/uio_test.dir/uio_test.cc.o.d"
+  "uio_test"
+  "uio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
