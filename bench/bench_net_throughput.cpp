@@ -1,0 +1,206 @@
+// Networked log server throughput: client count x group-commit batching.
+//
+// Models the paper's §3.2 observation that the forced tail-block write
+// dominates synchronous log append cost, and §2.3's claim that buffering
+// amortizes it. Each cell runs N client threads over real loopback TCP
+// against one NetLogServer whose WORM device charges a fixed real latency
+// per block burn (think fsync / optical burn). With batching off, N
+// committers pay N forces; with group commit they share ~1 per batch.
+//
+// Output: aggregate forced appends/sec and per-append p50/p99 latency per
+// configuration, then the headline speedup of batching at 8 clients
+// (ISSUE 1 acceptance: >= 3x).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/net/net_client.h"
+#include "src/net/net_server.h"
+
+namespace clio {
+namespace bench {
+namespace {
+
+// A WORM device whose block burns take real wall-clock time. The in-memory
+// device is too fast to show force economics; this decorator stands in for
+// the durable-media cost (NVMe fsync ~0.5 ms; the paper's disk, ~20 ms).
+class SlowBurnDevice : public WormDevice {
+ public:
+  SlowBurnDevice(std::unique_ptr<WormDevice> base, uint64_t burn_us)
+      : base_(std::move(base)), burn_us_(burn_us) {}
+
+  uint32_t block_size() const override { return base_->block_size(); }
+  uint64_t capacity_blocks() const override {
+    return base_->capacity_blocks();
+  }
+  Status ReadBlock(uint64_t i, std::span<std::byte> out) override {
+    return base_->ReadBlock(i, out);
+  }
+  Result<uint64_t> AppendBlock(std::span<const std::byte> data) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(burn_us_));
+    return base_->AppendBlock(data);
+  }
+  Status InvalidateBlock(uint64_t i) override {
+    return base_->InvalidateBlock(i);
+  }
+  Result<uint64_t> QueryEnd() override { return base_->QueryEnd(); }
+  WormBlockState BlockState(uint64_t i) const override {
+    return base_->BlockState(i);
+  }
+  const DeviceStats& stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+ private:
+  std::unique_ptr<WormDevice> base_;
+  const uint64_t burn_us_;
+};
+
+constexpr uint64_t kBurnUs = 500;       // per-block burn latency
+constexpr int kAppendsPerClient = 100;  // forced appends per client
+constexpr size_t kPayloadBytes = 64;
+
+struct CellResult {
+  double appends_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double mean_batch = 0;  // entries per force (1.0 when batching is off)
+};
+
+double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) {
+    return 0;
+  }
+  std::sort(samples->begin(), samples->end());
+  size_t index = static_cast<size_t>(p * (samples->size() - 1));
+  return (*samples)[index];
+}
+
+CellResult RunCell(int clients, bool batching, uint64_t hold_us) {
+  SimulatedClock clock(1'000'000, /*auto_tick=*/11);
+  MemoryWormOptions dev;
+  dev.block_size = 1024;
+  dev.capacity_blocks = 1 << 16;
+  LogServiceOptions options;
+  options.cache_blocks = 4096;
+  options.sequence_id = 0xBE7C5;
+  auto service = LogService::Create(
+      std::make_unique<SlowBurnDevice>(
+          std::make_unique<MemoryWormDevice>(dev), kBurnUs),
+      &clock, options);
+  BENCH_CHECK_OK(service.status());
+
+  NetLogServerOptions server_options;
+  server_options.batching = batching;
+  server_options.batch.max_hold_us = hold_us;
+  // Commit as soon as every connected committer has joined the batch; the
+  // hold window is the fallback when some are mid-round-trip.
+  server_options.batch.max_batch_entries = static_cast<size_t>(clients);
+  auto server = NetLogServer::Start(service.value().get(), server_options);
+  BENCH_CHECK_OK(server.status());
+
+  {
+    auto setup = NetLogClient::Connect((*server)->port());
+    BENCH_CHECK_OK(setup.status());
+    BENCH_CHECK_OK((*setup)->CreateLogFile("/bench").status());
+  }
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  auto started = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = NetLogClient::Connect((*server)->port());
+      BENCH_CHECK_OK(client.status());
+      Bytes payload(kPayloadBytes, std::byte{static_cast<uint8_t>('a' + c)});
+      latencies[c].reserve(kAppendsPerClient);
+      for (int i = 0; i < kAppendsPerClient; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        BENCH_CHECK_OK((*client)
+                           ->Append("/bench", payload, /*timestamped=*/true,
+                                    /*force=*/true)
+                           .status());
+        latencies[c].push_back(UsSince(t0));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  double elapsed_us = UsSince(started);
+
+  CellResult result;
+  std::vector<double> all;
+  for (auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  result.appends_per_sec = all.size() / (elapsed_us / 1e6);
+  result.p50_us = Percentile(&all, 0.50);
+  result.p99_us = Percentile(&all, 0.99);
+  if (batching && (*server)->batcher() != nullptr &&
+      (*server)->batcher()->batches_committed() > 0) {
+    result.mean_batch =
+        static_cast<double>((*server)->batcher()->entries_committed()) /
+        (*server)->batcher()->batches_committed();
+  } else {
+    result.mean_batch = 1.0;
+  }
+  (*server)->Stop();
+  return result;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace clio
+
+int main() {
+  using namespace clio::bench;
+
+  std::printf("Networked log server, group-commit sweep\n");
+  std::printf("(loopback TCP, %d forced %zu-byte appends per client, "
+              "%llu us per block burn)\n\n",
+              kAppendsPerClient, kPayloadBytes,
+              static_cast<unsigned long long>(kBurnUs));
+  std::printf("%8s  %12s  %10s  %10s  %10s  %10s\n", "clients", "batch",
+              "appends/s", "p50 (us)", "p99 (us)", "mean batch");
+
+  const int kClientCounts[] = {1, 2, 4, 8};
+  struct BatchConfig {
+    const char* name;
+    bool batching;
+    uint64_t hold_us;
+  };
+  const BatchConfig kConfigs[] = {
+      {"off", false, 0},
+      {"hold 200us", true, 200},
+      {"hold 1000us", true, 1000},
+      {"hold 4000us", true, 4000},
+  };
+
+  double unbatched_8 = 0;
+  double best_batched_8 = 0;
+  for (int clients : kClientCounts) {
+    for (const auto& config : kConfigs) {
+      CellResult cell = RunCell(clients, config.batching, config.hold_us);
+      std::printf("%8d  %12s  %10.0f  %10.0f  %10.0f  %10.1f\n", clients,
+                  config.name, cell.appends_per_sec, cell.p50_us, cell.p99_us,
+                  cell.mean_batch);
+      if (clients == 8 && !config.batching) {
+        unbatched_8 = cell.appends_per_sec;
+      }
+      if (clients == 8 && config.batching) {
+        best_batched_8 = std::max(best_batched_8, cell.appends_per_sec);
+      }
+    }
+    std::printf("\n");
+  }
+
+  double speedup = unbatched_8 > 0 ? best_batched_8 / unbatched_8 : 0;
+  std::printf("8-client group-commit speedup over per-append force: %.1fx %s\n",
+              speedup, speedup >= 3.0 ? "(>= 3x: PASS)" : "(< 3x)");
+  return 0;
+}

@@ -1,10 +1,36 @@
 #include "src/clio/log_service.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace clio {
 namespace {
+
+// Debug assertion behind the mutex() contract (see log_service.h): every
+// mutating entry point takes one of these; two alive at once means
+// concurrent callers are mutating the service without holding mutex().
+#ifndef NDEBUG
+class SingleMutatorCheck {
+ public:
+  explicit SingleMutatorCheck(std::atomic<int>* count) : count_(count) {
+    int previous = count_->fetch_add(1, std::memory_order_acq_rel);
+    assert(previous == 0 &&
+           "concurrent LogService mutation; callers must hold mutex()");
+    (void)previous;
+  }
+  ~SingleMutatorCheck() { count_->fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<int>* count_;
+};
+#define CLIO_SINGLE_MUTATOR_CHECK() \
+  SingleMutatorCheck _single_mutator_check(&active_mutators_)
+#else
+#define CLIO_SINGLE_MUTATOR_CHECK() \
+  do {                              \
+  } while (0)
+#endif
 
 constexpr uint32_t kReadBit = 0400;
 constexpr uint32_t kWriteBit = 0200;
@@ -112,6 +138,7 @@ Status LogService::CheckPermission(LogFileId id, uint32_t needed_bits) const {
 
 Result<LogFileId> LogService::CreateLogFile(std::string_view path,
                                             uint32_t permissions) {
+  CLIO_SINGLE_MUTATOR_CHECK();
   std::string parent_path;
   std::string name;
   CLIO_RETURN_IF_ERROR(SplitPath(path, &parent_path, &name));
@@ -147,6 +174,7 @@ Result<std::map<std::string, LogFileId>> LogService::List(
 
 Status LogService::SetPermissions(std::string_view path,
                                   uint32_t permissions) {
+  CLIO_SINGLE_MUTATOR_CHECK();
   CLIO_ASSIGN_OR_RETURN(LogFileId id, catalog_.Resolve(path));
   CLIO_ASSIGN_OR_RETURN(CatalogRecord record,
                         catalog_.SetPermissions(id, permissions));
@@ -158,6 +186,7 @@ Status LogService::SetPermissions(std::string_view path,
 }
 
 Status LogService::SealLogFile(std::string_view path) {
+  CLIO_SINGLE_MUTATOR_CHECK();
   CLIO_ASSIGN_OR_RETURN(LogFileId id, catalog_.Resolve(path));
   CLIO_ASSIGN_OR_RETURN(CatalogRecord record, catalog_.Seal(id));
   WriteOptions opts;
@@ -210,6 +239,7 @@ Status LogService::RollToNewVolume() {
 Result<AppendResult> LogService::Append(LogFileId id,
                                         std::span<const std::byte> payload,
                                         const WriteOptions& options) {
+  CLIO_SINGLE_MUTATOR_CHECK();
   if (id < kFirstClientLogId) {
     return PermissionDenied("service log files are not client-writable");
   }
@@ -243,6 +273,7 @@ Result<AppendResult> LogService::Append(std::string_view path,
 }
 
 Status LogService::Force() {
+  CLIO_SINGLE_MUTATOR_CHECK();
   LogVolume* volume = current_volume();
   if (volume->writer() == nullptr) {
     return Status::Ok();

@@ -8,9 +8,11 @@
 #ifndef SRC_CLIO_LOG_SERVICE_H_
 #define SRC_CLIO_LOG_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -111,6 +113,20 @@ class LogService {
   Result<std::unique_ptr<LogReader>> OpenReader(std::string_view path);
   Result<std::unique_ptr<LogReader>> OpenReaderById(LogFileId id);
 
+  // -- Concurrency contract. --
+  //
+  // LogService does no internal locking: it executes one request at a
+  // time. The embedded mutex is FOR CALLERS. Multi-threaded frontends (the
+  // src/net/ session dispatcher and its group-commit batcher) hold
+  // mutex() across every call into the service AND across every use of a
+  // LogReader obtained from it — readers reach into the shared block
+  // cache and catalog, so concurrent reads race with each other as well
+  // as with writes. Single-threaded users (tests, the synchronous IPC
+  // server) may ignore it; the lock is uncontended and costs nothing.
+  // Debug builds assert the single-mutator invariant on the write path
+  // (Append / Force / CreateLogFile / SealLogFile / SetPermissions).
+  std::mutex& mutex() const { return mu_; }
+
   // -- Introspection. --
 
   const Catalog& catalog() const { return catalog_; }
@@ -144,6 +160,12 @@ class LogService {
   VolumeFactory volume_factory_;
   VolumeMounter volume_mounter_;
   uint64_t on_demand_mounts_ = 0;
+  mutable std::mutex mu_;  // see mutex(): caller-held, never locked here
+#ifndef NDEBUG
+  // Count of threads currently inside a mutating entry point; >1 means a
+  // multi-threaded caller is not honouring the mutex() contract.
+  mutable std::atomic<int> active_mutators_{0};
+#endif
 };
 
 // Cross-volume reader for one log file. Iterates the sequence's volumes in

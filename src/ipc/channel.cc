@@ -24,6 +24,13 @@ Result<IpcMessage> IpcChannel::Call(const IpcMessage& request) {
   ChargeLatency();  // request delivery
   lock.lock();
 
+  if (shutdown_) {
+    // Shut down while the request was in flight: don't post it (the server
+    // loop may already have exited and would never reply).
+    client_busy_ = false;
+    cv_.notify_all();
+    return Unavailable("IPC channel shut down");
+  }
   request_slot_ = request;
   request_pending_ = true;
   reply_ready_ = false;

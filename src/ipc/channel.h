@@ -7,6 +7,7 @@
 #ifndef SRC_IPC_CHANNEL_H_
 #define SRC_IPC_CHANNEL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -46,7 +47,9 @@ class IpcChannel {
   // Unblocks everyone; subsequent Calls fail with kUnavailable.
   void Shutdown();
 
-  uint64_t calls() const { return calls_; }
+  // Completed calls. Safe to read from any thread, including while other
+  // threads are mid-Call.
+  uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
 
  private:
   void ChargeLatency() const;
@@ -61,7 +64,7 @@ class IpcChannel {
   bool client_busy_ = false;       // serializes concurrent clients
   IpcMessage request_slot_;
   IpcMessage reply_slot_;
-  uint64_t calls_ = 0;
+  std::atomic<uint64_t> calls_{0};
 };
 
 }  // namespace clio

@@ -1,0 +1,355 @@
+#include "src/ipc/codec.h"
+
+#include <utility>
+
+namespace clio {
+namespace {
+
+// Shared by kStat's reply encoder and decoder.
+Bytes EncodeLogFileInfo(const LogFileInfo& info) {
+  Bytes payload;
+  ByteWriter w(&payload);
+  w.PutU16(info.id);
+  w.PutU64(info.unique_id);
+  w.PutU16(info.parent);
+  w.PutU32(info.permissions);
+  w.PutI64(info.created_at);
+  w.PutU8(info.sealed ? 1 : 0);
+  w.PutString(info.name);
+  return payload;
+}
+
+Result<LogFileInfo> DecodeLogFileInfo(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  LogFileInfo info;
+  info.id = r.GetU16();
+  info.unique_id = r.GetU64();
+  info.parent = r.GetU16();
+  info.permissions = r.GetU32();
+  info.created_at = r.GetI64();
+  info.sealed = r.GetU8() != 0;
+  info.name = r.GetString();
+  if (r.failed()) {
+    return Corrupt("malformed stat reply");
+  }
+  return info;
+}
+
+// Locks `mu` if non-null; a no-op otherwise (single-threaded transports).
+std::unique_lock<std::mutex> MaybeLock(std::mutex* mu) {
+  return mu != nullptr ? std::unique_lock<std::mutex>(*mu)
+                       : std::unique_lock<std::mutex>();
+}
+
+}  // namespace
+
+Bytes EncodeOkReplyBody(std::span<const std::byte> payload) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutU8(static_cast<uint8_t>(StatusCode::kOk));
+  w.PutString("");
+  w.PutBytes(payload);
+  return body;
+}
+
+Bytes EncodeErrorReplyBody(const Status& status) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutString(status.message());
+  return body;
+}
+
+Result<Bytes> DecodeReplyBody(std::span<const std::byte> body) {
+  ByteReader r(body);
+  StatusCode code = static_cast<StatusCode>(r.GetU8());
+  std::string message = r.GetString();
+  if (r.failed()) {
+    return Corrupt("malformed server reply");
+  }
+  if (code != StatusCode::kOk) {
+    return Status(code, std::move(message));
+  }
+  auto rest = r.GetBytes(r.remaining());
+  return Bytes(rest.begin(), rest.end());
+}
+
+Bytes EncodeEntryRecord(const std::optional<LogEntryRecord>& record) {
+  Bytes out;
+  ByteWriter w(&out);
+  if (!record.has_value()) {
+    w.PutU8(0);
+    return out;
+  }
+  w.PutU8(1);
+  w.PutU16(record->logfile_id);
+  w.PutI64(record->timestamp);
+  w.PutU8(record->timestamp_exact ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(record->payload.size()));
+  w.PutBytes(record->payload);
+  return out;
+}
+
+Result<std::optional<RemoteEntry>> DecodeEntryRecord(
+    std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  if (r.GetU8() == 0) {
+    return std::optional<RemoteEntry>(std::nullopt);
+  }
+  RemoteEntry entry;
+  entry.logfile_id = r.GetU16();
+  entry.timestamp = r.GetI64();
+  entry.timestamp_exact = r.GetU8() != 0;
+  uint32_t size = r.GetU32();
+  auto data = r.GetBytes(size);
+  entry.payload.assign(data.begin(), data.end());
+  if (r.failed()) {
+    return Corrupt("malformed entry in reply");
+  }
+  return std::optional<RemoteEntry>(std::move(entry));
+}
+
+Bytes EncodeAppendRequest(std::string_view path,
+                          std::span<const std::byte> payload, bool timestamped,
+                          bool force) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutString(path);
+  w.PutU8(timestamped ? 1 : 0);
+  w.PutU8(force ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutBytes(payload);
+  return body;
+}
+
+Result<AppendRequest> DecodeAppendRequest(std::span<const std::byte> body) {
+  ByteReader r(body);
+  AppendRequest request;
+  request.path = r.GetString();
+  request.timestamped = r.GetU8() != 0;
+  request.force = r.GetU8() != 0;
+  uint32_t size = r.GetU32();
+  auto data = r.GetBytes(size);
+  request.payload.assign(data.begin(), data.end());
+  if (r.failed()) {
+    return InvalidArgument("malformed append request");
+  }
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// ServiceDispatcher
+
+Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
+  // kAppend first: when an append override is installed it must run without
+  // the service mutex (the group-commit batcher blocks the session until the
+  // whole batch is forced, and takes the mutex itself).
+  if (op == LogOp::kAppend) {
+    auto request = DecodeAppendRequest(body);
+    if (!request.ok()) {
+      return EncodeErrorReplyBody(request.status());
+    }
+    Result<AppendResult> result = [&]() -> Result<AppendResult> {
+      if (append_fn_) {
+        return append_fn_(*request);
+      }
+      auto lock = MaybeLock(service_mu_);
+      WriteOptions options;
+      options.timestamped = request->timestamped;
+      options.force = request->force;
+      return service_->Append(request->path, request->payload, options);
+    }();
+    if (!result.ok()) {
+      return EncodeErrorReplyBody(result.status());
+    }
+    Bytes payload;
+    ByteWriter w(&payload);
+    w.PutI64(result->timestamp);
+    return EncodeOkReplyBody(payload);
+  }
+
+  auto lock = MaybeLock(service_mu_);
+  ByteReader r(body);
+  switch (op) {
+    case LogOp::kCreateLogFile: {
+      std::string path = r.GetString();
+      uint32_t permissions = r.GetU32();
+      if (r.failed()) {
+        return EncodeErrorReplyBody(InvalidArgument("malformed create"));
+      }
+      auto id = service_->CreateLogFile(path, permissions);
+      if (!id.ok()) {
+        return EncodeErrorReplyBody(id.status());
+      }
+      Bytes payload;
+      ByteWriter w(&payload);
+      w.PutU16(id.value());
+      return EncodeOkReplyBody(payload);
+    }
+    case LogOp::kAppend:
+      break;  // handled above
+    case LogOp::kOpenReader: {
+      std::string path = r.GetString();
+      auto reader = service_->OpenReader(path);
+      if (!reader.ok()) {
+        return EncodeErrorReplyBody(reader.status());
+      }
+      uint64_t handle = next_handle_++;
+      readers_[handle] = std::move(reader).value();
+      Bytes payload;
+      ByteWriter w(&payload);
+      w.PutU64(handle);
+      return EncodeOkReplyBody(payload);
+    }
+    case LogOp::kCloseReader: {
+      uint64_t handle = r.GetU64();
+      readers_.erase(handle);
+      return EncodeOkReplyBody();
+    }
+    case LogOp::kReadNext:
+    case LogOp::kReadPrev: {
+      uint64_t handle = r.GetU64();
+      auto it = readers_.find(handle);
+      if (it == readers_.end()) {
+        return EncodeErrorReplyBody(NotFound("no such reader handle"));
+      }
+      auto record =
+          op == LogOp::kReadNext ? it->second->Next() : it->second->Prev();
+      if (!record.ok()) {
+        return EncodeErrorReplyBody(record.status());
+      }
+      return EncodeOkReplyBody(EncodeEntryRecord(record.value()));
+    }
+    case LogOp::kSeekToTime: {
+      uint64_t handle = r.GetU64();
+      Timestamp t = r.GetI64();
+      if (r.failed()) {
+        return EncodeErrorReplyBody(InvalidArgument("malformed seek"));
+      }
+      auto it = readers_.find(handle);
+      if (it == readers_.end()) {
+        return EncodeErrorReplyBody(NotFound("no such reader handle"));
+      }
+      Status status = it->second->SeekToTime(t);
+      return status.ok() ? EncodeOkReplyBody() : EncodeErrorReplyBody(status);
+    }
+    case LogOp::kSeekToStart:
+    case LogOp::kSeekToEnd: {
+      uint64_t handle = r.GetU64();
+      auto it = readers_.find(handle);
+      if (it == readers_.end()) {
+        return EncodeErrorReplyBody(NotFound("no such reader handle"));
+      }
+      if (op == LogOp::kSeekToStart) {
+        it->second->SeekToStart();
+      } else {
+        it->second->SeekToEnd();
+      }
+      return EncodeOkReplyBody();
+    }
+    case LogOp::kStat: {
+      std::string path = r.GetString();
+      auto info = service_->Stat(path);
+      if (!info.ok()) {
+        return EncodeErrorReplyBody(info.status());
+      }
+      return EncodeOkReplyBody(EncodeLogFileInfo(info.value()));
+    }
+    case LogOp::kForce: {
+      Status status = service_->Force();
+      return status.ok() ? EncodeOkReplyBody() : EncodeErrorReplyBody(status);
+    }
+  }
+  return EncodeErrorReplyBody(Unimplemented("unknown log server op"));
+}
+
+// ---------------------------------------------------------------------------
+// LogClientBase
+
+Result<LogFileId> LogClientBase::CreateLogFile(std::string_view path,
+                                               uint32_t permissions) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutString(path);
+  w.PutU32(permissions);
+  CLIO_ASSIGN_OR_RETURN(Bytes payload, Call(LogOp::kCreateLogFile, body));
+  ByteReader r(payload);
+  return static_cast<LogFileId>(r.GetU16());
+}
+
+Result<Timestamp> LogClientBase::Append(std::string_view path,
+                                        std::span<const std::byte> payload,
+                                        bool timestamped, bool force) {
+  CLIO_ASSIGN_OR_RETURN(
+      Bytes reply,
+      Call(LogOp::kAppend,
+           EncodeAppendRequest(path, payload, timestamped, force)));
+  ByteReader r(reply);
+  return r.GetI64();
+}
+
+Result<uint64_t> LogClientBase::OpenReader(std::string_view path) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutString(path);
+  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kOpenReader, body));
+  ByteReader r(reply);
+  return r.GetU64();
+}
+
+Status LogClientBase::CloseReader(uint64_t handle) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutU64(handle);
+  return Call(LogOp::kCloseReader, body).status();
+}
+
+Result<std::optional<RemoteEntry>> LogClientBase::ReadNext(uint64_t handle) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutU64(handle);
+  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kReadNext, body));
+  return DecodeEntryRecord(reply);
+}
+
+Result<std::optional<RemoteEntry>> LogClientBase::ReadPrev(uint64_t handle) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutU64(handle);
+  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kReadPrev, body));
+  return DecodeEntryRecord(reply);
+}
+
+Status LogClientBase::SeekToTime(uint64_t handle, Timestamp t) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutU64(handle);
+  w.PutI64(t);
+  return Call(LogOp::kSeekToTime, body).status();
+}
+
+Status LogClientBase::SeekToStart(uint64_t handle) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutU64(handle);
+  return Call(LogOp::kSeekToStart, body).status();
+}
+
+Status LogClientBase::SeekToEnd(uint64_t handle) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutU64(handle);
+  return Call(LogOp::kSeekToEnd, body).status();
+}
+
+Result<LogFileInfo> LogClientBase::Stat(std::string_view path) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutString(path);
+  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kStat, body));
+  return DecodeLogFileInfo(reply);
+}
+
+Status LogClientBase::Force() { return Call(LogOp::kForce, {}).status(); }
+
+}  // namespace clio

@@ -1,0 +1,144 @@
+// Wire codec shared by every log-service transport.
+//
+// The synchronous IPC server (src/ipc/log_server.*) and the TCP network
+// server (src/net/*) speak the same request/reply bodies. This header is
+// the single definition of that encoding, plus the two transport-neutral
+// halves built on it:
+//
+//  - ServiceDispatcher: the server side. Decodes one request body,
+//    executes it against a LogService, encodes the reply body. One
+//    instance per client session (it owns that session's reader table).
+//  - LogClientBase: the client side. All typed stub methods, over an
+//    abstract Call(op, body) the transport implements.
+//
+// Reply bodies carry: u8 status code, u16-length-prefixed message string,
+// then an op-specific payload.
+#ifndef SRC_IPC_CODEC_H_
+#define SRC_IPC_CODEC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/clio/log_service.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace clio {
+
+// Wire operations.
+enum class LogOp : uint32_t {
+  kCreateLogFile = 1,
+  kAppend = 2,
+  kOpenReader = 3,
+  kCloseReader = 4,
+  kReadNext = 5,
+  kReadPrev = 6,
+  kSeekToTime = 7,
+  kSeekToStart = 8,
+  kSeekToEnd = 9,
+  kStat = 10,
+  kForce = 11,
+};
+
+// A log entry as unmarshalled by a client stub.
+struct RemoteEntry {
+  LogFileId logfile_id = kNoLogFileId;
+  Timestamp timestamp = 0;
+  bool timestamp_exact = false;
+  Bytes payload;
+};
+
+// -- Reply bodies. --
+Bytes EncodeOkReplyBody(std::span<const std::byte> payload = {});
+Bytes EncodeErrorReplyBody(const Status& status);
+// Splits a reply body into its payload, or the error it carries.
+Result<Bytes> DecodeReplyBody(std::span<const std::byte> body);
+
+// -- Entry records (the reply payload of kReadNext / kReadPrev). --
+Bytes EncodeEntryRecord(const std::optional<LogEntryRecord>& record);
+Result<std::optional<RemoteEntry>> DecodeEntryRecord(
+    std::span<const std::byte> payload);
+
+// -- Append requests (the request body of kAppend). --
+struct AppendRequest {
+  std::string path;
+  bool timestamped = false;
+  bool force = false;
+  Bytes payload;
+};
+Bytes EncodeAppendRequest(std::string_view path,
+                          std::span<const std::byte> payload, bool timestamped,
+                          bool force);
+Result<AppendRequest> DecodeAppendRequest(std::span<const std::byte> body);
+
+// Executes decoded requests against a LogService and encodes replies.
+// Malformed bodies produce error replies, never crashes.
+//
+// Thread safety: the dispatcher itself is confined to one session thread
+// (its reader table is unsynchronized), but many sessions may share one
+// LogService. When `service_mu` is non-null it is held across every
+// service/reader access (readers reach into the shared block cache, so
+// reads need the lock as much as writes do; see LogService::mutex()).
+// kAppend can be redirected through `append_fn` — the net server's
+// group-commit batcher hook. The override is invoked WITHOUT service_mu
+// held and must arrange its own locking.
+class ServiceDispatcher {
+ public:
+  using AppendFn =
+      std::function<Result<AppendResult>(const AppendRequest& request)>;
+
+  explicit ServiceDispatcher(LogService* service,
+                             std::mutex* service_mu = nullptr,
+                             AppendFn append_fn = {})
+      : service_(service),
+        service_mu_(service_mu),
+        append_fn_(std::move(append_fn)) {}
+
+  // Executes one request and returns the encoded reply body.
+  Bytes Dispatch(LogOp op, std::span<const std::byte> body);
+
+ private:
+  LogService* service_;
+  std::mutex* service_mu_;
+  AppendFn append_fn_;
+  std::map<uint64_t, std::unique_ptr<LogReader>> readers_;
+  uint64_t next_handle_ = 1;
+};
+
+// Typed client stub; transports supply Call().
+class LogClientBase {
+ public:
+  virtual ~LogClientBase() = default;
+
+  Result<LogFileId> CreateLogFile(std::string_view path,
+                                  uint32_t permissions = 0644);
+  // Returns the server-assigned timestamp (the entry's unique id for
+  // synchronous writers, §2.1).
+  Result<Timestamp> Append(std::string_view path,
+                           std::span<const std::byte> payload,
+                           bool timestamped = false, bool force = false);
+  Result<uint64_t> OpenReader(std::string_view path);
+  Status CloseReader(uint64_t handle);
+  Result<std::optional<RemoteEntry>> ReadNext(uint64_t handle);
+  Result<std::optional<RemoteEntry>> ReadPrev(uint64_t handle);
+  Status SeekToTime(uint64_t handle, Timestamp t);
+  Status SeekToStart(uint64_t handle);
+  Status SeekToEnd(uint64_t handle);
+  Result<LogFileInfo> Stat(std::string_view path);
+  Status Force();
+
+ protected:
+  // One request/reply round trip; returns the reply payload or the error
+  // status the server (or the transport) produced.
+  virtual Result<Bytes> Call(LogOp op, const Bytes& body) = 0;
+};
+
+}  // namespace clio
+
+#endif  // SRC_IPC_CODEC_H_

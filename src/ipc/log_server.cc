@@ -3,47 +3,6 @@
 #include <utility>
 
 namespace clio {
-namespace {
-
-// Replies carry: u8 status code, string message, then op-specific payload.
-IpcMessage OkReply(Bytes payload = {}) {
-  Bytes body;
-  ByteWriter w(&body);
-  w.PutU8(static_cast<uint8_t>(StatusCode::kOk));
-  w.PutString("");
-  w.PutBytes(payload);
-  IpcMessage reply;
-  reply.body = std::move(body);
-  return reply;
-}
-
-IpcMessage ErrorReply(const Status& status) {
-  Bytes body;
-  ByteWriter w(&body);
-  w.PutU8(static_cast<uint8_t>(status.code()));
-  w.PutString(status.message());
-  IpcMessage reply;
-  reply.body = std::move(body);
-  return reply;
-}
-
-Bytes EncodeEntry(const std::optional<LogEntryRecord>& record) {
-  Bytes out;
-  ByteWriter w(&out);
-  if (!record.has_value()) {
-    w.PutU8(0);
-    return out;
-  }
-  w.PutU8(1);
-  w.PutU16(record->logfile_id);
-  w.PutI64(record->timestamp);
-  w.PutU8(record->timestamp_exact ? 1 : 0);
-  w.PutU32(static_cast<uint32_t>(record->payload.size()));
-  w.PutBytes(record->payload);
-  return out;
-}
-
-}  // namespace
 
 void LogServer::Start() {
   thread_ = std::thread([this] { Run(); });
@@ -59,126 +18,12 @@ void LogServer::Stop() {
 void LogServer::Run() {
   IpcMessage request;
   while (channel_->WaitForRequest(&request)) {
-    channel_->Reply(Dispatch(request));
+    IpcMessage reply;
+    reply.op = request.op;
+    reply.body = dispatcher_.Dispatch(static_cast<LogOp>(request.op),
+                                      request.body);
+    channel_->Reply(std::move(reply));
   }
-}
-
-IpcMessage LogServer::Dispatch(const IpcMessage& request) {
-  ByteReader r(request.body);
-  switch (static_cast<LogOp>(request.op)) {
-    case LogOp::kCreateLogFile: {
-      std::string path = r.GetString();
-      uint32_t permissions = r.GetU32();
-      auto id = service_->CreateLogFile(path, permissions);
-      if (!id.ok()) {
-        return ErrorReply(id.status());
-      }
-      Bytes payload;
-      ByteWriter w(&payload);
-      w.PutU16(id.value());
-      return OkReply(std::move(payload));
-    }
-    case LogOp::kAppend: {
-      std::string path = r.GetString();
-      uint8_t timestamped = r.GetU8();
-      uint8_t force = r.GetU8();
-      uint32_t size = r.GetU32();
-      auto data = r.GetBytes(size);
-      if (r.failed()) {
-        return ErrorReply(InvalidArgument("malformed append request"));
-      }
-      WriteOptions options;
-      options.timestamped = timestamped != 0;
-      options.force = force != 0;
-      auto result = service_->Append(path, data, options);
-      if (!result.ok()) {
-        return ErrorReply(result.status());
-      }
-      Bytes payload;
-      ByteWriter w(&payload);
-      w.PutI64(result.value().timestamp);
-      return OkReply(std::move(payload));
-    }
-    case LogOp::kOpenReader: {
-      std::string path = r.GetString();
-      auto reader = service_->OpenReader(path);
-      if (!reader.ok()) {
-        return ErrorReply(reader.status());
-      }
-      uint64_t handle = next_handle_++;
-      readers_[handle] = std::move(reader).value();
-      Bytes payload;
-      ByteWriter w(&payload);
-      w.PutU64(handle);
-      return OkReply(std::move(payload));
-    }
-    case LogOp::kCloseReader: {
-      uint64_t handle = r.GetU64();
-      readers_.erase(handle);
-      return OkReply();
-    }
-    case LogOp::kReadNext:
-    case LogOp::kReadPrev: {
-      uint64_t handle = r.GetU64();
-      auto it = readers_.find(handle);
-      if (it == readers_.end()) {
-        return ErrorReply(NotFound("no such reader handle"));
-      }
-      auto record = static_cast<LogOp>(request.op) == LogOp::kReadNext
-                        ? it->second->Next()
-                        : it->second->Prev();
-      if (!record.ok()) {
-        return ErrorReply(record.status());
-      }
-      return OkReply(EncodeEntry(record.value()));
-    }
-    case LogOp::kSeekToTime: {
-      uint64_t handle = r.GetU64();
-      Timestamp t = r.GetI64();
-      auto it = readers_.find(handle);
-      if (it == readers_.end()) {
-        return ErrorReply(NotFound("no such reader handle"));
-      }
-      Status status = it->second->SeekToTime(t);
-      return status.ok() ? OkReply() : ErrorReply(status);
-    }
-    case LogOp::kSeekToStart:
-    case LogOp::kSeekToEnd: {
-      uint64_t handle = r.GetU64();
-      auto it = readers_.find(handle);
-      if (it == readers_.end()) {
-        return ErrorReply(NotFound("no such reader handle"));
-      }
-      if (static_cast<LogOp>(request.op) == LogOp::kSeekToStart) {
-        it->second->SeekToStart();
-      } else {
-        it->second->SeekToEnd();
-      }
-      return OkReply();
-    }
-    case LogOp::kStat: {
-      std::string path = r.GetString();
-      auto info = service_->Stat(path);
-      if (!info.ok()) {
-        return ErrorReply(info.status());
-      }
-      Bytes payload;
-      ByteWriter w(&payload);
-      w.PutU16(info.value().id);
-      w.PutU64(info.value().unique_id);
-      w.PutU16(info.value().parent);
-      w.PutU32(info.value().permissions);
-      w.PutI64(info.value().created_at);
-      w.PutU8(info.value().sealed ? 1 : 0);
-      w.PutString(info.value().name);
-      return OkReply(std::move(payload));
-    }
-    case LogOp::kForce: {
-      Status status = service_->Force();
-      return status.ok() ? OkReply() : ErrorReply(status);
-    }
-  }
-  return ErrorReply(Unimplemented("unknown log server op"));
 }
 
 // ---------------------------------------------------------------------------
@@ -189,147 +34,7 @@ Result<Bytes> LogClient::Call(LogOp op, const Bytes& body) {
   request.op = static_cast<uint32_t>(op);
   request.body = body;
   CLIO_ASSIGN_OR_RETURN(IpcMessage reply, channel_->Call(request));
-  ByteReader r(reply.body);
-  StatusCode code = static_cast<StatusCode>(r.GetU8());
-  std::string message = r.GetString();
-  if (r.failed()) {
-    return Corrupt("malformed server reply");
-  }
-  if (code != StatusCode::kOk) {
-    return Status(code, std::move(message));
-  }
-  auto rest = r.GetBytes(r.remaining());
-  return Bytes(rest.begin(), rest.end());
+  return DecodeReplyBody(reply.body);
 }
-
-Result<LogFileId> LogClient::CreateLogFile(std::string_view path,
-                                           uint32_t permissions) {
-  Bytes body;
-  ByteWriter w(&body);
-  w.PutString(path);
-  w.PutU32(permissions);
-  CLIO_ASSIGN_OR_RETURN(Bytes payload, Call(LogOp::kCreateLogFile, body));
-  ByteReader r(payload);
-  return static_cast<LogFileId>(r.GetU16());
-}
-
-Result<Timestamp> LogClient::Append(std::string_view path,
-                                    std::span<const std::byte> payload,
-                                    bool timestamped, bool force) {
-  Bytes body;
-  ByteWriter w(&body);
-  w.PutString(path);
-  w.PutU8(timestamped ? 1 : 0);
-  w.PutU8(force ? 1 : 0);
-  w.PutU32(static_cast<uint32_t>(payload.size()));
-  w.PutBytes(payload);
-  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kAppend, body));
-  ByteReader r(reply);
-  return r.GetI64();
-}
-
-Result<uint64_t> LogClient::OpenReader(std::string_view path) {
-  Bytes body;
-  ByteWriter w(&body);
-  w.PutString(path);
-  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kOpenReader, body));
-  ByteReader r(reply);
-  return r.GetU64();
-}
-
-Status LogClient::CloseReader(uint64_t handle) {
-  Bytes body;
-  ByteWriter w(&body);
-  w.PutU64(handle);
-  return Call(LogOp::kCloseReader, body).status();
-}
-
-Result<std::optional<RemoteEntry>> LogClient::ReadNext(uint64_t handle) {
-  Bytes body;
-  ByteWriter w(&body);
-  w.PutU64(handle);
-  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kReadNext, body));
-  ByteReader r(reply);
-  if (r.GetU8() == 0) {
-    return std::optional<RemoteEntry>(std::nullopt);
-  }
-  RemoteEntry entry;
-  entry.logfile_id = r.GetU16();
-  entry.timestamp = r.GetI64();
-  entry.timestamp_exact = r.GetU8() != 0;
-  uint32_t size = r.GetU32();
-  auto data = r.GetBytes(size);
-  entry.payload.assign(data.begin(), data.end());
-  if (r.failed()) {
-    return Corrupt("malformed entry in reply");
-  }
-  return std::optional<RemoteEntry>(std::move(entry));
-}
-
-Result<std::optional<RemoteEntry>> LogClient::ReadPrev(uint64_t handle) {
-  Bytes body;
-  ByteWriter w(&body);
-  w.PutU64(handle);
-  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kReadPrev, body));
-  ByteReader r(reply);
-  if (r.GetU8() == 0) {
-    return std::optional<RemoteEntry>(std::nullopt);
-  }
-  RemoteEntry entry;
-  entry.logfile_id = r.GetU16();
-  entry.timestamp = r.GetI64();
-  entry.timestamp_exact = r.GetU8() != 0;
-  uint32_t size = r.GetU32();
-  auto data = r.GetBytes(size);
-  entry.payload.assign(data.begin(), data.end());
-  if (r.failed()) {
-    return Corrupt("malformed entry in reply");
-  }
-  return std::optional<RemoteEntry>(std::move(entry));
-}
-
-Status LogClient::SeekToTime(uint64_t handle, Timestamp t) {
-  Bytes body;
-  ByteWriter w(&body);
-  w.PutU64(handle);
-  w.PutI64(t);
-  return Call(LogOp::kSeekToTime, body).status();
-}
-
-Status LogClient::SeekToStart(uint64_t handle) {
-  Bytes body;
-  ByteWriter w(&body);
-  w.PutU64(handle);
-  return Call(LogOp::kSeekToStart, body).status();
-}
-
-Status LogClient::SeekToEnd(uint64_t handle) {
-  Bytes body;
-  ByteWriter w(&body);
-  w.PutU64(handle);
-  return Call(LogOp::kSeekToEnd, body).status();
-}
-
-Result<LogFileInfo> LogClient::Stat(std::string_view path) {
-  Bytes body;
-  ByteWriter w(&body);
-  w.PutString(path);
-  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kStat, body));
-  ByteReader r(reply);
-  LogFileInfo info;
-  info.id = r.GetU16();
-  info.unique_id = r.GetU64();
-  info.parent = r.GetU16();
-  info.permissions = r.GetU32();
-  info.created_at = r.GetI64();
-  info.sealed = r.GetU8() != 0;
-  info.name = r.GetString();
-  if (r.failed()) {
-    return Corrupt("malformed stat reply");
-  }
-  return info;
-}
-
-Status LogClient::Force() { return Call(LogOp::kForce, {}).status(); }
 
 }  // namespace clio

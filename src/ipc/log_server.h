@@ -4,42 +4,24 @@
 // clients reach through kernel IPC; §3.2's measurements are of exactly this
 // client -> IPC -> server -> block-cache path. LogServer services a
 // LogService over an IpcChannel on its own thread; LogClient is the
-// marshalled client stub.
+// marshalled client stub. The wire format and the request execution live
+// in src/ipc/codec.* and are shared with the TCP transport in src/net/.
 #ifndef SRC_IPC_LOG_SERVER_H_
 #define SRC_IPC_LOG_SERVER_H_
 
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <optional>
-#include <string>
 #include <string_view>
 #include <thread>
 
 #include "src/clio/log_service.h"
 #include "src/ipc/channel.h"
+#include "src/ipc/codec.h"
 
 namespace clio {
-
-// Wire operations.
-enum class LogOp : uint32_t {
-  kCreateLogFile = 1,
-  kAppend = 2,
-  kOpenReader = 3,
-  kCloseReader = 4,
-  kReadNext = 5,
-  kReadPrev = 6,
-  kSeekToTime = 7,
-  kSeekToStart = 8,
-  kSeekToEnd = 9,
-  kStat = 10,
-  kForce = 11,
-};
 
 class LogServer {
  public:
   LogServer(LogService* service, IpcChannel* channel)
-      : service_(service), channel_(channel) {}
+      : dispatcher_(service, &service->mutex()), channel_(channel) {}
   ~LogServer() { Stop(); }
 
   LogServer(const LogServer&) = delete;
@@ -53,46 +35,17 @@ class LogServer {
   void Run();
 
  private:
-  IpcMessage Dispatch(const IpcMessage& request);
-
-  LogService* service_;
+  ServiceDispatcher dispatcher_;
   IpcChannel* channel_;
   std::thread thread_;
-  std::map<uint64_t, std::unique_ptr<LogReader>> readers_;
-  uint64_t next_handle_ = 1;
 };
 
-// A log entry as unmarshalled by the client stub.
-struct RemoteEntry {
-  LogFileId logfile_id = kNoLogFileId;
-  Timestamp timestamp = 0;
-  bool timestamp_exact = false;
-  Bytes payload;
-};
-
-class LogClient {
+class LogClient : public LogClientBase {
  public:
   explicit LogClient(IpcChannel* channel) : channel_(channel) {}
 
-  Result<LogFileId> CreateLogFile(std::string_view path,
-                                  uint32_t permissions = 0644);
-  // Returns the server-assigned timestamp (the entry's unique id for
-  // synchronous writers, §2.1).
-  Result<Timestamp> Append(std::string_view path,
-                           std::span<const std::byte> payload,
-                           bool timestamped = false, bool force = false);
-  Result<uint64_t> OpenReader(std::string_view path);
-  Status CloseReader(uint64_t handle);
-  Result<std::optional<RemoteEntry>> ReadNext(uint64_t handle);
-  Result<std::optional<RemoteEntry>> ReadPrev(uint64_t handle);
-  Status SeekToTime(uint64_t handle, Timestamp t);
-  Status SeekToStart(uint64_t handle);
-  Status SeekToEnd(uint64_t handle);
-  Result<LogFileInfo> Stat(std::string_view path);
-  Status Force();
-
  private:
-  Result<Bytes> Call(LogOp op, const Bytes& body);
+  Result<Bytes> Call(LogOp op, const Bytes& body) override;
 
   IpcChannel* channel_;
 };

@@ -1,0 +1,120 @@
+#include "src/net/batcher.h"
+
+#include <chrono>
+#include <utility>
+
+namespace clio {
+
+GroupCommitBatcher::GroupCommitBatcher(LogService* service,
+                                       std::mutex* service_mu,
+                                       const GroupCommitOptions& options)
+    : service_(service), service_mu_(service_mu), options_(options) {}
+
+GroupCommitBatcher::~GroupCommitBatcher() { Stop(); }
+
+void GroupCommitBatcher::Start() {
+  thread_ = std::thread([this] { CommitLoop(); });
+}
+
+void GroupCommitBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+    queue_cv_.notify_all();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+Result<AppendResult> GroupCommitBatcher::Append(const AppendRequest& request) {
+  Pending pending;
+  pending.request = &request;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Unavailable("group-commit batcher stopped");
+    }
+    queue_.push_back(&pending);
+    queued_bytes_ += request.payload.size();
+    queue_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return pending.result.has_value(); });
+  }
+  return std::move(*pending.result);
+}
+
+void GroupCommitBatcher::CommitLoop() {
+  using Clock = std::chrono::steady_clock;
+  std::vector<Pending*> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) {
+        return;  // stopping, fully drained
+      }
+      // Hold window: give concurrent committers until the deadline (or a
+      // size/byte cap) to join this batch. On stop, commit immediately —
+      // drain beats batching.
+      auto deadline =
+          Clock::now() + std::chrono::microseconds(options_.max_hold_us);
+      while (!stopping_ && queue_.size() < options_.max_batch_entries &&
+             queued_bytes_ < options_.max_batch_bytes &&
+             Clock::now() < deadline) {
+        queue_cv_.wait_until(lock, deadline);
+      }
+      size_t take_bytes = 0;
+      while (!queue_.empty() && batch.size() < options_.max_batch_entries &&
+             take_bytes <= options_.max_batch_bytes) {
+        Pending* p = queue_.front();
+        queue_.pop_front();
+        take_bytes += p->request->payload.size();
+        queued_bytes_ -= p->request->payload.size();
+        batch.push_back(p);
+      }
+    }
+    CommitBatch(batch);
+    batch.clear();
+  }
+}
+
+void GroupCommitBatcher::CommitBatch(const std::vector<Pending*>& batch) {
+  std::vector<Result<AppendResult>> results;
+  results.reserve(batch.size());
+  {
+    std::unique_lock<std::mutex> service_lock =
+        service_mu_ != nullptr ? std::unique_lock<std::mutex>(*service_mu_)
+                               : std::unique_lock<std::mutex>();
+    for (Pending* pending : batch) {
+      const AppendRequest& request = *pending->request;
+      WriteOptions options;
+      options.timestamped = request.timestamped;
+      options.force = false;  // the batch force below covers this entry
+      results.push_back(
+          service_->Append(request.path, request.payload, options));
+    }
+    Status force = service_->Force();
+    if (!force.ok()) {
+      // Entries are appended but not known durable: a forced-append caller
+      // must not be told "committed".
+      for (auto& result : results) {
+        if (result.ok()) {
+          result = force;
+        }
+      }
+    }
+  }
+  batches_committed_.fetch_add(1, std::memory_order_relaxed);
+  entries_committed_.fetch_add(batch.size(), std::memory_order_relaxed);
+  // Publish under mu_: waiters evaluate `result.has_value()` under mu_.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i]->result = std::move(results[i]);
+  }
+  done_cv_.notify_all();
+}
+
+}  // namespace clio

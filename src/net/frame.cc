@@ -1,0 +1,43 @@
+#include "src/net/frame.h"
+
+#include <algorithm>
+
+namespace clio {
+
+Bytes EncodeFrame(const FrameHeader& header, std::span<const std::byte> body) {
+  Bytes out(kFrameHeaderSize + body.size());
+  StoreU32(out, 0, kFrameMagic);
+  StoreU16(out, 4, kFrameVersion);
+  StoreU16(out, 6, 0);  // flags
+  StoreU32(out, 8, header.op);
+  StoreU64(out, 12, header.request_id);
+  StoreU32(out, 20, static_cast<uint32_t>(body.size()));
+  std::copy(body.begin(), body.end(), out.begin() + kFrameHeaderSize);
+  return out;
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::span<const std::byte> data,
+                                      uint32_t max_body_size) {
+  if (data.size() < kFrameHeaderSize) {
+    return Corrupt("truncated frame header");
+  }
+  if (LoadU32(data, 0) != kFrameMagic) {
+    return Corrupt("bad frame magic");
+  }
+  if (LoadU16(data, 4) != kFrameVersion) {
+    return Corrupt("unsupported frame version");
+  }
+  if (LoadU16(data, 6) != 0) {
+    return Corrupt("nonzero reserved frame flags");
+  }
+  FrameHeader header;
+  header.op = LoadU32(data, 8);
+  header.request_id = LoadU64(data, 12);
+  header.body_size = LoadU32(data, 20);
+  if (header.body_size > max_body_size) {
+    return Corrupt("oversized frame body");
+  }
+  return header;
+}
+
+}  // namespace clio

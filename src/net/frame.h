@@ -1,0 +1,54 @@
+// Length-prefixed binary framing for the TCP log service.
+//
+// Every request and reply travels as one frame: a fixed 24-byte header
+// followed by `body_size` bytes of body (the same request/reply bodies the
+// IPC transport uses, see src/ipc/codec.h). Layout, little-endian:
+//
+//   offset  size  field
+//   0       4     magic      0x474F4C43 ("CLOG")
+//   4       2     version    kFrameVersion
+//   6       2     flags      reserved, must be 0
+//   8       4     op         LogOp on requests; echoed on replies
+//   12      8     request id client-chosen; echoed on the matching reply
+//   20      4     body size  bytes of body that follow
+//
+// The header is validated before any body byte is read, so a server can
+// reject garbage (bad magic/version) or resource abuse (oversized body)
+// without allocating or crashing. Framing after a bad header is
+// untrustworthy: the connection is closed, never resynchronized.
+#ifndef SRC_NET_FRAME_H_
+#define SRC_NET_FRAME_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace clio {
+
+constexpr uint32_t kFrameMagic = 0x474F4C43;  // "CLOG" on the wire
+constexpr uint16_t kFrameVersion = 1;
+constexpr size_t kFrameHeaderSize = 24;
+// Default cap on frame bodies. Appends are bounded by what a volume block
+// chain can hold long before this; the cap exists to bound what a
+// malicious or confused peer can make the server allocate.
+constexpr uint32_t kMaxFrameBodySize = 16u << 20;
+
+struct FrameHeader {
+  uint32_t op = 0;
+  uint64_t request_id = 0;
+  uint32_t body_size = 0;
+};
+
+// Encodes header + body into one contiguous wire frame.
+Bytes EncodeFrame(const FrameHeader& header, std::span<const std::byte> body);
+
+// Validates and decodes a frame header. `max_body_size` bounds the body
+// this endpoint is willing to receive.
+Result<FrameHeader> DecodeFrameHeader(std::span<const std::byte> data,
+                                      uint32_t max_body_size
+                                      = kMaxFrameBodySize);
+
+}  // namespace clio
+
+#endif  // SRC_NET_FRAME_H_

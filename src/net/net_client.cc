@@ -1,0 +1,48 @@
+#include "src/net/net_client.h"
+
+#include <utility>
+
+namespace clio {
+
+Result<std::unique_ptr<NetLogClient>> NetLogClient::Connect(uint16_t port) {
+  CLIO_ASSIGN_OR_RETURN(TcpSocket socket, TcpSocket::ConnectLoopback(port));
+  return std::unique_ptr<NetLogClient>(new NetLogClient(std::move(socket)));
+}
+
+void NetLogClient::Disconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  socket_.ShutdownBoth();
+  socket_.Close();
+}
+
+Result<Bytes> NetLogClient::Call(LogOp op, const Bytes& body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!socket_.valid()) {
+    return Unavailable("client disconnected");
+  }
+  FrameHeader header;
+  header.op = static_cast<uint32_t>(op);
+  header.request_id = next_request_id_++;
+  CLIO_RETURN_IF_ERROR(socket_.WriteAll(EncodeFrame(header, body)));
+
+  Bytes reply_header_buf(kFrameHeaderSize);
+  CLIO_ASSIGN_OR_RETURN(size_t n, socket_.ReadFull(reply_header_buf));
+  if (n != kFrameHeaderSize) {
+    return Unavailable("server closed the connection");
+  }
+  CLIO_ASSIGN_OR_RETURN(FrameHeader reply_header,
+                        DecodeFrameHeader(reply_header_buf));
+  if (reply_header.request_id != header.request_id) {
+    return Corrupt("reply for a different request id");
+  }
+  Bytes reply_body(reply_header.body_size);
+  if (reply_header.body_size > 0) {
+    CLIO_ASSIGN_OR_RETURN(n, socket_.ReadFull(reply_body));
+    if (n != reply_header.body_size) {
+      return Unavailable("server closed mid-reply");
+    }
+  }
+  return DecodeReplyBody(reply_body);
+}
+
+}  // namespace clio

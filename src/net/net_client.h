@@ -1,0 +1,45 @@
+// NetLogClient: the TCP sibling of src/ipc's LogClient.
+//
+// Same typed API (both inherit LogClientBase, so code written against one
+// runs against the other); the transport is one frame per request over a
+// loopback TCP connection to a NetLogServer. Synchronous: Call() writes
+// the request frame and blocks for the matching reply. Thread-safe in the
+// trivial way — an internal mutex admits one outstanding call at a time —
+// so concurrency across the wire comes from multiple clients, exactly the
+// many-connections shape the server batches over.
+#ifndef SRC_NET_NET_CLIENT_H_
+#define SRC_NET_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/ipc/codec.h"
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+
+namespace clio {
+
+class NetLogClient : public LogClientBase {
+ public:
+  static Result<std::unique_ptr<NetLogClient>> Connect(uint16_t port);
+
+  NetLogClient(const NetLogClient&) = delete;
+  NetLogClient& operator=(const NetLogClient&) = delete;
+
+  // Closes the connection; subsequent calls fail with kUnavailable.
+  void Disconnect();
+
+ private:
+  explicit NetLogClient(TcpSocket socket) : socket_(std::move(socket)) {}
+
+  Result<Bytes> Call(LogOp op, const Bytes& body) override;
+
+  std::mutex mu_;  // one outstanding call per client
+  TcpSocket socket_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace clio
+
+#endif  // SRC_NET_NET_CLIENT_H_

@@ -1,0 +1,185 @@
+#include "src/net/net_server.h"
+
+#include <chrono>
+#include <utility>
+
+namespace clio {
+namespace {
+
+// Poll slice: how often a blocked session rechecks stop + idle deadline.
+constexpr int kPollSliceMs = 50;
+
+}  // namespace
+
+NetLogServer::NetLogServer(LogService* service,
+                           const NetLogServerOptions& options)
+    : service_(service), options_(options) {}
+
+Result<std::unique_ptr<NetLogServer>> NetLogServer::Start(
+    LogService* service, const NetLogServerOptions& options) {
+  std::unique_ptr<NetLogServer> server(new NetLogServer(service, options));
+  CLIO_ASSIGN_OR_RETURN(server->listener_,
+                        TcpSocket::ListenLoopback(options.port));
+  CLIO_ASSIGN_OR_RETURN(server->port_, server->listener_.local_port());
+  if (options.batching) {
+    server->batcher_ = std::make_unique<GroupCommitBatcher>(
+        service, &service->mutex(), options.batch);
+    server->batcher_->Start();
+  }
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+NetLogServer::~NetLogServer() { Stop(); }
+
+void NetLogServer::Stop() {
+  if (stopped_) {
+    return;
+  }
+  stopping_.store(true);
+  // Unblock the accept loop, then the sessions' reads. Sessions finish
+  // (and answer) whatever request they are mid-way through first.
+  listener_.ShutdownBoth();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& session : sessions_) {
+      session->socket.ShutdownBoth();
+    }
+  }
+  // No lock needed below: the accept loop (sole inserter) has exited.
+  for (auto& session : sessions_) {
+    if (session->thread.joinable()) {
+      session->thread.join();
+    }
+  }
+  sessions_.clear();
+  // After the sessions: a session blocked in the batcher needs the commit
+  // thread alive to get its result.
+  if (batcher_ != nullptr) {
+    batcher_->Stop();
+  }
+  stopped_ = true;
+}
+
+void NetLogServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto readable = listener_.WaitReadable(kPollSliceMs);
+    if (!readable.ok()) {
+      break;
+    }
+    if (!*readable) {
+      ReapFinishedSessions();
+      continue;
+    }
+    auto conn = listener_.Accept();
+    if (!conn.ok()) {
+      if (stopping_.load()) {
+        break;
+      }
+      continue;  // transient accept failure; the listener still stands
+    }
+    sessions_opened_.fetch_add(1);
+    auto session = std::make_unique<Session>();
+    session->socket = std::move(conn).value();
+    Session* raw = session.get();
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.push_back(std::move(session));
+    }
+    raw->thread = std::thread([this, raw] { SessionLoop(raw); });
+  }
+}
+
+void NetLogServer::ReapFinishedSessions() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) {
+        (*it)->thread.join();
+      }
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<AppendResult> NetLogServer::RouteAppend(const AppendRequest& request) {
+  // Forced appends share a batch force; unforced ones are pure buffer
+  // writes with nothing to amortize, so they run directly.
+  if (batcher_ != nullptr && request.force) {
+    return batcher_->Append(request);
+  }
+  std::lock_guard<std::mutex> lock(service_->mutex());
+  WriteOptions options;
+  options.timestamped = request.timestamped;
+  options.force = request.force;
+  return service_->Append(request.path, request.payload, options);
+}
+
+void NetLogServer::SessionLoop(Session* session) {
+  using Clock = std::chrono::steady_clock;
+  ServiceDispatcher dispatcher(
+      service_, &service_->mutex(),
+      [this](const AppendRequest& request) { return RouteAppend(request); });
+  const bool idle_enabled = options_.idle_timeout_ms > 0;
+  auto idle_deadline =
+      Clock::now() + std::chrono::milliseconds(options_.idle_timeout_ms);
+  Bytes header_buf(kFrameHeaderSize);
+  while (!stopping_.load()) {
+    auto readable = session->socket.WaitReadable(kPollSliceMs);
+    if (!readable.ok()) {
+      break;
+    }
+    if (!*readable) {
+      if (idle_enabled && Clock::now() >= idle_deadline) {
+        sessions_idle_closed_.fetch_add(1);
+        break;
+      }
+      continue;
+    }
+    auto n = session->socket.ReadFull(header_buf);
+    if (!n.ok() || *n == 0) {
+      break;  // peer closed cleanly, or socket error
+    }
+    auto header = *n == kFrameHeaderSize
+                      ? DecodeFrameHeader(header_buf, options_.max_frame_body)
+                      : Result<FrameHeader>(Corrupt("truncated frame header"));
+    if (!header.ok()) {
+      // Bad framing: nothing downstream of this point in the byte stream
+      // can be trusted, so the connection dies — alone.
+      frames_rejected_.fetch_add(1);
+      break;
+    }
+    Bytes body(header->body_size);
+    if (header->body_size > 0) {
+      n = session->socket.ReadFull(body);
+      if (!n.ok() || *n != header->body_size) {
+        frames_rejected_.fetch_add(1);
+        break;
+      }
+    }
+    Bytes reply_body =
+        dispatcher.Dispatch(static_cast<LogOp>(header->op), body);
+    frames_dispatched_.fetch_add(1);
+    FrameHeader reply_header;
+    reply_header.op = header->op;
+    reply_header.request_id = header->request_id;
+    if (!session->socket.WriteAll(EncodeFrame(reply_header, reply_body))
+             .ok()) {
+      break;
+    }
+    idle_deadline =
+        Clock::now() + std::chrono::milliseconds(options_.idle_timeout_ms);
+  }
+  // Shutdown, not Close: Stop() may be probing this socket concurrently,
+  // and close() would free the fd under it. The Session destructor closes
+  // the fd after this thread is joined.
+  session->socket.ShutdownBoth();
+  session->done.store(true);
+}
+
+}  // namespace clio

@@ -1,0 +1,105 @@
+// NetLogServer: the Clio log service as a multi-client TCP server.
+//
+// Where src/ipc/ models the paper's single-machine kernel-IPC path, this
+// is the ROADMAP's service evolution: many concurrent client connections
+// on a localhost TCP port, each with its own session (dedicated thread,
+// per-connection reader table, idle timeout), all dispatching onto one
+// shared LogService serialized by LogService::mutex(). Forced appends are
+// routed through a GroupCommitBatcher so concurrent committers share
+// device forces (src/net/batcher.h).
+//
+// Robustness: a malformed or oversized frame closes only the offending
+// connection; a decodable frame with a garbage body gets an error reply
+// and the connection lives on. Stop() drains gracefully — in-flight
+// requests finish and are answered before their sockets close.
+#ifndef SRC_NET_NET_SERVER_H_
+#define SRC_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/clio/log_service.h"
+#include "src/ipc/codec.h"
+#include "src/net/batcher.h"
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+
+namespace clio {
+
+struct NetLogServerOptions {
+  uint16_t port = 0;  // 0: kernel-chosen; read it back with port()
+  // A session with no traffic for this long is closed. 0 disables.
+  uint64_t idle_timeout_ms = 60'000;
+  // Group-commit batching of forced appends. With batching off every
+  // forced append pays its own device force (batch size 1).
+  bool batching = true;
+  GroupCommitOptions batch;
+  // Per-frame body cap for this server (see src/net/frame.h).
+  uint32_t max_frame_body = kMaxFrameBodySize;
+};
+
+class NetLogServer {
+ public:
+  // Binds, then starts the accept loop and (if enabled) the batcher.
+  static Result<std::unique_ptr<NetLogServer>> Start(
+      LogService* service, const NetLogServerOptions& options = {});
+  ~NetLogServer();
+
+  NetLogServer(const NetLogServer&) = delete;
+  NetLogServer& operator=(const NetLogServer&) = delete;
+
+  // Graceful drain: stops accepting, lets every session finish its
+  // in-flight request (including queued batch commits), joins all
+  // threads. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  // -- Counters (readable while the server runs). --
+  uint64_t sessions_opened() const { return sessions_opened_.load(); }
+  uint64_t sessions_idle_closed() const {
+    return sessions_idle_closed_.load();
+  }
+  uint64_t frames_dispatched() const { return frames_dispatched_.load(); }
+  uint64_t frames_rejected() const { return frames_rejected_.load(); }
+  const GroupCommitBatcher* batcher() const { return batcher_.get(); }
+
+ private:
+  struct Session {
+    TcpSocket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  NetLogServer(LogService* service, const NetLogServerOptions& options);
+
+  void AcceptLoop();
+  void SessionLoop(Session* session);
+  Result<AppendResult> RouteAppend(const AppendRequest& request);
+  void ReapFinishedSessions();
+
+  LogService* const service_;
+  const NetLogServerOptions options_;
+  TcpSocket listener_;
+  uint16_t port_ = 0;
+  std::unique_ptr<GroupCommitBatcher> batcher_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  // Stop() already ran to completion
+
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_idle_closed_{0};
+  std::atomic<uint64_t> frames_dispatched_{0};
+  std::atomic<uint64_t> frames_rejected_{0};
+};
+
+}  // namespace clio
+
+#endif  // SRC_NET_NET_SERVER_H_

@@ -1,0 +1,155 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace clio {
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Unavailable(std::string(what) + ": " + std::strerror(errno));
+}
+
+sockaddr_in LoopbackAddress(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpSocket> TcpSocket::ListenLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket");
+  }
+  TcpSocket sock(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddress(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(fd, 64) != 0) {
+    return ErrnoStatus("listen");
+  }
+  return sock;
+}
+
+Result<TcpSocket> TcpSocket::ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket");
+  }
+  TcpSocket sock(fd);
+  sockaddr_in addr = LoopbackAddress(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return ErrnoStatus("connect");
+  }
+  // Request/reply frames are small; don't let Nagle batch them for us —
+  // batching is the log server's job, not the kernel's.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Result<TcpSocket> TcpSocket::Accept() {
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    return ErrnoStatus("accept");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpSocket(fd);
+}
+
+Result<uint16_t> TcpSocket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Status TcpSocket::WriteAll(std::span<const std::byte> data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a vanished peer must surface as a Status, not SIGPIPE.
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<size_t> TcpSocket::ReadFull(std::span<std::byte> out) {
+  size_t received = 0;
+  while (received < out.size()) {
+    ssize_t n = ::recv(fd_, out.data() + received, out.size() - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("recv");
+    }
+    if (n == 0) {
+      break;  // EOF
+    }
+    received += static_cast<size_t>(n);
+  }
+  return received;
+}
+
+Result<bool> TcpSocket::WaitReadable(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  int n = ::poll(&pfd, 1, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) {
+      return false;  // caller loops; treat as a timeout slice
+    }
+    return ErrnoStatus("poll");
+  }
+  // HUP/ERR count as readable: the next read returns EOF or the error.
+  return n > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+void TcpSocket::ShutdownBoth() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace clio

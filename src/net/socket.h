@@ -1,0 +1,68 @@
+// Minimal RAII loopback TCP sockets for the network log service.
+//
+// The service is deliberately localhost-only (127.0.0.1): it models the
+// paper's clients sharing one log server on a machine, not an
+// authenticated wide-area protocol. Blocking I/O with poll()-based
+// readiness; exact-length reads so the framing layer never sees a short
+// buffer without knowing it.
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace clio {
+
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() { Close(); }
+
+  TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  // Listening socket bound to 127.0.0.1:port (port 0: kernel-chosen;
+  // read it back with local_port()).
+  static Result<TcpSocket> ListenLoopback(uint16_t port);
+  // Connected socket to 127.0.0.1:port.
+  static Result<TcpSocket> ConnectLoopback(uint16_t port);
+
+  // Accepts one connection (blocking; pair with WaitReadable).
+  Result<TcpSocket> Accept();
+
+  // Port this socket is bound to.
+  Result<uint16_t> local_port() const;
+
+  // Writes all of `data` (retrying short writes). kUnavailable if the
+  // peer is gone.
+  Status WriteAll(std::span<const std::byte> data);
+
+  // Reads exactly out.size() bytes unless the peer closes first: returns
+  // the number of bytes read (< out.size() means EOF mid-buffer, 0 means
+  // clean EOF before anything arrived). Socket errors are a Status.
+  Result<size_t> ReadFull(std::span<std::byte> out);
+
+  // Blocks until the socket is readable (data, EOF, or error — any state
+  // where a read won't block) or `timeout_ms` elapses. True = readable.
+  Result<bool> WaitReadable(int timeout_ms);
+
+  // Disallows further sends and receives; unblocks a peer (or our own
+  // thread) blocked in a read. The fd stays owned until Close().
+  void ShutdownBoth();
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace clio
+
+#endif  // SRC_NET_SOCKET_H_

@@ -77,6 +77,43 @@ TEST(IpcChannel, ShutdownUnblocksClients) {
   late.join();
 }
 
+// Shutdown() racing with in-flight Call()s: every call must either
+// complete or fail kUnavailable, nothing may hang, and (under TSan) no
+// access may race. The latency sleep widens the window in which a call is
+// mid-flight outside the channel lock.
+TEST(IpcChannel, ShutdownRacesWithInFlightCalls) {
+  for (int round = 0; round < 25; ++round) {
+    IpcChannel channel(/*simulated_latency_us=*/50);
+    std::thread server([&] {
+      IpcMessage request;
+      while (channel.WaitForRequest(&request)) {
+        channel.Reply(IpcMessage{request.op, {}});
+      }
+    });
+    std::atomic<int> outcomes{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 3; ++c) {
+      clients.emplace_back([&] {
+        for (int i = 0; i < 10; ++i) {
+          auto reply = channel.Call(IpcMessage{7, {}});
+          if (!reply.ok()) {
+            EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+          }
+          ++outcomes;
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    channel.Shutdown();
+    for (auto& t : clients) {
+      t.join();
+    }
+    server.join();
+    EXPECT_EQ(outcomes.load(), 30);
+    EXPECT_LE(channel.calls(), 30u);
+  }
+}
+
 TEST(IpcChannel, SimulatedLatencyIsCharged) {
   IpcChannel channel(/*simulated_latency_us=*/2000);  // 2 ms each way
   std::thread server([&] {

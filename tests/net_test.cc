@@ -1,0 +1,502 @@
+// Frame codec, network server robustness, and group-commit tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/clio/verify.h"
+#include "src/net/batcher.h"
+#include "src/net/frame.h"
+#include "src/net/net_client.h"
+#include "src/net/net_server.h"
+#include "src/net/socket.h"
+#include "tests/test_util.h"
+
+namespace clio {
+namespace {
+
+using testing::ServiceFixture;
+
+// True once the peer has hung up on `socket`: a read yields either a clean
+// EOF or a reset (the kernel sends RST when a socket closes with unread
+// bytes still buffered — exactly what rejecting garbage mid-stream does).
+bool ConnectionDropped(TcpSocket* socket) {
+  Bytes sink(1);
+  auto n = socket->ReadFull(sink);
+  return !n.ok() || *n == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+
+TEST(Frame, HeaderRoundTrip) {
+  FrameHeader header;
+  header.op = 7;
+  header.request_id = 0x1122334455667788ull;
+  Bytes body = ToBytes("hello frame");
+  header.body_size = static_cast<uint32_t>(body.size());
+
+  Bytes wire = EncodeFrame(header, body);
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + body.size());
+  ASSERT_OK_AND_ASSIGN(FrameHeader decoded, DecodeFrameHeader(wire));
+  EXPECT_EQ(decoded.op, 7u);
+  EXPECT_EQ(decoded.request_id, 0x1122334455667788ull);
+  EXPECT_EQ(decoded.body_size, body.size());
+  EXPECT_EQ(ToString(std::span(wire).subspan(kFrameHeaderSize)),
+            "hello frame");
+}
+
+TEST(Frame, EmptyBodyRoundTrip) {
+  Bytes wire = EncodeFrame(FrameHeader{3, 9, 0}, {});
+  ASSERT_EQ(wire.size(), kFrameHeaderSize);
+  ASSERT_OK_AND_ASSIGN(FrameHeader decoded, DecodeFrameHeader(wire));
+  EXPECT_EQ(decoded.op, 3u);
+  EXPECT_EQ(decoded.body_size, 0u);
+}
+
+TEST(Frame, RejectsTruncatedHeader) {
+  Bytes wire = EncodeFrame(FrameHeader{1, 1, 0}, {});
+  wire.resize(kFrameHeaderSize - 1);
+  EXPECT_EQ(DecodeFrameHeader(wire).status().code(), StatusCode::kCorrupt);
+}
+
+TEST(Frame, RejectsBadMagic) {
+  Bytes wire = EncodeFrame(FrameHeader{1, 1, 0}, {});
+  wire[0] = std::byte{0xEE};
+  EXPECT_EQ(DecodeFrameHeader(wire).status().code(), StatusCode::kCorrupt);
+}
+
+TEST(Frame, RejectsWrongVersion) {
+  Bytes wire = EncodeFrame(FrameHeader{1, 1, 0}, {});
+  StoreU16(wire, 4, kFrameVersion + 1);
+  EXPECT_EQ(DecodeFrameHeader(wire).status().code(), StatusCode::kCorrupt);
+}
+
+TEST(Frame, RejectsReservedFlags) {
+  Bytes wire = EncodeFrame(FrameHeader{1, 1, 0}, {});
+  StoreU16(wire, 6, 1);
+  EXPECT_EQ(DecodeFrameHeader(wire).status().code(), StatusCode::kCorrupt);
+}
+
+TEST(Frame, RejectsOversizedBody) {
+  Bytes wire = EncodeFrame(FrameHeader{1, 1, 0}, {});
+  StoreU32(wire, 20, kMaxFrameBodySize + 1);
+  EXPECT_EQ(DecodeFrameHeader(wire).status().code(), StatusCode::kCorrupt);
+  // A smaller per-server cap applies too.
+  StoreU32(wire, 20, 1024);
+  EXPECT_EQ(DecodeFrameHeader(wire, /*max_body_size=*/512).status().code(),
+            StatusCode::kCorrupt);
+  ASSERT_OK(DecodeFrameHeader(wire, /*max_body_size=*/1024).status());
+}
+
+TEST(Frame, GarbageBytesDoNotDecode) {
+  Bytes garbage(kFrameHeaderSize);
+  for (size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<std::byte>(0xA5 ^ (i * 37));
+  }
+  EXPECT_FALSE(DecodeFrameHeader(garbage).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Server fixture
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void StartServer(NetLogServerOptions options = {}) {
+    fx_ = ServiceFixture::Make();
+    auto server = NetLogServer::Start(fx_.service.get(), options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+  }
+
+  std::unique_ptr<NetLogClient> Client() {
+    auto client = NetLogClient::Connect(server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+    }
+  }
+
+  ServiceFixture fx_;
+  std::unique_ptr<NetLogServer> server_;
+};
+
+TEST_F(NetServerTest, CreateAppendReadOverTcp) {
+  StartServer();
+  auto client = Client();
+  ASSERT_OK(client->CreateLogFile("/remote").status());
+  ASSERT_OK_AND_ASSIGN(Timestamp first,
+                       client->Append("/remote", AsBytes("one"), true));
+  ASSERT_OK_AND_ASSIGN(Timestamp second,
+                       client->Append("/remote", AsBytes("two"), true));
+  EXPECT_GT(second, first);
+
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, client->OpenReader("/remote"));
+  ASSERT_OK(client->SeekToStart(handle));
+  ASSERT_OK_AND_ASSIGN(auto a, client->ReadNext(handle));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(ToString(a->payload), "one");
+  EXPECT_EQ(a->timestamp, first);
+  EXPECT_TRUE(a->timestamp_exact);
+  ASSERT_OK_AND_ASSIGN(auto b, client->ReadNext(handle));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(ToString(b->payload), "two");
+  ASSERT_OK_AND_ASSIGN(auto end, client->ReadNext(handle));
+  EXPECT_FALSE(end.has_value());
+
+  ASSERT_OK(client->SeekToEnd(handle));
+  ASSERT_OK_AND_ASSIGN(auto last, client->ReadPrev(handle));
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(ToString(last->payload), "two");
+  ASSERT_OK(client->CloseReader(handle));
+}
+
+TEST_F(NetServerTest, ErrorsPropagateThroughWire) {
+  StartServer();
+  auto client = Client();
+  EXPECT_EQ(client->Append("/nosuch", AsBytes("x")).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client->OpenReader("/nosuch").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client->CreateLogFile("bad-path").status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_OK(client->CreateLogFile("/exists").status());
+  EXPECT_EQ(client->CreateLogFile("/exists").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(client->ReadNext(999).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(NetServerTest, StatOverTcp) {
+  StartServer();
+  auto client = Client();
+  ASSERT_OK(client->CreateLogFile("/stat-me", 0600).status());
+  ASSERT_OK_AND_ASSIGN(LogFileInfo info, client->Stat("/stat-me"));
+  EXPECT_EQ(info.name, "stat-me");
+  EXPECT_EQ(info.permissions, 0600u);
+  EXPECT_FALSE(info.sealed);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: malformed frames, partial reads, error isolation
+
+TEST_F(NetServerTest, GarbageStreamClosesOnlyThatConnection) {
+  StartServer();
+  auto healthy = Client();
+  ASSERT_OK(healthy->CreateLogFile("/ok").status());
+
+  ASSERT_OK_AND_ASSIGN(TcpSocket rogue,
+                       TcpSocket::ConnectLoopback(server_->port()));
+  Bytes garbage(64);
+  for (size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<std::byte>(i * 31 + 5);
+  }
+  ASSERT_OK(rogue.WriteAll(garbage));
+  // The server must drop the rogue connection without replying.
+  EXPECT_TRUE(ConnectionDropped(&rogue));
+  EXPECT_GE(server_->frames_rejected(), 1u);
+
+  // The healthy session is unaffected.
+  ASSERT_OK(healthy->Append("/ok", AsBytes("still alive"), true).status());
+}
+
+TEST_F(NetServerTest, OversizedFrameIsRejectedWithoutAllocation) {
+  NetLogServerOptions options;
+  options.max_frame_body = 4096;
+  StartServer(options);
+  ASSERT_OK_AND_ASSIGN(TcpSocket rogue,
+                       TcpSocket::ConnectLoopback(server_->port()));
+  Bytes wire = EncodeFrame(FrameHeader{2, 1, 0}, {});
+  StoreU32(wire, 20, 1u << 30);  // claim a 1 GiB body
+  ASSERT_OK(rogue.WriteAll(wire));
+  EXPECT_TRUE(ConnectionDropped(&rogue));
+  EXPECT_GE(server_->frames_rejected(), 1u);
+
+  auto client = Client();
+  ASSERT_OK(client->CreateLogFile("/after").status());
+}
+
+TEST_F(NetServerTest, TruncatedFrameDropsSessionCleanly) {
+  StartServer();
+  {
+    ASSERT_OK_AND_ASSIGN(TcpSocket rogue,
+                         TcpSocket::ConnectLoopback(server_->port()));
+    // Header promising a 100-byte body, then only 10 bytes, then close.
+    Bytes wire = EncodeFrame(FrameHeader{2, 1, 0}, {});
+    StoreU32(wire, 20, 100);
+    ASSERT_OK(rogue.WriteAll(wire));
+    Bytes partial(10, std::byte{0x42});
+    ASSERT_OK(rogue.WriteAll(partial));
+  }  // close mid-frame
+  // The server survives; a real client still gets service.
+  auto client = Client();
+  ASSERT_OK(client->CreateLogFile("/survivor").status());
+  ASSERT_OK(client->Append("/survivor", AsBytes("x"), true, true).status());
+}
+
+TEST_F(NetServerTest, GarbageBodyGetsErrorReplyAndSessionSurvives) {
+  StartServer();
+  ASSERT_OK_AND_ASSIGN(TcpSocket raw,
+                       TcpSocket::ConnectLoopback(server_->port()));
+  // Well-framed kAppend whose body is not a valid append request.
+  Bytes body(5, std::byte{0xFF});
+  FrameHeader header;
+  header.op = static_cast<uint32_t>(LogOp::kAppend);
+  header.request_id = 77;
+  ASSERT_OK(raw.WriteAll(EncodeFrame(header, body)));
+
+  Bytes reply_header_buf(kFrameHeaderSize);
+  ASSERT_OK_AND_ASSIGN(size_t n, raw.ReadFull(reply_header_buf));
+  ASSERT_EQ(n, kFrameHeaderSize);
+  ASSERT_OK_AND_ASSIGN(FrameHeader reply_header,
+                       DecodeFrameHeader(reply_header_buf));
+  EXPECT_EQ(reply_header.request_id, 77u);
+  Bytes reply_body(reply_header.body_size);
+  ASSERT_OK_AND_ASSIGN(n, raw.ReadFull(reply_body));
+  ASSERT_EQ(n, reply_body.size());
+  EXPECT_EQ(DecodeReplyBody(reply_body).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Same connection keeps working after the error reply.
+  Bytes create_body;
+  ByteWriter w(&create_body);
+  w.PutString("/via-raw");
+  w.PutU32(0644);
+  header.op = static_cast<uint32_t>(LogOp::kCreateLogFile);
+  header.request_id = 78;
+  ASSERT_OK(raw.WriteAll(EncodeFrame(header, create_body)));
+  ASSERT_OK_AND_ASSIGN(n, raw.ReadFull(reply_header_buf));
+  ASSERT_EQ(n, kFrameHeaderSize);
+  ASSERT_OK_AND_ASSIGN(reply_header, DecodeFrameHeader(reply_header_buf));
+  reply_body.assign(reply_header.body_size, std::byte{0});
+  ASSERT_OK_AND_ASSIGN(n, raw.ReadFull(reply_body));
+  ASSERT_OK(DecodeReplyBody(reply_body).status());
+}
+
+TEST_F(NetServerTest, UnknownOpGetsErrorReply) {
+  StartServer();
+  ASSERT_OK_AND_ASSIGN(TcpSocket raw,
+                       TcpSocket::ConnectLoopback(server_->port()));
+  ASSERT_OK(raw.WriteAll(EncodeFrame(FrameHeader{999, 5, 0}, {})));
+  Bytes reply_header_buf(kFrameHeaderSize);
+  ASSERT_OK_AND_ASSIGN(size_t n, raw.ReadFull(reply_header_buf));
+  ASSERT_EQ(n, kFrameHeaderSize);
+  ASSERT_OK_AND_ASSIGN(FrameHeader reply_header,
+                       DecodeFrameHeader(reply_header_buf));
+  Bytes reply_body(reply_header.body_size);
+  ASSERT_OK_AND_ASSIGN(n, raw.ReadFull(reply_body));
+  EXPECT_EQ(DecodeReplyBody(reply_body).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST_F(NetServerTest, IdleSessionIsClosed) {
+  NetLogServerOptions options;
+  options.idle_timeout_ms = 80;
+  StartServer(options);
+  auto client = Client();
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  // The server hung up on us while we idled.
+  EXPECT_EQ(client->CreateLogFile("/late").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_GE(server_->sessions_idle_closed(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: many clients, one service
+
+TEST_F(NetServerTest, EightClientsOnDistinctLogFiles) {
+  StartServer();
+  constexpr int kClients = 8;
+  constexpr int kAppends = 40;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = Client();
+      std::string path = "/c" + std::to_string(c);
+      if (!client->CreateLogFile(path).ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kAppends; ++i) {
+        std::string payload = std::to_string(c) + ":" + std::to_string(i);
+        if (!client->Append(path, AsBytes(payload), true, true).ok()) {
+          ++failures;
+          return;
+        }
+      }
+      // Read our own log back through the same connection.
+      auto handle = client->OpenReader(path);
+      if (!handle.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kAppends; ++i) {
+        auto record = client->ReadNext(*handle);
+        if (!record.ok() || !record->has_value() ||
+            ToString((*record)->payload) !=
+                std::to_string(c) + ":" + std::to_string(i)) {
+          ++failures;
+          return;
+        }
+      }
+      auto end = client->ReadNext(*handle);
+      if (!end.ok() || end->has_value()) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server_->sessions_opened(), static_cast<uint64_t>(kClients));
+}
+
+TEST_F(NetServerTest, SharedLogFileInterleavedAppendsStayTotallyOrdered) {
+  NetLogServerOptions options;
+  options.batch.max_hold_us = 2000;
+  StartServer(options);
+  constexpr int kClients = 8;
+  constexpr int kAppends = 30;
+  {
+    auto setup = Client();
+    ASSERT_OK(setup->CreateLogFile("/shared").status());
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = Client();
+      for (int i = 0; i < kAppends; ++i) {
+        std::string payload = std::to_string(c) + "-" + std::to_string(i);
+        if (!client->Append("/shared", AsBytes(payload), true, true).ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  ASSERT_EQ(failures.load(), 0);
+
+  // Read everything back through the wire: every entry present, every
+  // client's subsequence in its send order, timestamps globally
+  // non-decreasing (the volume sequence is totally ordered by time).
+  auto reader = Client();
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, reader->OpenReader("/shared"));
+  std::vector<int> next_index(kClients, 0);
+  Timestamp last_ts = 0;
+  int total = 0;
+  for (;;) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->ReadNext(handle));
+    if (!record.has_value()) {
+      break;
+    }
+    ++total;
+    EXPECT_GE(record->timestamp, last_ts);
+    last_ts = record->timestamp;
+    std::string payload = ToString(record->payload);
+    size_t dash = payload.find('-');
+    ASSERT_NE(dash, std::string::npos);
+    int c = std::stoi(payload.substr(0, dash));
+    int i = std::stoi(payload.substr(dash + 1));
+    ASSERT_LT(c, kClients);
+    EXPECT_EQ(i, next_index[c]) << "client " << c << " out of order";
+    next_index[c] = i + 1;
+  }
+  EXPECT_EQ(total, kClients * kAppends);
+
+  // Group commit actually grouped: fewer batches (forces) than entries.
+  ASSERT_NE(server_->batcher(), nullptr);
+  EXPECT_EQ(server_->batcher()->entries_committed(),
+            static_cast<uint64_t>(kClients * kAppends));
+  EXPECT_LT(server_->batcher()->batches_committed(),
+            server_->batcher()->entries_committed());
+
+  // The volume itself checks out clean after a drain.
+  server_->Stop();
+  ASSERT_OK_AND_ASSIGN(VerifyReport report,
+                       VerifyVolume(fx_.service->current_volume()));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.time_regressions.size(), 0u);
+}
+
+TEST_F(NetServerTest, BatchingDisabledStillCorrect) {
+  NetLogServerOptions options;
+  options.batching = false;
+  StartServer(options);
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  {
+    auto setup = Client();
+    ASSERT_OK(setup->CreateLogFile("/unbatched").status());
+  }
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      auto client = Client();
+      for (int i = 0; i < 20; ++i) {
+        if (!client->Append("/unbatched", AsBytes("p"), true, true).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_->batcher(), nullptr);
+  server_->Stop();
+  ASSERT_OK_AND_ASSIGN(VerifyReport report,
+                       VerifyVolume(fx_.service->current_volume()));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST_F(NetServerTest, GracefulDrainAnswersInFlightRequests) {
+  StartServer();
+  {
+    auto setup = Client();
+    ASSERT_OK(setup->CreateLogFile("/drain").status());
+  }
+  std::atomic<bool> stop_writers{false};
+  std::atomic<int> hard_failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      auto client = Client();
+      while (!stop_writers.load()) {
+        auto result = client->Append("/drain", AsBytes("d"), true, true);
+        if (!result.ok()) {
+          // During a drain the only acceptable failures are "server went
+          // away" shapes, never corruption or a hang.
+          if (result.status().code() != StatusCode::kUnavailable) {
+            ++hard_failures;
+          }
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server_->Stop();  // must not deadlock with in-flight appends
+  stop_writers.store(true);
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(hard_failures.load(), 0);
+  ASSERT_OK_AND_ASSIGN(VerifyReport report,
+                       VerifyVolume(fx_.service->current_volume()));
+  EXPECT_TRUE(report.clean());
+}
+
+}  // namespace
+}  // namespace clio
