@@ -74,15 +74,7 @@ Result<std::unique_ptr<LogVolume>> LogVolume::Format(
 }
 
 Result<uint64_t> LogVolume::LocateEnd(WormDevice* device, OpStats* stats) {
-  auto query = device->QueryEnd();
-  if (query.ok()) {
-    return query.value();
-  }
-  // Binary search for the first never-written block (§2.3.1: "binary
-  // search is used", §3.4: cost log2 V).
   Bytes scratch(device->block_size());
-  uint64_t lo = 0;
-  uint64_t hi = device->capacity_blocks();
   auto written = [&](uint64_t index) {
     if (stats != nullptr) {
       ++stats->blocks_read;
@@ -91,12 +83,27 @@ Result<uint64_t> LogVolume::LocateEnd(WormDevice* device, OpStats* stats) {
     Status st = device->ReadBlock(index, scratch);
     return st.ok();
   };
-  while (lo < hi) {
-    uint64_t mid = lo + (hi - lo) / 2;
-    if (written(mid)) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
+  uint64_t lo;
+  auto query = device->QueryEnd();
+  if (query.ok()) {
+    // Trust but verify: a device end query may under-report (the paper
+    // only promises the end "can be found"; the search below is the
+    // authoritative fallback). The island-absorbing probe after this
+    // statement walks past a short answer just as it walks past wild
+    // writes beyond the true end.
+    lo = query.value();
+  } else {
+    // Binary search for the first never-written block (§2.3.1: "binary
+    // search is used", §3.4: cost log2 V).
+    lo = 0;
+    uint64_t hi = device->capacity_blocks();
+    while (lo < hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      if (written(mid)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
     }
   }
   // Wild writes may have deposited readable garbage just past the frontier;

@@ -183,10 +183,13 @@ Status LogVolumeWriter::BurnBuilder() {
       return result.status();
     }
     // A garbage write landed in the target block (§2.3.2): invalidate it,
-    // remember to log its location, and retry past it.
+    // remember to log its location, and retry past it. Never trust the end
+    // query below the staging block — everything before it is burned valid
+    // data, and a device that under-reports its end must not trick us into
+    // invalidating a good block.
     uint64_t bad = staging_block_;
     auto end = blocks_->device()->QueryEnd();
-    if (end.ok() && end.value() > 0) {
+    if (end.ok() && end.value() > staging_block_) {
       bad = end.value() - 1;
     }
     CLIO_RETURN_IF_ERROR(blocks_->device()->InvalidateBlock(bad));

@@ -2,11 +2,30 @@
 
 namespace clio {
 
+Status FaultInjectingWormDevice::DeadOp(uint64_t* op_counter) {
+  ++*op_counter;
+  ++injected_.failed_ops;
+  return Unavailable("device is powered off (injected power cut)");
+}
+
+Bytes FaultInjectingWormDevice::GarbageBlock() {
+  Bytes garbage(block_size());
+  for (auto& b : garbage) {
+    b = static_cast<std::byte>(rng_.Below(256));
+  }
+  return garbage;
+}
+
 Status FaultInjectingWormDevice::ReadBlock(uint64_t index,
                                            std::span<std::byte> out) {
+  if (powered_off_.load(std::memory_order_relaxed)) {
+    return DeadOp(&injected_.reads);
+  }
   if (policy_.transient_read_failure_per_mille > 0 &&
       rng_.Chance(policy_.transient_read_failure_per_mille, 1000)) {
     ++read_failures_;
+    ++injected_.reads;
+    ++injected_.failed_ops;
     return Unavailable("injected transient read failure");
   }
   return base_->ReadBlock(index, out);
@@ -14,18 +33,53 @@ Status FaultInjectingWormDevice::ReadBlock(uint64_t index,
 
 Result<uint64_t> FaultInjectingWormDevice::AppendBlock(
     std::span<const std::byte> data) {
+  if (powered_off_.load(std::memory_order_relaxed)) {
+    Status st = DeadOp(&injected_.appends);
+    return st;
+  }
+  if (policy_.power_cut_after_appends > 0 &&
+      appends_since_revive_.load(std::memory_order_relaxed) >=
+          policy_.power_cut_after_appends) {
+    // The scheduled cut lands on this burn. Optionally the interrupted
+    // burn leaves a torn block: a prefix of the real image, then garbage.
+    if (policy_.torn_write_at_power_cut) {
+      Bytes torn = GarbageBlock();
+      size_t keep = rng_.Range(16, data.size() - 1);
+      std::copy(data.begin(), data.begin() + keep, torn.begin());
+      (void)base_->AppendBlock(torn);
+      ++torn_appends_;
+    }
+    powered_off_.store(true, std::memory_order_relaxed);
+    power_cuts_.fetch_add(1, std::memory_order_relaxed);
+    ++injected_.failed_ops;
+    return Unavailable("injected power cut mid-append");
+  }
   if (policy_.garbage_append_per_mille > 0 &&
       rng_.Chance(policy_.garbage_append_per_mille, 1000)) {
     // A wild write: garbage lands in the block the append targeted, and the
     // append itself reports failure. The next good append will land after
-    // the scribbled block.
+    // the garbage block.
     ++garbage_appends_;
-    Bytes garbage(block_size());
-    for (auto& b : garbage) {
-      b = static_cast<std::byte>(rng_.Below(256));
+    ++injected_.failed_ops;
+    Bytes garbage = GarbageBlock();
+    if (mem_base_ != nullptr) {
+      mem_base_->Scribble(mem_base_->frontier(), garbage);
+    } else {
+      (void)base_->AppendBlock(garbage);
     }
-    base_->Scribble(base_->frontier(), garbage);
     return Unavailable("injected garbage write");
+  }
+  if (policy_.torn_append_per_mille > 0 &&
+      rng_.Chance(policy_.torn_append_per_mille, 1000)) {
+    // A torn burn: the block holds a prefix of the intended image followed
+    // by garbage — it parses as neither unwritten nor valid.
+    ++torn_appends_;
+    ++injected_.failed_ops;
+    Bytes torn = GarbageBlock();
+    size_t keep = rng_.Range(16, data.size() - 1);
+    std::copy(data.begin(), data.begin() + keep, torn.begin());
+    (void)base_->AppendBlock(torn);
+    return Unavailable("injected torn write");
   }
   if (policy_.silent_corruption_per_mille > 0 &&
       rng_.Chance(policy_.silent_corruption_per_mille, 1000)) {
@@ -36,9 +90,59 @@ Result<uint64_t> FaultInjectingWormDevice::AppendBlock(
       size_t pos = rng_.Below(corrupted.size());
       corrupted[pos] ^= static_cast<std::byte>(1u << rng_.Below(8));
     }
-    return base_->AppendBlock(corrupted);
+    auto result = base_->AppendBlock(corrupted);
+    if (result.ok()) {
+      appends_since_revive_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
   }
-  return base_->AppendBlock(data);
+  auto result = base_->AppendBlock(data);
+  if (result.ok()) {
+    appends_since_revive_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+Status FaultInjectingWormDevice::InvalidateBlock(uint64_t index) {
+  if (powered_off_.load(std::memory_order_relaxed)) {
+    return DeadOp(&injected_.invalidations);
+  }
+  return base_->InvalidateBlock(index);
+}
+
+Result<uint64_t> FaultInjectingWormDevice::QueryEnd() {
+  if (powered_off_.load(std::memory_order_relaxed)) {
+    Status st = DeadOp(&injected_.end_queries);
+    return st;
+  }
+  auto end = base_->QueryEnd();
+  if (end.ok() && end.value() > 1 && policy_.query_end_lies_per_mille > 0 &&
+      rng_.Chance(policy_.query_end_lies_per_mille, 1000)) {
+    ++query_end_lies_;
+    uint64_t shortfall = rng_.Range(1, std::min<uint64_t>(8, end.value() - 1));
+    return end.value() - shortfall;
+  }
+  return end;
+}
+
+const DeviceStats& FaultInjectingWormDevice::stats() const {
+  merged_ = base_->stats();
+  merged_.reads += injected_.reads;
+  merged_.appends += injected_.appends;
+  merged_.invalidations += injected_.invalidations;
+  merged_.end_queries += injected_.end_queries;
+  merged_.failed_ops += injected_.failed_ops;
+  return merged_;
+}
+
+void FaultInjectingWormDevice::ResetStats() {
+  base_->ResetStats();
+  injected_.Reset();
+}
+
+void FaultInjectingWormDevice::Revive() {
+  appends_since_revive_.store(0, std::memory_order_relaxed);
+  powered_off_.store(false, std::memory_order_release);
 }
 
 }  // namespace clio

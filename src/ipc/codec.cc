@@ -111,12 +111,15 @@ Result<std::optional<RemoteEntry>> DecodeEntryRecord(
 
 Bytes EncodeAppendRequest(std::string_view path,
                           std::span<const std::byte> payload, bool timestamped,
-                          bool force) {
+                          bool force, uint64_t client_id,
+                          uint64_t request_seq) {
   Bytes body;
   ByteWriter w(&body);
   w.PutString(path);
   w.PutU8(timestamped ? 1 : 0);
   w.PutU8(force ? 1 : 0);
+  w.PutU64(client_id);
+  w.PutU64(request_seq);
   w.PutU32(static_cast<uint32_t>(payload.size()));
   w.PutBytes(payload);
   return body;
@@ -128,6 +131,8 @@ Result<AppendRequest> DecodeAppendRequest(std::span<const std::byte> body) {
   request.path = r.GetString();
   request.timestamped = r.GetU8() != 0;
   request.force = r.GetU8() != 0;
+  request.client_id = r.GetU64();
+  request.request_seq = r.GetU64();
   uint32_t size = r.GetU32();
   auto data = r.GetBytes(size);
   request.payload.assign(data.begin(), data.end());
@@ -280,10 +285,11 @@ Result<LogFileId> LogClientBase::CreateLogFile(std::string_view path,
 Result<Timestamp> LogClientBase::Append(std::string_view path,
                                         std::span<const std::byte> payload,
                                         bool timestamped, bool force) {
+  auto [client_id, request_seq] = NextAppendStamp();
   CLIO_ASSIGN_OR_RETURN(
       Bytes reply,
-      Call(LogOp::kAppend,
-           EncodeAppendRequest(path, payload, timestamped, force)));
+      Call(LogOp::kAppend, EncodeAppendRequest(path, payload, timestamped,
+                                               force, client_id, request_seq)));
   ByteReader r(reply);
   return r.GetI64();
 }

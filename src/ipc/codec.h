@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "src/clio/log_service.h"
 #include "src/util/bytes.h"
@@ -66,15 +67,25 @@ Result<std::optional<RemoteEntry>> DecodeEntryRecord(
     std::span<const std::byte> payload);
 
 // -- Append requests (the request body of kAppend). --
+//
+// `client_id` / `request_seq` are the idempotency stamp for retried
+// appends: a client that retransmits an append after a lost reply reuses
+// the stamp, and a server keeping a dedup window acknowledges the
+// retransmit with the original result instead of logging the entry twice.
+// A zero client_id means "unstamped" (no retry dedup; the IPC transport
+// and old-style callers use this).
 struct AppendRequest {
   std::string path;
   bool timestamped = false;
   bool force = false;
+  uint64_t client_id = 0;
+  uint64_t request_seq = 0;
   Bytes payload;
 };
 Bytes EncodeAppendRequest(std::string_view path,
                           std::span<const std::byte> payload, bool timestamped,
-                          bool force);
+                          bool force, uint64_t client_id = 0,
+                          uint64_t request_seq = 0);
 Result<AppendRequest> DecodeAppendRequest(std::span<const std::byte> body);
 
 // Executes decoded requests against a LogService and encodes replies.
@@ -111,7 +122,10 @@ class ServiceDispatcher {
   uint64_t next_handle_ = 1;
 };
 
-// Typed client stub; transports supply Call().
+// Typed client stub; transports supply Call(). The reader-facing methods
+// are virtual so a transport that virtualizes reader handles (the TCP
+// client re-establishes readers across reconnects) can interpose; the
+// base implementations are plain one-shot round trips.
 class LogClientBase {
  public:
   virtual ~LogClientBase() = default;
@@ -123,13 +137,13 @@ class LogClientBase {
   Result<Timestamp> Append(std::string_view path,
                            std::span<const std::byte> payload,
                            bool timestamped = false, bool force = false);
-  Result<uint64_t> OpenReader(std::string_view path);
-  Status CloseReader(uint64_t handle);
-  Result<std::optional<RemoteEntry>> ReadNext(uint64_t handle);
-  Result<std::optional<RemoteEntry>> ReadPrev(uint64_t handle);
-  Status SeekToTime(uint64_t handle, Timestamp t);
-  Status SeekToStart(uint64_t handle);
-  Status SeekToEnd(uint64_t handle);
+  virtual Result<uint64_t> OpenReader(std::string_view path);
+  virtual Status CloseReader(uint64_t handle);
+  virtual Result<std::optional<RemoteEntry>> ReadNext(uint64_t handle);
+  virtual Result<std::optional<RemoteEntry>> ReadPrev(uint64_t handle);
+  virtual Status SeekToTime(uint64_t handle, Timestamp t);
+  virtual Status SeekToStart(uint64_t handle);
+  virtual Status SeekToEnd(uint64_t handle);
   Result<LogFileInfo> Stat(std::string_view path);
   Status Force();
 
@@ -137,6 +151,11 @@ class LogClientBase {
   // One request/reply round trip; returns the reply payload or the error
   // status the server (or the transport) produced.
   virtual Result<Bytes> Call(LogOp op, const Bytes& body) = 0;
+
+  // The idempotency stamp Append() attaches to its request. The default
+  // (0, 0) marks the append unstamped; transports with retransmission
+  // override this with a stable client id and a fresh sequence per append.
+  virtual std::pair<uint64_t, uint64_t> NextAppendStamp() { return {0, 0}; }
 };
 
 }  // namespace clio

@@ -93,13 +93,30 @@ void GroupCommitBatcher::CommitBatch(const std::vector<Pending*>& batch) {
       WriteOptions options;
       options.timestamped = request.timestamped;
       options.force = false;  // the batch force below covers this entry
-      results.push_back(
-          service_->Append(request.path, request.payload, options));
+      Result<AppendResult> staged =
+          service_->Append(request.path, request.payload, options);
+      if (dedup_ != nullptr && request.client_id != 0) {
+        if (staged.ok()) {
+          dedup_->CompleteStaged(request.client_id, request.request_seq,
+                                 *staged);
+        } else {
+          dedup_->CompleteFailure(request.client_id, request.request_seq);
+        }
+      }
+      results.push_back(std::move(staged));
     }
     Status force = service_->Force();
-    if (!force.ok()) {
+    if (force.ok()) {
+      if (dedup_ != nullptr) {
+        // Still under the service mutex: every kStaged entry was staged
+        // by an earlier critical section, so this force covered it.
+        dedup_->MarkAllStagedDurable();
+      }
+    } else {
       // Entries are appended but not known durable: a forced-append caller
-      // must not be told "committed".
+      // must not be told "committed". Stamped entries stay kStaged in the
+      // dedup index, so the client's retry replays the recorded ack (after
+      // a fresh force) instead of logging a duplicate.
       for (auto& result : results) {
         if (result.ok()) {
           result = force;

@@ -30,6 +30,7 @@
 
 #include "src/clio/log_service.h"
 #include "src/ipc/codec.h"
+#include "src/net/dedup.h"
 
 namespace clio {
 
@@ -58,6 +59,13 @@ class GroupCommitBatcher {
   // Appends arriving after Stop() fail with kUnavailable.
   void Stop();
 
+  // Dedup bookkeeping for stamped requests (client_id != 0). The batcher
+  // owns the staged/durable transition because only it can tell a failed
+  // stage (nothing landed; the stamp is released) from a failed covering
+  // force (the entry IS in the buffer; the stamp stays staged so a retry
+  // replays instead of re-logging). Call before Start().
+  void set_dedup(AppendDedupIndex* dedup) { dedup_ = dedup; }
+
   // Blocking: returns once the append is applied AND the covering batch
   // force has completed. Thread-safe; called from session threads.
   Result<AppendResult> Append(const AppendRequest& request);
@@ -84,6 +92,7 @@ class GroupCommitBatcher {
   LogService* const service_;
   std::mutex* const service_mu_;
   const GroupCommitOptions options_;
+  AppendDedupIndex* dedup_ = nullptr;
 
   std::mutex mu_;
   std::condition_variable queue_cv_;  // commit thread <- arrivals, stop

@@ -1,0 +1,183 @@
+#include "src/net/dedup.h"
+
+namespace clio {
+
+AppendDedupIndex::ClientWindow* AppendDedupIndex::Window(uint64_t client_id) {
+  auto [it, inserted] = clients_.try_emplace(client_id);
+  it->second.lru_tick = ++lru_clock_;
+  if (inserted) {
+    EvictIdleClients();
+  }
+  return &it->second;
+}
+
+AppendDedupIndex::Entry* AppendDedupIndex::Find(uint64_t client_id,
+                                                uint64_t request_seq) {
+  auto client = clients_.find(client_id);
+  if (client == clients_.end()) {
+    return nullptr;
+  }
+  auto it = client->second.entries.find(request_seq);
+  if (it == client->second.entries.end()) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void AppendDedupIndex::EvictIdleClients() {
+  while (clients_.size() > options_.max_clients) {
+    auto victim = clients_.end();
+    for (auto it = clients_.begin(); it != clients_.end(); ++it) {
+      if (it->second.in_flight > 0) {
+        continue;  // never drop a stamp mid-execution
+      }
+      if (victim == clients_.end() ||
+          it->second.lru_tick < victim->second.lru_tick) {
+        victim = it;
+      }
+    }
+    if (victim == clients_.end()) {
+      return;  // every window is busy; tolerate the overshoot
+    }
+    clients_.erase(victim);
+  }
+}
+
+void AppendDedupIndex::Prune(ClientWindow* window) {
+  while (window->completed_order.size() > options_.window_per_client) {
+    window->entries.erase(window->completed_order.front());
+    window->completed_order.pop_front();
+  }
+}
+
+std::optional<AppendDedupIndex::Replay> AppendDedupIndex::Begin(
+    uint64_t client_id, uint64_t request_seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    ClientWindow* window = Window(client_id);
+    auto it = window->entries.find(request_seq);
+    if (it == window->entries.end()) {
+      window->entries.emplace(request_seq, Entry{});
+      ++window->in_flight;
+      ++claims_;
+      return std::nullopt;
+    }
+    if (it->second.state != State::kInFlight) {
+      ++replays_;
+      return Replay{it->second.result,
+                    it->second.state == State::kDurable};
+    }
+    // The original execution of this stamp is still in flight on another
+    // session (a retransmit overtook its own first attempt). Wait for it
+    // to complete, then loop: replay a completion, or claim after a
+    // failure.
+    cv_.wait(lock);
+  }
+}
+
+void AppendDedupIndex::CompleteStaged(uint64_t client_id,
+                                      uint64_t request_seq,
+                                      const AppendResult& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = Find(client_id, request_seq);
+  if (entry == nullptr || entry->state != State::kInFlight) {
+    return;
+  }
+  entry->state = State::kStaged;
+  entry->result = result;
+  ClientWindow* window = Window(client_id);
+  --window->in_flight;
+  window->completed_order.push_back(request_seq);
+  Prune(window);
+  cv_.notify_all();
+}
+
+void AppendDedupIndex::MarkDurable(uint64_t client_id,
+                                   uint64_t request_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = Find(client_id, request_seq);
+  if (entry != nullptr && entry->state == State::kStaged) {
+    entry->state = State::kDurable;
+  }
+}
+
+void AppendDedupIndex::MarkAllStagedDurable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [client_id, window] : clients_) {
+    for (auto& [seq, entry] : window.entries) {
+      if (entry.state == State::kStaged) {
+        entry.state = State::kDurable;
+      }
+    }
+  }
+}
+
+void AppendDedupIndex::CompleteSuccess(uint64_t client_id,
+                                       uint64_t request_seq,
+                                       const AppendResult& result) {
+  CompleteStaged(client_id, request_seq, result);
+  MarkDurable(client_id, request_seq);
+}
+
+void AppendDedupIndex::CompleteFailure(uint64_t client_id,
+                                       uint64_t request_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto client = clients_.find(client_id);
+  if (client == clients_.end()) {
+    return;
+  }
+  auto it = client->second.entries.find(request_seq);
+  if (it != client->second.entries.end() &&
+      it->second.state == State::kInFlight) {
+    client->second.entries.erase(it);
+    --client->second.in_flight;
+  }
+  cv_.notify_all();
+}
+
+void AppendDedupIndex::DropNonDurable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto client = clients_.begin(); client != clients_.end();) {
+    ClientWindow& window = client->second;
+    std::deque<uint64_t> kept_order;
+    for (uint64_t seq : window.completed_order) {
+      auto it = window.entries.find(seq);
+      if (it == window.entries.end()) {
+        continue;
+      }
+      if (it->second.state == State::kDurable) {
+        kept_order.push_back(seq);
+      } else {
+        window.entries.erase(it);
+      }
+    }
+    window.completed_order = std::move(kept_order);
+    // In-flight claims belong to sessions of the dead server incarnation.
+    for (auto it = window.entries.begin(); it != window.entries.end();) {
+      if (it->second.state == State::kInFlight) {
+        it = window.entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    window.in_flight = 0;
+    if (window.entries.empty()) {
+      client = clients_.erase(client);
+    } else {
+      ++client;
+    }
+  }
+  cv_.notify_all();
+}
+
+uint64_t AppendDedupIndex::replays() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replays_;
+}
+
+uint64_t AppendDedupIndex::claims() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return claims_;
+}
+
+}  // namespace clio

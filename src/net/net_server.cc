@@ -21,9 +21,16 @@ Result<std::unique_ptr<NetLogServer>> NetLogServer::Start(
   CLIO_ASSIGN_OR_RETURN(server->listener_,
                         TcpSocket::ListenLoopback(options.port));
   CLIO_ASSIGN_OR_RETURN(server->port_, server->listener_.local_port());
+  if (options.dedup != nullptr) {
+    server->dedup_ = options.dedup;
+  } else {
+    server->owned_dedup_ = std::make_unique<AppendDedupIndex>();
+    server->dedup_ = server->owned_dedup_.get();
+  }
   if (options.batching) {
     server->batcher_ = std::make_unique<GroupCommitBatcher>(
         service, &service->mutex(), options.batch);
+    server->batcher_->set_dedup(server->dedup_);
     server->batcher_->Start();
   }
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
@@ -84,6 +91,10 @@ void NetLogServer::AcceptLoop() {
     sessions_opened_.fetch_add(1);
     auto session = std::make_unique<Session>();
     session->socket = std::move(conn).value();
+    if (options_.session_io_timeout_ms > 0) {
+      // Best effort: a failure here just leaves the session un-deadlined.
+      (void)session->socket.SetIoTimeout(options_.session_io_timeout_ms);
+    }
     Session* raw = session.get();
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -107,7 +118,7 @@ void NetLogServer::ReapFinishedSessions() {
   }
 }
 
-Result<AppendResult> NetLogServer::RouteAppend(const AppendRequest& request) {
+Result<AppendResult> NetLogServer::ExecuteAppend(const AppendRequest& request) {
   // Forced appends share a batch force; unforced ones are pure buffer
   // writes with nothing to amortize, so they run directly.
   if (batcher_ != nullptr && request.force) {
@@ -118,6 +129,62 @@ Result<AppendResult> NetLogServer::RouteAppend(const AppendRequest& request) {
   options.timestamped = request.timestamped;
   options.force = request.force;
   return service_->Append(request.path, request.payload, options);
+}
+
+Status NetLogServer::ForceService() {
+  std::lock_guard<std::mutex> lock(service_->mutex());
+  Status force = service_->Force();
+  if (force.ok()) {
+    // Promotes every staged stamp this force covered (see dedup.h).
+    dedup_->MarkAllStagedDurable();
+  }
+  return force;
+}
+
+Result<AppendResult> NetLogServer::RouteAppend(const AppendRequest& request) {
+  // Unstamped appends (client_id 0) opted out of retry dedup.
+  if (request.client_id == 0) {
+    return ExecuteAppend(request);
+  }
+  if (auto replay = dedup_->Begin(request.client_id, request.request_seq)) {
+    if (request.force && !replay->durable) {
+      // The entry is staged in the log buffer but its covering force never
+      // completed (a transient device fault failed the batch force, and
+      // the client is retrying the lost ack). Re-acking would promise
+      // durability the log doesn't have, and re-executing would duplicate
+      // the entry — so force now (which promotes the stamp to durable),
+      // then replay the recorded ack.
+      CLIO_RETURN_IF_ERROR(ForceService());
+    }
+    return replay->result;
+  }
+  if (batcher_ != nullptr && request.force) {
+    // The batcher completes the claim itself: only it can tell a failed
+    // stage from a failed covering force (see batcher.h).
+    return batcher_->Append(request);
+  }
+  // Unbatched path. Stage with the per-entry force suppressed so a failure
+  // here is unambiguous — nothing landed, the stamp is released — then
+  // force separately if the caller asked for durability.
+  Result<AppendResult> staged = [&]() -> Result<AppendResult> {
+    std::lock_guard<std::mutex> lock(service_->mutex());
+    WriteOptions options;
+    options.timestamped = request.timestamped;
+    options.force = false;
+    return service_->Append(request.path, request.payload, options);
+  }();
+  if (!staged.ok()) {
+    dedup_->CompleteFailure(request.client_id, request.request_seq);
+    return staged;
+  }
+  dedup_->CompleteStaged(request.client_id, request.request_seq, *staged);
+  if (request.force) {
+    CLIO_RETURN_IF_ERROR(ForceService());
+  }
+  // Unforced appends never promised durability, so their acks replay
+  // as-is; forced ones reach here only after the force succeeded.
+  dedup_->MarkDurable(request.client_id, request.request_seq);
+  return staged;
 }
 
 void NetLogServer::SessionLoop(Session* session) {

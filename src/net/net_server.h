@@ -25,6 +25,7 @@
 #include "src/clio/log_service.h"
 #include "src/ipc/codec.h"
 #include "src/net/batcher.h"
+#include "src/net/dedup.h"
 #include "src/net/frame.h"
 #include "src/net/socket.h"
 
@@ -40,6 +41,15 @@ struct NetLogServerOptions {
   GroupCommitOptions batch;
   // Per-frame body cap for this server (see src/net/frame.h).
   uint32_t max_frame_body = kMaxFrameBodySize;
+  // Deadline on each blocking send/recv of a session socket, so one hung
+  // or wedged client cannot pin a session thread forever (the stall
+  // surfaces as kUnavailable and the session closes). 0 disables.
+  uint64_t session_io_timeout_ms = 10'000;
+  // Dedup window for stamped appends (see src/net/dedup.h). When null the
+  // server owns a private index; a supervisor that restarts servers
+  // should pass a long-lived index here so retried appends whose acks
+  // were lost to a crash still deduplicate after the restart.
+  AppendDedupIndex* dedup = nullptr;
 };
 
 class NetLogServer {
@@ -67,6 +77,8 @@ class NetLogServer {
   uint64_t frames_dispatched() const { return frames_dispatched_.load(); }
   uint64_t frames_rejected() const { return frames_rejected_.load(); }
   const GroupCommitBatcher* batcher() const { return batcher_.get(); }
+  // The dedup index in effect (caller-supplied or server-owned).
+  const AppendDedupIndex* dedup() const { return dedup_; }
 
  private:
   struct Session {
@@ -80,6 +92,8 @@ class NetLogServer {
   void AcceptLoop();
   void SessionLoop(Session* session);
   Result<AppendResult> RouteAppend(const AppendRequest& request);
+  Result<AppendResult> ExecuteAppend(const AppendRequest& request);
+  Status ForceService();
   void ReapFinishedSessions();
 
   LogService* const service_;
@@ -87,6 +101,8 @@ class NetLogServer {
   TcpSocket listener_;
   uint16_t port_ = 0;
   std::unique_ptr<GroupCommitBatcher> batcher_;
+  std::unique_ptr<AppendDedupIndex> owned_dedup_;
+  AppendDedupIndex* dedup_ = nullptr;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;  // Stop() already ran to completion

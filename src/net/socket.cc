@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -91,6 +92,17 @@ Result<uint16_t> TcpSocket::local_port() const {
   return ntohs(addr.sin_port);
 }
 
+Status TcpSocket::SetIoTimeout(uint64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)");
+  }
+  return Status::Ok();
+}
+
 Status TcpSocket::WriteAll(std::span<const std::byte> data) {
   size_t sent = 0;
   while (sent < data.size()) {
@@ -100,6 +112,9 @@ Status TcpSocket::WriteAll(std::span<const std::byte> data) {
     if (n < 0) {
       if (errno == EINTR) {
         continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Unavailable("send timed out (peer not draining)");
       }
       return ErrnoStatus("send");
     }
@@ -115,6 +130,9 @@ Result<size_t> TcpSocket::ReadFull(std::span<std::byte> out) {
     if (n < 0) {
       if (errno == EINTR) {
         continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Unavailable("recv timed out (peer stalled mid-message)");
       }
       return ErrnoStatus("recv");
     }

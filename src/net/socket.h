@@ -38,13 +38,20 @@ class TcpSocket {
   // Port this socket is bound to.
   Result<uint16_t> local_port() const;
 
+  // Installs a deadline on every subsequent blocking send and receive:
+  // an operation stalled longer than `timeout_ms` fails with kUnavailable
+  // instead of wedging the calling thread behind a hung peer. 0 clears
+  // the deadline (block forever).
+  Status SetIoTimeout(uint64_t timeout_ms);
+
   // Writes all of `data` (retrying short writes). kUnavailable if the
-  // peer is gone.
+  // peer is gone or the I/O deadline expires.
   Status WriteAll(std::span<const std::byte> data);
 
   // Reads exactly out.size() bytes unless the peer closes first: returns
   // the number of bytes read (< out.size() means EOF mid-buffer, 0 means
-  // clean EOF before anything arrived). Socket errors are a Status.
+  // clean EOF before anything arrived). Socket errors (including an
+  // expired I/O deadline) are a Status.
   Result<size_t> ReadFull(std::span<std::byte> out);
 
   // Blocks until the socket is readable (data, EOF, or error — any state

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/clio/log_service.h"
+#include "src/clio/verify.h"
 #include "src/device/fault_injection.h"
 #include "src/device/memory_worm_device.h"
 #include "tests/test_util.h"
@@ -258,6 +259,101 @@ TEST(Corruption, TornTailIsInvalidatedAtRecovery) {
   ASSERT_TRUE(record.has_value());
   ByteReader payload(record->payload);
   EXPECT_EQ(payload.GetU64(), torn_block);
+}
+
+TEST(Corruption, SilentlyCorruptedLastBlockIsAbsorbedAtRecovery) {
+  // The nastiest tail case: the LAST written block of the volume is
+  // silently corrupted in place — its trailer (the backward-growing size
+  // index plus footer) turned to garbage, as a dying controller might
+  // leave it. Unlike a torn block past the end, this block IS the end:
+  // recovery must detect it (the footer CRC covers the whole block), lop
+  // it off, and leave a volume that verifies clean and keeps appending.
+  MemoryWormOptions dev;
+  dev.block_size = 512;
+  dev.capacity_blocks = 4096;
+  MemoryWormDevice media(dev);
+  SimulatedClock clock(1'000'000, 7);
+  LogServiceOptions options;
+  options.entrymap_degree = 8;
+  constexpr int kEntries = 50;
+  uint64_t last_block = 0;
+  int entries_in_last = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(
+        auto service,
+        LogService::Create(
+            std::make_unique<testing::BorrowedDevice>(&media), &clock,
+            options));
+    ASSERT_OK(service->CreateLogFile("/log").status());
+    WriteOptions forced;
+    forced.force = true;
+    for (int i = 0; i < kEntries; ++i) {
+      ASSERT_OK(service->Append("/log", AsBytes("e" + std::to_string(i)),
+                                forced)
+                    .status());
+    }
+    // How many log entries live in the block about to be mutilated? (The
+    // very last burn may be an index or catalog block holding none.)
+    last_block = media.frontier() - 1;
+    ASSERT_OK_AND_ASSIGN(auto reader, service->OpenReader("/log"));
+    reader->SeekToStart();
+    while (true) {
+      ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+      if (!record.has_value()) {
+        break;
+      }
+      if (record->position.block == last_block) {
+        ++entries_in_last;
+      }
+    }
+  }
+
+  // Garble the trailer index region (the bytes just below the footer) of
+  // the last block and put the mutilated image back.
+  Bytes image(dev.block_size);
+  ASSERT_OK(media.ReadBlock(last_block, image));
+  for (size_t i = dev.block_size - 20; i < dev.block_size - 12; ++i) {
+    image[i] ^= std::byte{0xA5};
+  }
+  media.Scribble(last_block, image);
+
+  RecoveryReport report;
+  std::vector<std::unique_ptr<WormDevice>> devices;
+  devices.push_back(std::make_unique<testing::BorrowedDevice>(&media));
+  ASSERT_OK_AND_ASSIGN(auto service, LogService::Recover(std::move(devices),
+                                                         &clock, options,
+                                                         &report));
+  EXPECT_GE(report.invalidated_blocks, 1u);
+  EXPECT_EQ(media.BlockState(last_block), WormBlockState::kInvalidated);
+
+  // Exactly the entries of the corrupted block are lost; everything below
+  // it replays, in order.
+  ASSERT_OK_AND_ASSIGN(auto reader, service->OpenReader("/log"));
+  reader->SeekToStart();
+  int intact = 0;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+    if (!record.has_value()) {
+      break;
+    }
+    EXPECT_EQ(ToString(record->payload), "e" + std::to_string(intact));
+    ++intact;
+  }
+  EXPECT_EQ(intact, kEntries - entries_in_last);
+
+  ASSERT_OK_AND_ASSIGN(VerifyReport verify,
+                       VerifyVolume(service->current_volume()));
+  EXPECT_TRUE(verify.clean());
+
+  // The volume is open for business: appends land and read back.
+  WriteOptions forced;
+  forced.force = true;
+  ASSERT_OK(service->Append("/log", AsBytes("after"), forced).status());
+  ASSERT_OK_AND_ASSIGN(auto tail, service->OpenReader("/log"));
+  tail->SeekToEnd();
+  ASSERT_OK_AND_ASSIGN(auto record, tail->Prev());
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(ToString(record->payload), "after");
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // end query, persistence, the optical latency model and fault injection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -232,6 +233,137 @@ TEST(FaultInjection, TransientReadFailuresSurface) {
   Bytes out(256);
   EXPECT_EQ(device.ReadBlock(0, out).code(), StatusCode::kUnavailable);
   EXPECT_EQ(device.injected_read_failures(), 1u);
+}
+
+TEST(FaultInjection, InjectedFaultsShowInDeviceStats) {
+  FaultPolicy policy;
+  policy.garbage_append_per_mille = 1000;
+  policy.transient_read_failure_per_mille = 1000;
+  FaultInjectingWormDevice device(
+      std::make_unique<MemoryWormDevice>(SmallDevice()), policy, 1);
+  EXPECT_EQ(device.stats().failed_ops, 0u);
+  EXPECT_FALSE(device.AppendBlock(Pattern(256, 0)).ok());
+  Bytes out(256);
+  EXPECT_FALSE(device.ReadBlock(0, out).ok());
+  // The injector's failures are folded into the reported stats instead of
+  // being silently absorbed by the decorator.
+  EXPECT_EQ(device.stats().failed_ops, 2u);
+  EXPECT_GE(device.stats().reads, 1u);
+  device.ResetStats();
+  EXPECT_EQ(device.stats().failed_ops, 0u);
+  EXPECT_EQ(device.stats().reads, 0u);
+}
+
+TEST(FaultInjection, PowerCutScheduleKillsAndRearms) {
+  FaultPolicy policy;
+  policy.power_cut_after_appends = 3;
+  policy.torn_write_at_power_cut = false;
+  FaultInjectingWormDevice device(
+      std::make_unique<MemoryWormDevice>(SmallDevice()), policy, 7);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(device.AppendBlock(Pattern(256, i)).status());
+  }
+  EXPECT_FALSE(device.powered_off());
+  EXPECT_EQ(device.AppendBlock(Pattern(256, 9)).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(device.powered_off());
+  EXPECT_EQ(device.power_cuts(), 1u);
+  // Everything fails while the device is dark.
+  Bytes out(256);
+  EXPECT_EQ(device.ReadBlock(0, out).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(device.QueryEnd().status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(device.InvalidateBlock(0).code(), StatusCode::kUnavailable);
+  device.Revive();
+  EXPECT_FALSE(device.powered_off());
+  ASSERT_OK(device.ReadBlock(0, out));
+  // Revive re-arms the schedule: three more appends, then the next cut.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(device.AppendBlock(Pattern(256, i)).status());
+  }
+  EXPECT_EQ(device.AppendBlock(Pattern(256, 9)).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(device.power_cuts(), 2u);
+}
+
+TEST(FaultInjection, PowerCutTornWriteLeavesPartialBlock) {
+  FaultPolicy policy;
+  policy.power_cut_after_appends = 1;
+  policy.torn_write_at_power_cut = true;
+  FaultInjectingWormDevice device(
+      std::make_unique<MemoryWormDevice>(SmallDevice()), policy, 3);
+  ASSERT_OK(device.AppendBlock(Pattern(256, 1)).status());
+  Bytes image = Pattern(256, 2);
+  EXPECT_EQ(device.AppendBlock(image).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(device.injected_torn_appends(), 1u);
+  device.Revive();
+  // Block 1 holds a strict prefix of the intended image, then garbage —
+  // the signature of a burn interrupted mid-way.
+  Bytes out(256);
+  ASSERT_OK(device.ReadBlock(1, out));
+  EXPECT_TRUE(std::equal(out.begin(), out.begin() + 16, image.begin()));
+  EXPECT_NE(ToString(out), ToString(image));
+  // The frontier moved past the torn block: good data lands after it.
+  ASSERT_OK_AND_ASSIGN(uint64_t where, device.AppendBlock(Pattern(256, 3)));
+  EXPECT_EQ(where, 2u);
+}
+
+TEST(FaultInjection, TornAppendFaultsProducePartialBlocks) {
+  FaultPolicy policy;
+  policy.torn_append_per_mille = 1000;
+  FaultInjectingWormDevice device(
+      std::make_unique<MemoryWormDevice>(SmallDevice()), policy, 5);
+  Bytes image = Pattern(256, 4);
+  EXPECT_EQ(device.AppendBlock(image).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(device.injected_torn_appends(), 1u);
+  Bytes out(256);
+  ASSERT_OK(device.ReadBlock(0, out));
+  EXPECT_TRUE(std::equal(out.begin(), out.begin() + 16, image.begin()));
+  EXPECT_NE(ToString(out), ToString(image));
+}
+
+TEST(FaultInjection, QueryEndUnderReportsButNeverOverReports) {
+  FaultPolicy policy;
+  policy.query_end_lies_per_mille = 1000;
+  FaultInjectingWormDevice device(
+      std::make_unique<MemoryWormDevice>(SmallDevice()), policy, 11);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(device.AppendBlock(Pattern(256, i)).status());
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK_AND_ASSIGN(uint64_t lied, device.QueryEnd());
+    EXPECT_LT(lied, 10u);
+    EXPECT_GE(lied, 2u);  // under-reports by at most 8
+  }
+  EXPECT_EQ(device.injected_query_end_lies(), 8u);
+  ASSERT_OK_AND_ASSIGN(uint64_t truth, device.base()->QueryEnd());
+  EXPECT_EQ(truth, 10u);
+}
+
+TEST(FaultInjection, DecoratesFileBackedDevices) {
+  // The decorator is generic over WormDevice: wrap the file-backed device
+  // and garbage still lands in the log through the ordinary append path.
+  std::string path = ::testing::TempDir() + "/clio_fault_file_test.dev";
+  std::remove(path.c_str());
+  std::remove((path + ".state").c_str());
+  FileWormOptions file_options;
+  file_options.block_size = 256;
+  file_options.capacity_blocks = 32;
+  ASSERT_OK_AND_ASSIGN(auto file_device,
+                       FileWormDevice::Open(path, file_options));
+  FaultPolicy policy;
+  policy.garbage_append_per_mille = 1000;
+  FaultInjectingWormDevice device(std::move(file_device), policy, 13);
+  EXPECT_EQ(device.AppendBlock(Pattern(256, 0)).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(device.injected_garbage_appends(), 1u);
+  // The wild write consumed block 0 on the real media.
+  ASSERT_OK_AND_ASSIGN(uint64_t end, device.base()->QueryEnd());
+  EXPECT_EQ(end, 1u);
+  EXPECT_EQ(device.BlockState(0), WormBlockState::kWritten);
+  std::remove(path.c_str());
+  std::remove((path + ".state").c_str());
 }
 
 TEST(Nvram, StoreAndClear) {

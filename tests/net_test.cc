@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "src/clio/verify.h"
+#include "src/device/fault_injection.h"
 #include "src/net/batcher.h"
+#include "src/net/dedup.h"
 #include "src/net/frame.h"
 #include "src/net/net_client.h"
 #include "src/net/net_server.h"
@@ -294,13 +296,29 @@ TEST_F(NetServerTest, UnknownOpGetsErrorReply) {
             StatusCode::kUnimplemented);
 }
 
-TEST_F(NetServerTest, IdleSessionIsClosed) {
+TEST_F(NetServerTest, IdleCloseIsRiddenThroughByReconnect) {
   NetLogServerOptions options;
   options.idle_timeout_ms = 80;
   StartServer(options);
   auto client = Client();
+  ASSERT_OK(client->CreateLogFile("/early").status());
   std::this_thread::sleep_for(std::chrono::milliseconds(500));
-  // The server hung up on us while we idled.
+  EXPECT_GE(server_->sessions_idle_closed(), 1u);
+  // The server hung up while we idled; the client reconnects under the
+  // covers and the call still succeeds.
+  ASSERT_OK(client->CreateLogFile("/late").status());
+  EXPECT_GE(client->reconnects(), 1u);
+}
+
+TEST_F(NetServerTest, IdleCloseSurfacesWhenRetryDisabled) {
+  NetLogServerOptions options;
+  options.idle_timeout_ms = 80;
+  StartServer(options);
+  NetClientOptions copts;
+  copts.retry.max_attempts = 1;  // opt out of reconnect/retry
+  ASSERT_OK_AND_ASSIGN(auto client,
+                       NetLogClient::Connect(server_->port(), copts));
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
   EXPECT_EQ(client->CreateLogFile("/late").status().code(),
             StatusCode::kUnavailable);
   EXPECT_GE(server_->sessions_idle_closed(), 1u);
@@ -496,6 +514,399 @@ TEST_F(NetServerTest, GracefulDrainAnswersInFlightRequests) {
   ASSERT_OK_AND_ASSIGN(VerifyReport report,
                        VerifyVolume(fx_.service->current_volume()));
   EXPECT_TRUE(report.clean());
+}
+
+// ---------------------------------------------------------------------------
+// Append dedup (unit)
+
+TEST(AppendDedup, ReplaysCompletedStamps) {
+  AppendDedupIndex index;
+  EXPECT_FALSE(index.Begin(1, 1).has_value());  // claimed
+  AppendResult result;
+  result.timestamp = 1234;
+  index.CompleteSuccess(1, 1, result);
+  auto replay = index.Begin(1, 1);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(replay->result.timestamp, 1234);
+  EXPECT_TRUE(replay->durable);
+  EXPECT_EQ(index.replays(), 1u);
+  EXPECT_EQ(index.claims(), 1u);
+  // A different stamp (same client, next seq) is a fresh claim.
+  EXPECT_FALSE(index.Begin(1, 2).has_value());
+  // A different client reusing the same seq is independent too.
+  EXPECT_FALSE(index.Begin(2, 1).has_value());
+}
+
+TEST(AppendDedup, FailureReleasesTheStamp) {
+  AppendDedupIndex index;
+  EXPECT_FALSE(index.Begin(7, 1).has_value());
+  index.CompleteFailure(7, 1);
+  // The retry executes afresh instead of replaying a failure.
+  EXPECT_FALSE(index.Begin(7, 1).has_value());
+  EXPECT_EQ(index.claims(), 2u);
+  EXPECT_EQ(index.replays(), 0u);
+}
+
+TEST(AppendDedup, StagedEntriesReplayAsNotDurable) {
+  AppendDedupIndex index;
+  ASSERT_FALSE(index.Begin(5, 1).has_value());
+  AppendResult result;
+  result.timestamp = 77;
+  index.CompleteStaged(5, 1, result);
+  // Staged but not durable: the server must re-force before re-acking.
+  auto replay = index.Begin(5, 1);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(replay->result.timestamp, 77);
+  EXPECT_FALSE(replay->durable);
+  index.MarkDurable(5, 1);
+  replay = index.Begin(5, 1);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(replay->durable);
+}
+
+TEST(AppendDedup, DropNonDurableForgetsStagedAndInFlight) {
+  AppendDedupIndex index;
+  AppendResult result;
+  result.timestamp = 1;
+  ASSERT_FALSE(index.Begin(9, 1).has_value());
+  index.CompleteSuccess(9, 1, result);  // durable: survives the restart
+  ASSERT_FALSE(index.Begin(9, 2).has_value());
+  index.CompleteStaged(9, 2, result);  // staged: died in the crashed buffer
+  ASSERT_FALSE(index.Begin(9, 3).has_value());  // in flight: session is gone
+  index.DropNonDurable();
+  EXPECT_TRUE(index.Begin(9, 1).has_value());   // still replays
+  EXPECT_FALSE(index.Begin(9, 2).has_value());  // retry re-executes
+  EXPECT_FALSE(index.Begin(9, 3).has_value());  // retry re-executes
+}
+
+TEST(AppendDedup, WindowPrunesOldestCompletions) {
+  AppendDedupOptions options;
+  options.window_per_client = 4;
+  AppendDedupIndex index(options);
+  AppendResult result;
+  for (uint64_t seq = 1; seq <= 10; ++seq) {
+    EXPECT_FALSE(index.Begin(1, seq).has_value());
+    result.timestamp = static_cast<Timestamp>(seq);
+    index.CompleteSuccess(1, seq, result);
+  }
+  // Seqs 7..10 are inside the window; 1..6 fell out, so a (stale) retry
+  // of seq 1 re-executes instead of replaying.
+  ASSERT_TRUE(index.Begin(1, 10).has_value());
+  EXPECT_FALSE(index.Begin(1, 1).has_value());
+}
+
+TEST(AppendDedup, ConcurrentDuplicateWaitsForTheOriginal) {
+  AppendDedupIndex index;
+  ASSERT_FALSE(index.Begin(3, 9).has_value());  // original in flight
+  std::atomic<bool> replayed{false};
+  std::thread dup([&] {
+    auto replay = index.Begin(3, 9);  // blocks until the original lands
+    replayed.store(replay.has_value() && replay->result.timestamp == 55);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  AppendResult result;
+  result.timestamp = 55;
+  index.CompleteSuccess(3, 9, result);
+  dup.join();
+  EXPECT_TRUE(replayed.load());
+}
+
+// ---------------------------------------------------------------------------
+// Idempotent retry over the wire
+
+// One raw framed round trip (no client retry machinery in the way).
+Result<Bytes> RawCall(TcpSocket* socket, const Bytes& frame) {
+  CLIO_RETURN_IF_ERROR(socket->WriteAll(frame));
+  Bytes header_buf(kFrameHeaderSize);
+  CLIO_ASSIGN_OR_RETURN(size_t n, socket->ReadFull(header_buf));
+  if (n != kFrameHeaderSize) {
+    return Unavailable("server closed the connection");
+  }
+  CLIO_ASSIGN_OR_RETURN(FrameHeader header, DecodeFrameHeader(header_buf));
+  Bytes body(header.body_size);
+  if (header.body_size > 0) {
+    CLIO_ASSIGN_OR_RETURN(n, socket->ReadFull(body));
+    if (n != header.body_size) {
+      return Unavailable("server closed mid-reply");
+    }
+  }
+  return DecodeReplyBody(body);
+}
+
+TEST_F(NetServerTest, RetransmittedAppendIsAckedOnceLogged) {
+  StartServer();
+  {
+    auto setup = Client();
+    ASSERT_OK(setup->CreateLogFile("/dedup").status());
+  }
+  // A stamped append, transmitted twice on the same connection — exactly
+  // what a client does when the first reply is lost in transit.
+  Bytes body = EncodeAppendRequest("/dedup", AsBytes("exactly-once"),
+                                   /*timestamped=*/true, /*force=*/true,
+                                   /*client_id=*/42, /*request_seq=*/7);
+  FrameHeader header;
+  header.op = static_cast<uint32_t>(LogOp::kAppend);
+  header.request_id = 100;
+  Bytes frame = EncodeFrame(header, body);
+
+  ASSERT_OK_AND_ASSIGN(TcpSocket raw,
+                       TcpSocket::ConnectLoopback(server_->port()));
+  ASSERT_OK_AND_ASSIGN(Bytes first, RawCall(&raw, frame));
+  ASSERT_OK_AND_ASSIGN(Bytes second, RawCall(&raw, frame));
+  ByteReader r1(first);
+  ByteReader r2(second);
+  EXPECT_EQ(r1.GetI64(), r2.GetI64());  // same ack, same timestamp
+  EXPECT_EQ(server_->dedup()->replays(), 1u);
+
+  // The log holds the entry exactly once.
+  auto reader = Client();
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, reader->OpenReader("/dedup"));
+  int count = 0;
+  for (;;) {
+    ASSERT_OK_AND_ASSIGN(auto record, reader->ReadNext(handle));
+    if (!record.has_value()) {
+      break;
+    }
+    EXPECT_EQ(ToString(record->payload), "exactly-once");
+    ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Transient storage faults surface as retryable errors, not dead sessions
+
+TEST(NetFault, TransientDeviceFaultIsRiddenThroughByRetry) {
+  MemoryWormOptions dev_options;
+  dev_options.block_size = 1024;
+  dev_options.capacity_blocks = 4096;
+  FaultPolicy policy;
+  policy.power_cut_after_appends = 12;  // cut power every 12 device burns
+  auto injector = std::make_unique<FaultInjectingWormDevice>(
+      std::make_unique<MemoryWormDevice>(dev_options), policy, /*seed=*/99);
+  FaultInjectingWormDevice* injector_raw = injector.get();
+  SimulatedClock clock(1'000'000, /*auto_tick=*/7);
+  LogServiceOptions sopts;
+  sopts.sequence_id = 0xFA171;
+  ASSERT_OK_AND_ASSIGN(
+      auto service,
+      LogService::Create(std::move(injector), &clock, sopts));
+  ASSERT_OK_AND_ASSIGN(auto server, NetLogServer::Start(service.get()));
+
+  // A little supervisor: power the device back on whenever it dies.
+  std::atomic<bool> stop_reviver{false};
+  std::thread reviver([&] {
+    while (!stop_reviver.load()) {
+      if (injector_raw->powered_off()) {
+        injector_raw->Revive();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  ASSERT_OK_AND_ASSIGN(auto client, NetLogClient::Connect(server->port()));
+  ASSERT_OK(client->CreateLogFile("/flaky").status());
+  constexpr int kAppends = 30;
+  for (int i = 0; i < kAppends; ++i) {
+    std::string payload = "p" + std::to_string(i);
+    ASSERT_OK(
+        client->Append("/flaky", AsBytes(payload), true, true).status());
+  }
+  stop_reviver.store(true);
+  reviver.join();
+
+  // The cuts really happened, the client really retried — and never had
+  // to reconnect, because kUnavailable rode the wire as an error reply
+  // instead of killing the session.
+  EXPECT_GE(injector_raw->power_cuts(), 1u);
+  EXPECT_GE(client->retries(), 1u);
+  EXPECT_EQ(client->reconnects(), 0u);
+
+  // Every acknowledged append is present exactly once, in order.
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, client->OpenReader("/flaky"));
+  for (int i = 0; i < kAppends; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto record, client->ReadNext(handle));
+    ASSERT_TRUE(record.has_value()) << "entry " << i << " missing";
+    EXPECT_EQ(ToString(record->payload), "p" + std::to_string(i));
+  }
+  ASSERT_OK_AND_ASSIGN(auto end, client->ReadNext(handle));
+  EXPECT_FALSE(end.has_value());
+  server->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Server restart: clients and readers ride through
+
+class NetRestartTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MemoryWormOptions dev_options;
+    dev_options.block_size = 1024;
+    dev_options.capacity_blocks = 4096;
+    media_ = std::make_unique<MemoryWormDevice>(dev_options);
+    auto service = LogService::Create(
+        std::make_unique<testing::BorrowedDevice>(media_.get()), &clock_,
+        ServiceOptions());
+    ASSERT_OK(service.status());
+    service_ = std::move(service).value();
+    StartServer(0);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+    }
+  }
+
+  LogServiceOptions ServiceOptions() {
+    LogServiceOptions options;
+    options.sequence_id = 0xFEED;
+    return options;
+  }
+
+  void StartServer(uint16_t port) {
+    NetLogServerOptions options;
+    options.port = port;
+    // Supervisor-owned dedup index: it outlives individual server
+    // incarnations, so acks lost to a restart still deduplicate.
+    options.dedup = &dedup_;
+    options.batch.max_hold_us = 500;
+    auto server = NetLogServer::Start(service_.get(), options);
+    ASSERT_OK(server.status());
+    server_ = std::move(server).value();
+    port_ = server_->port();
+  }
+
+  // Stop the server, drop the service ("crash" — only the media and the
+  // supervisor state survive), re-run recovery, resume on the same port.
+  void RestartServer() {
+    server_->Stop();
+    server_.reset();
+    service_.reset();
+    std::vector<std::unique_ptr<WormDevice>> devices;
+    devices.push_back(
+        std::make_unique<testing::BorrowedDevice>(media_.get()));
+    RecoveryReport report;
+    auto service = LogService::Recover(std::move(devices), &clock_,
+                                       ServiceOptions(), &report);
+    ASSERT_OK(service.status());
+    service_ = std::move(service).value();
+    StartServer(port_);
+  }
+
+  SimulatedClock clock_{1'000'000, /*auto_tick=*/7};
+  AppendDedupIndex dedup_;
+  std::unique_ptr<MemoryWormDevice> media_;
+  std::unique_ptr<LogService> service_;
+  std::unique_ptr<NetLogServer> server_;
+  uint16_t port_ = 0;
+};
+
+TEST_F(NetRestartTest, ClientRidesThroughServerRestart) {
+  ASSERT_OK_AND_ASSIGN(auto client, NetLogClient::Connect(port_));
+  ASSERT_OK(client->CreateLogFile("/ride").status());
+  ASSERT_OK(client->Append("/ride", AsBytes("before"), true, true).status());
+
+  RestartServer();
+
+  // The same client object keeps working: the dead connection is noticed,
+  // re-established, and the call retried.
+  ASSERT_OK(client->Append("/ride", AsBytes("after"), true, true).status());
+  EXPECT_GE(client->reconnects(), 1u);
+
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, client->OpenReader("/ride"));
+  ASSERT_OK_AND_ASSIGN(auto a, client->ReadNext(handle));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(ToString(a->payload), "before");
+  ASSERT_OK_AND_ASSIGN(auto b, client->ReadNext(handle));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(ToString(b->payload), "after");
+}
+
+TEST_F(NetRestartTest, ReaderCursorSurvivesServerRestart) {
+  ASSERT_OK_AND_ASSIGN(auto client, NetLogClient::Connect(port_));
+  ASSERT_OK(client->CreateLogFile("/cursor").status());
+  for (int i = 0; i < 5; ++i) {
+    std::string payload = "e" + std::to_string(i);
+    ASSERT_OK(
+        client->Append("/cursor", AsBytes(payload), true, true).status());
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, client->OpenReader("/cursor"));
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto record, client->ReadNext(handle));
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(ToString(record->payload), "e" + std::to_string(i));
+  }
+
+  RestartServer();
+
+  // The server-side reader died with its session; the virtual handle
+  // re-opens it and replays the cursor to entry 2.
+  for (int i = 2; i < 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto record, client->ReadNext(handle));
+    ASSERT_TRUE(record.has_value()) << "entry " << i;
+    EXPECT_EQ(ToString(record->payload), "e" + std::to_string(i));
+  }
+  ASSERT_OK_AND_ASSIGN(auto end, client->ReadNext(handle));
+  EXPECT_FALSE(end.has_value());
+  EXPECT_GE(client->reconnects(), 1u);
+  ASSERT_OK(client->CloseReader(handle));
+}
+
+TEST_F(NetRestartTest, SeekAnchoredReaderReplaysFromItsAnchor) {
+  ASSERT_OK_AND_ASSIGN(auto client, NetLogClient::Connect(port_));
+  ASSERT_OK(client->CreateLogFile("/anchored").status());
+  for (int i = 0; i < 6; ++i) {
+    std::string payload = "a" + std::to_string(i);
+    ASSERT_OK(
+        client->Append("/anchored", AsBytes(payload), true, true).status());
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, client->OpenReader("/anchored"));
+  ASSERT_OK(client->SeekToEnd(handle));
+  ASSERT_OK_AND_ASSIGN(auto last, client->ReadPrev(handle));
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(ToString(last->payload), "a5");
+
+  RestartServer();
+
+  // Anchor = end, offset = -1: the replay lands just before a5, so the
+  // next Prev yields a4.
+  ASSERT_OK_AND_ASSIGN(auto prev, client->ReadPrev(handle));
+  ASSERT_TRUE(prev.has_value());
+  EXPECT_EQ(ToString(prev->payload), "a4");
+}
+
+// ---------------------------------------------------------------------------
+// Socket I/O deadlines
+
+TEST(SocketDeadline, StalledRecvSurfacesAsUnavailable) {
+  ASSERT_OK_AND_ASSIGN(TcpSocket listener, TcpSocket::ListenLoopback(0));
+  ASSERT_OK_AND_ASSIGN(uint16_t port, listener.local_port());
+  ASSERT_OK_AND_ASSIGN(TcpSocket client, TcpSocket::ConnectLoopback(port));
+  ASSERT_OK(client.SetIoTimeout(100));
+  // Nobody ever sends: the read must time out, not hang.
+  Bytes buf(8);
+  auto n = client.ReadFull(buf);
+  EXPECT_EQ(n.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SocketDeadline, HungServerCannotWedgeAClientCall) {
+  // A "server" that completes the TCP handshake (via the accept backlog)
+  // but never reads or replies.
+  ASSERT_OK_AND_ASSIGN(TcpSocket listener, TcpSocket::ListenLoopback(0));
+  ASSERT_OK_AND_ASSIGN(uint16_t port, listener.local_port());
+  NetClientOptions copts;
+  copts.io_timeout_ms = 100;
+  copts.retry.max_attempts = 2;
+  copts.retry.initial_backoff_ms = 1;
+  copts.retry.max_backoff_ms = 2;
+  ASSERT_OK_AND_ASSIGN(auto client, NetLogClient::Connect(port, copts));
+  auto begin = std::chrono::steady_clock::now();
+  EXPECT_EQ(client->CreateLogFile("/never").status().code(),
+            StatusCode::kUnavailable);
+  auto elapsed = std::chrono::steady_clock::now() - begin;
+  // Two attempts at ~100ms each plus slack — nowhere near a hang.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
 }
 
 }  // namespace
