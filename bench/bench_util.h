@@ -1,13 +1,20 @@
 // Shared scaffolding for the paper-reproduction benches. Each bench binary
 // regenerates one table or figure from the paper (see DESIGN.md §4) and
-// prints it in the paper's row/series layout.
+// prints it in the paper's row/series layout. Alongside the table, a bench
+// can record its measurements into a BenchReport, which writes a
+// machine-readable BENCH_<name>.json the CI regression comparator
+// (bench/compare_bench.py) consumes — see README "Benchmark pipeline".
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/clio/log_service.h"
 #include "src/device/memory_worm_device.h"
@@ -74,6 +81,147 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("%s\n  (reproduces %s)\n", title, paper_ref);
   std::printf("==========================================================\n");
 }
+
+// True when the bench should run a reduced workload suitable for a CI
+// smoke job (fewer iterations / cells, same code paths). Set by the
+// bench-smoke CI job; the regression comparator only compares ops present
+// in both baseline and run, so fast-mode and full-mode records coexist.
+inline bool FastMode() {
+  const char* v = std::getenv("CLIO_BENCH_FAST");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Exact percentile over raw per-op samples (sorts a copy; fine at bench
+// sizes). Benches that keep raw latencies use this; benches that only
+// have aggregate rates record those as derived counters instead.
+inline double SamplePercentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  double rank = p * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+// Accumulates one bench binary's measurements and writes them as
+// BENCH_<name>.json for bench/compare_bench.py. Shape:
+//
+//   {"bench":"write_latency","fast":true,
+//    "ops":{"<op>":{"n":2000,"us_per_op":12.4,
+//                   "p50_us":11.0,"p95_us":19.2,"p99_us":30.1,
+//                   "max_us":88.0,
+//                   "counters":{"appends_per_sec":52000.0, ...}}}}
+//
+// Time metrics (us_per_op, p50/p95/p99/max) regress when they go UP;
+// "counters" holds derived throughput-like values that regress when they
+// go DOWN. The comparator knows the difference by key name.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  // Record an op measured via raw per-op latency samples (microseconds).
+  void AddSamples(const std::string& op, const std::vector<double>& us) {
+    Op& o = ops_[op];
+    o.n = us.size();
+    double total = 0;
+    for (double v : us) {
+      total += v;
+    }
+    o.us_per_op = us.empty() ? 0.0 : total / static_cast<double>(us.size());
+    o.p50_us = SamplePercentile(us, 0.50);
+    o.p95_us = SamplePercentile(us, 0.95);
+    o.p99_us = SamplePercentile(us, 0.99);
+    o.max_us = us.empty() ? 0.0 : *std::max_element(us.begin(), us.end());
+  }
+
+  // Record an op where only the mean latency is known.
+  void AddMean(const std::string& op, size_t n, double us_per_op) {
+    Op& o = ops_[op];
+    o.n = n;
+    o.us_per_op = us_per_op;
+  }
+
+  // Attach percentiles the bench computed itself (it kept aggregate
+  // latencies rather than raw samples).
+  void AddPercentiles(const std::string& op, double p50_us, double p99_us) {
+    Op& o = ops_[op];
+    o.p50_us = p50_us;
+    o.p95_us = std::max(o.p95_us, p50_us);
+    o.p99_us = p99_us;
+    o.max_us = std::max(o.max_us, p99_us);
+  }
+
+  // Attach a derived counter (throughput, batch size, ...) to an op.
+  // Higher is better; the comparator flags decreases.
+  void AddCounter(const std::string& op, const std::string& key,
+                  double value) {
+    ops_[op].counters[key] = value;
+  }
+
+  // Writes BENCH_<name>.json into $CLIO_BENCH_JSON_DIR (or the cwd) and
+  // reports the path on stdout. Returns false (after printing to stderr)
+  // if the file cannot be written — benches treat that as fatal in CI.
+  bool Write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("CLIO_BENCH_JSON_DIR")) {
+      if (env[0] != '\0') {
+        dir = env;
+      }
+    }
+    std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BENCH: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"fast\":%s,\"ops\":{",
+                 bench_name_.c_str(), FastMode() ? "true" : "false");
+    bool first_op = true;
+    for (const auto& [name, op] : ops_) {
+      if (!first_op) {
+        std::fprintf(f, ",");
+      }
+      first_op = false;
+      std::fprintf(f,
+                   "\"%s\":{\"n\":%zu,\"us_per_op\":%.3f,\"p50_us\":%.3f,"
+                   "\"p95_us\":%.3f,\"p99_us\":%.3f,\"max_us\":%.3f,"
+                   "\"counters\":{",
+                   name.c_str(), op.n, op.us_per_op, op.p50_us, op.p95_us,
+                   op.p99_us, op.max_us);
+      bool first_counter = true;
+      for (const auto& [key, value] : op.counters) {
+        if (!first_counter) {
+          std::fprintf(f, ",");
+        }
+        first_counter = false;
+        std::fprintf(f, "\"%s\":%.3f", key.c_str(), value);
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "}}\n");
+    std::fclose(f);
+    std::printf("\nBENCH JSON: %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Op {
+    size_t n = 0;
+    double us_per_op = 0.0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+    std::map<std::string, double> counters;
+  };
+
+  std::string bench_name_;
+  std::map<std::string, Op> ops_;
+};
 
 }  // namespace bench
 }  // namespace clio

@@ -22,34 +22,49 @@ namespace clio {
 namespace bench {
 namespace {
 
-constexpr int kWrites = 2000;
+int Writes() { return FastMode() ? 300 : 2000; }
 
-double TimeAppends(LogClient* client, const char* path, size_t payload_size,
-                   int count) {
-  Rng rng(1);
-  Bytes payload = FillPayload(&rng, payload_size);
-  auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < count; ++i) {
-    BENCH_CHECK_OK(
-        client->Append(path, payload, /*timestamped=*/true).status());
+double Mean(const std::vector<double>& samples) {
+  double total = 0;
+  for (double v : samples) {
+    total += v;
   }
-  return UsSince(start) / count;
+  return samples.empty() ? 0.0 : total / static_cast<double>(samples.size());
 }
 
-double TimeDirectAppends(LogService* service, const char* path,
-                         size_t payload_size, int count) {
+std::vector<double> TimeAppends(LogClient* client, const char* path,
+                                size_t payload_size, int count) {
+  Rng rng(1);
+  Bytes payload = FillPayload(&rng, payload_size);
+  std::vector<double> samples;
+  samples.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    BENCH_CHECK_OK(
+        client->Append(path, payload, /*timestamped=*/true).status());
+    samples.push_back(UsSince(t0));
+  }
+  return samples;
+}
+
+std::vector<double> TimeDirectAppends(LogService* service, const char* path,
+                                      size_t payload_size, int count) {
   Rng rng(2);
   Bytes payload = FillPayload(&rng, payload_size);
   WriteOptions opts;
   opts.timestamped = true;
-  auto start = std::chrono::steady_clock::now();
+  std::vector<double> samples;
+  samples.reserve(count);
   for (int i = 0; i < count; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
     BENCH_CHECK_OK(service->Append(path, payload, opts).status());
+    samples.push_back(UsSince(t0));
   }
-  return UsSince(start) / count;
+  return samples;
 }
 
 void Run() {
+  const int kWrites = Writes();
   PrintHeader("Section 3.2: log writing cost breakdown",
               "paper section 3.2 measurements");
 
@@ -66,15 +81,20 @@ void Run() {
   server.Start();
   LogClient client(&channel);
 
-  double null_us = TimeAppends(&client, "/null", 0, kWrites);
-  double fifty_us = TimeAppends(&client, "/fifty", 50, kWrites);
+  std::vector<double> null_samples = TimeAppends(&client, "/null", 0, kWrites);
+  std::vector<double> fifty_samples =
+      TimeAppends(&client, "/fifty", 50, kWrites);
+  double null_us = Mean(null_samples);
+  double fifty_us = Mean(fifty_samples);
   server.Stop();
 
   // Server-side costs without the IPC hop.
-  double direct_null_us = TimeDirectAppends(b.service.get(), "/direct", 0,
-                                            kWrites);
-  double direct_fifty_us = TimeDirectAppends(b.service.get(), "/direct", 50,
-                                             kWrites);
+  std::vector<double> direct_null_samples =
+      TimeDirectAppends(b.service.get(), "/direct", 0, kWrites);
+  std::vector<double> direct_fifty_samples =
+      TimeDirectAppends(b.service.get(), "/direct", 50, kWrites);
+  double direct_null_us = Mean(direct_null_samples);
+  double direct_fifty_us = Mean(direct_fifty_samples);
 
   // Timestamp generation cost in isolation.
   auto start = std::chrono::steady_clock::now();
@@ -91,8 +111,8 @@ void Run() {
   auto no_entrymap = BenchService::Make(1024, 1 << 18, /*degree=*/1024,
                                         4096);
   BENCH_CHECK_OK(no_entrymap.service->CreateLogFile("/direct").status());
-  double bare_us = TimeDirectAppends(no_entrymap.service.get(), "/direct",
-                                     50, kWrites);
+  double bare_us = Mean(
+      TimeDirectAppends(no_entrymap.service.get(), "/direct", 50, kWrites));
   double entrymap_us = direct_fifty_us > bare_us
                            ? direct_fifty_us - bare_us
                            : 0.0;
@@ -122,6 +142,17 @@ void Run() {
               (null_us - direct_null_us) > direct_null_us ? "yes" : "NO");
   std::printf("  - entrymap upkeep is small vs total server cost:   %s\n",
               entrymap_us < direct_fifty_us ? "yes" : "NO");
+
+  BenchReport report("write_latency");
+  report.AddSamples("ipc_null_append", null_samples);
+  report.AddSamples("ipc_50b_append", fifty_samples);
+  report.AddSamples("direct_null_append", direct_null_samples);
+  report.AddSamples("direct_50b_append", direct_fifty_samples);
+  report.AddMean("timestamp", 100000, ts_us);
+  report.AddMean("entrymap_marginal", kWrites, entrymap_us);
+  if (!report.Write()) {
+    std::exit(1);
+  }
 }
 
 }  // namespace

@@ -2,15 +2,41 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace clio {
+namespace {
+
+// Process-wide mirrors of the per-instance CacheStats, so the kStats op
+// and BENCH_*.json see cache economics across every cache in the process.
+Counter* HitCounter() {
+  static Counter* c = ObsRegistry().counter("clio.cache.hits");
+  return c;
+}
+Counter* MissCounter() {
+  static Counter* c = ObsRegistry().counter("clio.cache.misses");
+  return c;
+}
+Counter* InsertionCounter() {
+  static Counter* c = ObsRegistry().counter("clio.cache.insertions");
+  return c;
+}
+Counter* EvictionCounter() {
+  static Counter* c = ObsRegistry().counter("clio.cache.evictions");
+  return c;
+}
+
+}  // namespace
 
 std::shared_ptr<const Bytes> BlockCache::Lookup(const Key& key) {
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
+    MissCounter()->Increment();
     return nullptr;
   }
   ++stats_.hits;
+  HitCounter()->Increment();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->data;
 }
@@ -21,6 +47,7 @@ std::shared_ptr<const Bytes> BlockCache::Insert(const Key& key, Bytes data) {
     return shared;  // caching disabled; hand the block straight back
   }
   ++stats_.insertions;
+  InsertionCounter()->Increment();
   auto it = map_.find(key);
   if (it != map_.end()) {
     it->second->data = shared;
@@ -29,6 +56,7 @@ std::shared_ptr<const Bytes> BlockCache::Insert(const Key& key, Bytes data) {
   }
   if (map_.size() >= capacity_blocks_) {
     ++stats_.evictions;
+    EvictionCounter()->Increment();
     map_.erase(lru_.back().key);
     lru_.pop_back();
   }

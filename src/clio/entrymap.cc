@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/metrics.h"
+
 namespace clio {
 
 EntrymapGeometry::EntrymapGeometry(uint16_t degree,
@@ -122,6 +124,8 @@ void EntrymapAccumulator::SetBit(int level, uint64_t home, LogFileId id,
 
 void EntrymapAccumulator::Mark(uint64_t block,
                                std::span<const LogFileId> ids) {
+  static Counter* marks = ObsRegistry().counter("clio.entrymap.marks");
+  marks->Increment();
   for (int level = 1; level <= geometry_->max_level(); ++level) {
     uint64_t home = geometry_->HomeFor(block, level);
     uint32_t bit = geometry_->SubgroupOf(block, level);

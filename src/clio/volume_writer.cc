@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace clio {
 namespace {
 
@@ -102,6 +104,8 @@ Status LogVolumeWriter::OpenBuilder() {
 }
 
 Status LogVolumeWriter::EmitEntrymapNode(int level, uint64_t home) {
+  static Counter* nodes = ObsRegistry().counter("clio.entrymap.nodes_emitted");
+  nodes->Increment();
   const uint32_t per_file_bytes = 2 + geometry_->bitmap_bytes();
   // Largest encoded payload that fits a fresh block alongside a
   // timestamped header.
@@ -159,6 +163,8 @@ Status LogVolumeWriter::BurnBuilder() {
           CLIO_RETURN_IF_ERROR(blocks_->device()->InvalidateBlock(skipped));
           blocks_->Evict(skipped);
           ++space_.invalidated_blocks;
+          static Counter* bad = ObsRegistry().counter("clio.volume.bad_blocks");
+          bad->Increment();
           pending_bad_blocks_.push_back(skipped);
         }
       }
@@ -170,6 +176,8 @@ Status LogVolumeWriter::BurnBuilder() {
       space_.footer_bytes += kBlockFooterSize;
       space_.padding_bytes += builder_->free_bytes();
       ++space_.blocks_burned;
+      static Counter* burned = ObsRegistry().counter("clio.volume.blocks_burned");
+      burned->Increment();
       blocks_->Put(actual, std::move(image));
       staging_block_ = actual + 1;
       builder_.reset();
@@ -195,6 +203,9 @@ Status LogVolumeWriter::BurnBuilder() {
     CLIO_RETURN_IF_ERROR(blocks_->device()->InvalidateBlock(bad));
     blocks_->Evict(bad);
     ++space_.invalidated_blocks;
+    static Counter* bad_blocks =
+        ObsRegistry().counter("clio.volume.bad_blocks");
+    bad_blocks->Increment();
     pending_bad_blocks_.push_back(bad);
     staging_block_ = bad + 1;
   }
@@ -243,6 +254,14 @@ void LogVolumeWriter::AccountClientEntry(LogFileId id, HeaderVersion v,
 Result<AppendResult> LogVolumeWriter::Append(LogFileId id,
                                              std::span<const std::byte> payload,
                                              const WriteOptions& options) {
+  static Counter* appends = ObsRegistry().counter("clio.volume.appends");
+  static Counter* append_bytes =
+      ObsRegistry().counter("clio.volume.append_bytes");
+  static Histogram* append_us =
+      ObsRegistry().histogram("clio.volume.append_us");
+  appends->Increment();
+  append_bytes->Increment(payload.size());
+  ScopedTimer timer(append_us);
   if (sealed_) {
     return FailedPrecondition("volume is sealed");
   }
@@ -358,6 +377,10 @@ Status LogVolumeWriter::Force() {
   if (builder_ == nullptr || builder_->empty()) {
     return Status::Ok();
   }
+  static Counter* forces = ObsRegistry().counter("clio.volume.forces");
+  static Histogram* force_us = ObsRegistry().histogram("clio.volume.force_us");
+  forces->Increment();
+  ScopedTimer timer(force_us);
   if (nvram_ != nullptr) {
     // Rewritable tail: restage the current partial image; nothing burns.
     return nvram_->Store(staging_block_, builder_->Finish());

@@ -1,6 +1,17 @@
 #include "src/device/fault_injection.h"
 
+#include "src/obs/metrics.h"
+
 namespace clio {
+namespace {
+
+// One counter per injected-fault class, so chaos runs show up in the same
+// stats surface as the operations they disturb.
+Counter* FaultCounter(const char* kind) {
+  return ObsRegistry().counter(std::string("clio.device.faults.") + kind);
+}
+
+}  // namespace
 
 Status FaultInjectingWormDevice::DeadOp(uint64_t* op_counter) {
   ++*op_counter;
@@ -26,6 +37,8 @@ Status FaultInjectingWormDevice::ReadBlock(uint64_t index,
     ++read_failures_;
     ++injected_.reads;
     ++injected_.failed_ops;
+    static Counter* c = FaultCounter("transient_read");
+    c->Increment();
     return Unavailable("injected transient read failure");
   }
   return base_->ReadBlock(index, out);
@@ -52,6 +65,8 @@ Result<uint64_t> FaultInjectingWormDevice::AppendBlock(
     powered_off_.store(true, std::memory_order_relaxed);
     power_cuts_.fetch_add(1, std::memory_order_relaxed);
     ++injected_.failed_ops;
+    static Counter* c = FaultCounter("power_cut");
+    c->Increment();
     return Unavailable("injected power cut mid-append");
   }
   if (policy_.garbage_append_per_mille > 0 &&
@@ -61,6 +76,8 @@ Result<uint64_t> FaultInjectingWormDevice::AppendBlock(
     // the garbage block.
     ++garbage_appends_;
     ++injected_.failed_ops;
+    static Counter* c = FaultCounter("garbage_append");
+    c->Increment();
     Bytes garbage = GarbageBlock();
     if (mem_base_ != nullptr) {
       mem_base_->Scribble(mem_base_->frontier(), garbage);
@@ -75,6 +92,8 @@ Result<uint64_t> FaultInjectingWormDevice::AppendBlock(
     // by garbage — it parses as neither unwritten nor valid.
     ++torn_appends_;
     ++injected_.failed_ops;
+    static Counter* c = FaultCounter("torn_append");
+    c->Increment();
     Bytes torn = GarbageBlock();
     size_t keep = rng_.Range(16, data.size() - 1);
     std::copy(data.begin(), data.begin() + keep, torn.begin());
@@ -85,6 +104,8 @@ Result<uint64_t> FaultInjectingWormDevice::AppendBlock(
       rng_.Chance(policy_.silent_corruption_per_mille, 1000)) {
     // The media accepts the append but flips some bits.
     ++corruptions_;
+    static Counter* c = FaultCounter("silent_corruption");
+    c->Increment();
     Bytes corrupted(data.begin(), data.end());
     for (int i = 0; i < 8; ++i) {
       size_t pos = rng_.Below(corrupted.size());
@@ -119,6 +140,8 @@ Result<uint64_t> FaultInjectingWormDevice::QueryEnd() {
   if (end.ok() && end.value() > 1 && policy_.query_end_lies_per_mille > 0 &&
       rng_.Chance(policy_.query_end_lies_per_mille, 1000)) {
     ++query_end_lies_;
+    static Counter* c = FaultCounter("query_end_lie");
+    c->Increment();
     uint64_t shortfall = rng_.Range(1, std::min<uint64_t>(8, end.value() - 1));
     return end.value() - shortfall;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/util/bytes.h"
 
 namespace clio {
@@ -82,6 +83,10 @@ uint64_t FileWormDevice::AdvanceFrontier(uint64_t from) const {
 
 Status FileWormDevice::ReadBlock(uint64_t index, std::span<std::byte> out) {
   ++stats_.reads;
+  static Counter* reads = ObsRegistry().counter("clio.device.reads");
+  static Histogram* read_us = ObsRegistry().histogram("clio.device.read_us");
+  reads->Increment();
+  ScopedTimer timer(read_us);
   if (index >= options_.capacity_blocks) {
     ++stats_.failed_ops;
     return OutOfRange("read beyond device capacity");
@@ -141,7 +146,11 @@ Result<uint64_t> FileWormDevice::AppendBlock(std::span<const std::byte> data) {
     return NoSpace("volume full");
   }
   uint64_t index = frontier_;
+  static Counter* burns = ObsRegistry().counter("clio.device.burns");
+  static Histogram* burn_us = ObsRegistry().histogram("clio.device.burn_us");
+  ScopedTimer timer(burn_us);
   CLIO_RETURN_IF_ERROR(WriteBlockAt(index, data, WormBlockState::kWritten));
+  burns->Increment();
   ++stats_.appends;
   frontier_ = AdvanceFrontier(index + 1);
   return index;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "src/obs/metrics.h"
+
 namespace clio {
 
 MemoryWormDevice::MemoryWormDevice(const MemoryWormOptions& options)
@@ -10,6 +12,10 @@ MemoryWormDevice::MemoryWormDevice(const MemoryWormOptions& options)
 
 Status MemoryWormDevice::ReadBlock(uint64_t index, std::span<std::byte> out) {
   ++stats_.reads;
+  static Counter* reads = ObsRegistry().counter("clio.device.reads");
+  static Histogram* read_us = ObsRegistry().histogram("clio.device.read_us");
+  reads->Increment();
+  ScopedTimer timer(read_us);
   if (index >= options_.capacity_blocks) {
     ++stats_.failed_ops;
     return OutOfRange("read of block " + std::to_string(index) +
@@ -56,6 +62,10 @@ Result<uint64_t> MemoryWormDevice::AppendBlock(
     return NoSpace("volume full (" + std::to_string(frontier_) + " blocks)");
   }
   ++stats_.appends;
+  static Counter* burns = ObsRegistry().counter("clio.device.burns");
+  static Histogram* burn_us = ObsRegistry().histogram("clio.device.burn_us");
+  burns->Increment();
+  ScopedTimer timer(burn_us);
   uint64_t index = frontier_;
   if (blocks_.size() <= index) {
     blocks_.resize(index + 1);
@@ -73,6 +83,9 @@ Status MemoryWormDevice::InvalidateBlock(uint64_t index) {
     return OutOfRange("invalidate beyond device capacity");
   }
   ++stats_.invalidations;
+  static Counter* invalidations =
+      ObsRegistry().counter("clio.device.invalidations");
+  invalidations->Increment();
   if (blocks_.size() <= index) {
     blocks_.resize(index + 1);
     states_.resize(index + 1, WormBlockState::kUnwritten);

@@ -41,7 +41,56 @@ std::unique_lock<std::mutex> MaybeLock(std::mutex* mu) {
                        : std::unique_lock<std::mutex>();
 }
 
+constexpr uint32_t kMaxOp = static_cast<uint32_t>(LogOp::kStats);
+
+// Per-op request counters, resolved once and indexed by op value so the
+// dispatch hot path never touches the registry map.
+Counter* RequestCounter(LogOp op) {
+  static Counter* counters[kMaxOp + 1] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    counters[0] = ObsRegistry().counter("clio.rpc.requests.unknown");
+    for (uint32_t i = 1; i <= kMaxOp; ++i) {
+      counters[i] = ObsRegistry().counter(
+          "clio.rpc.requests." +
+          std::string(LogOpName(static_cast<LogOp>(i))));
+    }
+  });
+  uint32_t index = static_cast<uint32_t>(op);
+  return counters[index >= 1 && index <= kMaxOp ? index : 0];
+}
+
 }  // namespace
+
+std::string_view LogOpName(LogOp op) {
+  switch (op) {
+    case LogOp::kCreateLogFile:
+      return "create_logfile";
+    case LogOp::kAppend:
+      return "append";
+    case LogOp::kOpenReader:
+      return "open_reader";
+    case LogOp::kCloseReader:
+      return "close_reader";
+    case LogOp::kReadNext:
+      return "read_next";
+    case LogOp::kReadPrev:
+      return "read_prev";
+    case LogOp::kSeekToTime:
+      return "seek_to_time";
+    case LogOp::kSeekToStart:
+      return "seek_to_start";
+    case LogOp::kSeekToEnd:
+      return "seek_to_end";
+    case LogOp::kStat:
+      return "stat";
+    case LogOp::kForce:
+      return "force";
+    case LogOp::kStats:
+      return "stats";
+  }
+  return "unknown";
+}
 
 Bytes EncodeOkReplyBody(std::span<const std::byte> payload) {
   Bytes body;
@@ -146,6 +195,20 @@ Result<AppendRequest> DecodeAppendRequest(std::span<const std::byte> body) {
 // ServiceDispatcher
 
 Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
+  // Counted before execution so a kStats request is visible in its own
+  // reply; timed across decode + execute + encode.
+  RequestCounter(op)->Increment();
+  static Histogram* request_us =
+      ObsRegistry().histogram("clio.rpc.request_us");
+  ScopedTimer timer(request_us);
+
+  // kStats reads only the (internally synchronized) metrics registry, so
+  // it never takes the service mutex — a monitoring poller cannot stall
+  // behind a slow force, and vice versa.
+  if (op == LogOp::kStats) {
+    return EncodeOkReplyBody(EncodeStatsSnapshot(ObsRegistry().Snapshot()));
+  }
+
   // kAppend first: when an append override is installed it must run without
   // the service mutex (the group-commit batcher blocks the session until the
   // whole batch is forced, and takes the mutex itself).
@@ -192,6 +255,7 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
       return EncodeOkReplyBody(payload);
     }
     case LogOp::kAppend:
+    case LogOp::kStats:
       break;  // handled above
     case LogOp::kOpenReader: {
       std::string path = r.GetString();
@@ -357,5 +421,10 @@ Result<LogFileInfo> LogClientBase::Stat(std::string_view path) {
 }
 
 Status LogClientBase::Force() { return Call(LogOp::kForce, {}).status(); }
+
+Result<StatsSnapshot> LogClientBase::GetStats() {
+  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kStats, {}));
+  return DecodeStatsSnapshot(reply);
+}
 
 }  // namespace clio

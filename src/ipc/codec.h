@@ -27,6 +27,7 @@
 #include <utility>
 
 #include "src/clio/log_service.h"
+#include "src/obs/metrics.h"
 #include "src/util/bytes.h"
 #include "src/util/status.h"
 
@@ -45,7 +46,16 @@ enum class LogOp : uint32_t {
   kSeekToEnd = 9,
   kStat = 10,
   kForce = 11,
+  // Versioned snapshot of the process-wide MetricsRegistry (empty request
+  // body; reply payload = EncodeStatsSnapshot). The request is counted in
+  // the per-op metrics BEFORE the snapshot is taken, so a STATS reply
+  // always includes itself.
+  kStats = 12,
 };
+
+// Stable lowercase metric-label name for an op ("append", "stats", ...);
+// "unknown" for out-of-range values.
+std::string_view LogOpName(LogOp op);
 
 // A log entry as unmarshalled by a client stub.
 struct RemoteEntry {
@@ -146,6 +156,9 @@ class LogClientBase {
   virtual Status SeekToEnd(uint64_t handle);
   Result<LogFileInfo> Stat(std::string_view path);
   Status Force();
+  // Fetches the server's metrics snapshot (counters, gauges, latency
+  // histograms) via the kStats op.
+  Result<StatsSnapshot> GetStats();
 
  protected:
   // One request/reply round trip; returns the reply payload or the error

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace clio {
 
 GroupCommitBatcher::GroupCommitBatcher(LogService* service,
@@ -33,6 +35,7 @@ void GroupCommitBatcher::Stop() {
 Result<AppendResult> GroupCommitBatcher::Append(const AppendRequest& request) {
   Pending pending;
   pending.request = &request;
+  pending.enqueued = std::chrono::steady_clock::now();
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (stopping_) {
@@ -82,6 +85,22 @@ void GroupCommitBatcher::CommitLoop() {
 }
 
 void GroupCommitBatcher::CommitBatch(const std::vector<Pending*>& batch) {
+  static Histogram* batch_entries =
+      ObsRegistry().histogram("clio.net.batch.entries");
+  static Histogram* dwell_us =
+      ObsRegistry().histogram("clio.net.batch.dwell_us");
+  static Histogram* commit_us =
+      ObsRegistry().histogram("clio.net.batch.commit_us");
+  batch_entries->Record(batch.size());
+  auto commit_started = std::chrono::steady_clock::now();
+  for (const Pending* pending : batch) {
+    dwell_us->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            commit_started - pending->enqueued)
+            .count()));
+  }
+  ScopedTimer commit_timer(commit_us);
+
   std::vector<Result<AppendResult>> results;
   results.reserve(batch.size());
   {
@@ -126,6 +145,10 @@ void GroupCommitBatcher::CommitBatch(const std::vector<Pending*>& batch) {
   }
   batches_committed_.fetch_add(1, std::memory_order_relaxed);
   entries_committed_.fetch_add(batch.size(), std::memory_order_relaxed);
+  static Counter* batches = ObsRegistry().counter("clio.net.batch.batches");
+  static Counter* entries = ObsRegistry().counter("clio.net.batch.appends");
+  batches->Increment();
+  entries->Increment(batch.size());
   // Publish under mu_: waiters evaluate `result.has_value()` under mu_.
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < batch.size(); ++i) {

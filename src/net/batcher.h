@@ -20,6 +20,7 @@
 #define SRC_NET_BATCHER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -83,6 +84,9 @@ class GroupCommitBatcher {
   // queue holds pointers, and `result` is the handoff slot.
   struct Pending {
     const AppendRequest* request = nullptr;
+    // When the request joined the queue; dwell time (enqueue -> commit) is
+    // the latency group commit adds while waiting for company.
+    std::chrono::steady_clock::time_point enqueued;
     std::optional<Result<AppendResult>> result;
   };
 

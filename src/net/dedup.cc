@@ -1,5 +1,7 @@
 #include "src/net/dedup.h"
 
+#include "src/obs/metrics.h"
+
 namespace clio {
 
 AppendDedupIndex::ClientWindow* AppendDedupIndex::Window(uint64_t client_id) {
@@ -60,10 +62,15 @@ std::optional<AppendDedupIndex::Replay> AppendDedupIndex::Begin(
       window->entries.emplace(request_seq, Entry{});
       ++window->in_flight;
       ++claims_;
+      static Counter* claims = ObsRegistry().counter("clio.net.dedup.claims");
+      claims->Increment();
       return std::nullopt;
     }
     if (it->second.state != State::kInFlight) {
       ++replays_;
+      static Counter* replays =
+          ObsRegistry().counter("clio.net.dedup.replays");
+      replays->Increment();
       return Replay{it->second.result,
                     it->second.state == State::kDurable};
     }

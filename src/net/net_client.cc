@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace clio {
 namespace {
 
@@ -69,6 +71,9 @@ Status NetLogClient::EnsureConnectedLocked() {
   // gone; readers notice via this generation bump and re-establish.
   generation_.fetch_add(1);
   reconnects_.fetch_add(1);
+  static Counter* reconnects =
+      ObsRegistry().counter("clio.net.client.reconnects");
+  reconnects->Increment();
   return Status::Ok();
 }
 
@@ -115,6 +120,11 @@ Result<Bytes> NetLogClient::RoundTripLocked(const Bytes& frame,
 
 Result<Bytes> NetLogClient::Call(LogOp op, const Bytes& body) {
   std::lock_guard<std::mutex> lock(mu_);
+  static Counter* calls = ObsRegistry().counter("clio.net.client.calls");
+  static Histogram* call_us =
+      ObsRegistry().histogram("clio.net.client.call_us");
+  calls->Increment();
+  ScopedTimer timer(call_us);
   FrameHeader header;
   header.op = static_cast<uint32_t>(op);
   header.request_id = next_request_id_++;
@@ -129,6 +139,9 @@ Result<Bytes> NetLogClient::Call(LogOp op, const Bytes& body) {
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt > 1) {
       retries_.fetch_add(1);
+      static Counter* retries =
+          ObsRegistry().counter("clio.net.client.retries");
+      retries->Increment();
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
       backoff_ms = std::min(backoff_ms * 2, options_.retry.max_backoff_ms);
     }

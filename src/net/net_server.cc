@@ -3,11 +3,30 @@
 #include <chrono>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace clio {
 namespace {
 
 // Poll slice: how often a blocked session rechecks stop + idle deadline.
 constexpr int kPollSliceMs = 50;
+
+struct ServerMetrics {
+  Counter* sessions = ObsRegistry().counter("clio.net.server.sessions");
+  Counter* idle_closed =
+      ObsRegistry().counter("clio.net.server.sessions_idle_closed");
+  Counter* frames = ObsRegistry().counter("clio.net.server.frames");
+  Counter* rejected = ObsRegistry().counter("clio.net.server.frames_rejected");
+  Counter* bytes_in = ObsRegistry().counter("clio.net.server.bytes_in");
+  Counter* bytes_out = ObsRegistry().counter("clio.net.server.bytes_out");
+  Gauge* active_sessions =
+      ObsRegistry().gauge("clio.net.server.active_sessions");
+};
+
+ServerMetrics& Metrics() {
+  static ServerMetrics* metrics = new ServerMetrics();
+  return *metrics;
+}
 
 }  // namespace
 
@@ -89,6 +108,7 @@ void NetLogServer::AcceptLoop() {
       continue;  // transient accept failure; the listener still stands
     }
     sessions_opened_.fetch_add(1);
+    Metrics().sessions->Increment();
     auto session = std::make_unique<Session>();
     session->socket = std::move(conn).value();
     if (options_.session_io_timeout_ms > 0) {
@@ -189,6 +209,7 @@ Result<AppendResult> NetLogServer::RouteAppend(const AppendRequest& request) {
 
 void NetLogServer::SessionLoop(Session* session) {
   using Clock = std::chrono::steady_clock;
+  Metrics().active_sessions->Add(1);
   ServiceDispatcher dispatcher(
       service_, &service_->mutex(),
       [this](const AppendRequest& request) { return RouteAppend(request); });
@@ -204,6 +225,7 @@ void NetLogServer::SessionLoop(Session* session) {
     if (!*readable) {
       if (idle_enabled && Clock::now() >= idle_deadline) {
         sessions_idle_closed_.fetch_add(1);
+        Metrics().idle_closed->Increment();
         break;
       }
       continue;
@@ -219,6 +241,7 @@ void NetLogServer::SessionLoop(Session* session) {
       // Bad framing: nothing downstream of this point in the byte stream
       // can be trusted, so the connection dies — alone.
       frames_rejected_.fetch_add(1);
+      Metrics().rejected->Increment();
       break;
     }
     Bytes body(header->body_size);
@@ -226,17 +249,21 @@ void NetLogServer::SessionLoop(Session* session) {
       n = session->socket.ReadFull(body);
       if (!n.ok() || *n != header->body_size) {
         frames_rejected_.fetch_add(1);
+        Metrics().rejected->Increment();
         break;
       }
     }
+    Metrics().bytes_in->Increment(kFrameHeaderSize + header->body_size);
     Bytes reply_body =
         dispatcher.Dispatch(static_cast<LogOp>(header->op), body);
     frames_dispatched_.fetch_add(1);
+    Metrics().frames->Increment();
     FrameHeader reply_header;
     reply_header.op = header->op;
     reply_header.request_id = header->request_id;
-    if (!session->socket.WriteAll(EncodeFrame(reply_header, reply_body))
-             .ok()) {
+    Bytes reply_frame = EncodeFrame(reply_header, reply_body);
+    Metrics().bytes_out->Increment(reply_frame.size());
+    if (!session->socket.WriteAll(reply_frame).ok()) {
       break;
     }
     idle_deadline =
@@ -246,6 +273,7 @@ void NetLogServer::SessionLoop(Session* session) {
   // and close() would free the fd under it. The Session destructor closes
   // the fd after this thread is joined.
   session->socket.ShutdownBoth();
+  Metrics().active_sessions->Add(-1);
   session->done.store(true);
 }
 

@@ -184,6 +184,68 @@ TEST_F(NetServerTest, StatOverTcp) {
   EXPECT_FALSE(info.sealed);
 }
 
+// The kStats op round-trips the process-wide metrics registry, counts its
+// own request, and reflects a just-run workload (appends, volume writes,
+// group-commit batch sizes). Metrics are process-wide and other tests in
+// this binary also move them, so every assertion is a delta or a floor,
+// never an exact global value.
+TEST_F(NetServerTest, StatsRoundTripReflectsWorkload) {
+  StartServer();  // default options: batching on
+  auto client = Client();
+
+  ASSERT_OK_AND_ASSIGN(StatsSnapshot before, client->GetStats());
+  // The stats counter is bumped before the snapshot is taken, so even the
+  // first reply already counts the request that produced it.
+  EXPECT_GE(before.counter("clio.rpc.requests.stats"), 1u);
+
+  ASSERT_OK(client->CreateLogFile("/metrics-log").status());
+  constexpr uint64_t kAppends = 8;
+  for (uint64_t i = 0; i < kAppends; ++i) {
+    ASSERT_OK(client->Append("/metrics-log", AsBytes("workload-entry"),
+                             /*timestamped=*/true, /*force=*/true)
+                  .status());
+  }
+
+  ASSERT_OK_AND_ASSIGN(StatsSnapshot after, client->GetStats());
+  EXPECT_GT(after.counter("clio.rpc.requests.stats"),
+            before.counter("clio.rpc.requests.stats"));
+  EXPECT_GE(after.counter("clio.rpc.requests.append") -
+                before.counter("clio.rpc.requests.append"),
+            kAppends);
+  EXPECT_GE(after.counter("clio.volume.appends") -
+                before.counter("clio.volume.appends"),
+            kAppends);
+  EXPECT_GT(after.counter("clio.volume.append_bytes"),
+            before.counter("clio.volume.append_bytes"));
+  EXPECT_GT(after.counter("clio.net.server.frames"),
+            before.counter("clio.net.server.frames"));
+  EXPECT_GT(after.counter("clio.net.server.bytes_in"),
+            before.counter("clio.net.server.bytes_in"));
+
+  // Forced appends went through group commit: the batch-size histogram
+  // gained samples and its count equals its bucket total (snapshot
+  // consistency over the wire).
+  auto batches = after.histogram("clio.net.batch.entries");
+  ASSERT_TRUE(batches.has_value());
+  uint64_t before_batches =
+      before.histogram("clio.net.batch.entries").has_value()
+          ? before.histogram("clio.net.batch.entries")->count
+          : 0;
+  EXPECT_GT(batches->count, before_batches);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : batches->buckets) {
+    bucket_total += b;
+  }
+  EXPECT_EQ(batches->count, bucket_total);
+
+  // Latency histograms picked up the RPCs and are self-consistent:
+  // percentiles are clamped to the observed max.
+  auto rpc_us = after.histogram("clio.rpc.request_us");
+  ASSERT_TRUE(rpc_us.has_value());
+  EXPECT_GT(rpc_us->count, 0u);
+  EXPECT_LE(rpc_us->p99(), static_cast<double>(rpc_us->max));
+}
+
 // ---------------------------------------------------------------------------
 // Robustness: malformed frames, partial reads, error isolation
 
