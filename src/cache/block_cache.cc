@@ -1,5 +1,6 @@
 #include "src/cache/block_cache.h"
 
+#include <cassert>
 #include <utility>
 
 #include "src/obs/metrics.h"
@@ -7,37 +8,57 @@
 namespace clio {
 namespace {
 
+// With fewer than this many blocks of capacity the cache runs a single
+// shard: striping a tiny cache would fragment it into zero-or-one-block
+// stripes and break exact LRU where it is actually observable.
+constexpr size_t kShardCount = 16;
+constexpr size_t kMinBlocksPerShard = 16;
+
 // Process-wide mirrors of the per-instance CacheStats, so the kStats op
 // and BENCH_*.json see cache economics across every cache in the process.
-Counter* HitCounter() {
-  static Counter* c = ObsRegistry().counter("clio.cache.hits");
-  return c;
-}
-Counter* MissCounter() {
-  static Counter* c = ObsRegistry().counter("clio.cache.misses");
-  return c;
-}
-Counter* InsertionCounter() {
-  static Counter* c = ObsRegistry().counter("clio.cache.insertions");
-  return c;
-}
-Counter* EvictionCounter() {
-  static Counter* c = ObsRegistry().counter("clio.cache.evictions");
-  return c;
+// Counters are lock-free; shards increment them outside their stripe lock.
+struct CacheCounters {
+  Counter* hits = ObsRegistry().counter("clio.cache.hits");
+  Counter* misses = ObsRegistry().counter("clio.cache.misses");
+  Counter* insertions = ObsRegistry().counter("clio.cache.insertions");
+  Counter* evictions = ObsRegistry().counter("clio.cache.evictions");
+  Counter* double_inserts =
+      ObsRegistry().counter("clio.cache.double_insert");
+};
+
+CacheCounters& Counters() {
+  static CacheCounters* counters = new CacheCounters();
+  return *counters;
 }
 
 }  // namespace
 
+BlockCache::BlockCache(size_t capacity_blocks)
+    : capacity_blocks_(capacity_blocks),
+      shards_(capacity_blocks >= kShardCount * kMinBlocksPerShard
+                  ? kShardCount
+                  : 1) {
+  // Distribute capacity over the stripes; the remainder goes to the first
+  // stripes so the total still adds up to capacity_blocks.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].capacity =
+        capacity_blocks / shards_.size() +
+        (i < capacity_blocks % shards_.size() ? 1 : 0);
+  }
+}
+
 std::shared_ptr<const Bytes> BlockCache::Lookup(const Key& key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++stats_.misses;
-    MissCounter()->Increment();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.stats.misses;
+    Counters().misses->Increment();
     return nullptr;
   }
-  ++stats_.hits;
-  HitCounter()->Increment();
-  lru_.splice(lru_.begin(), lru_, it->second);
+  ++shard.stats.hits;
+  Counters().hits->Increment();
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->data;
 }
 
@@ -46,48 +67,119 @@ std::shared_ptr<const Bytes> BlockCache::Insert(const Key& key, Bytes data) {
   if (capacity_blocks_ == 0) {
     return shared;  // caching disabled; hand the block straight back
   }
-  ++stats_.insertions;
-  InsertionCounter()->Increment();
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    it->second->data = shared;
-    lru_.splice(lru_.begin(), lru_, it->second);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Write-once media: the same key can only ever hold the same bytes, so
+    // keep the existing entry (holders of the old pointer and of the
+    // returned one must agree). A mismatch means a caller cached garbage.
+    assert(*it->second->data == *shared &&
+           "double insert with different bytes for a write-once block");
+    ++shard.stats.double_inserts;
+    Counters().double_inserts->Increment();
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->data;
+  }
+  ++shard.stats.insertions;
+  Counters().insertions->Increment();
+  if (shard.map.size() >= shard.capacity) {
+    ++shard.stats.evictions;
+    Counters().evictions->Increment();
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(Entry{key, shared});
+  shard.map[key] = shard.lru.begin();
+  return shared;
+}
+
+std::shared_ptr<const Bytes> BlockCache::Replace(const Key& key, Bytes data) {
+  auto shared = std::make_shared<const Bytes>(std::move(data));
+  if (capacity_blocks_ == 0) {
     return shared;
   }
-  if (map_.size() >= capacity_blocks_) {
-    ++stats_.evictions;
-    EvictionCounter()->Increment();
-    map_.erase(lru_.back().key);
-    lru_.pop_back();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->data = shared;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return shared;
   }
-  lru_.push_front(Entry{key, shared});
-  map_[key] = lru_.begin();
+  ++shard.stats.insertions;
+  Counters().insertions->Increment();
+  if (shard.map.size() >= shard.capacity) {
+    ++shard.stats.evictions;
+    Counters().evictions->Increment();
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(Entry{key, shared});
+  shard.map[key] = shard.lru.begin();
   return shared;
 }
 
 void BlockCache::Erase(const Key& key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
     return;
   }
-  lru_.erase(it->second);
-  map_.erase(it);
+  shard.lru.erase(it->second);
+  shard.map.erase(it);
 }
 
 void BlockCache::EraseDevice(uint64_t device_id) {
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->key.device_id == device_id) {
-      map_.erase(it->key);
-      it = lru_.erase(it);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.device_id == device_id) {
+        shard.map.erase(it->key);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 void BlockCache::Clear() {
-  lru_.clear();
-  map_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.map.clear();
+  }
+}
+
+size_t BlockCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+CacheStats BlockCache::stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.insertions += shard.stats.insertions;
+    total.evictions += shard.stats.evictions;
+    total.double_inserts += shard.stats.double_inserts;
+  }
+  return total;
+}
+
+void BlockCache::ResetStats() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.stats.Reset();
+  }
 }
 
 }  // namespace clio

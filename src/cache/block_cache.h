@@ -7,13 +7,23 @@
 // hand out shared_ptr<const Bytes>; an evicted block stays alive for any
 // reader still holding it. Keys are (device_id, block_index) so one cache
 // serves several mounted volumes plus the conventional file systems.
+//
+// Thread safety: the cache is internally synchronized by lock striping.
+// Keys hash onto independent shards (each its own mutex + LRU list), so
+// concurrent readers contend only when they touch the same shard — the
+// write-once log's concurrent-read story (DESIGN.md §12) leans on this.
+// LRU order is exact within a shard and approximate across the whole
+// cache; small caches (below one block per shard) collapse to a single
+// shard so the unit-testable exact-LRU behaviour is preserved.
 #ifndef SRC_CACHE_BLOCK_CACHE_H_
 #define SRC_CACHE_BLOCK_CACHE_H_
 
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "src/util/bytes.h"
 
@@ -24,6 +34,10 @@ struct CacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  // Insert() calls that found the key already cached. Blocks are
+  // write-once, so a double insert with *different* bytes is a bug
+  // upstream (debug builds assert byte equality).
+  uint64_t double_inserts = 0;
 
   double HitRatio() const {
     uint64_t total = hits + misses;
@@ -37,8 +51,7 @@ class BlockCache {
  public:
   // `capacity_blocks` == 0 means "cache nothing" (every lookup misses),
   // which benches use to model the paper's no-caching analyses.
-  explicit BlockCache(size_t capacity_blocks)
-      : capacity_blocks_(capacity_blocks) {}
+  explicit BlockCache(size_t capacity_blocks);
 
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
@@ -53,9 +66,18 @@ class BlockCache {
   // on miss.
   std::shared_ptr<const Bytes> Lookup(const Key& key);
 
-  // Inserts (or replaces) a block, evicting the LRU entry if full. Returns
-  // the cached pointer so callers can keep using it without a re-lookup.
+  // Inserts a block, evicting the shard's LRU entry if full. Blocks are
+  // write-once, so if the key is already cached the EXISTING entry is kept
+  // and returned (the bytes cannot legitimately differ; see
+  // CacheStats::double_inserts). Returns the cached pointer so callers can
+  // keep using it without a re-lookup.
   std::shared_ptr<const Bytes> Insert(const Key& key, Bytes data);
+
+  // Unconditionally (re)places the block: the REWRITABLE-device variant,
+  // used by the conventional file systems (src/vfs) whose blocks change on
+  // every WriteBlock. Holders of a previously returned pointer keep the
+  // old immutable snapshot. Write-once callers use Insert.
+  std::shared_ptr<const Bytes> Replace(const Key& key, Bytes data);
 
   // Drops one block / every block of a device. Used when a block is
   // invalidated on media or a volume is unmounted.
@@ -63,11 +85,12 @@ class BlockCache {
   void EraseDevice(uint64_t device_id);
   void Clear();
 
-  size_t size() const { return map_.size(); }
+  size_t size() const;
   size_t capacity() const { return capacity_blocks_; }
 
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  // Aggregated over all shards (a point-in-time sum, by value).
+  CacheStats stats() const;
+  void ResetStats();
 
  private:
   struct KeyHash {
@@ -88,10 +111,24 @@ class BlockCache {
 
   using LruList = std::list<Entry>;
 
+  // One lock stripe: an independent LRU cache over its slice of the key
+  // space. Stats are plain counters mutated under `mu`.
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    LruList lru;  // front = most recently used
+    std::unordered_map<Key, LruList::iterator, KeyHash> map;
+    CacheStats stats;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // The map consumes the low hash bits; shard selection uses the high
+    // ones so stripes do not correlate with bucket placement.
+    return shards_[(KeyHash{}(key) >> 57) & (shards_.size() - 1)];
+  }
+
   size_t capacity_blocks_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<Key, LruList::iterator, KeyHash> map_;
-  CacheStats stats_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace clio

@@ -28,6 +28,17 @@ class CachedBlockReader {
   // reads. kNotWritten/kOutOfRange propagate from the device.
   Result<std::shared_ptr<const Bytes>> Fetch(uint64_t block, OpStats* stats);
 
+  // Fetch for a forward scan: a cache miss pulls `block` AND up to
+  // `readahead` following blocks (bounded by `limit`, exclusive) from the
+  // device in one pass (WormDevice::ReadBlocks), caching them all. Only
+  // the demanded block is charged to `stats`; the speculative blocks show
+  // up later as cache hits (and in the clio.cache.readahead_blocks
+  // counter). Falls back to Fetch when caching or readahead is off.
+  Result<std::shared_ptr<const Bytes>> FetchSequential(uint64_t block,
+                                                       uint64_t limit,
+                                                       uint32_t readahead,
+                                                       OpStats* stats);
+
   // Inserts a freshly burned block image (write path keeps the cache warm,
   // mirroring the paper's observation that recent data is read from cache).
   void Put(uint64_t block, Bytes image);

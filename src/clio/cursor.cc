@@ -76,7 +76,7 @@ Result<std::optional<LogEntryRecord>> VolumeCursor::Next(OpStats* stats) {
   }
 
   while (true) {
-    auto parsed = volume_->GetBlock(block_, stats);
+    auto parsed = volume_->GetBlock(block_, stats, /*sequential=*/true);
     if (parsed.ok()) {
       const auto& entries = parsed.value().entries();
       size_t from = index_ == kScanAll ? entries.size() : index_;

@@ -72,8 +72,10 @@ Result<std::unique_ptr<LogService>> LogService::Create(
       LogVolume::Format(first_device.get(), service->cache_.get(),
                         /*cache_device_id=*/0, &service->catalog_, clock,
                         service->options_.nvram, format));
+  volume->set_readahead_blocks(service->options_.readahead_blocks);
   service->devices_.push_back(std::move(first_device));
   service->volumes_.push_back(std::move(volume));
+  service->volume_slots_.emplace_back(service->volumes_.back().get());
   return service;
 }
 
@@ -112,7 +114,9 @@ Result<std::unique_ptr<LogService>> LogService::Recover(
       report->invalidated_blocks += volume_report.invalidated_blocks;
       report->restored_nvram_tail |= volume_report.restored_nvram_tail;
     }
+    volume->set_readahead_blocks(service->options_.readahead_blocks);
     service->volumes_.push_back(std::move(volume));
+    service->volume_slots_.emplace_back(service->volumes_.back().get());
     service->devices_.push_back(std::move(devices[i]));
   }
   // Timestamps must stay unique across the reboot (§2.1): floor the clock
@@ -231,8 +235,10 @@ Status LogService::RollToNewVolume() {
       return appended.status();
     }
   }
+  volume->set_readahead_blocks(options_.readahead_blocks);
   devices_.push_back(std::move(device));
   volumes_.push_back(std::move(volume));
+  volume_slots_.emplace_back(volumes_.back().get());
   return Status::Ok();
 }
 
@@ -281,7 +287,10 @@ Status LogService::Force() {
   return volume->writer()->Force();
 }
 
+// A mutating call: callers must hold the exclusive lock, which guarantees
+// no shared-lock reader still holds the LogVolume* being destroyed.
 Status LogService::TakeVolumeOffline(uint32_t index) {
+  CLIO_SINGLE_MUTATOR_CHECK();
   if (index >= volumes_.size()) {
     return InvalidArgument("no such volume");
   }
@@ -292,21 +301,31 @@ Status LogService::TakeVolumeOffline(uint32_t index) {
     return Status::Ok();  // already offline
   }
   cache_->EraseDevice(index);
+  volume_slots_[index].store(nullptr, std::memory_order_release);
   volumes_[index].reset();
   devices_[index].reset();
   return Status::Ok();
 }
 
+// Shared-lock safe: concurrent readers race only on the slot load; a miss
+// funnels through mount_mu_, and the loser of the race finds the volume
+// already mounted on recheck.
 Result<LogVolume*> LogService::VolumeForRead(size_t index) {
-  if (index >= volumes_.size()) {
+  if (index >= volume_slots_.size()) {
     return InvalidArgument("no such volume");
   }
-  if (volumes_[index] != nullptr) {
-    return volumes_[index].get();
+  if (LogVolume* online =
+          volume_slots_[index].load(std::memory_order_acquire)) {
+    return online;
   }
   if (!volume_mounter_) {
     return Unavailable("volume " + std::to_string(index) +
                        " is offline and no volume mounter is configured");
+  }
+  std::lock_guard<std::mutex> mount_lock(mount_mu_);
+  if (LogVolume* online =
+          volume_slots_[index].load(std::memory_order_acquire)) {
+    return online;  // another reader mounted it while we waited
   }
   CLIO_ASSIGN_OR_RETURN(std::unique_ptr<WormDevice> device,
                         volume_mounter_(static_cast<uint32_t>(index)));
@@ -314,14 +333,18 @@ Result<LogVolume*> LogService::VolumeForRead(size_t index) {
   CLIO_ASSIGN_OR_RETURN(
       auto volume,
       LogVolume::Open(device.get(), cache_.get(), index, &catalog_, clock_,
-                      nullptr, /*writable=*/false, &report));
+                      nullptr, /*writable=*/false, &report,
+                      /*replay_catalog=*/false));
   if (volume->header().sequence_id != options_.sequence_id ||
       volume->header().volume_index != index) {
     return Corrupt("mounted device holds the wrong volume");
   }
-  ++on_demand_mounts_;
+  volume->set_readahead_blocks(options_.readahead_blocks);
+  on_demand_mounts_.fetch_add(1, std::memory_order_relaxed);
   devices_[index] = std::move(device);
   volumes_[index] = std::move(volume);
+  volume_slots_[index].store(volumes_[index].get(),
+                             std::memory_order_release);
   return volumes_[index].get();
 }
 

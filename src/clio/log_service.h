@@ -10,10 +10,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,6 +37,9 @@ struct LogServiceOptions {
   std::string label;
   uint64_t sequence_id = 0;  // 0: derive one from the clock
   NvramTail* nvram = nullptr;  // optional rewritable tail staging (§2.3.1)
+  // Blocks speculatively fetched past a cache miss during a forward scan
+  // (one device pass; see DESIGN.md §12). 0 disables readahead.
+  uint32_t readahead_blocks = 8;
 };
 
 // Supplies a fresh device when the current volume fills and the sequence
@@ -80,9 +85,12 @@ class LogService {
   // volume mounter; without one they fail with kUnavailable.
   Status TakeVolumeOffline(uint32_t index);
   bool VolumeOnline(uint32_t index) const {
-    return index < volumes_.size() && volumes_[index] != nullptr;
+    return index < volume_slots_.size() &&
+           volume_slots_[index].load(std::memory_order_acquire) != nullptr;
   }
-  uint64_t on_demand_mounts() const { return on_demand_mounts_; }
+  uint64_t on_demand_mounts() const {
+    return on_demand_mounts_.load(std::memory_order_relaxed);
+  }
 
   // -- Namespace (all paths absolute, e.g. "/mail/smith"). --
 
@@ -113,19 +121,32 @@ class LogService {
   Result<std::unique_ptr<LogReader>> OpenReader(std::string_view path);
   Result<std::unique_ptr<LogReader>> OpenReaderById(LogFileId id);
 
-  // -- Concurrency contract. --
+  // -- Concurrency contract (DESIGN.md §12). --
   //
-  // LogService does no internal locking: it executes one request at a
-  // time. The embedded mutex is FOR CALLERS. Multi-threaded frontends (the
-  // src/net/ session dispatcher and its group-commit batcher) hold
-  // mutex() across every call into the service AND across every use of a
-  // LogReader obtained from it — readers reach into the shared block
-  // cache and catalog, so concurrent reads race with each other as well
-  // as with writes. Single-threaded users (tests, the synchronous IPC
-  // server) may ignore it; the lock is uncontended and costs nothing.
-  // Debug builds assert the single-mutator invariant on the write path
-  // (Append / Force / CreateLogFile / SealLogFile / SetPermissions).
-  std::mutex& mutex() const { return mu_; }
+  // LogService does no internal locking of its own state transitions; the
+  // embedded reader/writer lock is FOR CALLERS, and the split exploits
+  // write-once media: everything at or below the durable end is immutable,
+  // so reads need only a consistent view of where that end is.
+  //
+  //  - SHARED holders may run concurrently: OpenReader/OpenReaderById,
+  //    every LogReader operation (Next/Prev/Seek*/Find*), Resolve/Stat/
+  //    List, VolumeForRead, and TotalSpace. The block cache is internally
+  //    striped, device stats are atomic, and on-demand mounting is
+  //    serialized by an internal mount lock, so shared holders never
+  //    require external serialization among themselves.
+  //  - EXCLUSIVE holders mutate: Append, Force, CreateLogFile,
+  //    SealLogFile, SetPermissions, TakeVolumeOffline. Releasing the
+  //    exclusive lock publishes the new durable end (volume index, block
+  //    index, staged tail) to subsequent shared holders.
+  //
+  // Multi-threaded frontends (the src/net/ session dispatcher and its
+  // group-commit batcher, the src/ipc/ dispatcher) take the matching lock
+  // mode around each call AND around every use of a LogReader obtained
+  // from the service. Single-threaded users (tests, benches) may ignore
+  // the lock entirely. Debug builds assert the single-mutator invariant on
+  // the write path (Append / Force / CreateLogFile / SealLogFile /
+  // SetPermissions).
+  std::shared_mutex& mutex() const { return mu_; }
 
   // -- Introspection. --
 
@@ -156,11 +177,20 @@ class LogService {
   std::unique_ptr<BlockCache> cache_;
   std::vector<std::unique_ptr<WormDevice>> devices_;
   std::vector<std::unique_ptr<LogVolume>> volumes_;  // null = offline
+  // Lock-free mirror of volumes_ for shared-lock readers: slot i publishes
+  // volumes_[i].get() (nullptr = offline). A deque so push_back (under the
+  // exclusive lock) never moves existing atomics out from under readers.
+  // Slot stores happen under mount_mu_ (on-demand mount) or the exclusive
+  // lock (roll / offline); slot loads are acquire-ordered.
+  mutable std::deque<std::atomic<LogVolume*>> volume_slots_;
   std::vector<SpaceAccounting> sealed_space_;  // space of sealed volumes
   VolumeFactory volume_factory_;
   VolumeMounter volume_mounter_;
-  uint64_t on_demand_mounts_ = 0;
-  mutable std::mutex mu_;  // see mutex(): caller-held, never locked here
+  std::atomic<uint64_t> on_demand_mounts_{0};
+  // Serializes on-demand mounting among shared-lock readers (VolumeForRead
+  // misses); never held across a device read.
+  mutable std::mutex mount_mu_;
+  mutable std::shared_mutex mu_;  // see mutex(): caller-held, never locked here
 #ifndef NDEBUG
   // Count of threads currently inside a mutating entry point; >1 means a
   // multi-threaded caller is not honouring the mutex() contract.

@@ -123,7 +123,7 @@ Result<uint64_t> LogVolume::LocateEnd(WormDevice* device, OpStats* stats) {
 Result<std::unique_ptr<LogVolume>> LogVolume::Open(
     WormDevice* device, BlockCache* cache, uint64_t cache_device_id,
     Catalog* catalog, TimeSource* clock, NvramTail* nvram, bool writable,
-    RecoveryReport* report) {
+    RecoveryReport* report, bool replay_catalog) {
   // Step 0: the volume header fixes geometry for everything below.
   Bytes header_block(device->block_size());
   CLIO_RETURN_IF_ERROR(device->ReadBlock(0, header_block));
@@ -179,7 +179,9 @@ Result<std::unique_ptr<LogVolume>> LogVolume::Open(
   // bitmaps. Searches during replay synthesize any entrymap info the
   // not-yet-rebuilt accumulator would have supplied.
   OpStats catalog_stats;
-  CLIO_RETURN_IF_ERROR(volume->ReplayCatalog(&catalog_stats));
+  if (replay_catalog) {
+    CLIO_RETURN_IF_ERROR(volume->ReplayCatalog(&catalog_stats));
+  }
   if (report != nullptr) {
     report->catalog_replay_blocks = catalog_stats.blocks_read;
   }
@@ -385,7 +387,8 @@ Status LogVolume::ComputeRecoveredMaxTimestamp(OpStats* stats) {
   return Status::Ok();
 }
 
-Result<ParsedBlock> LogVolume::GetBlock(uint64_t block, OpStats* stats) {
+Result<ParsedBlock> LogVolume::GetBlock(uint64_t block, OpStats* stats,
+                                        bool sequential) {
   if (block == 0) {
     return InvalidArgument("block 0 is the volume header");
   }
@@ -401,8 +404,16 @@ Result<ParsedBlock> LogVolume::GetBlock(uint64_t block, OpStats* stats) {
     return NotWritten("block " + std::to_string(block) +
                       " is past the written end");
   }
-  CLIO_ASSIGN_OR_RETURN(auto image, blocks_.Fetch(block, stats));
-  return ParsedBlock::Parse(std::move(image));
+  // Readahead never crosses end_block(): the staging block is served from
+  // memory above and unburned blocks would fail the device read.
+  auto image = sequential && readahead_blocks_ > 0
+                   ? blocks_.FetchSequential(block, end_block(),
+                                             readahead_blocks_, stats)
+                   : blocks_.Fetch(block, stats);
+  if (!image.ok()) {
+    return image.status();
+  }
+  return ParsedBlock::Parse(std::move(image).value());
 }
 
 Result<Bytes> LogVolume::AssembleEntryPayload(uint64_t block,

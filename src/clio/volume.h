@@ -69,11 +69,15 @@ class LogVolume {
 
   // Opens an existing volume, running crash recovery. `writable` volumes
   // get a writer positioned at the recovered end. The catalog is replayed
-  // from the volume's catalog log into `catalog`.
+  // from the volume's catalog log into `catalog` unless `replay_catalog`
+  // is false — on-demand remounts (LogService::VolumeForRead) skip the
+  // replay because every record of an old volume is already in the live
+  // catalog (exported forward at roll time), and mutating the shared
+  // catalog would race with concurrent shared-lock readers.
   static Result<std::unique_ptr<LogVolume>> Open(
       WormDevice* device, BlockCache* cache, uint64_t cache_device_id,
       Catalog* catalog, TimeSource* clock, NvramTail* nvram, bool writable,
-      RecoveryReport* report);
+      RecoveryReport* report, bool replay_catalog = true);
 
   const VolumeHeader& header() const { return header_; }
   const EntrymapGeometry& geometry() const { return geometry_; }
@@ -102,7 +106,17 @@ class LogVolume {
 
   // Fetches and decodes one block (cache- and staged-tail-aware).
   // kNotWritten / kInvalidated / kCorrupt surface to the caller.
-  Result<ParsedBlock> GetBlock(uint64_t block, OpStats* stats);
+  // `sequential` marks a forward-scan fetch: a cache miss then pulls up to
+  // readahead_blocks() following burned blocks in the same device pass
+  // (DESIGN.md §12). Point lookups and backward scans leave it false.
+  Result<ParsedBlock> GetBlock(uint64_t block, OpStats* stats,
+                               bool sequential = false);
+
+  // Forward-scan readahead depth: how many blocks past a sequential cache
+  // miss are speculatively fetched in the same device pass. 0 disables.
+  // Set by the owning LogService from LogServiceOptions::readahead_blocks.
+  uint32_t readahead_blocks() const { return readahead_blocks_; }
+  void set_readahead_blocks(uint32_t blocks) { readahead_blocks_ = blocks; }
 
   // Nearest block strictly before `before_block` containing entries of
   // `id` (or of a sublog of `id`); nullopt if none on this volume.
@@ -186,6 +200,7 @@ class LogVolume {
   EntrymapAccumulator accumulator_;          // used when read-only
   bool accumulator_ready_ = false;
   uint64_t end_block_ = 1;  // burned end for read-only volumes
+  uint32_t readahead_blocks_ = 0;
   bool sealed_ = false;
   Timestamp recovered_max_timestamp_ = 0;
 };

@@ -12,6 +12,7 @@
 #ifndef SRC_DEVICE_BLOCK_DEVICE_H_
 #define SRC_DEVICE_BLOCK_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -22,13 +23,29 @@ namespace clio {
 
 // Operation counters every device keeps. Benches read these to report the
 // count-shaped columns of the paper's tables (blocks read, etc.).
+//
+// Counters are atomics because reads run concurrently under the service's
+// shared lock (DESIGN.md §12): two readers may bump `reads` at once.
+// Copying yields a point-in-time snapshot, not an atomic one.
 struct DeviceStats {
-  uint64_t reads = 0;
-  uint64_t appends = 0;
-  uint64_t rewrites = 0;       // rewritable devices only
-  uint64_t invalidations = 0;  // WORM devices only
-  uint64_t end_queries = 0;
-  uint64_t failed_ops = 0;
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> appends{0};
+  std::atomic<uint64_t> rewrites{0};       // rewritable devices only
+  std::atomic<uint64_t> invalidations{0};  // WORM devices only
+  std::atomic<uint64_t> end_queries{0};
+  std::atomic<uint64_t> failed_ops{0};
+
+  DeviceStats() = default;
+  DeviceStats(const DeviceStats& o) { *this = o; }
+  DeviceStats& operator=(const DeviceStats& o) {
+    reads = o.reads.load();
+    appends = o.appends.load();
+    rewrites = o.rewrites.load();
+    invalidations = o.invalidations.load();
+    end_queries = o.end_queries.load();
+    failed_ops = o.failed_ops.load();
+    return *this;
+  }
 
   void Reset() { *this = DeviceStats{}; }
 };
@@ -64,6 +81,29 @@ class WormDevice {
   // device. Invalidated/scribbled blocks read "successfully"; detecting
   // that their contents are not valid log data is the caller's job.
   virtual Status ReadBlock(uint64_t index, std::span<std::byte> out) = 0;
+
+  // Reads `count` consecutive blocks starting at `first` into `out` (must
+  // be exactly count * block_size bytes), stopping early at the first
+  // block that fails to read. Returns the number of blocks read; an error
+  // only if the FIRST block fails. The default loops ReadBlock; devices
+  // with cheaper sequential access (one seek, one transfer) may override.
+  // The readahead path (src/clio/cached_reader.*) uses this to fetch a
+  // run of blocks in one device pass.
+  virtual Result<uint64_t> ReadBlocks(uint64_t first, uint64_t count,
+                                      std::span<std::byte> out) {
+    const uint32_t block_bytes = block_size();
+    for (uint64_t i = 0; i < count; ++i) {
+      Status read =
+          ReadBlock(first + i, out.subspan(i * block_bytes, block_bytes));
+      if (!read.ok()) {
+        if (i == 0) {
+          return read;
+        }
+        return i;
+      }
+    }
+    return count;
+  }
 
   // Burns `data` (exactly block_size bytes) into the next writable block
   // and returns its index. Fails with kNoSpace when the volume is full.

@@ -13,7 +13,7 @@ Counter* FaultCounter(const char* kind) {
 
 }  // namespace
 
-Status FaultInjectingWormDevice::DeadOp(uint64_t* op_counter) {
+Status FaultInjectingWormDevice::DeadOp(std::atomic<uint64_t>* op_counter) {
   ++*op_counter;
   ++injected_.failed_ops;
   return Unavailable("device is powered off (injected power cut)");

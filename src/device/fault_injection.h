@@ -99,7 +99,7 @@ class FaultInjectingWormDevice : public WormDevice {
   uint64_t power_cuts() const { return power_cuts_.load(); }
 
  private:
-  Status DeadOp(uint64_t* op_counter);
+  Status DeadOp(std::atomic<uint64_t>* op_counter);
   Bytes GarbageBlock();
 
   std::unique_ptr<WormDevice> base_;

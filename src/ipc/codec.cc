@@ -1,5 +1,6 @@
 #include "src/ipc/codec.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace clio {
@@ -35,13 +36,64 @@ Result<LogFileInfo> DecodeLogFileInfo(std::span<const std::byte> payload) {
   return info;
 }
 
-// Locks `mu` if non-null; a no-op otherwise (single-threaded transports).
-std::unique_lock<std::mutex> MaybeLock(std::mutex* mu) {
-  return mu != nullptr ? std::unique_lock<std::mutex>(*mu)
-                       : std::unique_lock<std::mutex>();
+// RAII lock over the service's reader/writer mutex, in the mode the op
+// calls for; a no-op when `mu` is null (single-threaded transports).
+class MaybeServiceLock {
+ public:
+  MaybeServiceLock(std::shared_mutex* mu, bool exclusive)
+      : mu_(mu), exclusive_(exclusive) {
+    if (mu_ == nullptr) {
+      return;
+    }
+    if (exclusive_) {
+      mu_->lock();
+    } else {
+      mu_->lock_shared();
+    }
+  }
+  ~MaybeServiceLock() {
+    if (mu_ == nullptr) {
+      return;
+    }
+    if (exclusive_) {
+      mu_->unlock();
+    } else {
+      mu_->unlock_shared();
+    }
+  }
+  MaybeServiceLock(const MaybeServiceLock&) = delete;
+  MaybeServiceLock& operator=(const MaybeServiceLock&) = delete;
+
+ private:
+  std::shared_mutex* mu_;
+  bool exclusive_;
+};
+
+// Ops that only read service state (and the session's readers): these take
+// the service lock SHARED, so sessions scan concurrently (DESIGN.md §12).
+bool IsReadOp(LogOp op) {
+  switch (op) {
+    case LogOp::kOpenReader:
+    case LogOp::kReadNext:
+    case LogOp::kReadPrev:
+    case LogOp::kReadBatch:
+    case LogOp::kSeekToTime:
+    case LogOp::kSeekToStart:
+    case LogOp::kSeekToEnd:
+    case LogOp::kStat:
+      return true;
+    default:
+      return false;
+  }
 }
 
-constexpr uint32_t kMaxOp = static_cast<uint32_t>(LogOp::kStats);
+// Soft cap on one kReadBatch reply's payload bytes, comfortably under the
+// net transport's 16 MiB frame-body limit.
+constexpr size_t kReadBatchByteBudget = 4 << 20;
+// Hard cap on entries per batch regardless of the client's ask.
+constexpr uint32_t kReadBatchMaxEntries = 65536;
+
+constexpr uint32_t kMaxOp = static_cast<uint32_t>(LogOp::kReadBatch);
 
 // Per-op request counters, resolved once and indexed by op value so the
 // dispatch hot path never touches the registry map.
@@ -88,6 +140,8 @@ std::string_view LogOpName(LogOp op) {
       return "force";
     case LogOp::kStats:
       return "stats";
+    case LogOp::kReadBatch:
+      return "read_batch";
   }
   return "unknown";
 }
@@ -123,6 +177,30 @@ Result<Bytes> DecodeReplyBody(std::span<const std::byte> body) {
   return Bytes(rest.begin(), rest.end());
 }
 
+namespace {
+
+// Record-level halves shared by the single-entry and batch codecs.
+void AppendEntryRecord(ByteWriter* w, const LogEntryRecord& record) {
+  w->PutU16(record.logfile_id);
+  w->PutI64(record.timestamp);
+  w->PutU8(record.timestamp_exact ? 1 : 0);
+  w->PutU32(static_cast<uint32_t>(record.payload.size()));
+  w->PutBytes(record.payload);
+}
+
+RemoteEntry ReadEntryRecord(ByteReader* r) {
+  RemoteEntry entry;
+  entry.logfile_id = r->GetU16();
+  entry.timestamp = r->GetI64();
+  entry.timestamp_exact = r->GetU8() != 0;
+  uint32_t size = r->GetU32();
+  auto data = r->GetBytes(size);
+  entry.payload.assign(data.begin(), data.end());
+  return entry;
+}
+
+}  // namespace
+
 Bytes EncodeEntryRecord(const std::optional<LogEntryRecord>& record) {
   Bytes out;
   ByteWriter w(&out);
@@ -131,11 +209,7 @@ Bytes EncodeEntryRecord(const std::optional<LogEntryRecord>& record) {
     return out;
   }
   w.PutU8(1);
-  w.PutU16(record->logfile_id);
-  w.PutI64(record->timestamp);
-  w.PutU8(record->timestamp_exact ? 1 : 0);
-  w.PutU32(static_cast<uint32_t>(record->payload.size()));
-  w.PutBytes(record->payload);
+  AppendEntryRecord(&w, *record);
   return out;
 }
 
@@ -145,17 +219,38 @@ Result<std::optional<RemoteEntry>> DecodeEntryRecord(
   if (r.GetU8() == 0) {
     return std::optional<RemoteEntry>(std::nullopt);
   }
-  RemoteEntry entry;
-  entry.logfile_id = r.GetU16();
-  entry.timestamp = r.GetI64();
-  entry.timestamp_exact = r.GetU8() != 0;
-  uint32_t size = r.GetU32();
-  auto data = r.GetBytes(size);
-  entry.payload.assign(data.begin(), data.end());
+  RemoteEntry entry = ReadEntryRecord(&r);
   if (r.failed()) {
     return Corrupt("malformed entry in reply");
   }
   return std::optional<RemoteEntry>(std::move(entry));
+}
+
+Bytes EncodeEntryBatch(const std::vector<LogEntryRecord>& records,
+                       bool at_end) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU32(static_cast<uint32_t>(records.size()));
+  w.PutU8(at_end ? 1 : 0);
+  for (const LogEntryRecord& record : records) {
+    AppendEntryRecord(&w, record);
+  }
+  return out;
+}
+
+Result<EntryBatch> DecodeEntryBatch(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  uint32_t count = r.GetU32();
+  EntryBatch batch;
+  batch.at_end = r.GetU8() != 0;
+  batch.entries.reserve(count);
+  for (uint32_t i = 0; i < count && !r.failed(); ++i) {
+    batch.entries.push_back(ReadEntryRecord(&r));
+  }
+  if (r.failed() || batch.entries.size() != count) {
+    return Corrupt("malformed entry batch in reply");
+  }
+  return batch;
 }
 
 Bytes EncodeAppendRequest(std::string_view path,
@@ -221,7 +316,7 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
       if (append_fn_) {
         return append_fn_(*request);
       }
-      auto lock = MaybeLock(service_mu_);
+      MaybeServiceLock lock(service_mu_, /*exclusive=*/true);
       WriteOptions options;
       options.timestamped = request->timestamped;
       options.force = request->force;
@@ -236,7 +331,10 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
     return EncodeOkReplyBody(payload);
   }
 
-  auto lock = MaybeLock(service_mu_);
+  // kCloseReader touches only the session-local reader table; everything
+  // else locks the service in the mode its side of the contract requires.
+  MaybeServiceLock lock(op == LogOp::kCloseReader ? nullptr : service_mu_,
+                        /*exclusive=*/serialize_reads_ || !IsReadOp(op));
   ByteReader r(body);
   switch (op) {
     case LogOp::kCreateLogFile: {
@@ -288,6 +386,40 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
         return EncodeErrorReplyBody(record.status());
       }
       return EncodeOkReplyBody(EncodeEntryRecord(record.value()));
+    }
+    case LogOp::kReadBatch: {
+      uint64_t handle = r.GetU64();
+      uint32_t max_entries = r.GetU32();
+      if (r.failed() || max_entries == 0) {
+        return EncodeErrorReplyBody(InvalidArgument("malformed batch read"));
+      }
+      auto it = readers_.find(handle);
+      if (it == readers_.end()) {
+        return EncodeErrorReplyBody(NotFound("no such reader handle"));
+      }
+      max_entries = std::min(max_entries, kReadBatchMaxEntries);
+      std::vector<LogEntryRecord> records;
+      size_t bytes = 0;
+      bool at_end = false;
+      while (records.size() < max_entries && bytes < kReadBatchByteBudget) {
+        auto record = it->second->Next();
+        if (!record.ok()) {
+          // Mid-batch failure: return the prefix that DID read; a clean
+          // error only if nothing did. The reader is positioned after the
+          // prefix, so the client's next call surfaces the error itself.
+          if (records.empty()) {
+            return EncodeErrorReplyBody(record.status());
+          }
+          break;
+        }
+        if (!record.value().has_value()) {
+          at_end = true;
+          break;
+        }
+        bytes += record.value()->payload.size() + 16;
+        records.push_back(std::move(*record.value()));
+      }
+      return EncodeOkReplyBody(EncodeEntryBatch(records, at_end));
     }
     case LogOp::kSeekToTime: {
       uint64_t handle = r.GetU64();
@@ -388,6 +520,38 @@ Result<std::optional<RemoteEntry>> LogClientBase::ReadPrev(uint64_t handle) {
   w.PutU64(handle);
   CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kReadPrev, body));
   return DecodeEntryRecord(reply);
+}
+
+Result<EntryBatch> LogClientBase::ReadNextBatch(uint64_t handle,
+                                                uint32_t max_entries) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutU64(handle);
+  w.PutU32(max_entries);
+  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kReadBatch, body));
+  return DecodeEntryBatch(reply);
+}
+
+Result<std::optional<RemoteEntry>> BatchedReader::Next() {
+  if (pos_ >= buffer_.size()) {
+    if (at_end_) {
+      // The server already said end-of-log: report it without another
+      // round trip, but re-poll on the NEXT call (a tailing reader may
+      // find fresh entries then).
+      at_end_ = false;
+      return std::optional<RemoteEntry>(std::nullopt);
+    }
+    CLIO_ASSIGN_OR_RETURN(EntryBatch batch,
+                          client_->ReadNextBatch(handle_, batch_size_));
+    buffer_ = std::move(batch.entries);
+    pos_ = 0;
+    at_end_ = batch.at_end;
+    if (buffer_.empty()) {
+      at_end_ = false;
+      return std::optional<RemoteEntry>(std::nullopt);
+    }
+  }
+  return std::optional<RemoteEntry>(std::move(buffer_[pos_++]));
 }
 
 Status LogClientBase::SeekToTime(uint64_t handle, Timestamp t) {

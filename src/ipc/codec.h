@@ -22,9 +22,11 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "src/clio/log_service.h"
 #include "src/obs/metrics.h"
@@ -51,6 +53,11 @@ enum class LogOp : uint32_t {
   // the per-op metrics BEFORE the snapshot is taken, so a STATS reply
   // always includes itself.
   kStats = 12,
+  // Batched forward read: up to `max_entries` consecutive entries of one
+  // reader handle in a single round trip (request: u64 handle, u32
+  // max_entries; reply payload = entry batch). Amortizes framing and
+  // syscalls for tail scans; see LogClientBase::ReadNextBatch.
+  kReadBatch = 13,
 };
 
 // Stable lowercase metric-label name for an op ("append", "stats", ...);
@@ -75,6 +82,20 @@ Result<Bytes> DecodeReplyBody(std::span<const std::byte> body);
 Bytes EncodeEntryRecord(const std::optional<LogEntryRecord>& record);
 Result<std::optional<RemoteEntry>> DecodeEntryRecord(
     std::span<const std::byte> payload);
+
+// -- Entry batches (the reply payload of kReadBatch). --
+//
+// A batch may come back shorter than requested for two reasons the client
+// must distinguish: the server hit the end of the log (`at_end`, no point
+// asking again until more is appended), or it hit the reply byte budget
+// (ask again to continue).
+struct EntryBatch {
+  std::vector<RemoteEntry> entries;
+  bool at_end = false;
+};
+Bytes EncodeEntryBatch(const std::vector<LogEntryRecord>& records,
+                       bool at_end);
+Result<EntryBatch> DecodeEntryBatch(std::span<const std::byte> payload);
 
 // -- Append requests (the request body of kAppend). --
 //
@@ -103,9 +124,14 @@ Result<AppendRequest> DecodeAppendRequest(std::span<const std::byte> body);
 //
 // Thread safety: the dispatcher itself is confined to one session thread
 // (its reader table is unsynchronized), but many sessions may share one
-// LogService. When `service_mu` is non-null it is held across every
-// service/reader access (readers reach into the shared block cache, so
-// reads need the lock as much as writes do; see LogService::mutex()).
+// LogService. When `service_mu` is non-null, each op takes it in the mode
+// the LogService contract assigns (see LogService::mutex()): read-path ops
+// (kOpenReader, kReadNext/kReadPrev/kReadBatch, the seeks, kStat) take it
+// SHARED so sessions read concurrently; mutating ops (kCreateLogFile,
+// kAppend, kForce) take it EXCLUSIVE. kCloseReader touches only the
+// session-local reader table and takes no lock; kStats reads only the
+// internally synchronized metrics registry. `serialize_reads` restores the
+// old all-exclusive behaviour (the bench's --global-lock baseline).
 // kAppend can be redirected through `append_fn` — the net server's
 // group-commit batcher hook. The override is invoked WITHOUT service_mu
 // held and must arrange its own locking.
@@ -115,19 +141,22 @@ class ServiceDispatcher {
       std::function<Result<AppendResult>(const AppendRequest& request)>;
 
   explicit ServiceDispatcher(LogService* service,
-                             std::mutex* service_mu = nullptr,
-                             AppendFn append_fn = {})
+                             std::shared_mutex* service_mu = nullptr,
+                             AppendFn append_fn = {},
+                             bool serialize_reads = false)
       : service_(service),
         service_mu_(service_mu),
-        append_fn_(std::move(append_fn)) {}
+        append_fn_(std::move(append_fn)),
+        serialize_reads_(serialize_reads) {}
 
   // Executes one request and returns the encoded reply body.
   Bytes Dispatch(LogOp op, std::span<const std::byte> body);
 
  private:
   LogService* service_;
-  std::mutex* service_mu_;
+  std::shared_mutex* service_mu_;
   AppendFn append_fn_;
+  bool serialize_reads_;
   std::map<uint64_t, std::unique_ptr<LogReader>> readers_;
   uint64_t next_handle_ = 1;
 };
@@ -151,6 +180,10 @@ class LogClientBase {
   virtual Status CloseReader(uint64_t handle);
   virtual Result<std::optional<RemoteEntry>> ReadNext(uint64_t handle);
   virtual Result<std::optional<RemoteEntry>> ReadPrev(uint64_t handle);
+  // Up to `max_entries` consecutive entries in one round trip (kReadBatch).
+  // Prefer iterating via BatchedReader, which refills transparently.
+  virtual Result<EntryBatch> ReadNextBatch(uint64_t handle,
+                                           uint32_t max_entries);
   virtual Status SeekToTime(uint64_t handle, Timestamp t);
   virtual Status SeekToStart(uint64_t handle);
   virtual Status SeekToEnd(uint64_t handle);
@@ -169,6 +202,30 @@ class LogClientBase {
   // (0, 0) marks the append unstamped; transports with retransmission
   // override this with a stable client id and a fresh sequence per append.
   virtual std::pair<uint64_t, uint64_t> NextAppendStamp() { return {0, 0}; }
+};
+
+// Pull-style forward iterator over a reader handle, fetching kReadBatch
+// batches of `batch_size` entries and draining them locally: a 10k-entry
+// tail scan costs ~10k/batch_size round trips instead of 10k. Safe for
+// tailing: after the server reports end-of-log, the next Next() past the
+// drained buffer returns nullopt once without an extra RPC, and the call
+// after that re-polls the server for newly appended entries.
+class BatchedReader {
+ public:
+  BatchedReader(LogClientBase* client, uint64_t handle,
+                uint32_t batch_size = 32)
+      : client_(client), handle_(handle), batch_size_(batch_size) {}
+
+  // The next entry, or nullopt at (the current) end of the log.
+  Result<std::optional<RemoteEntry>> Next();
+
+ private:
+  LogClientBase* client_;
+  uint64_t handle_;
+  uint32_t batch_size_;
+  std::vector<RemoteEntry> buffer_;
+  size_t pos_ = 0;
+  bool at_end_ = false;  // last refill hit end-of-log
 };
 
 }  // namespace clio

@@ -8,7 +8,7 @@
 namespace clio {
 
 GroupCommitBatcher::GroupCommitBatcher(LogService* service,
-                                       std::mutex* service_mu,
+                                       std::shared_mutex* service_mu,
                                        const GroupCommitOptions& options)
     : service_(service), service_mu_(service_mu), options_(options) {}
 
@@ -104,9 +104,10 @@ void GroupCommitBatcher::CommitBatch(const std::vector<Pending*>& batch) {
   std::vector<Result<AppendResult>> results;
   results.reserve(batch.size());
   {
-    std::unique_lock<std::mutex> service_lock =
-        service_mu_ != nullptr ? std::unique_lock<std::mutex>(*service_mu_)
-                               : std::unique_lock<std::mutex>();
+    std::unique_lock<std::shared_mutex> service_lock =
+        service_mu_ != nullptr
+            ? std::unique_lock<std::shared_mutex>(*service_mu_)
+            : std::unique_lock<std::shared_mutex>();
     for (Pending* pending : batch) {
       const AppendRequest& request = *pending->request;
       WriteOptions options;

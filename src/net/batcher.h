@@ -26,6 +26,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -46,9 +47,10 @@ struct GroupCommitOptions {
 
 class GroupCommitBatcher {
  public:
-  // `service_mu` is LogService::mutex(): held across the batch's appends
-  // and force so the commit thread serializes with session dispatchers.
-  GroupCommitBatcher(LogService* service, std::mutex* service_mu,
+  // `service_mu` is LogService::mutex(): held EXCLUSIVE across the batch's
+  // appends and force so the commit thread serializes with session
+  // dispatchers (shared-lock readers included).
+  GroupCommitBatcher(LogService* service, std::shared_mutex* service_mu,
                      const GroupCommitOptions& options);
   ~GroupCommitBatcher();
 
@@ -94,7 +96,7 @@ class GroupCommitBatcher {
   void CommitBatch(const std::vector<Pending*>& batch);
 
   LogService* const service_;
-  std::mutex* const service_mu_;
+  std::shared_mutex* const service_mu_;
   const GroupCommitOptions options_;
   AppendDedupIndex* dedup_ = nullptr;
 

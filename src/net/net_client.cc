@@ -278,6 +278,21 @@ Result<std::optional<RemoteEntry>> NetLogClient::ReadNext(uint64_t handle) {
   });
 }
 
+Result<EntryBatch> NetLogClient::ReadNextBatch(uint64_t handle,
+                                               uint32_t max_entries) {
+  std::lock_guard<std::mutex> lock(readers_mu_);
+  return WithReader(handle, [this, max_entries](ReaderState* state) {
+    auto batch =
+        LogClientBase::ReadNextBatch(state->server_handle, max_entries);
+    if (batch.ok()) {
+      // Every delivered entry advanced the server-side cursor; replay
+      // after a reconnect must advance by the same count.
+      state->offset += static_cast<int64_t>(batch->entries.size());
+    }
+    return batch;
+  });
+}
+
 Result<std::optional<RemoteEntry>> NetLogClient::ReadPrev(uint64_t handle) {
   std::lock_guard<std::mutex> lock(readers_mu_);
   return WithReader(handle, [this](ReaderState* state) {

@@ -88,6 +88,8 @@ class NetLogClient : public LogClientBase {
   Status CloseReader(uint64_t handle) override;
   Result<std::optional<RemoteEntry>> ReadNext(uint64_t handle) override;
   Result<std::optional<RemoteEntry>> ReadPrev(uint64_t handle) override;
+  Result<EntryBatch> ReadNextBatch(uint64_t handle,
+                                   uint32_t max_entries) override;
   Status SeekToTime(uint64_t handle, Timestamp t) override;
   Status SeekToStart(uint64_t handle) override;
   Status SeekToEnd(uint64_t handle) override;

@@ -1,5 +1,6 @@
 #include "src/net/net_server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -144,7 +145,7 @@ Result<AppendResult> NetLogServer::ExecuteAppend(const AppendRequest& request) {
   if (batcher_ != nullptr && request.force) {
     return batcher_->Append(request);
   }
-  std::lock_guard<std::mutex> lock(service_->mutex());
+  std::lock_guard<std::shared_mutex> lock(service_->mutex());
   WriteOptions options;
   options.timestamped = request.timestamped;
   options.force = request.force;
@@ -152,7 +153,7 @@ Result<AppendResult> NetLogServer::ExecuteAppend(const AppendRequest& request) {
 }
 
 Status NetLogServer::ForceService() {
-  std::lock_guard<std::mutex> lock(service_->mutex());
+  std::lock_guard<std::shared_mutex> lock(service_->mutex());
   Status force = service_->Force();
   if (force.ok()) {
     // Promotes every staged stamp this force covered (see dedup.h).
@@ -187,7 +188,7 @@ Result<AppendResult> NetLogServer::RouteAppend(const AppendRequest& request) {
   // here is unambiguous — nothing landed, the stamp is released — then
   // force separately if the caller asked for durability.
   Result<AppendResult> staged = [&]() -> Result<AppendResult> {
-    std::lock_guard<std::mutex> lock(service_->mutex());
+    std::lock_guard<std::shared_mutex> lock(service_->mutex());
     WriteOptions options;
     options.timestamped = request.timestamped;
     options.force = false;
@@ -212,13 +213,24 @@ void NetLogServer::SessionLoop(Session* session) {
   Metrics().active_sessions->Add(1);
   ServiceDispatcher dispatcher(
       service_, &service_->mutex(),
-      [this](const AppendRequest& request) { return RouteAppend(request); });
+      [this](const AppendRequest& request) { return RouteAppend(request); },
+      options_.serialize_reads);
   const bool idle_enabled = options_.idle_timeout_ms > 0;
   auto idle_deadline =
       Clock::now() + std::chrono::milliseconds(options_.idle_timeout_ms);
   Bytes header_buf(kFrameHeaderSize);
   while (!stopping_.load()) {
-    auto readable = session->socket.WaitReadable(kPollSliceMs);
+    // Wait no longer than the idle deadline: a fixed slice would quantize
+    // idle-close (and stop-drain) latency to kPollSliceMs.
+    int wait_ms = kPollSliceMs;
+    if (idle_enabled) {
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           idle_deadline - Clock::now())
+                           .count();
+      wait_ms = static_cast<int>(
+          std::clamp<long long>(remaining, 0, kPollSliceMs));
+    }
+    auto readable = session->socket.WaitReadable(wait_ms);
     if (!readable.ok()) {
       break;
     }

@@ -4,9 +4,11 @@
 // is the ROADMAP's service evolution: many concurrent client connections
 // on a localhost TCP port, each with its own session (dedicated thread,
 // per-connection reader table, idle timeout), all dispatching onto one
-// shared LogService serialized by LogService::mutex(). Forced appends are
-// routed through a GroupCommitBatcher so concurrent committers share
-// device forces (src/net/batcher.h).
+// shared LogService. Sessions take LogService::mutex() SHARED for read
+// ops — write-once data lets tail scans run concurrently — and EXCLUSIVE
+// for mutations (DESIGN.md §12). Forced appends are routed through a
+// GroupCommitBatcher so concurrent committers share device forces
+// (src/net/batcher.h).
 //
 // Robustness: a malformed or oversized frame closes only the offending
 // connection; a decodable frame with a garbage body gets an error reply
@@ -50,6 +52,10 @@ struct NetLogServerOptions {
   // should pass a long-lived index here so retried appends whose acks
   // were lost to a crash still deduplicate after the restart.
   AppendDedupIndex* dedup = nullptr;
+  // Compatibility switch: take the service lock EXCLUSIVE for read ops
+  // too, restoring the old one-request-at-a-time behaviour. Exists for
+  // bench_read_scaling's --global-lock baseline; leave off in production.
+  bool serialize_reads = false;
 };
 
 class NetLogServer {

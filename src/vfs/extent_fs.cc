@@ -246,7 +246,7 @@ Status ExtentFs::WriteBlockThrough(uint32_t block,
   }
   CLIO_RETURN_IF_ERROR(device_->WriteBlock(block, data));
   if (cache_ != nullptr) {
-    cache_->Insert({cache_device_id_, block}, Bytes(data.begin(), data.end()));
+    cache_->Replace({cache_device_id_, block}, Bytes(data.begin(), data.end()));
   }
   return Status::Ok();
 }

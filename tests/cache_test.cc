@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "tests/test_util.h"
 
 namespace clio {
@@ -40,14 +43,29 @@ TEST(Cache, LruEvictionOrder) {
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
-TEST(Cache, ReinsertReplacesData) {
+TEST(Cache, ReinsertKeepsOriginalEntry) {
+  // Blocks are write-once: a double insert keeps the existing entry (and
+  // both the old and the returned pointer refer to it).
   BlockCache cache(4);
-  cache.Insert({1, 1}, Payload(1));
-  cache.Insert({1, 1}, Payload(9));
+  auto first = cache.Insert({1, 1}, Payload(1));
+  auto second = cache.Insert({1, 1}, Payload(1));
+  EXPECT_EQ(first.get(), second.get());
   auto hit = cache.Lookup({1, 1});
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ((*hit)[0], std::byte{9});
+  EXPECT_EQ((*hit)[0], std::byte{1});
   EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().double_inserts, 1u);
+}
+
+TEST(Cache, DoubleInsertDoesNotEvict) {
+  BlockCache cache(2);
+  cache.Insert({1, 1}, Payload(1));
+  cache.Insert({1, 2}, Payload(2));
+  cache.Insert({1, 1}, Payload(1));  // re-insert while full
+  EXPECT_NE(cache.Lookup({1, 1}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 2}), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 0u);
 }
 
 TEST(Cache, EvictedBlockSurvivesForHolders) {
@@ -85,6 +103,36 @@ TEST(Cache, HitRatioComputes) {
   (void)cache.Lookup({1, 1});
   (void)cache.Lookup({1, 2});
   EXPECT_DOUBLE_EQ(cache.stats().HitRatio(), 0.5);
+}
+
+TEST(Cache, ConcurrentReadersShareTheCache) {
+  // Striped-lock smoke test: many threads insert and look up overlapping
+  // keys; every lookup must yield either nullptr or the write-once bytes.
+  BlockCache cache(512);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kBlocks = 256;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache] {
+      for (int lap = 0; lap < 4; ++lap) {
+        for (uint64_t block = 0; block < kBlocks; ++block) {
+          auto hit = cache.Lookup({1, block});
+          if (hit == nullptr) {
+            hit = cache.Insert(
+                {1, block},
+                Bytes(16, std::byte{static_cast<uint8_t>(block)}));
+          }
+          ASSERT_EQ((*hit)[0], std::byte{static_cast<uint8_t>(block)});
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * 4 * kBlocks);
 }
 
 TEST(Cache, ManyDevicesDoNotCollide) {

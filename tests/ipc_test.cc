@@ -175,6 +175,33 @@ TEST_F(LogServerTest, CreateAppendReadOverIpc) {
   ASSERT_OK(client.CloseReader(handle));
 }
 
+TEST_F(LogServerTest, BatchReadOverIpc) {
+  LogClient client(&channel_);
+  ASSERT_OK(client.CreateLogFile("/batched").status());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(
+        client.Append("/batched", AsBytes("e" + std::to_string(i)), true)
+            .status());
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, client.OpenReader("/batched"));
+  ASSERT_OK_AND_ASSIGN(EntryBatch first, client.ReadNextBatch(handle, 4));
+  ASSERT_EQ(first.entries.size(), 4u);
+  EXPECT_FALSE(first.at_end);
+  EXPECT_EQ(ToString(first.entries[0].payload), "e0");
+  EXPECT_EQ(ToString(first.entries[3].payload), "e3");
+
+  // Same transport-independent iterator as the TCP client.
+  BatchedReader reader(&client, handle, /*batch_size=*/4);
+  for (int i = 4; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto entry, reader.Next());
+    ASSERT_TRUE(entry.has_value()) << "entry " << i;
+    EXPECT_EQ(ToString(entry->payload), "e" + std::to_string(i));
+  }
+  ASSERT_OK_AND_ASSIGN(auto end, reader.Next());
+  EXPECT_FALSE(end.has_value());
+  ASSERT_OK(client.CloseReader(handle));
+}
+
 TEST_F(LogServerTest, SeekToTimeOverIpc) {
   LogClient client(&channel_);
   ASSERT_OK(client.CreateLogFile("/t").status());

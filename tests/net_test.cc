@@ -159,6 +159,74 @@ TEST_F(NetServerTest, CreateAppendReadOverTcp) {
   ASSERT_OK(client->CloseReader(handle));
 }
 
+TEST_F(NetServerTest, BatchReadDrainsTheLogInOrder) {
+  StartServer();
+  auto client = Client();
+  ASSERT_OK(client->CreateLogFile("/batched").status());
+  constexpr int kEntries = 100;
+  for (int i = 0; i < kEntries; ++i) {
+    ASSERT_OK(client->Append("/batched",
+                             AsBytes("entry-" + std::to_string(i)),
+                             /*timestamped=*/true,
+                             /*force=*/i == kEntries - 1)
+                  .status());
+  }
+
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, client->OpenReader("/batched"));
+  // A full batch stops at max_entries without claiming end-of-log.
+  ASSERT_OK_AND_ASSIGN(EntryBatch first, client->ReadNextBatch(handle, 32));
+  ASSERT_EQ(first.entries.size(), 32u);
+  EXPECT_FALSE(first.at_end);
+  EXPECT_EQ(ToString(first.entries.front().payload), "entry-0");
+  EXPECT_EQ(ToString(first.entries.back().payload), "entry-31");
+
+  // The batch cursor is the same server-side cursor: a single ReadNext
+  // continues exactly where the batch left off.
+  ASSERT_OK_AND_ASSIGN(auto single, client->ReadNext(handle));
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(ToString(single->payload), "entry-32");
+
+  // Drain the rest through the iterator.
+  BatchedReader reader(client.get(), handle, /*batch_size=*/32);
+  for (int i = 33; i < kEntries; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto entry, reader.Next());
+    ASSERT_TRUE(entry.has_value()) << "entry " << i;
+    EXPECT_EQ(ToString(entry->payload), "entry-" + std::to_string(i));
+  }
+  ASSERT_OK_AND_ASSIGN(auto end, reader.Next());
+  EXPECT_FALSE(end.has_value());
+
+  // Tailing: end-of-log is not sticky. New appends show up on the next
+  // Next() call.
+  ASSERT_OK(client->Append("/batched", AsBytes("late"), true).status());
+  ASSERT_OK_AND_ASSIGN(auto late, reader.Next());
+  ASSERT_TRUE(late.has_value());
+  EXPECT_EQ(ToString(late->payload), "late");
+  ASSERT_OK(client->CloseReader(handle));
+}
+
+TEST_F(NetServerTest, BatchReadShortFinalBatchReportsEnd) {
+  StartServer();
+  auto client = Client();
+  ASSERT_OK(client->CreateLogFile("/short").status());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(client->Append("/short", AsBytes(std::to_string(i)), true)
+                  .status());
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, client->OpenReader("/short"));
+  ASSERT_OK_AND_ASSIGN(EntryBatch a, client->ReadNextBatch(handle, 3));
+  EXPECT_EQ(a.entries.size(), 3u);
+  EXPECT_FALSE(a.at_end);
+  ASSERT_OK_AND_ASSIGN(EntryBatch b, client->ReadNextBatch(handle, 3));
+  EXPECT_EQ(b.entries.size(), 2u);
+  EXPECT_TRUE(b.at_end);
+  ASSERT_OK_AND_ASSIGN(EntryBatch c, client->ReadNextBatch(handle, 3));
+  EXPECT_TRUE(c.entries.empty());
+  EXPECT_TRUE(c.at_end);
+  EXPECT_EQ(client->ReadNextBatch(999, 3).status().code(),
+            StatusCode::kNotFound);
+}
+
 TEST_F(NetServerTest, ErrorsPropagateThroughWire) {
   StartServer();
   auto client = Client();
