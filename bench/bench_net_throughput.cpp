@@ -21,6 +21,7 @@
 #include "bench/bench_util.h"
 #include "src/net/net_client.h"
 #include "src/net/net_server.h"
+#include "src/obs/trace.h"
 
 namespace clio {
 namespace bench {
@@ -230,6 +231,29 @@ int main() {
   report.AddCounter("c8_summary", "batching_speedup", speedup);
   if (!report.Write()) {
     return 1;
+  }
+
+  // Clients and servers share this process, so the flight recorder holds
+  // both halves of every traced request. Export the newest spans as Chrome
+  // trace_event JSON next to the BENCH record; CI uploads it from the
+  // smoke job as an artifact viewable in chrome://tracing / Perfetto.
+  std::string dir = ".";
+  if (const char* env = std::getenv("CLIO_BENCH_JSON_DIR")) {
+    if (env[0] != '\0') {
+      dir = env;
+    }
+  }
+  std::string trace_path = dir + "/TRACE_net_throughput.json";
+  clio::TraceDump dump = clio::FlightRecorder::Instance().Collect();
+  std::string trace_json = clio::TraceDumpToChromeJson(dump);
+  if (std::FILE* f = std::fopen(trace_path.c_str(), "w")) {
+    std::fwrite(trace_json.data(), 1, trace_json.size(), f);
+    std::fclose(f);
+    std::printf("TRACE JSON: %s (%zu spans, %llu dropped)\n",
+                trace_path.c_str(), dump.spans.size(),
+                static_cast<unsigned long long>(dump.dropped));
+  } else {
+    std::fprintf(stderr, "BENCH: cannot write %s\n", trace_path.c_str());
   }
   return 0;
 }

@@ -7,7 +7,8 @@ Usage:
 
 Each BENCH_<name>.json (written by bench::BenchReport, see
 bench/bench_util.h) holds per-op records with time metrics (us_per_op,
-p50_us, p95_us, p99_us, max_us — regressions go UP) and derived counters
+p50_us, p90_us, p95_us, p99_us, max_us — regressions go UP) and derived
+counters
 (appends_per_sec, mean_batch, ... — regressions go DOWN).
 
 The baseline file maps bench name -> the same "ops" shape. Only ops
@@ -29,7 +30,7 @@ import sys
 
 # Per-op keys compared against the baseline. Time metrics regress when
 # they increase; counters regress when they decrease.
-TIME_KEYS = ("us_per_op", "p50_us", "p99_us")
+TIME_KEYS = ("us_per_op", "p50_us", "p90_us", "p99_us")
 # Metrics below this many microseconds are pure noise at CI resolution
 # (e.g. the ~5 ns timestamp cost) and are skipped.
 MIN_COMPARABLE_US = 1.0
@@ -60,6 +61,12 @@ def load_run_files(paths):
 
 def compare_op(bench, op, base_op, run_op, threshold, failures, notes):
     for key in TIME_KEYS:
+        # A key the baseline has never seen (e.g. a metric added after the
+        # baseline was frozen) is warned about and skipped, never failed —
+        # refresh the baseline with --emit-baseline to start gating it.
+        if key in run_op and key not in base_op:
+            notes.append(f"{bench}/{op} {key}: not in baseline (skipped)")
+            continue
         base = float(base_op.get(key, 0.0))
         new = float(run_op.get(key, 0.0))
         if base < MIN_COMPARABLE_US or new <= 0.0:
@@ -73,6 +80,8 @@ def compare_op(bench, op, base_op, run_op, threshold, failures, notes):
             notes.append(line)
     base_counters = base_op.get("counters", {})
     run_counters = run_op.get("counters", {})
+    for key in sorted(set(run_counters) - set(base_counters)):
+        notes.append(f"{bench}/{op} {key}: not in baseline (skipped)")
     for key in sorted(set(base_counters) & set(run_counters)):
         base = float(base_counters[key])
         new = float(run_counters[key])

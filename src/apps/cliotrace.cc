@@ -1,0 +1,126 @@
+// cliotrace: dump and inspect a running log server's flight recorder.
+//
+// Connects to a NetLogServer, issues kTraceDump, and prints the slowest
+// recent requests with a per-stage latency breakdown — where did the time
+// go: batch wait, force, burn? With --json the raw dump is exported as
+// Chrome trace_event JSON, which opens directly in chrome://tracing or
+// https://ui.perfetto.dev for a per-thread timeline view.
+//
+//   cliotrace --port 9000                     # top 10 slowest requests
+//   cliotrace --port 9000 --min-total-us 5000 # only requests >= 5ms
+//   cliotrace --port 9000 --json trace.json   # export for chrome://tracing
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/net/net_client.h"
+#include "src/obs/trace.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port PORT [--min-total-us N] [--top N]\n"
+               "          [--max-spans N] [--json FILE]\n"
+               "\n"
+               "  --port PORT         server port (required)\n"
+               "  --min-total-us N    only requests at least N us end to end\n"
+               "  --top N             requests to print (default 10)\n"
+               "  --max-spans N       span budget for the dump (0 = server "
+               "default)\n"
+               "  --json FILE         also write Chrome trace_event JSON\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 0;
+  uint64_t min_total_us = 0;
+  uint32_t max_spans = 0;
+  size_t top = 10;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    auto want_value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) {
+        return nullptr;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = want_value("--port")) {
+      port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v2 = want_value("--min-total-us")) {
+      min_total_us = std::strtoull(v2, nullptr, 10);
+    } else if (const char* v3 = want_value("--top")) {
+      top = std::strtoul(v3, nullptr, 10);
+    } else if (const char* v4 = want_value("--max-spans")) {
+      max_spans = static_cast<uint32_t>(std::strtoul(v4, nullptr, 10));
+    } else if (const char* v5 = want_value("--json")) {
+      json_path = v5;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (port == 0) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  auto client = clio::NetLogClient::Connect(port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().message().c_str());
+    return 1;
+  }
+  auto dump = (*client)->DumpTraces(min_total_us, max_spans);
+  if (!dump.ok()) {
+    std::fprintf(stderr, "trace dump failed: %s\n",
+                 dump.status().message().c_str());
+    return 1;
+  }
+
+  if (json_path != nullptr) {
+    std::string json = clio::TraceDumpToChromeJson(*dump);
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu bytes of Chrome trace JSON to %s\n", json.size(),
+                json_path);
+    std::printf("open in chrome://tracing or https://ui.perfetto.dev\n");
+  }
+
+  auto summaries = clio::SummarizeTraces(dump->spans);
+  std::printf("%zu spans, %zu requests, %" PRIu64 " dropped\n",
+              dump->spans.size(), summaries.size(), dump->dropped);
+  if (summaries.empty()) {
+    std::printf("no traced requests recorded%s\n",
+                min_total_us > 0 ? " above the threshold" : "");
+    return 0;
+  }
+  std::printf("slowest requests:\n");
+  size_t shown = 0;
+  for (const clio::TraceSummary& s : summaries) {
+    if (shown++ >= top) {
+      break;
+    }
+    std::printf("  trace 0x%016" PRIx64 "  total %8" PRIu64
+                " us  (%zu spans)\n",
+                s.trace_id, s.total_us, s.span_count);
+    for (const auto& [stage, us] : s.stage_us) {
+      std::printf("    %-14s %8" PRIu64 " us\n",
+                  std::string(clio::TraceStageName(stage)).c_str(), us);
+    }
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace clio {
 namespace {
@@ -150,7 +151,11 @@ Status LogVolumeWriter::BurnBuilder() {
     return Status::Ok();
   }
   Bytes image = builder_->Finish();
+  // One span per burn attempt: a retried burn shows up as several kBurn
+  // spans in the trace, which is exactly the story a fault injection run
+  // should tell.
   for (int attempt = 0; attempt < kMaxBurnAttempts; ++attempt) {
+    TraceSpanTimer span(TraceStage::kBurn);
     auto result = blocks_->device()->AppendBlock(image);
     if (result.ok()) {
       uint64_t actual = result.value();
@@ -176,7 +181,8 @@ Status LogVolumeWriter::BurnBuilder() {
       space_.footer_bytes += kBlockFooterSize;
       space_.padding_bytes += builder_->free_bytes();
       ++space_.blocks_burned;
-      static Counter* burned = ObsRegistry().counter("clio.volume.blocks_burned");
+      static Counter* burned =
+          ObsRegistry().counter("clio.volume.blocks_burned");
       burned->Increment();
       blocks_->Put(actual, std::move(image));
       staging_block_ = actual + 1;
@@ -262,6 +268,7 @@ Result<AppendResult> LogVolumeWriter::Append(LogFileId id,
   appends->Increment();
   append_bytes->Increment(payload.size());
   ScopedTimer timer(append_us);
+  TraceSpanTimer span(TraceStage::kVolumeAppend);
   if (sealed_) {
     return FailedPrecondition("volume is sealed");
   }
@@ -381,6 +388,7 @@ Status LogVolumeWriter::Force() {
   static Histogram* force_us = ObsRegistry().histogram("clio.volume.force_us");
   forces->Increment();
   ScopedTimer timer(force_us);
+  TraceSpanTimer span(TraceStage::kForce);
   if (nvram_ != nullptr) {
     // Rewritable tail: restage the current partial image; nothing burns.
     return nvram_->Store(staging_block_, builder_->Finish());

@@ -1,5 +1,8 @@
 #include "src/device/fault_injection.h"
 
+#include <chrono>
+#include <thread>
+
 #include "src/obs/metrics.h"
 
 namespace clio {
@@ -49,6 +52,10 @@ Result<uint64_t> FaultInjectingWormDevice::AppendBlock(
   if (powered_off_.load(std::memory_order_relaxed)) {
     Status st = DeadOp(&injected_.appends);
     return st;
+  }
+  if (policy_.append_latency_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(policy_.append_latency_us));
   }
   if (policy_.power_cut_after_appends > 0 &&
       appends_since_revive_.load(std::memory_order_relaxed) >=

@@ -46,6 +46,12 @@ struct FaultPolicy {
   // Per-query probability that QueryEnd under-reports the end by 1..8
   // blocks. Recovery must re-probe past the reported end (§2.3.1).
   uint32_t query_end_lies_per_mille = 0;
+  // Fixed latency added to every append that reaches the media (a slow
+  // burn — degraded platter, long seek). Unlike the fault knobs above the
+  // append still succeeds; this exists to make requests SLOW rather than
+  // broken, so tracing tests can inject a latency and watch it surface in
+  // the burn span.
+  uint64_t append_latency_us = 0;
   // Crash-point schedule: after this many successful appends, the device
   // powers off — every subsequent operation fails with kUnavailable until
   // Revive(). 0 disables the schedule.

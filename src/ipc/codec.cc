@@ -93,7 +93,12 @@ constexpr size_t kReadBatchByteBudget = 4 << 20;
 // Hard cap on entries per batch regardless of the client's ask.
 constexpr uint32_t kReadBatchMaxEntries = 65536;
 
-constexpr uint32_t kMaxOp = static_cast<uint32_t>(LogOp::kReadBatch);
+// Server-side ceiling on one kTraceDump reply: 100k spans encode to about
+// 3 MiB, comfortably under the 16 MiB frame-body limit. Doubles as the
+// default when the client asks for 0 ("server default").
+constexpr uint32_t kTraceDumpMaxSpans = 100'000;
+
+constexpr uint32_t kMaxOp = static_cast<uint32_t>(LogOp::kTraceDump);
 
 // Per-op request counters, resolved once and indexed by op value so the
 // dispatch hot path never touches the registry map.
@@ -142,6 +147,8 @@ std::string_view LogOpName(LogOp op) {
       return "stats";
     case LogOp::kReadBatch:
       return "read_batch";
+    case LogOp::kTraceDump:
+      return "trace_dump";
   }
   return "unknown";
 }
@@ -296,12 +303,30 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
   static Histogram* request_us =
       ObsRegistry().histogram("clio.rpc.request_us");
   ScopedTimer timer(request_us);
+  TraceSpanTimer dispatch_span(TraceStage::kDispatch);
 
   // kStats reads only the (internally synchronized) metrics registry, so
   // it never takes the service mutex — a monitoring poller cannot stall
   // behind a slow force, and vice versa.
   if (op == LogOp::kStats) {
     return EncodeOkReplyBody(EncodeStatsSnapshot(ObsRegistry().Snapshot()));
+  }
+
+  // kTraceDump likewise touches only the flight recorder (lock-free to
+  // read), so tracing works even when the service mutex is wedged.
+  if (op == LogOp::kTraceDump) {
+    ByteReader trace_r(body);
+    uint64_t min_total_us = trace_r.GetU64();
+    uint32_t max_spans = trace_r.GetU32();
+    if (trace_r.failed()) {
+      return EncodeErrorReplyBody(InvalidArgument("malformed trace dump"));
+    }
+    if (max_spans == 0 || max_spans > kTraceDumpMaxSpans) {
+      max_spans = kTraceDumpMaxSpans;
+    }
+    TraceDump dump = FlightRecorder::Instance().Collect(min_total_us,
+                                                        max_spans);
+    return EncodeOkReplyBody(EncodeTraceDump(dump));
   }
 
   // kAppend first: when an append override is installed it must run without
@@ -312,6 +337,9 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
     if (!request.ok()) {
       return EncodeErrorReplyBody(request.status());
     }
+    // The batcher's commit thread has no access to this thread's trace
+    // context; the request carries it over the hop.
+    request->trace_id = CurrentTraceId();
     Result<AppendResult> result = [&]() -> Result<AppendResult> {
       if (append_fn_) {
         return append_fn_(*request);
@@ -354,6 +382,7 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
     }
     case LogOp::kAppend:
     case LogOp::kStats:
+    case LogOp::kTraceDump:
       break;  // handled above
     case LogOp::kOpenReader: {
       std::string path = r.GetString();
@@ -589,6 +618,16 @@ Status LogClientBase::Force() { return Call(LogOp::kForce, {}).status(); }
 Result<StatsSnapshot> LogClientBase::GetStats() {
   CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kStats, {}));
   return DecodeStatsSnapshot(reply);
+}
+
+Result<TraceDump> LogClientBase::DumpTraces(uint64_t min_total_us,
+                                            uint32_t max_spans) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutU64(min_total_us);
+  w.PutU32(max_spans);
+  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kTraceDump, body));
+  return DecodeTraceDump(reply);
 }
 
 }  // namespace clio

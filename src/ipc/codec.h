@@ -30,6 +30,7 @@
 
 #include "src/clio/log_service.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/bytes.h"
 #include "src/util/status.h"
 
@@ -58,6 +59,12 @@ enum class LogOp : uint32_t {
   // max_entries; reply payload = entry batch). Amortizes framing and
   // syscalls for tail scans; see LogClientBase::ReadNextBatch.
   kReadBatch = 13,
+  // Dump of the server's flight recorder (src/obs/trace.h). Request: u64
+  // min_total_us (slow-request filter; 0 = everything), u32 max_spans
+  // (reply budget; 0 = server default). Reply payload = EncodeTraceDump.
+  // Like kStats it never takes the service mutex, so tracing a wedged
+  // server works.
+  kTraceDump = 14,
 };
 
 // Stable lowercase metric-label name for an op ("append", "stats", ...);
@@ -112,6 +119,10 @@ struct AppendRequest {
   uint64_t client_id = 0;
   uint64_t request_seq = 0;
   Bytes payload;
+  // Not on the wire (the frame header carries it): the dispatcher copies
+  // its thread's trace context here so an append handed to the batcher's
+  // commit thread keeps its trace across the thread hop.
+  uint64_t trace_id = 0;
 };
 Bytes EncodeAppendRequest(std::string_view path,
                           std::span<const std::byte> payload, bool timestamped,
@@ -192,6 +203,12 @@ class LogClientBase {
   // Fetches the server's metrics snapshot (counters, gauges, latency
   // histograms) via the kStats op.
   Result<StatsSnapshot> GetStats();
+  // Fetches recent spans from the server's flight recorder (kTraceDump).
+  // `min_total_us` > 0 keeps only requests at least that slow end to end;
+  // `max_spans` > 0 bounds the reply (newest spans win), 0 accepts the
+  // server's default budget.
+  Result<TraceDump> DumpTraces(uint64_t min_total_us = 0,
+                               uint32_t max_spans = 0);
 
  protected:
   // One request/reply round trip; returns the reply payload or the error

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace clio {
 
@@ -110,6 +111,11 @@ void GroupCommitBatcher::CommitBatch(const std::vector<Pending*>& batch) {
             : std::unique_lock<std::shared_mutex>();
     for (Pending* pending : batch) {
       const AppendRequest& request = *pending->request;
+      // Re-establish the request's trace context on this (commit) thread
+      // for the duration of its staging append, so the span here and the
+      // volume-writer spans underneath attach to the right trace.
+      ScopedTraceContext trace_scope(request.trace_id);
+      TraceSpanTimer stage_span(TraceStage::kBatchAppend);
       WriteOptions options;
       options.timestamped = request.timestamped;
       options.force = false;  // the batch force below covers this entry
@@ -125,7 +131,21 @@ void GroupCommitBatcher::CommitBatch(const std::vector<Pending*>& batch) {
       }
       results.push_back(std::move(staged));
     }
+    // One force covers the whole batch; record its cost under every traced
+    // member, since each of those requests paid (a share of) this wait.
+    // There is deliberately no trace context here: the volume writer's own
+    // context-driven kForce span would mis-attribute the shared force to
+    // whichever request staged last.
+    const uint64_t force_start_us = TraceNowUs();
     Status force = service_->Force();
+    const uint64_t force_dur_us = TraceNowUs() - force_start_us;
+    for (const Pending* pending : batch) {
+      if (pending->request->trace_id != 0) {
+        FlightRecorder::Instance().Record(pending->request->trace_id,
+                                          TraceStage::kForce, force_start_us,
+                                          force_dur_us);
+      }
+    }
     if (force.ok()) {
       if (dedup_ != nullptr) {
         // Still under the service mutex: every kStaged entry was staged

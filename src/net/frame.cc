@@ -5,18 +5,19 @@
 namespace clio {
 
 Bytes EncodeFrame(const FrameHeader& header, std::span<const std::byte> body) {
-  Bytes out(kFrameHeaderSize + body.size());
+  Bytes out(kFrameHeaderSizeV2 + body.size());
   StoreU32(out, 0, kFrameMagic);
   StoreU16(out, 4, kFrameVersion);
   StoreU16(out, 6, 0);  // flags
   StoreU32(out, 8, header.op);
   StoreU64(out, 12, header.request_id);
   StoreU32(out, 20, static_cast<uint32_t>(body.size()));
-  std::copy(body.begin(), body.end(), out.begin() + kFrameHeaderSize);
+  StoreU64(out, 24, header.trace_id);
+  std::copy(body.begin(), body.end(), out.begin() + kFrameHeaderSizeV2);
   return out;
 }
 
-Result<FrameHeader> DecodeFrameHeader(std::span<const std::byte> data,
+Result<FrameHeader> DecodeFramePrefix(std::span<const std::byte> data,
                                       uint32_t max_body_size) {
   if (data.size() < kFrameHeaderSize) {
     return Corrupt("truncated frame header");
@@ -24,19 +25,43 @@ Result<FrameHeader> DecodeFrameHeader(std::span<const std::byte> data,
   if (LoadU32(data, 0) != kFrameMagic) {
     return Corrupt("bad frame magic");
   }
-  if (LoadU16(data, 4) != kFrameVersion) {
+  uint16_t version = LoadU16(data, 4);
+  if (version != kFrameVersionLegacy && version != kFrameVersion) {
     return Corrupt("unsupported frame version");
   }
   if (LoadU16(data, 6) != 0) {
     return Corrupt("nonzero reserved frame flags");
   }
   FrameHeader header;
+  header.version = version;
   header.op = LoadU32(data, 8);
   header.request_id = LoadU64(data, 12);
   header.body_size = LoadU32(data, 20);
   if (header.body_size > max_body_size) {
     return Corrupt("oversized frame body");
   }
+  return header;
+}
+
+Status DecodeFrameExtension(std::span<const std::byte> data,
+                            FrameHeader* header) {
+  size_t need = FrameExtensionSize(header->version);
+  if (need == 0) {
+    return Status::Ok();
+  }
+  if (data.size() < need) {
+    return Corrupt("truncated frame trace extension");
+  }
+  header->trace_id = LoadU64(data, 0);
+  return Status::Ok();
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::span<const std::byte> data,
+                                      uint32_t max_body_size) {
+  CLIO_ASSIGN_OR_RETURN(FrameHeader header,
+                        DecodeFramePrefix(data, max_body_size));
+  CLIO_RETURN_IF_ERROR(
+      DecodeFrameExtension(data.subspan(kFrameHeaderSize), &header));
   return header;
 }
 

@@ -7,9 +7,20 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace clio {
 namespace {
+
+// splitmix64 finalizer: spreads (client_id, request_id) into a trace id
+// that is unique across clients with overwhelming probability and never 0.
+uint64_t MixTraceId(uint64_t client_id, uint64_t request_id) {
+  uint64_t z = client_id + 0x9E3779B97F4A7C15ull * request_id;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
 
 // Process-unique nonzero identity for auto-assigned client ids. Mixing in
 // the clock keeps ids distinct across processes sharing one server.
@@ -98,9 +109,24 @@ Result<Bytes> NetLogClient::RoundTripLocked(const Bytes& frame,
   if (*n != kFrameHeaderSize) {
     return fail(Unavailable("server closed the connection"));
   }
-  auto reply_header = DecodeFrameHeader(reply_header_buf);
+  auto reply_header = DecodeFramePrefix(reply_header_buf);
   if (!reply_header.ok()) {
     return fail(reply_header.status());
+  }
+  const size_t ext_size = FrameExtensionSize(reply_header->version);
+  if (ext_size > 0) {
+    Bytes ext_buf(ext_size);
+    n = socket_.ReadFull(ext_buf);
+    if (!n.ok()) {
+      return fail(n.status());
+    }
+    if (*n != ext_size) {
+      return fail(Unavailable("server closed mid-header"));
+    }
+    Status ext = DecodeFrameExtension(ext_buf, &reply_header.value());
+    if (!ext.ok()) {
+      return fail(std::move(ext));
+    }
   }
   if (reply_header->request_id != request_id) {
     return fail(Corrupt("reply for a different request id"));
@@ -128,10 +154,14 @@ Result<Bytes> NetLogClient::Call(LogOp op, const Bytes& body) {
   FrameHeader header;
   header.op = static_cast<uint32_t>(op);
   header.request_id = next_request_id_++;
+  header.trace_id = MixTraceId(client_id_, header.request_id);
+  last_trace_id_.store(header.trace_id);
   // Encoded once: a retransmitted append carries the identical
-  // (client_id, request_seq) stamp, which is what makes the server-side
-  // dedup work.
+  // (client_id, request_seq) stamp — which is what makes the server-side
+  // dedup work — and the identical trace id, so every attempt of one
+  // logical request lands in the same server-side trace.
   const Bytes frame = EncodeFrame(header, body);
+  TraceSpanTimer client_span(TraceStage::kClientCall, header.trace_id);
 
   uint64_t backoff_ms = options_.retry.initial_backoff_ms;
   Status last = Unavailable("no attempts made");

@@ -81,6 +81,11 @@ class NetLogClient : public LogClientBase {
   // Retransmissions (any attempt after the first, transport or server
   // kUnavailable).
   uint64_t retries() const { return retries_.load(); }
+  // Trace id stamped on the most recently issued Call(). A retried call
+  // keeps its id (the frame is encoded once), so this identifies the
+  // logical request across retransmits — tests correlate it against a
+  // server-side trace dump.
+  uint64_t last_trace_id() const { return last_trace_id_.load(); }
 
   // -- Virtualized reader API (overrides LogClientBase). Handles returned
   // here survive server restarts; see header comment. --
@@ -151,6 +156,7 @@ class NetLogClient : public LogClientBase {
   std::atomic<uint64_t> append_seq_{0};
   std::atomic<uint64_t> reconnects_{0};
   std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> last_trace_id_{0};
 };
 
 }  // namespace clio

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace clio {
 namespace {
@@ -143,6 +144,7 @@ Result<AppendResult> NetLogServer::ExecuteAppend(const AppendRequest& request) {
   // Forced appends share a batch force; unforced ones are pure buffer
   // writes with nothing to amortize, so they run directly.
   if (batcher_ != nullptr && request.force) {
+    TraceSpanTimer batch_wait(TraceStage::kBatchWait);
     return batcher_->Append(request);
   }
   std::lock_guard<std::shared_mutex> lock(service_->mutex());
@@ -182,6 +184,7 @@ Result<AppendResult> NetLogServer::RouteAppend(const AppendRequest& request) {
   if (batcher_ != nullptr && request.force) {
     // The batcher completes the claim itself: only it can tell a failed
     // stage from a failed covering force (see batcher.h).
+    TraceSpanTimer batch_wait(TraceStage::kBatchWait);
     return batcher_->Append(request);
   }
   // Unbatched path. Stage with the per-entry force suppressed so a failure
@@ -247,7 +250,7 @@ void NetLogServer::SessionLoop(Session* session) {
       break;  // peer closed cleanly, or socket error
     }
     auto header = *n == kFrameHeaderSize
-                      ? DecodeFrameHeader(header_buf, options_.max_frame_body)
+                      ? DecodeFramePrefix(header_buf, options_.max_frame_body)
                       : Result<FrameHeader>(Corrupt("truncated frame header"));
     if (!header.ok()) {
       // Bad framing: nothing downstream of this point in the byte stream
@@ -256,6 +259,21 @@ void NetLogServer::SessionLoop(Session* session) {
       Metrics().rejected->Increment();
       break;
     }
+    // A v2 peer's header continues with the tracing extension; a v1
+    // peer's does not (trace_id stays 0 and the request is untraced).
+    const size_t ext_size = FrameExtensionSize(header->version);
+    if (ext_size > 0) {
+      Bytes ext_buf(ext_size);
+      n = session->socket.ReadFull(ext_buf);
+      if (!n.ok() || *n != ext_size ||
+          !DecodeFrameExtension(ext_buf, &header.value()).ok()) {
+        frames_rejected_.fetch_add(1);
+        Metrics().rejected->Increment();
+        break;
+      }
+    }
+    const uint64_t trace_id = header->trace_id;
+    uint64_t read_start_us = trace_id != 0 ? TraceNowUs() : 0;
     Bytes body(header->body_size);
     if (header->body_size > 0) {
       n = session->socket.ReadFull(body);
@@ -265,18 +283,36 @@ void NetLogServer::SessionLoop(Session* session) {
         break;
       }
     }
-    Metrics().bytes_in->Increment(kFrameHeaderSize + header->body_size);
-    Bytes reply_body =
-        dispatcher.Dispatch(static_cast<LogOp>(header->op), body);
+    if (trace_id != 0) {
+      FlightRecorder::Instance().Record(trace_id, TraceStage::kSessionRead,
+                                        read_start_us,
+                                        TraceNowUs() - read_start_us);
+    }
+    Metrics().bytes_in->Increment(kFrameHeaderSize + ext_size +
+                                  header->body_size);
+    Bytes reply_body;
+    {
+      // Every span recorded below this point — dispatch, batch wait,
+      // volume append, force, burn — attaches to this request's trace.
+      ScopedTraceContext trace_scope(trace_id);
+      reply_body = dispatcher.Dispatch(static_cast<LogOp>(header->op), body);
+    }
     frames_dispatched_.fetch_add(1);
     Metrics().frames->Increment();
     FrameHeader reply_header;
     reply_header.op = header->op;
     reply_header.request_id = header->request_id;
+    reply_header.trace_id = trace_id;
     Bytes reply_frame = EncodeFrame(reply_header, reply_body);
     Metrics().bytes_out->Increment(reply_frame.size());
+    uint64_t write_start_us = trace_id != 0 ? TraceNowUs() : 0;
     if (!session->socket.WriteAll(reply_frame).ok()) {
       break;
+    }
+    if (trace_id != 0) {
+      FlightRecorder::Instance().Record(trace_id, TraceStage::kReplyWrite,
+                                        write_start_us,
+                                        TraceNowUs() - write_start_us);
     }
     idle_deadline =
         Clock::now() + std::chrono::milliseconds(options_.idle_timeout_ms);

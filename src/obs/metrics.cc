@@ -123,6 +123,8 @@ std::string StatsSnapshot::ToJson() const {
     AppendU64(&out, hist.max);
     out.append(",\"p50\":");
     AppendDouble(&out, hist.p50());
+    out.append(",\"p90\":");
+    AppendDouble(&out, hist.p90());
     out.append(",\"p95\":");
     AppendDouble(&out, hist.p95());
     out.append(",\"p99\":");

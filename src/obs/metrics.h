@@ -127,6 +127,7 @@ struct HistogramSnapshot {
   // bucket that holds the target rank and clamped to the observed max.
   double Percentile(double p) const;
   double p50() const { return Percentile(0.50); }
+  double p90() const { return Percentile(0.90); }
   double p95() const { return Percentile(0.95); }
   double p99() const { return Percentile(0.99); }
   double Mean() const {
@@ -152,7 +153,8 @@ struct StatsSnapshot {
   // One-line machine-readable export:
   //   {"version":1,"counters":{...},"gauges":{...},
   //    "histograms":{name:{"count":..,"sum":..,"max":..,
-  //                        "p50":..,"p95":..,"p99":..,"buckets":[..]}}}
+  //                        "p50":..,"p90":..,"p95":..,"p99":..,
+  //                        "buckets":[..]}}}
   std::string ToJson() const;
 };
 

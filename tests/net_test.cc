@@ -14,6 +14,7 @@
 #include "src/net/net_client.h"
 #include "src/net/net_server.h"
 #include "src/net/socket.h"
+#include "src/obs/trace.h"
 #include "tests/test_util.h"
 
 namespace clio {
@@ -30,6 +31,28 @@ bool ConnectionDropped(TcpSocket* socket) {
   return !n.ok() || *n == 0;
 }
 
+// Reads one complete reply header off the socket the way a real endpoint
+// does: the 24-byte prefix first, then whatever extension the advertised
+// version calls for.
+Result<FrameHeader> ReadReplyHeader(TcpSocket* socket) {
+  Bytes prefix(kFrameHeaderSize);
+  CLIO_ASSIGN_OR_RETURN(size_t n, socket->ReadFull(prefix));
+  if (n != kFrameHeaderSize) {
+    return Unavailable("server closed the connection");
+  }
+  CLIO_ASSIGN_OR_RETURN(FrameHeader header, DecodeFramePrefix(prefix));
+  const size_t ext_size = FrameExtensionSize(header.version);
+  if (ext_size > 0) {
+    Bytes ext(ext_size);
+    CLIO_ASSIGN_OR_RETURN(n, socket->ReadFull(ext));
+    if (n != ext_size) {
+      return Unavailable("server closed mid-header");
+    }
+    CLIO_RETURN_IF_ERROR(DecodeFrameExtension(ext, &header));
+  }
+  return header;
+}
+
 // ---------------------------------------------------------------------------
 // Frame codec
 
@@ -37,25 +60,51 @@ TEST(Frame, HeaderRoundTrip) {
   FrameHeader header;
   header.op = 7;
   header.request_id = 0x1122334455667788ull;
+  header.trace_id = 0xCAFEF00DDEADBEEFull;
   Bytes body = ToBytes("hello frame");
   header.body_size = static_cast<uint32_t>(body.size());
 
   Bytes wire = EncodeFrame(header, body);
-  ASSERT_EQ(wire.size(), kFrameHeaderSize + body.size());
+  ASSERT_EQ(wire.size(), kFrameHeaderSizeV2 + body.size());
   ASSERT_OK_AND_ASSIGN(FrameHeader decoded, DecodeFrameHeader(wire));
   EXPECT_EQ(decoded.op, 7u);
   EXPECT_EQ(decoded.request_id, 0x1122334455667788ull);
+  EXPECT_EQ(decoded.trace_id, 0xCAFEF00DDEADBEEFull);
+  EXPECT_EQ(decoded.version, kFrameVersion);
   EXPECT_EQ(decoded.body_size, body.size());
-  EXPECT_EQ(ToString(std::span(wire).subspan(kFrameHeaderSize)),
+  EXPECT_EQ(ToString(std::span(wire).subspan(kFrameHeaderSizeV2)),
             "hello frame");
 }
 
 TEST(Frame, EmptyBodyRoundTrip) {
   Bytes wire = EncodeFrame(FrameHeader{3, 9, 0}, {});
-  ASSERT_EQ(wire.size(), kFrameHeaderSize);
+  ASSERT_EQ(wire.size(), kFrameHeaderSizeV2);
   ASSERT_OK_AND_ASSIGN(FrameHeader decoded, DecodeFrameHeader(wire));
   EXPECT_EQ(decoded.op, 3u);
   EXPECT_EQ(decoded.body_size, 0u);
+  EXPECT_EQ(decoded.trace_id, 0u);
+}
+
+TEST(Frame, LegacyV1HeaderDecodesWithZeroTraceId) {
+  // A v1 peer's header is just the 24-byte prefix: downgrade an encoded
+  // frame in place and drop the extension.
+  Bytes wire = EncodeFrame(FrameHeader{7, 21, 0, /*trace_id=*/555}, {});
+  StoreU16(wire, 4, kFrameVersionLegacy);
+  wire.resize(kFrameHeaderSize);
+  ASSERT_OK_AND_ASSIGN(FrameHeader decoded, DecodeFrameHeader(wire));
+  EXPECT_EQ(decoded.version, kFrameVersionLegacy);
+  EXPECT_EQ(decoded.op, 7u);
+  EXPECT_EQ(decoded.request_id, 21u);
+  EXPECT_EQ(decoded.trace_id, 0u);  // v1 has no trace extension
+  EXPECT_EQ(FrameExtensionSize(decoded.version), 0u);
+}
+
+TEST(Frame, TruncatedTraceExtensionIsCorrupt) {
+  Bytes wire = EncodeFrame(FrameHeader{7, 21, 0, /*trace_id=*/555}, {});
+  wire.resize(kFrameHeaderSizeV2 - 1);  // prefix intact, extension cut
+  EXPECT_EQ(DecodeFrameHeader(wire).status().code(), StatusCode::kCorrupt);
+  // The prefix alone still decodes; only the extension read fails.
+  ASSERT_OK(DecodeFramePrefix(wire).status());
 }
 
 TEST(Frame, RejectsTruncatedHeader) {
@@ -382,14 +431,10 @@ TEST_F(NetServerTest, GarbageBodyGetsErrorReplyAndSessionSurvives) {
   header.request_id = 77;
   ASSERT_OK(raw.WriteAll(EncodeFrame(header, body)));
 
-  Bytes reply_header_buf(kFrameHeaderSize);
-  ASSERT_OK_AND_ASSIGN(size_t n, raw.ReadFull(reply_header_buf));
-  ASSERT_EQ(n, kFrameHeaderSize);
-  ASSERT_OK_AND_ASSIGN(FrameHeader reply_header,
-                       DecodeFrameHeader(reply_header_buf));
+  ASSERT_OK_AND_ASSIGN(FrameHeader reply_header, ReadReplyHeader(&raw));
   EXPECT_EQ(reply_header.request_id, 77u);
   Bytes reply_body(reply_header.body_size);
-  ASSERT_OK_AND_ASSIGN(n, raw.ReadFull(reply_body));
+  ASSERT_OK_AND_ASSIGN(size_t n, raw.ReadFull(reply_body));
   ASSERT_EQ(n, reply_body.size());
   EXPECT_EQ(DecodeReplyBody(reply_body).status().code(),
             StatusCode::kInvalidArgument);
@@ -402,9 +447,7 @@ TEST_F(NetServerTest, GarbageBodyGetsErrorReplyAndSessionSurvives) {
   header.op = static_cast<uint32_t>(LogOp::kCreateLogFile);
   header.request_id = 78;
   ASSERT_OK(raw.WriteAll(EncodeFrame(header, create_body)));
-  ASSERT_OK_AND_ASSIGN(n, raw.ReadFull(reply_header_buf));
-  ASSERT_EQ(n, kFrameHeaderSize);
-  ASSERT_OK_AND_ASSIGN(reply_header, DecodeFrameHeader(reply_header_buf));
+  ASSERT_OK_AND_ASSIGN(reply_header, ReadReplyHeader(&raw));
   reply_body.assign(reply_header.body_size, std::byte{0});
   ASSERT_OK_AND_ASSIGN(n, raw.ReadFull(reply_body));
   ASSERT_OK(DecodeReplyBody(reply_body).status());
@@ -415,13 +458,10 @@ TEST_F(NetServerTest, UnknownOpGetsErrorReply) {
   ASSERT_OK_AND_ASSIGN(TcpSocket raw,
                        TcpSocket::ConnectLoopback(server_->port()));
   ASSERT_OK(raw.WriteAll(EncodeFrame(FrameHeader{999, 5, 0}, {})));
-  Bytes reply_header_buf(kFrameHeaderSize);
-  ASSERT_OK_AND_ASSIGN(size_t n, raw.ReadFull(reply_header_buf));
-  ASSERT_EQ(n, kFrameHeaderSize);
-  ASSERT_OK_AND_ASSIGN(FrameHeader reply_header,
-                       DecodeFrameHeader(reply_header_buf));
+  ASSERT_OK_AND_ASSIGN(FrameHeader reply_header, ReadReplyHeader(&raw));
   Bytes reply_body(reply_header.body_size);
-  ASSERT_OK_AND_ASSIGN(n, raw.ReadFull(reply_body));
+  ASSERT_OK_AND_ASSIGN(size_t n, raw.ReadFull(reply_body));
+  EXPECT_EQ(n, reply_body.size());
   EXPECT_EQ(DecodeReplyBody(reply_body).status().code(),
             StatusCode::kUnimplemented);
 }
@@ -747,15 +787,10 @@ TEST(AppendDedup, ConcurrentDuplicateWaitsForTheOriginal) {
 // One raw framed round trip (no client retry machinery in the way).
 Result<Bytes> RawCall(TcpSocket* socket, const Bytes& frame) {
   CLIO_RETURN_IF_ERROR(socket->WriteAll(frame));
-  Bytes header_buf(kFrameHeaderSize);
-  CLIO_ASSIGN_OR_RETURN(size_t n, socket->ReadFull(header_buf));
-  if (n != kFrameHeaderSize) {
-    return Unavailable("server closed the connection");
-  }
-  CLIO_ASSIGN_OR_RETURN(FrameHeader header, DecodeFrameHeader(header_buf));
+  CLIO_ASSIGN_OR_RETURN(FrameHeader header, ReadReplyHeader(socket));
   Bytes body(header.body_size);
   if (header.body_size > 0) {
-    CLIO_ASSIGN_OR_RETURN(n, socket->ReadFull(body));
+    CLIO_ASSIGN_OR_RETURN(size_t n, socket->ReadFull(body));
     if (n != header.body_size) {
       return Unavailable("server closed mid-reply");
     }
@@ -801,6 +836,186 @@ TEST_F(NetServerTest, RetransmittedAppendIsAckedOnceLogged) {
     ++count;
   }
   EXPECT_EQ(count, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing over the wire
+
+TEST_F(NetServerTest, LegacyV1FrameIsServedWithoutTracing) {
+  StartServer();
+  ASSERT_OK_AND_ASSIGN(TcpSocket raw,
+                       TcpSocket::ConnectLoopback(server_->port()));
+  // Hand-build the frame an old (v1) client would send: the 24-byte
+  // prefix, no trace extension, body immediately after.
+  Bytes create_body;
+  ByteWriter w(&create_body);
+  w.PutString("/v1-peer");
+  w.PutU32(0644);
+  FrameHeader header;
+  header.op = static_cast<uint32_t>(LogOp::kCreateLogFile);
+  header.request_id = 11;
+  header.trace_id = 999;  // must NOT survive the downgrade
+  Bytes v2 = EncodeFrame(header, create_body);
+  Bytes v1(v2.begin(), v2.begin() + kFrameHeaderSize);
+  StoreU16(v1, 4, kFrameVersionLegacy);
+  v1.insert(v1.end(), v2.begin() + kFrameHeaderSizeV2, v2.end());
+
+  ASSERT_OK(raw.WriteAll(v1));
+  ASSERT_OK_AND_ASSIGN(FrameHeader reply_header, ReadReplyHeader(&raw));
+  EXPECT_EQ(reply_header.request_id, 11u);
+  EXPECT_EQ(reply_header.trace_id, 0u);  // untraced request, untraced reply
+  Bytes reply_body(reply_header.body_size);
+  ASSERT_OK_AND_ASSIGN(size_t n, raw.ReadFull(reply_body));
+  ASSERT_EQ(n, reply_body.size());
+  ASSERT_OK(DecodeReplyBody(reply_body).status());
+}
+
+TEST_F(NetServerTest, TraceDumpReconstructsARequestTimeline) {
+  StartServer();  // batching on: the append crosses the commit thread
+  auto client = Client();
+  ASSERT_OK(client->CreateLogFile("/traced").status());
+  ASSERT_OK(client->Append("/traced", AsBytes("follow me"),
+                           /*timestamped=*/true, /*force=*/true)
+                .status());
+  const uint64_t trace_id = client->last_trace_id();
+  ASSERT_NE(trace_id, 0u);
+
+  ASSERT_OK_AND_ASSIGN(TraceDump dump, client->DumpTraces());
+  auto summaries = SummarizeTraces(dump.spans);
+  const TraceSummary* mine = nullptr;
+  for (const TraceSummary& s : summaries) {
+    if (s.trace_id == trace_id) {
+      mine = &s;
+    }
+  }
+  ASSERT_NE(mine, nullptr) << "append's trace missing from the dump";
+  // The batched forced append passes through every server-side stage:
+  // session read, dispatch, the batcher wait, the commit thread's staging
+  // append (with the volume append nested under it), and the covering
+  // force — plus the reply write.
+  for (TraceStage stage :
+       {TraceStage::kSessionRead, TraceStage::kDispatch,
+        TraceStage::kBatchWait, TraceStage::kBatchAppend,
+        TraceStage::kVolumeAppend, TraceStage::kForce,
+        TraceStage::kReplyWrite}) {
+    EXPECT_TRUE(mine->stage_us.contains(stage))
+        << "missing stage " << TraceStageName(stage);
+  }
+  // Sanity on nesting: the dispatch span covers the batch wait.
+  EXPECT_GE(mine->stage_us.at(TraceStage::kDispatch),
+            mine->stage_us.at(TraceStage::kBatchWait));
+}
+
+TEST(NetTrace, InjectedSlowBurnIsVisibleInTheTraceDump) {
+  MemoryWormOptions dev_options;
+  dev_options.block_size = 1024;
+  dev_options.capacity_blocks = 4096;
+  FaultPolicy policy;
+  policy.append_latency_us = 20'000;  // every burn takes >= 20 ms
+  auto injector = std::make_unique<FaultInjectingWormDevice>(
+      std::make_unique<MemoryWormDevice>(dev_options), policy, /*seed=*/5);
+  SimulatedClock clock(1'000'000, /*auto_tick=*/7);
+  LogServiceOptions sopts;
+  sopts.sequence_id = 0x7ACE;
+  ASSERT_OK_AND_ASSIGN(auto service,
+                       LogService::Create(std::move(injector), &clock, sopts));
+  // Batching off: force runs on the session thread under the request's
+  // trace context, so even the physical burn is attributed stage by stage.
+  NetLogServerOptions options;
+  options.batching = false;
+  ASSERT_OK_AND_ASSIGN(auto server,
+                       NetLogServer::Start(service.get(), options));
+  ASSERT_OK_AND_ASSIGN(auto client, NetLogClient::Connect(server->port()));
+  ASSERT_OK(client->CreateLogFile("/slow").status());
+  ASSERT_OK(
+      client->Append("/slow", AsBytes("sluggish"), true, true).status());
+  const uint64_t trace_id = client->last_trace_id();
+
+  // The slow-request filter: at 10ms the injected 20ms burn qualifies.
+  ASSERT_OK_AND_ASSIGN(TraceDump dump,
+                       client->DumpTraces(/*min_total_us=*/10'000));
+  auto summaries = SummarizeTraces(dump.spans);
+  const TraceSummary* slow = nullptr;
+  for (const TraceSummary& s : summaries) {
+    if (s.trace_id == trace_id) {
+      slow = &s;
+    }
+  }
+  ASSERT_NE(slow, nullptr) << "slow append filtered out of the dump";
+  EXPECT_GE(slow->total_us, 10'000u);
+  // The breakdown points at the device: the burn stage carries the
+  // injected latency.
+  ASSERT_TRUE(slow->stage_us.contains(TraceStage::kBurn));
+  EXPECT_GE(slow->stage_us.at(TraceStage::kBurn), 15'000u);
+  ASSERT_TRUE(slow->stage_us.contains(TraceStage::kForce));
+  EXPECT_GE(slow->stage_us.at(TraceStage::kForce),
+            slow->stage_us.at(TraceStage::kBurn));
+
+  // The export round-trips into Chrome trace_event JSON with one event
+  // per span.
+  std::string json = TraceDumpToChromeJson(dump);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"burn\""), std::string::npos);
+  server->Stop();
+}
+
+TEST(NetTrace, RetriedAppendKeepsItsOriginalTraceId) {
+  MemoryWormOptions dev_options;
+  dev_options.block_size = 1024;
+  dev_options.capacity_blocks = 4096;
+  FaultPolicy policy;
+  policy.power_cut_after_appends = 4;  // the device dies mid-workload
+  auto injector = std::make_unique<FaultInjectingWormDevice>(
+      std::make_unique<MemoryWormDevice>(dev_options), policy, /*seed=*/42);
+  FaultInjectingWormDevice* injector_raw = injector.get();
+  SimulatedClock clock(1'000'000, /*auto_tick=*/7);
+  LogServiceOptions sopts;
+  sopts.sequence_id = 0x7AC3;
+  ASSERT_OK_AND_ASSIGN(auto service,
+                       LogService::Create(std::move(injector), &clock, sopts));
+  ASSERT_OK_AND_ASSIGN(auto server, NetLogServer::Start(service.get()));
+  std::atomic<bool> stop_reviver{false};
+  std::thread reviver([&] {
+    while (!stop_reviver.load()) {
+      if (injector_raw->powered_off()) {
+        injector_raw->Revive();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  ASSERT_OK_AND_ASSIGN(auto client, NetLogClient::Connect(server->port()));
+  ASSERT_OK(client->CreateLogFile("/retry-trace").status());
+  // Append until one call had to retry, and capture THAT call's trace id.
+  uint64_t retried_trace_id = 0;
+  for (int i = 0; i < 50 && retried_trace_id == 0; ++i) {
+    uint64_t retries_before = client->retries();
+    ASSERT_OK(client
+                  ->Append("/retry-trace", AsBytes("r" + std::to_string(i)),
+                           true, true)
+                  .status());
+    if (client->retries() > retries_before) {
+      retried_trace_id = client->last_trace_id();
+    }
+  }
+  stop_reviver.store(true);
+  reviver.join();
+  ASSERT_NE(retried_trace_id, 0u) << "no append ever retried";
+
+  // Every attempt of the retried call was dispatched under the SAME trace
+  // id (the frame — trace id included — is encoded once and retransmitted
+  // verbatim), so its trace shows at least two dispatch spans: the failed
+  // original and the replayed retry.
+  ASSERT_OK_AND_ASSIGN(TraceDump dump, client->DumpTraces());
+  size_t dispatches = 0;
+  for (const TraceSpan& span : dump.spans) {
+    if (span.trace_id == retried_trace_id &&
+        span.stage == TraceStage::kDispatch) {
+      ++dispatches;
+    }
+  }
+  EXPECT_GE(dispatches, 2u);
+  server->Stop();
 }
 
 // ---------------------------------------------------------------------------

@@ -64,7 +64,8 @@ TEST(HistogramSnapshotTest, PercentilesBracketTheData) {
   // Bucketed percentiles are approximate, but must be ordered, nonzero,
   // and clamped to the observed max.
   EXPECT_GT(hs->p50(), 0.0);
-  EXPECT_LE(hs->p50(), hs->p95());
+  EXPECT_LE(hs->p50(), hs->p90());
+  EXPECT_LE(hs->p90(), hs->p95());
   EXPECT_LE(hs->p95(), hs->p99());
   EXPECT_LE(hs->p99(), 1000.0);
   // p50 of 1..1000 is 500; the bucket (512,1024] gives at most 2x error.
@@ -236,6 +237,7 @@ TEST(StatsJson, WellFormedAndComplete) {
   EXPECT_NE(json.find("\"requests\":5"), std::string::npos);
   EXPECT_NE(json.find("\"sessions\":2"), std::string::npos);
   EXPECT_NE(json.find("\"lat\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
   EXPECT_NE(json.find("\"p99\":"), std::string::npos);
   // Balanced braces/brackets — the cheap well-formedness check.
   int depth = 0;
