@@ -5,15 +5,24 @@
 namespace clio {
 
 Bytes EncodeFrame(const FrameHeader& header, std::span<const std::byte> body) {
-  Bytes out(kFrameHeaderSizeV2 + body.size());
+  // A v1 header is the bare 24-byte prefix: a pre-tracing peer reads
+  // exactly that and treats every following byte as body, so the trace
+  // extension must not be emitted for it.
+  const bool legacy = header.version == kFrameVersionLegacy;
+  const size_t header_size =
+      kFrameHeaderSize + (legacy ? 0 : kFrameTraceExtSize);
+  Bytes out(header_size + body.size());
   StoreU32(out, 0, kFrameMagic);
-  StoreU16(out, 4, kFrameVersion);
+  StoreU16(out, 4, legacy ? kFrameVersionLegacy : kFrameVersion);
   StoreU16(out, 6, 0);  // flags
   StoreU32(out, 8, header.op);
   StoreU64(out, 12, header.request_id);
   StoreU32(out, 20, static_cast<uint32_t>(body.size()));
-  StoreU64(out, 24, header.trace_id);
-  std::copy(body.begin(), body.end(), out.begin() + kFrameHeaderSizeV2);
+  if (!legacy) {
+    StoreU64(out, 24, header.trace_id);
+  }
+  std::copy(body.begin(), body.end(),
+            out.begin() + static_cast<ptrdiff_t>(header_size));
   return out;
 }
 

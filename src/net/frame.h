@@ -18,9 +18,12 @@
 //   24      8     trace id   request-tracing id (src/obs/trace.h); 0 when
 //                            the sender does not trace
 //
-// Decoding is backward compatible: a v1 frame (24-byte header, no trace
-// id) is accepted with trace_id 0, so old clients keep working against a
-// v2 server. Endpoints read the 24-byte prefix first, learn the version,
+// Both directions are backward compatible: a v1 request (24-byte header,
+// no trace id) is accepted with trace_id 0, and the server echoes the
+// request's version in its reply, so a strict v1 client — which rejects
+// any other version and reads exactly 24 header bytes — keeps working
+// against a v2 server. Endpoints read the 24-byte prefix first, learn the
+// version,
 // then read FrameExtensionSize(version) more header bytes — the prefix is
 // validated before any further byte is read, so a server can reject
 // garbage (bad magic/version) or resource abuse (oversized body) without
@@ -43,7 +46,7 @@ constexpr uint16_t kFrameVersion = 2;         // + 8-byte trace-id extension
 constexpr size_t kFrameHeaderSize = 24;
 // The v2 tracing extension that follows the prefix.
 constexpr size_t kFrameTraceExtSize = 8;
-// Full header size of the frames EncodeFrame produces (always v2).
+// Full header size of a v2 frame (prefix + trace extension).
 constexpr size_t kFrameHeaderSizeV2 = kFrameHeaderSize + kFrameTraceExtSize;
 // Default cap on frame bodies. Appends are bounded by what a volume block
 // chain can hold long before this; the cap exists to bound what a
@@ -55,7 +58,9 @@ struct FrameHeader {
   uint64_t request_id = 0;
   uint32_t body_size = 0;
   uint64_t trace_id = 0;
-  uint16_t version = kFrameVersion;  // set by the decoder; not encoded
+  // Set by the decoder on decode; on encode it selects the wire layout, so
+  // a reply can echo the request's version back to a legacy peer.
+  uint16_t version = kFrameVersion;
 };
 
 // Header bytes that follow the 24-byte prefix for `version` (0 for v1,
@@ -64,8 +69,9 @@ constexpr size_t FrameExtensionSize(uint16_t version) {
   return version >= kFrameVersion ? kFrameTraceExtSize : 0;
 }
 
-// Encodes header + body into one contiguous wire frame (always the
-// current version, so the header occupies kFrameHeaderSizeV2 bytes).
+// Encodes header + body into one contiguous wire frame laid out per
+// `header.version`: a v2 header occupies kFrameHeaderSizeV2 bytes, a v1
+// header the bare 24-byte prefix (its trace_id is not encoded).
 Bytes EncodeFrame(const FrameHeader& header, std::span<const std::byte> body);
 
 // Validates and decodes the 24-byte header prefix. `data` needs only the

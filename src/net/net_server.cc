@@ -303,6 +303,9 @@ void NetLogServer::SessionLoop(Session* session) {
     reply_header.op = header->op;
     reply_header.request_id = header->request_id;
     reply_header.trace_id = trace_id;
+    // Echo the peer's version: a v1 client rejects any other version and
+    // reads exactly 24 header bytes, so it must get a v1 reply.
+    reply_header.version = header->version;
     Bytes reply_frame = EncodeFrame(reply_header, reply_body);
     Metrics().bytes_out->Increment(reply_frame.size());
     uint64_t write_start_us = trace_id != 0 ? TraceNowUs() : 0;

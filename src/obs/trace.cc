@@ -105,10 +105,13 @@ void FlightRecorder::Record(uint64_t trace_id, TraceStage stage,
   Ring* ring = ThreadRing();
   uint64_t head = ring->head.load(std::memory_order_relaxed);
   Slot& slot = ring->slots[head % kRingSpans];
-  // Odd seq marks the slot mid-write; collectors skip it. The final even
-  // store releases the field writes to any collector that reads the seq.
+  // Seqlock writer. Odd seq marks the slot mid-write; the release fence
+  // keeps the field stores from sinking above the odd store (a bare
+  // release store would only order what precedes it), and the final even
+  // release store publishes the fields to any collector that reads it.
   uint32_t seq = slot.seq.load(std::memory_order_relaxed);
-  slot.seq.store(seq + 1, std::memory_order_release);
+  slot.seq.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
   slot.trace_id.store(trace_id, std::memory_order_relaxed);
   slot.stage.store(static_cast<uint8_t>(stage), std::memory_order_relaxed);
   slot.start_us.store(start_us, std::memory_order_relaxed);
@@ -150,7 +153,10 @@ TraceDump FlightRecorder::Collect(uint64_t min_total_us,
       span.start_us = slot.start_us.load(std::memory_order_relaxed);
       span.dur_us = slot.dur_us.load(std::memory_order_relaxed);
       span.thread = ring->id;
-      if (slot.seq.load(std::memory_order_acquire) != before ||
+      // Seqlock reader: the acquire fence keeps the field loads above the
+      // re-read of seq, so an unchanged even seq proves the copy is whole.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != before ||
           span.trace_id == 0) {
         ++dump.dropped;  // torn by a concurrent overwrite
         continue;
@@ -203,15 +209,19 @@ std::vector<TraceSummary> SummarizeTraces(
   std::map<uint64_t, TraceSummary> by_trace;
   for (const TraceSpan& span : spans) {
     TraceSummary& summary = by_trace[span.trace_id];
+    const uint64_t end = span.start_us + span.dur_us;
     if (summary.span_count == 0) {
       summary.trace_id = span.trace_id;
       summary.start_us = span.start_us;
       summary.total_us = span.dur_us;
+    } else {
+      // Capture the accumulated end before start_us can move down: spans
+      // arrive in any order (decoded dumps carry no sortedness guarantee),
+      // and updating the minimum first would shift the end with it.
+      const uint64_t last_end = summary.start_us + summary.total_us;
+      summary.start_us = std::min(summary.start_us, span.start_us);
+      summary.total_us = std::max(end, last_end) - summary.start_us;
     }
-    summary.start_us = std::min(summary.start_us, span.start_us);
-    uint64_t end = span.start_us + span.dur_us;
-    uint64_t last_end = summary.start_us + summary.total_us;
-    summary.total_us = std::max(end, last_end) - summary.start_us;
     summary.stage_us[span.stage] += span.dur_us;
     ++summary.span_count;
   }

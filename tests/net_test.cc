@@ -85,6 +85,24 @@ TEST(Frame, EmptyBodyRoundTrip) {
   EXPECT_EQ(decoded.trace_id, 0u);
 }
 
+TEST(Frame, EncodesLegacyV1HeaderWithoutTraceExtension) {
+  FrameHeader header;
+  header.op = 7;
+  header.request_id = 21;
+  header.trace_id = 555;  // must not reach the wire in a v1 frame
+  header.version = kFrameVersionLegacy;
+  Bytes body = ToBytes("v1 body");
+  Bytes wire = EncodeFrame(header, body);
+  // Exactly the 24-byte prefix, version 1, body immediately after.
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + body.size());
+  EXPECT_EQ(LoadU16(wire, 4), kFrameVersionLegacy);
+  EXPECT_EQ(LoadU32(wire, 20), body.size());
+  EXPECT_EQ(ToString(std::span(wire).subspan(kFrameHeaderSize)), "v1 body");
+  ASSERT_OK_AND_ASSIGN(FrameHeader decoded, DecodeFrameHeader(wire));
+  EXPECT_EQ(decoded.version, kFrameVersionLegacy);
+  EXPECT_EQ(decoded.trace_id, 0u);
+}
+
 TEST(Frame, LegacyV1HeaderDecodesWithZeroTraceId) {
   // A v1 peer's header is just the 24-byte prefix: downgrade an encoded
   // frame in place and drop the extension.
@@ -861,13 +879,55 @@ TEST_F(NetServerTest, LegacyV1FrameIsServedWithoutTracing) {
   v1.insert(v1.end(), v2.begin() + kFrameHeaderSizeV2, v2.end());
 
   ASSERT_OK(raw.WriteAll(v1));
-  ASSERT_OK_AND_ASSIGN(FrameHeader reply_header, ReadReplyHeader(&raw));
-  EXPECT_EQ(reply_header.request_id, 11u);
-  EXPECT_EQ(reply_header.trace_id, 0u);  // untraced request, untraced reply
-  Bytes reply_body(reply_header.body_size);
-  ASSERT_OK_AND_ASSIGN(size_t n, raw.ReadFull(reply_body));
+  // Parse the reply the way a real pre-tracing client does: read exactly
+  // 24 header bytes, insist the version IS 1 (a v1 decoder rejects
+  // anything else as "unsupported frame version"), and treat every byte
+  // after those 24 as body — no version-aware extension read.
+  Bytes reply_prefix(kFrameHeaderSize);
+  ASSERT_OK_AND_ASSIGN(size_t n, raw.ReadFull(reply_prefix));
+  ASSERT_EQ(n, kFrameHeaderSize);
+  EXPECT_EQ(LoadU32(reply_prefix, 0), kFrameMagic);
+  ASSERT_EQ(LoadU16(reply_prefix, 4), kFrameVersionLegacy);
+  EXPECT_EQ(LoadU16(reply_prefix, 6), 0u);  // flags
+  EXPECT_EQ(LoadU64(reply_prefix, 12), 11u);  // request id echoed
+  Bytes reply_body(LoadU32(reply_prefix, 20));
+  ASSERT_OK_AND_ASSIGN(n, raw.ReadFull(reply_body));
   ASSERT_EQ(n, reply_body.size());
   ASSERT_OK(DecodeReplyBody(reply_body).status());
+}
+
+TEST_F(NetServerTest, V1AndV2PeersInterleaveOnTheSameServer) {
+  StartServer();
+  {
+    auto setup = Client();
+    ASSERT_OK(setup->CreateLogFile("/mixed").status());
+  }
+  // A v1 peer appends (strict v1 framing both ways)...
+  Bytes body = EncodeAppendRequest("/mixed", AsBytes("from v1"),
+                                   /*timestamped=*/false, /*force=*/true,
+                                   /*client_id=*/0, /*request_seq=*/0);
+  FrameHeader header;
+  header.op = static_cast<uint32_t>(LogOp::kAppend);
+  header.request_id = 31;
+  header.version = kFrameVersionLegacy;
+  ASSERT_OK_AND_ASSIGN(TcpSocket raw,
+                       TcpSocket::ConnectLoopback(server_->port()));
+  ASSERT_OK(raw.WriteAll(EncodeFrame(header, body)));
+  Bytes reply_prefix(kFrameHeaderSize);
+  ASSERT_OK_AND_ASSIGN(size_t n, raw.ReadFull(reply_prefix));
+  ASSERT_EQ(n, kFrameHeaderSize);
+  ASSERT_EQ(LoadU16(reply_prefix, 4), kFrameVersionLegacy);
+  Bytes reply_body(LoadU32(reply_prefix, 20));
+  ASSERT_OK_AND_ASSIGN(n, raw.ReadFull(reply_body));
+  ASSERT_EQ(n, reply_body.size());
+  ASSERT_OK(DecodeReplyBody(reply_body).status());
+
+  // ...and a v2 client on the same server still gets traced v2 replies.
+  auto client = Client();
+  ASSERT_OK(client->Append("/mixed", AsBytes("from v2"),
+                           /*timestamped=*/false, /*force=*/true)
+                .status());
+  EXPECT_NE(client->last_trace_id(), 0u);
 }
 
 TEST_F(NetServerTest, TraceDumpReconstructsARequestTimeline) {

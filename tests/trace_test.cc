@@ -223,6 +223,26 @@ TEST(TraceSummaryTest, GroupsAndRanksByTotalLatency) {
   EXPECT_EQ(summaries[1].total_us, 40u);
 }
 
+TEST(TraceSummaryTest, TotalIsIndependentOfSpanOrder) {
+  // Decoded dumps carry no sortedness guarantee: a span that starts
+  // earlier than everything already accumulated must widen the summary,
+  // not drag the accumulated end down with the new minimum start.
+  std::vector<TraceSpan> spans;
+  spans.push_back({kIdBase + 92, TraceStage::kForce, 0, 100, 10});
+  spans.push_back({kIdBase + 92, TraceStage::kSessionRead, 0, 0, 5});
+
+  auto summaries = SummarizeTraces(spans);
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].start_us, 0u);
+  // total = max end (110) - min start (0), regardless of arrival order.
+  EXPECT_EQ(summaries[0].total_us, 110u);
+
+  std::reverse(spans.begin(), spans.end());
+  auto sorted = SummarizeTraces(spans);
+  ASSERT_EQ(sorted.size(), 1u);
+  EXPECT_EQ(sorted[0].total_us, 110u);
+}
+
 // ---------------------------------------------------------------------------
 // Wire codec
 
