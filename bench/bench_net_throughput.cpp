@@ -10,9 +10,17 @@
 // Output: aggregate forced appends/sec and per-append p50/p99 latency per
 // configuration, then the headline speedup of batching at 8 clients
 // (ISSUE 1 acceptance: >= 3x).
+//
+// A second sweep scales PARTITIONS instead of batching: the same 8 forced
+// committers against 1/2/4 independent volume sequences (src/partition/),
+// with block-sized payloads so every append costs one burn and the single
+// write head is the bottleneck. Horizontal scaling then shows up directly
+// as appends/sec (ISSUE 6 acceptance: 4 partitions >= 2.5x one, p99 <=
+// 1.25x). `--partitions=N` raises the sweep's top cell.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -22,6 +30,7 @@
 #include "src/net/net_client.h"
 #include "src/net/net_server.h"
 #include "src/obs/trace.h"
+#include "src/partition/partitioned_service.h"
 
 namespace clio {
 namespace bench {
@@ -158,12 +167,127 @@ CellResult RunCell(int clients, bool batching, uint64_t hold_us) {
   return result;
 }
 
+// One partition-sweep cell: `clients` committers spread round-robin over
+// `partitions` volume sequences, each on its own SlowBurnDevice. Payloads
+// near the block size make every append one block burn, so a cell's
+// ceiling is (partitions x 1/kBurnUs) burns per second — the paper's
+// single-head limit, multiplied.
+constexpr size_t kPartitionPayloadBytes = 768;
+
+struct PartitionCellResult {
+  CellResult cell;
+  std::vector<uint64_t> lane_entries;  // per-partition committed appends
+};
+
+PartitionCellResult RunPartitionedCell(uint32_t partitions, int clients) {
+  const int kAppendsPerClient = AppendsPerClient();
+  SimulatedClock clock(1'000'000, /*auto_tick=*/11);
+  MemoryWormOptions dev;
+  dev.block_size = 1024;
+  dev.capacity_blocks = 1 << 16;
+  std::vector<std::unique_ptr<WormDevice>> devices;
+  for (uint32_t p = 0; p < partitions; ++p) {
+    devices.push_back(std::make_unique<SlowBurnDevice>(
+        std::make_unique<MemoryWormDevice>(dev), kBurnUs));
+  }
+  PartitionedServiceOptions options;
+  options.base.cache_blocks = 4096;
+  options.base.sequence_id = 0xBE7C600;
+  auto service =
+      PartitionedLogService::Create(std::move(devices), &clock, options);
+  BENCH_CHECK_OK(service.status());
+
+  NetLogServerOptions server_options;
+  server_options.batching = true;
+  server_options.batch.max_hold_us = 1000;
+  // Commit as soon as every committer pinned to the lane has joined.
+  server_options.batch.max_batch_entries = static_cast<size_t>(
+      std::max(1, clients / static_cast<int>(partitions)));
+  auto server =
+      NetLogServer::StartPartitioned(service.value().get(), server_options);
+  BENCH_CHECK_OK(server.status());
+
+  {
+    auto setup = NetLogClient::Connect((*server)->port());
+    BENCH_CHECK_OK(setup.status());
+    for (int c = 0; c < clients; ++c) {
+      BENCH_CHECK_OK((*setup)
+                         ->CreateLogFilePlaced(
+                             "/bench" + std::to_string(c), 0644,
+                             static_cast<uint32_t>(c) % partitions)
+                         .status());
+    }
+  }
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  auto started = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = NetLogClient::Connect((*server)->port());
+      BENCH_CHECK_OK(client.status());
+      std::string path = "/bench" + std::to_string(c);
+      Bytes payload(kPartitionPayloadBytes,
+                    std::byte{static_cast<uint8_t>('a' + c)});
+      latencies[c].reserve(kAppendsPerClient);
+      for (int i = 0; i < kAppendsPerClient; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        BENCH_CHECK_OK((*client)
+                           ->Append(path, payload, /*timestamped=*/true,
+                                    /*force=*/true)
+                           .status());
+        latencies[c].push_back(UsSince(t0));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  double elapsed_us = UsSince(started);
+
+  PartitionCellResult result;
+  std::vector<double> all;
+  for (auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  result.cell.appends_per_sec = all.size() / (elapsed_us / 1e6);
+  result.cell.p50_us = Percentile(&all, 0.50);
+  result.cell.p99_us = Percentile(&all, 0.99);
+  uint64_t entries = 0, batches = 0;
+  for (size_t lane = 0; lane < (*server)->lane_count(); ++lane) {
+    result.lane_entries.push_back(
+        (*server)->batcher(lane)->entries_committed());
+    entries += (*server)->batcher(lane)->entries_committed();
+    batches += (*server)->batcher(lane)->batches_committed();
+  }
+  result.cell.mean_batch =
+      batches > 0 ? static_cast<double>(entries) / batches : 1.0;
+  (*server)->Stop();
+  return result;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace clio
 
-int main() {
+int main(int argc, char** argv) {
   using namespace clio::bench;
+
+  // --partitions=N: top cell of the partition sweep (default 4).
+  uint32_t max_partitions = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--partitions=", 13) == 0) {
+      int value = std::atoi(argv[i] + 13);
+      if (value < 1) {
+        std::fprintf(stderr, "bad --partitions value: %s\n", argv[i]);
+        return 1;
+      }
+      max_partitions = static_cast<uint32_t>(value);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 1;
+    }
+  }
 
   std::printf("Networked log server, group-commit sweep\n");
   std::printf("(loopback TCP, %d forced %zu-byte appends per client, "
@@ -229,6 +353,66 @@ int main() {
   std::printf("8-client group-commit speedup over per-append force: %.1fx %s\n",
               speedup, speedup >= 3.0 ? "(>= 3x: PASS)" : "(< 3x)");
   report.AddCounter("c8_summary", "batching_speedup", speedup);
+
+  // -- Partition sweep: same committers, more write heads. --
+  std::vector<uint32_t> partition_counts;
+  for (uint32_t p = 1; p < max_partitions; p *= 2) {
+    partition_counts.push_back(p);
+  }
+  partition_counts.push_back(max_partitions);
+
+  const int kPartitionClients = 8;
+  std::printf("\nPartitioned volume sequences, %d committers, "
+              "%zu-byte (block-filling) payloads\n",
+              kPartitionClients, kPartitionPayloadBytes);
+  std::printf("%10s  %10s  %10s  %10s  %10s  %-s\n", "partitions",
+              "appends/s", "p50 (us)", "p99 (us)", "mean batch",
+              "per-lane appends");
+  double single_thr = 0, single_p99 = 0;
+  double top_thr = 0, top_p99 = 0;
+  for (uint32_t partitions : partition_counts) {
+    PartitionCellResult cell =
+        RunPartitionedCell(partitions, kPartitionClients);
+    std::string lanes;
+    for (uint64_t lane : cell.lane_entries) {
+      lanes += (lanes.empty() ? "" : " ") + std::to_string(lane);
+    }
+    std::printf("%10u  %10.0f  %10.0f  %10.0f  %10.1f  [%s]\n", partitions,
+                cell.cell.appends_per_sec, cell.cell.p50_us, cell.cell.p99_us,
+                cell.cell.mean_batch, lanes.c_str());
+    std::string op = "p" + std::to_string(partitions);
+    size_t n = static_cast<size_t>(kPartitionClients) *
+               static_cast<size_t>(AppendsPerClient());
+    report.AddMean(op, n, cell.cell.appends_per_sec > 0
+                              ? 1e6 / cell.cell.appends_per_sec
+                              : 0.0);
+    report.AddPercentiles(op, cell.cell.p50_us, cell.cell.p99_us);
+    report.AddCounter(op, "appends_per_sec", cell.cell.appends_per_sec);
+    report.AddCounter(op, "mean_batch", cell.cell.mean_batch);
+    for (size_t lane = 0; lane < cell.lane_entries.size(); ++lane) {
+      report.AddCounter(op, "lane" + std::to_string(lane) + "_entries",
+                        static_cast<double>(cell.lane_entries[lane]));
+    }
+    if (partitions == 1) {
+      single_thr = cell.cell.appends_per_sec;
+      single_p99 = cell.cell.p99_us;
+    }
+    if (partitions == max_partitions) {
+      top_thr = cell.cell.appends_per_sec;
+      top_p99 = cell.cell.p99_us;
+    }
+  }
+  double scaling = single_thr > 0 ? top_thr / single_thr : 0;
+  double p99_ratio = single_p99 > 0 ? top_p99 / single_p99 : 0;
+  std::printf("%u-partition scaling over single head: %.2fx %s\n",
+              max_partitions, scaling,
+              scaling >= 2.5 ? "(>= 2.5x: PASS)" : "(< 2.5x)");
+  std::printf("%u-partition p99 vs single head: %.2fx %s\n", max_partitions,
+              p99_ratio, p99_ratio <= 1.25 ? "(<= 1.25x: PASS)" : "(> 1.25x)");
+  std::string suffix = std::to_string(max_partitions) + "x";
+  report.AddCounter("partition_summary", "scaling_" + suffix, scaling);
+  report.AddCounter("partition_summary", "p99_ratio_" + suffix, p99_ratio);
+
   if (!report.Write()) {
     return 1;
   }

@@ -4,6 +4,8 @@
 Usage:
     compare_bench.py --baseline bench/baseline.json BENCH_*.json
     compare_bench.py --baseline bench/baseline.json --threshold 0.25 DIR
+    compare_bench.py --baseline ... \
+        --floor net_throughput/partition_summary/scaling_4x=2.5 DIR
 
 Each BENCH_<name>.json (written by bench::BenchReport, see
 bench/bench_util.h) holds per-op records with time metrics (us_per_op,
@@ -15,6 +17,12 @@ The baseline file maps bench name -> the same "ops" shape. Only ops
 present in BOTH the baseline and the run are compared; anything else is
 reported but never fails the job, so a fast-mode CI run can be compared
 against a fast-mode baseline while full local runs carry extra cells.
+
+--floor BENCH/op/counter=value asserts an ABSOLUTE minimum on a run
+counter, independent of the baseline — for acceptance-style gates (e.g.
+the partition scaling factor) that must hold outright, not merely avoid
+regressing. A floor whose bench/op/counter is absent from the run fails
+(a silently vanished gate is itself a regression).
 
 Exit status: 0 when no metric regressed past the threshold, 1 otherwise.
 To refresh the baseline after an intentional perf change, run the benches
@@ -96,12 +104,43 @@ def compare_op(bench, op, base_op, run_op, threshold, failures, notes):
             notes.append(line)
 
 
+def parse_floor(spec):
+    """'BENCH/op/counter=value' -> (bench, op, counter, float(value))."""
+    try:
+        path, value = spec.split("=", 1)
+        bench, op, counter = path.split("/")
+        return bench, op, counter, float(value)
+    except ValueError:
+        sys.exit(f"compare_bench: bad --floor spec {spec!r} "
+                 "(want BENCH/op/counter=value)")
+
+
+def check_floors(runs, floors, failures, notes):
+    for bench, op, counter, minimum in floors:
+        value = (runs.get(bench, {}).get("ops", {}).get(op, {})
+                 .get("counters", {}).get(counter))
+        if value is None:
+            failures.append(f"{bench}/{op} {counter}: floor {minimum:g} "
+                            "but counter missing from run")
+            continue
+        value = float(value)
+        line = f"{bench}/{op} {counter}: {value:.3f} (floor {minimum:g})"
+        if value < minimum:
+            failures.append(line)
+        else:
+            notes.append(line)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
                         help="path to bench/baseline.json")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--floor", action="append", default=[],
+                        metavar="BENCH/op/counter=value",
+                        help="absolute minimum for a run counter "
+                             "(repeatable); fails if below or missing")
     parser.add_argument("--emit-baseline", metavar="OUT",
                         help="write the run's records as a new baseline "
                              "instead of comparing")
@@ -140,6 +179,9 @@ def main():
                        args.threshold, failures, notes)
         for op in sorted(set(base_ops) - set(run_ops)):
             notes.append(f"{bench}/{op}: in baseline but not in run (skipped)")
+
+    check_floors(runs, [parse_floor(spec) for spec in args.floor],
+                 failures, notes)
 
     for line in notes:
         print(f"  ok   {line}")

@@ -9,13 +9,16 @@
 //   cliotrace --port 9000                     # top 10 slowest requests
 //   cliotrace --port 9000 --min-total-us 5000 # only requests >= 5ms
 //   cliotrace --port 9000 --json trace.json   # export for chrome://tracing
+//   cliotrace --port 9000 --stats             # metrics incl. per-partition
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 
 #include "src/net/net_client.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace {
@@ -30,8 +33,58 @@ void Usage(const char* argv0) {
                "  --top N             requests to print (default 10)\n"
                "  --max-spans N       span budget for the dump (0 = server "
                "default)\n"
-               "  --json FILE         also write Chrome trace_event JSON\n",
+               "  --json FILE         also write Chrome trace_event JSON\n"
+               "  --stats             print the server metrics snapshot, "
+               "with a\n"
+               "                      per-partition append-lane breakdown "
+               "on a\n"
+               "                      partitioned server\n",
                argv0);
+}
+
+// Per-partition breakdown of the ".p<i>"-suffixed metric mirrors a
+// partitioned deployment records next to the legacy aggregate names (see
+// src/net/batcher.h and LogServiceOptions::metric_suffix). An unsuffixed
+// (single write head) server just prints the aggregates.
+void PrintStats(const clio::StatsSnapshot& stats) {
+  std::printf("server metrics snapshot: %zu counters, %zu histograms\n",
+              stats.counters.size(), stats.histograms.size());
+  std::printf("  appends committed %" PRIu64 "  batches %" PRIu64
+              "  dedup replays %" PRIu64 "\n",
+              stats.counter("clio.net.batch.appends"),
+              stats.counter("clio.net.batch.batches"),
+              stats.counter("clio.net.dedup.replays"));
+
+  // Discover partitions from the suffixed batch counters.
+  std::map<uint32_t, uint64_t> partitions;
+  constexpr char kProbe[] = "clio.net.batch.appends.p";
+  for (const auto& [name, value] : stats.counters) {
+    if (name.rfind(kProbe, 0) == 0) {
+      partitions[static_cast<uint32_t>(
+          std::strtoul(name.c_str() + sizeof(kProbe) - 1, nullptr, 10))] =
+          value;
+    }
+  }
+  if (partitions.empty()) {
+    std::printf("  no per-partition metrics (single write head)\n");
+    return;
+  }
+  std::printf("per-partition append lanes:\n");
+  std::printf("  %4s  %10s  %8s  %10s  %12s  %12s\n", "part", "appends",
+              "batches", "vol blocks", "commit p99", "append p99");
+  for (const auto& [p, appends] : partitions) {
+    const std::string suffix = ".p" + std::to_string(p);
+    auto commit_us =
+        stats.histogram("clio.net.batch.commit_us" + suffix);
+    auto append_us = stats.histogram("clio.volume.append_us" + suffix);
+    std::printf("  %4u  %10" PRIu64 "  %8" PRIu64 "  %10" PRIu64
+                "  %9.0f us  %9.0f us\n",
+                p, appends,
+                stats.counter("clio.net.batch.batches" + suffix),
+                stats.counter("clio.volume.appends" + suffix),
+                commit_us ? commit_us->p99() : 0.0,
+                append_us ? append_us->p99() : 0.0);
+  }
 }
 
 }  // namespace
@@ -42,6 +95,7 @@ int main(int argc, char** argv) {
   uint32_t max_spans = 0;
   size_t top = 10;
   const char* json_path = nullptr;
+  bool show_stats = false;
   for (int i = 1; i < argc; ++i) {
     auto want_value = [&](const char* flag) -> const char* {
       if (std::strcmp(argv[i], flag) != 0) {
@@ -53,7 +107,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (const char* v = want_value("--port")) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      show_stats = true;
+    } else if (const char* v = want_value("--port")) {
       port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
     } else if (const char* v2 = want_value("--min-total-us")) {
       min_total_us = std::strtoull(v2, nullptr, 10);
@@ -79,6 +135,18 @@ int main(int argc, char** argv) {
                  client.status().message().c_str());
     return 1;
   }
+
+  if (show_stats) {
+    auto stats = (*client)->GetStats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats fetch failed: %s\n",
+                   stats.status().message().c_str());
+      return 1;
+    }
+    PrintStats(*stats);
+    return 0;
+  }
+
   auto dump = (*client)->DumpTraces(min_total_us, max_spans);
   if (!dump.ok()) {
     std::fprintf(stderr, "trace dump failed: %s\n",

@@ -16,6 +16,9 @@ Bytes CatalogRecord::Encode() const {
       w.PutU32(permissions);
       w.PutI64(created_at);
       w.PutString(name);
+      // Trailing field: decoders that predate it stop at the name, so the
+      // record stays readable by them; see the header comment.
+      w.PutU32(home_partition);
       break;
     case Op::kSetPermissions:
       w.PutU32(permissions);
@@ -42,6 +45,11 @@ Result<CatalogRecord> CatalogRecord::Decode(
       rec.permissions = r.GetU32();
       rec.created_at = r.GetI64();
       rec.name = r.GetString();
+      // Records from before partitioning end at the name; they read as
+      // home partition 0.
+      if (!r.failed() && r.remaining() >= 4) {
+        rec.home_partition = r.GetU32();
+      }
       break;
     case Op::kSetPermissions:
       rec.permissions = r.GetU32();
@@ -105,7 +113,8 @@ Result<LogFileId> Catalog::NextFreeId() const {
 
 Result<CatalogRecord> Catalog::Create(std::string_view name,
                                       LogFileId parent, uint32_t permissions,
-                                      Timestamp now) {
+                                      Timestamp now,
+                                      uint32_t home_partition) {
   CLIO_RETURN_IF_ERROR(ValidateComponent(name));
   if (!Exists(parent)) {
     return NotFound("parent log file does not exist");
@@ -127,6 +136,7 @@ Result<CatalogRecord> Catalog::Create(std::string_view name,
   rec.permissions = permissions;
   rec.created_at = now;
   rec.name = std::string(name);
+  rec.home_partition = home_partition;
   CLIO_RETURN_IF_ERROR(Apply(rec));
   return rec;
 }
@@ -195,6 +205,7 @@ Status Catalog::Apply(const CatalogRecord& record) {
       info.parent = record.parent;
       info.permissions = record.permissions;
       info.created_at = record.created_at;
+      info.home_partition = record.home_partition;
       table_[record.subject] = info;
       children_[record.parent][record.name] = record.subject;
       next_unique_id_ = std::max(next_unique_id_, record.unique_id + 1);
@@ -341,6 +352,7 @@ std::vector<CatalogRecord> Catalog::ExportRecords() const {
     rec.permissions = slot->permissions;
     rec.created_at = slot->created_at;
     rec.name = slot->name;
+    rec.home_partition = slot->home_partition;
     records.push_back(std::move(rec));
     if (slot->sealed) {
       CatalogRecord seal;

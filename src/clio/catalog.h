@@ -42,6 +42,10 @@ struct CatalogRecord {
   uint32_t permissions = 0;
   Timestamp created_at = 0;
   std::string name;  // kCreate: component name; kRename: the new name
+  // kCreate only: owning partition of a partitioned deployment
+  // (src/partition/). Encoded as a trailing field so records burned by
+  // older servers (which never wrote it) still decode — absent reads as 0.
+  uint32_t home_partition = 0;
 
   Bytes Encode() const;
   static Result<CatalogRecord> Decode(std::span<const std::byte> payload);
@@ -54,9 +58,11 @@ class Catalog {
   // -- Mutation (each returns the record to append to the catalog log). --
 
   // Creates a log file as a child (sublog) of `parent`. Assigns the next
-  // free 12-bit id and a sequence-unique 64-bit id.
+  // free 12-bit id and a sequence-unique 64-bit id. `home_partition` is
+  // recorded verbatim (0 on unpartitioned services).
   Result<CatalogRecord> Create(std::string_view name, LogFileId parent,
-                               uint32_t permissions, Timestamp now);
+                               uint32_t permissions, Timestamp now,
+                               uint32_t home_partition = 0);
   Result<CatalogRecord> SetPermissions(LogFileId id, uint32_t permissions);
   Result<CatalogRecord> Rename(LogFileId id, std::string_view new_name);
   Result<CatalogRecord> Seal(LogFileId id);

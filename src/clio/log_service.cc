@@ -56,6 +56,14 @@ LogService::LogService(TimeSource* clock, const LogServiceOptions& options)
   if (options_.sequence_id == 0) {
     options_.sequence_id = static_cast<uint64_t>(clock_->NowUnique()) | 1u;
   }
+  if (!options_.metric_suffix.empty()) {
+    labeled_appends_ =
+        ObsRegistry().counter("clio.volume.appends" + options_.metric_suffix);
+    labeled_append_bytes_ = ObsRegistry().counter("clio.volume.append_bytes" +
+                                                  options_.metric_suffix);
+    labeled_append_us_ = ObsRegistry().histogram("clio.volume.append_us" +
+                                                 options_.metric_suffix);
+  }
 }
 
 Result<std::unique_ptr<LogService>> LogService::Create(
@@ -141,7 +149,8 @@ Status LogService::CheckPermission(LogFileId id, uint32_t needed_bits) const {
 }
 
 Result<LogFileId> LogService::CreateLogFile(std::string_view path,
-                                            uint32_t permissions) {
+                                            uint32_t permissions,
+                                            uint32_t home_partition) {
   CLIO_SINGLE_MUTATOR_CHECK();
   std::string parent_path;
   std::string name;
@@ -149,7 +158,8 @@ Result<LogFileId> LogService::CreateLogFile(std::string_view path,
   CLIO_ASSIGN_OR_RETURN(LogFileId parent, catalog_.Resolve(parent_path));
   CLIO_ASSIGN_OR_RETURN(
       CatalogRecord record,
-      catalog_.Create(name, parent, permissions, clock_->Now()));
+      catalog_.Create(name, parent, permissions, clock_->Now(),
+                      home_partition));
   WriteOptions opts;
   opts.timestamped = true;
   auto appended = current_volume()->writer()->Append(kCatalogLogId,
@@ -246,6 +256,13 @@ Result<AppendResult> LogService::Append(LogFileId id,
                                         std::span<const std::byte> payload,
                                         const WriteOptions& options) {
   CLIO_SINGLE_MUTATOR_CHECK();
+  // The volume writer records the process-global volume-append metrics;
+  // these are the per-partition mirrors (see metric_suffix).
+  if (labeled_appends_ != nullptr) {
+    labeled_appends_->Increment();
+    labeled_append_bytes_->Increment(payload.size());
+  }
+  ScopedTimer labeled_timer(labeled_append_us_);
   if (id < kFirstClientLogId) {
     return PermissionDenied("service log files are not client-writable");
   }

@@ -27,6 +27,7 @@
 #include "src/clio/volume.h"
 #include "src/device/block_device.h"
 #include "src/device/nvram_tail.h"
+#include "src/obs/metrics.h"
 #include "src/util/time.h"
 
 namespace clio {
@@ -40,6 +41,11 @@ struct LogServiceOptions {
   // Blocks speculatively fetched past a cache miss during a forward scan
   // (one device pass; see DESIGN.md §12). 0 disables readahead.
   uint32_t readahead_blocks = 8;
+  // When nonempty (e.g. ".p2" for partition 2 of a partitioned service),
+  // this service additionally records its appends into suffixed mirrors of
+  // the volume-append metrics ("clio.volume.appends.p2", ...), so the
+  // per-partition share of the global counters is visible in kStats.
+  std::string metric_suffix;
 };
 
 // Supplies a fresh device when the current volume fills and the sequence
@@ -95,9 +101,12 @@ class LogService {
   // -- Namespace (all paths absolute, e.g. "/mail/smith"). --
 
   // Creates a log file; intermediate components must already exist (the
-  // parent becomes the sublog's parent, §2.1).
+  // parent becomes the sublog's parent, §2.1). `home_partition` is
+  // persisted in the catalog record (see LogFileInfo); a standalone
+  // service always passes 0.
   Result<LogFileId> CreateLogFile(std::string_view path,
-                                  uint32_t permissions = 0644);
+                                  uint32_t permissions = 0644,
+                                  uint32_t home_partition = 0);
   Result<LogFileId> Resolve(std::string_view path) const;
   Result<LogFileInfo> Stat(std::string_view path) const;
   Result<std::map<std::string, LogFileId>> List(std::string_view path) const;
@@ -187,6 +196,11 @@ class LogService {
   VolumeFactory volume_factory_;
   VolumeMounter volume_mounter_;
   std::atomic<uint64_t> on_demand_mounts_{0};
+  // Suffixed mirrors of the volume-append metrics (see
+  // LogServiceOptions::metric_suffix); null when the suffix is empty.
+  Counter* labeled_appends_ = nullptr;
+  Counter* labeled_append_bytes_ = nullptr;
+  Histogram* labeled_append_us_ = nullptr;
   // Serializes on-demand mounting among shared-lock readers (VolumeForRead
   // misses); never held across a device read.
   mutable std::mutex mount_mu_;

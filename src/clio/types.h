@@ -132,6 +132,11 @@ struct LogFileInfo {
   uint32_t permissions = 0644;
   Timestamp created_at = 0;
   bool sealed = false;  // no further appends accepted
+  // Which partition of a partitioned deployment owns this log file's
+  // entries (src/partition/). Persisted in the kCreate catalog record so a
+  // retried append re-routes to the same volume sequence after a restart.
+  // Always 0 on an unpartitioned service.
+  uint32_t home_partition = 0;
 };
 
 }  // namespace clio

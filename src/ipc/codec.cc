@@ -69,24 +69,6 @@ class MaybeServiceLock {
   bool exclusive_;
 };
 
-// Ops that only read service state (and the session's readers): these take
-// the service lock SHARED, so sessions scan concurrently (DESIGN.md §12).
-bool IsReadOp(LogOp op) {
-  switch (op) {
-    case LogOp::kOpenReader:
-    case LogOp::kReadNext:
-    case LogOp::kReadPrev:
-    case LogOp::kReadBatch:
-    case LogOp::kSeekToTime:
-    case LogOp::kSeekToStart:
-    case LogOp::kSeekToEnd:
-    case LogOp::kStat:
-      return true;
-    default:
-      return false;
-  }
-}
-
 // Soft cap on one kReadBatch reply's payload bytes, comfortably under the
 // net transport's 16 MiB frame-body limit.
 constexpr size_t kReadBatchByteBudget = 4 << 20;
@@ -98,7 +80,7 @@ constexpr uint32_t kReadBatchMaxEntries = 65536;
 // default when the client asks for 0 ("server default").
 constexpr uint32_t kTraceDumpMaxSpans = 100'000;
 
-constexpr uint32_t kMaxOp = static_cast<uint32_t>(LogOp::kTraceDump);
+constexpr uint32_t kMaxOp = static_cast<uint32_t>(LogOp::kPartitionInfo);
 
 // Per-op request counters, resolved once and indexed by op value so the
 // dispatch hot path never touches the registry map.
@@ -149,6 +131,8 @@ std::string_view LogOpName(LogOp op) {
       return "read_batch";
     case LogOp::kTraceDump:
       return "trace_dump";
+    case LogOp::kPartitionInfo:
+      return "partition_info";
   }
   return "unknown";
 }
@@ -294,6 +278,97 @@ Result<AppendRequest> DecodeAppendRequest(std::span<const std::byte> body) {
 }
 
 // ---------------------------------------------------------------------------
+// SingleServiceBackend
+
+// LogReader wrapper taking the service lock around each call, in the mode
+// the LogService contract assigns to reader operations.
+class SingleServiceBackend::ReaderImpl : public DispatchBackend::Reader {
+ public:
+  ReaderImpl(std::unique_ptr<LogReader> reader, std::shared_mutex* mu,
+             bool exclusive)
+      : reader_(std::move(reader)), mu_(mu), exclusive_(exclusive) {}
+
+  Result<std::optional<LogEntryRecord>> Next() override {
+    MaybeServiceLock lock(mu_, exclusive_);
+    return reader_->Next();
+  }
+  Result<std::optional<LogEntryRecord>> Prev() override {
+    MaybeServiceLock lock(mu_, exclusive_);
+    return reader_->Prev();
+  }
+  Status SeekToTime(Timestamp t) override {
+    MaybeServiceLock lock(mu_, exclusive_);
+    return reader_->SeekToTime(t);
+  }
+  Status SeekToStart() override {
+    MaybeServiceLock lock(mu_, exclusive_);
+    reader_->SeekToStart();
+    return Status::Ok();
+  }
+  Status SeekToEnd() override {
+    MaybeServiceLock lock(mu_, exclusive_);
+    reader_->SeekToEnd();
+    return Status::Ok();
+  }
+
+ private:
+  std::unique_ptr<LogReader> reader_;
+  std::shared_mutex* mu_;
+  bool exclusive_;
+};
+
+Result<LogFileId> SingleServiceBackend::CreateLogFile(
+    const std::string& path, uint32_t permissions,
+    std::optional<uint32_t> placement) {
+  if (placement.has_value() && *placement != 0) {
+    return InvalidArgument("server has no partition " +
+                           std::to_string(*placement));
+  }
+  MaybeServiceLock lock(service_mu_, /*exclusive=*/true);
+  return service_->CreateLogFile(path, permissions);
+}
+
+Result<AppendResult> SingleServiceBackend::ExecuteAppend(
+    const AppendRequest& request) {
+  MaybeServiceLock lock(service_mu_, /*exclusive=*/true);
+  WriteOptions options;
+  options.timestamped = request.timestamped;
+  options.force = request.force;
+  return service_->Append(request.path, request.payload, options);
+}
+
+Result<std::unique_ptr<DispatchBackend::Reader>>
+SingleServiceBackend::OpenReader(const std::string& path) {
+  MaybeServiceLock lock(service_mu_, /*exclusive=*/serialize_reads_);
+  CLIO_ASSIGN_OR_RETURN(std::unique_ptr<LogReader> reader,
+                        service_->OpenReader(path));
+  return std::unique_ptr<DispatchBackend::Reader>(
+      new ReaderImpl(std::move(reader), service_mu_, serialize_reads_));
+}
+
+Result<LogFileInfo> SingleServiceBackend::Stat(const std::string& path) {
+  MaybeServiceLock lock(service_mu_, /*exclusive=*/serialize_reads_);
+  return service_->Stat(path);
+}
+
+Status SingleServiceBackend::Force() {
+  MaybeServiceLock lock(service_mu_, /*exclusive=*/true);
+  return service_->Force();
+}
+
+Result<PartitionInfoResult> SingleServiceBackend::PartitionInfo(
+    const std::string& path) {
+  PartitionInfoResult info;
+  info.partition_count = 1;
+  if (!path.empty()) {
+    MaybeServiceLock lock(service_mu_, /*exclusive=*/serialize_reads_);
+    CLIO_RETURN_IF_ERROR(service_->Stat(path).status());
+    info.partition = 0;
+  }
+  return info;
+}
+
+// ---------------------------------------------------------------------------
 // ServiceDispatcher
 
 Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
@@ -330,8 +405,8 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
   }
 
   // kAppend first: when an append override is installed it must run without
-  // the service mutex (the group-commit batcher blocks the session until the
-  // whole batch is forced, and takes the mutex itself).
+  // any backend lock (the group-commit batcher blocks the session until the
+  // whole batch is forced, and takes the service mutex itself).
   if (op == LogOp::kAppend) {
     auto request = DecodeAppendRequest(body);
     if (!request.ok()) {
@@ -340,16 +415,9 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
     // The batcher's commit thread has no access to this thread's trace
     // context; the request carries it over the hop.
     request->trace_id = CurrentTraceId();
-    Result<AppendResult> result = [&]() -> Result<AppendResult> {
-      if (append_fn_) {
-        return append_fn_(*request);
-      }
-      MaybeServiceLock lock(service_mu_, /*exclusive=*/true);
-      WriteOptions options;
-      options.timestamped = request->timestamped;
-      options.force = request->force;
-      return service_->Append(request->path, request->payload, options);
-    }();
+    Result<AppendResult> result = append_fn_
+                                      ? append_fn_(*request)
+                                      : backend_->ExecuteAppend(*request);
     if (!result.ok()) {
       return EncodeErrorReplyBody(result.status());
     }
@@ -359,10 +427,9 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
     return EncodeOkReplyBody(payload);
   }
 
-  // kCloseReader touches only the session-local reader table; everything
-  // else locks the service in the mode its side of the contract requires.
-  MaybeServiceLock lock(op == LogOp::kCloseReader ? nullptr : service_mu_,
-                        /*exclusive=*/serialize_reads_ || !IsReadOp(op));
+  // Every remaining op runs through the backend, which takes whatever lock
+  // its target requires per call (kCloseReader touches only the
+  // session-local reader table and needs none).
   ByteReader r(body);
   switch (op) {
     case LogOp::kCreateLogFile: {
@@ -371,7 +438,16 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
       if (r.failed()) {
         return EncodeErrorReplyBody(InvalidArgument("malformed create"));
       }
-      auto id = service_->CreateLogFile(path, permissions);
+      // Trailing placement field (CreateLogFilePlaced); requests encoded
+      // before it read as "backend's choice".
+      std::optional<uint32_t> placement;
+      if (r.remaining() >= 4) {
+        uint32_t raw = r.GetU32();
+        if (raw != kNoPartitionPlacement) {
+          placement = raw;
+        }
+      }
+      auto id = backend_->CreateLogFile(path, permissions, placement);
       if (!id.ok()) {
         return EncodeErrorReplyBody(id.status());
       }
@@ -384,9 +460,26 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
     case LogOp::kStats:
     case LogOp::kTraceDump:
       break;  // handled above
+    case LogOp::kPartitionInfo: {
+      std::string path = r.GetString();
+      if (r.failed()) {
+        return EncodeErrorReplyBody(
+            InvalidArgument("malformed partition info request"));
+      }
+      auto info = backend_->PartitionInfo(path);
+      if (!info.ok()) {
+        return EncodeErrorReplyBody(info.status());
+      }
+      Bytes payload;
+      ByteWriter w(&payload);
+      w.PutU32(info->partition_count);
+      w.PutU8(info->partition.has_value() ? 1 : 0);
+      w.PutU32(info->partition.value_or(0));
+      return EncodeOkReplyBody(payload);
+    }
     case LogOp::kOpenReader: {
       std::string path = r.GetString();
-      auto reader = service_->OpenReader(path);
+      auto reader = backend_->OpenReader(path);
       if (!reader.ok()) {
         return EncodeErrorReplyBody(reader.status());
       }
@@ -470,23 +563,20 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
       if (it == readers_.end()) {
         return EncodeErrorReplyBody(NotFound("no such reader handle"));
       }
-      if (op == LogOp::kSeekToStart) {
-        it->second->SeekToStart();
-      } else {
-        it->second->SeekToEnd();
-      }
-      return EncodeOkReplyBody();
+      Status status = op == LogOp::kSeekToStart ? it->second->SeekToStart()
+                                                : it->second->SeekToEnd();
+      return status.ok() ? EncodeOkReplyBody() : EncodeErrorReplyBody(status);
     }
     case LogOp::kStat: {
       std::string path = r.GetString();
-      auto info = service_->Stat(path);
+      auto info = backend_->Stat(path);
       if (!info.ok()) {
         return EncodeErrorReplyBody(info.status());
       }
       return EncodeOkReplyBody(EncodeLogFileInfo(info.value()));
     }
     case LogOp::kForce: {
-      Status status = service_->Force();
+      Status status = backend_->Force();
       return status.ok() ? EncodeOkReplyBody() : EncodeErrorReplyBody(status);
     }
   }
@@ -505,6 +595,39 @@ Result<LogFileId> LogClientBase::CreateLogFile(std::string_view path,
   CLIO_ASSIGN_OR_RETURN(Bytes payload, Call(LogOp::kCreateLogFile, body));
   ByteReader r(payload);
   return static_cast<LogFileId>(r.GetU16());
+}
+
+Result<LogFileId> LogClientBase::CreateLogFilePlaced(std::string_view path,
+                                                     uint32_t permissions,
+                                                     uint32_t partition) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutString(path);
+  w.PutU32(permissions);
+  w.PutU32(partition);
+  CLIO_ASSIGN_OR_RETURN(Bytes payload, Call(LogOp::kCreateLogFile, body));
+  ByteReader r(payload);
+  return static_cast<LogFileId>(r.GetU16());
+}
+
+Result<PartitionInfoResult> LogClientBase::GetPartitionInfo(
+    std::string_view path) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutString(path);
+  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kPartitionInfo, body));
+  ByteReader r(reply);
+  PartitionInfoResult info;
+  info.partition_count = r.GetU32();
+  bool has_route = r.GetU8() != 0;
+  uint32_t partition = r.GetU32();
+  if (r.failed()) {
+    return Corrupt("malformed partition info reply");
+  }
+  if (has_route) {
+    info.partition = partition;
+  }
+  return info;
 }
 
 Result<Timestamp> LogClientBase::Append(std::string_view path,

@@ -65,6 +65,11 @@ enum class LogOp : uint32_t {
   // Like kStats it never takes the service mutex, so tracing a wedged
   // server works.
   kTraceDump = 14,
+  // Partition topology of the server (src/partition/). Request: string
+  // path ("" = topology only). Reply payload: u32 partition_count, u8
+  // has_route, u32 home partition of the path (valid when has_route = 1).
+  // An unpartitioned server answers partition_count = 1.
+  kPartitionInfo = 15,
 };
 
 // Stable lowercase metric-label name for an op ("append", "stats", ...);
@@ -130,45 +135,125 @@ Bytes EncodeAppendRequest(std::string_view path,
                           uint64_t request_seq = 0);
 Result<AppendRequest> DecodeAppendRequest(std::span<const std::byte> body);
 
-// Executes decoded requests against a LogService and encodes replies.
+// Decoded form of a kPartitionInfo reply.
+struct PartitionInfoResult {
+  uint32_t partition_count = 1;
+  // Home partition of the queried path; unset when no path was given.
+  std::optional<uint32_t> partition;
+};
+
+// "No explicit placement" sentinel in a kCreateLogFile body's trailing
+// placement field (see LogClientBase::CreateLogFilePlaced).
+constexpr uint32_t kNoPartitionPlacement = 0xFFFFFFFFu;
+
+// What a dispatcher executes requests against. The single-service form
+// (below) wraps one LogService; the partitioned form
+// (src/partition/partition_backend.h) routes across many. Locking is the
+// backend's job: each call acquires whatever lock its target requires and
+// releases it before returning, so the dispatcher is lock-agnostic.
+class DispatchBackend {
+ public:
+  // One open log-file reader. Like the backend, every call locks
+  // internally; instances are confined to one session thread.
+  class Reader {
+   public:
+    virtual ~Reader() = default;
+    virtual Result<std::optional<LogEntryRecord>> Next() = 0;
+    virtual Result<std::optional<LogEntryRecord>> Prev() = 0;
+    virtual Status SeekToTime(Timestamp t) = 0;
+    virtual Status SeekToStart() = 0;
+    virtual Status SeekToEnd() = 0;
+  };
+
+  virtual ~DispatchBackend() = default;
+
+  // `placement`: explicit home partition from the client, nullopt when the
+  // backend picks (hash routing on a partitioned backend; moot on a single
+  // service, which accepts only nullopt or 0).
+  virtual Result<LogFileId> CreateLogFile(
+      const std::string& path, uint32_t permissions,
+      std::optional<uint32_t> placement) = 0;
+  // Plain append honouring request.force; servers that batch or dedup
+  // install an AppendFn on the dispatcher instead of coming through here.
+  virtual Result<AppendResult> ExecuteAppend(const AppendRequest& request) = 0;
+  virtual Result<std::unique_ptr<Reader>> OpenReader(
+      const std::string& path) = 0;
+  virtual Result<LogFileInfo> Stat(const std::string& path) = 0;
+  virtual Status Force() = 0;
+  virtual Result<PartitionInfoResult> PartitionInfo(
+      const std::string& path) = 0;
+};
+
+// Backend over one LogService. When `service_mu` is non-null, each call
+// takes it in the mode the LogService contract assigns (see
+// LogService::mutex()): read-path ops (OpenReader, reader calls, Stat)
+// take it SHARED so sessions read concurrently; mutating ops
+// (CreateLogFile, ExecuteAppend, Force) take it EXCLUSIVE.
+// `serialize_reads` restores the old all-exclusive behaviour (the bench's
+// --global-lock baseline).
+class SingleServiceBackend : public DispatchBackend {
+ public:
+  explicit SingleServiceBackend(LogService* service,
+                                std::shared_mutex* service_mu = nullptr,
+                                bool serialize_reads = false)
+      : service_(service),
+        service_mu_(service_mu),
+        serialize_reads_(serialize_reads) {}
+
+  Result<LogFileId> CreateLogFile(const std::string& path,
+                                  uint32_t permissions,
+                                  std::optional<uint32_t> placement) override;
+  Result<AppendResult> ExecuteAppend(const AppendRequest& request) override;
+  Result<std::unique_ptr<Reader>> OpenReader(const std::string& path) override;
+  Result<LogFileInfo> Stat(const std::string& path) override;
+  Status Force() override;
+  Result<PartitionInfoResult> PartitionInfo(const std::string& path) override;
+
+ private:
+  class ReaderImpl;
+
+  LogService* service_;
+  std::shared_mutex* service_mu_;
+  bool serialize_reads_;
+};
+
+// Executes decoded requests against a DispatchBackend and encodes replies.
 // Malformed bodies produce error replies, never crashes.
 //
 // Thread safety: the dispatcher itself is confined to one session thread
-// (its reader table is unsynchronized), but many sessions may share one
-// LogService. When `service_mu` is non-null, each op takes it in the mode
-// the LogService contract assigns (see LogService::mutex()): read-path ops
-// (kOpenReader, kReadNext/kReadPrev/kReadBatch, the seeks, kStat) take it
-// SHARED so sessions read concurrently; mutating ops (kCreateLogFile,
-// kAppend, kForce) take it EXCLUSIVE. kCloseReader touches only the
-// session-local reader table and takes no lock; kStats reads only the
-// internally synchronized metrics registry. `serialize_reads` restores the
-// old all-exclusive behaviour (the bench's --global-lock baseline).
+// (its reader table is unsynchronized); concurrency control lives in the
+// backend (see DispatchBackend). kCloseReader touches only the
+// session-local reader table; kStats reads only the internally
+// synchronized metrics registry; kTraceDump only the flight recorder.
 // kAppend can be redirected through `append_fn` — the net server's
-// group-commit batcher hook. The override is invoked WITHOUT service_mu
-// held and must arrange its own locking.
+// dedup + group-commit hook. The override must arrange its own locking.
 class ServiceDispatcher {
  public:
   using AppendFn =
       std::function<Result<AppendResult>(const AppendRequest& request)>;
 
+  // Single-service form: wraps `service` in an owned SingleServiceBackend.
   explicit ServiceDispatcher(LogService* service,
                              std::shared_mutex* service_mu = nullptr,
                              AppendFn append_fn = {},
                              bool serialize_reads = false)
-      : service_(service),
-        service_mu_(service_mu),
-        append_fn_(std::move(append_fn)),
-        serialize_reads_(serialize_reads) {}
+      : owned_backend_(std::make_unique<SingleServiceBackend>(
+            service, service_mu, serialize_reads)),
+        backend_(owned_backend_.get()),
+        append_fn_(std::move(append_fn)) {}
+
+  // Backend form: `backend` must outlive the dispatcher.
+  explicit ServiceDispatcher(DispatchBackend* backend, AppendFn append_fn = {})
+      : backend_(backend), append_fn_(std::move(append_fn)) {}
 
   // Executes one request and returns the encoded reply body.
   Bytes Dispatch(LogOp op, std::span<const std::byte> body);
 
  private:
-  LogService* service_;
-  std::shared_mutex* service_mu_;
+  std::unique_ptr<DispatchBackend> owned_backend_;
+  DispatchBackend* backend_;
   AppendFn append_fn_;
-  bool serialize_reads_;
-  std::map<uint64_t, std::unique_ptr<LogReader>> readers_;
+  std::map<uint64_t, std::unique_ptr<DispatchBackend::Reader>> readers_;
   uint64_t next_handle_ = 1;
 };
 
@@ -182,6 +267,16 @@ class LogClientBase {
 
   Result<LogFileId> CreateLogFile(std::string_view path,
                                   uint32_t permissions = 0644);
+  // CreateLogFile with an explicit home partition (tests pinning placement
+  // on a partitioned server; see src/partition/). The placement rides as a
+  // trailing field old servers ignore; a partitioned server rejects
+  // placements outside its range.
+  Result<LogFileId> CreateLogFilePlaced(std::string_view path,
+                                        uint32_t permissions,
+                                        uint32_t partition);
+  // Partition topology (kPartitionInfo): how many partitions the server
+  // runs, and — when `path` is nonempty — which one owns that log file.
+  Result<PartitionInfoResult> GetPartitionInfo(std::string_view path = "");
   // Returns the server-assigned timestamp (the entry's unique id for
   // synchronous writers, §2.1).
   Result<Timestamp> Append(std::string_view path,

@@ -8,10 +8,26 @@
 
 namespace clio {
 
+GroupCommitBatcher::BatchMetrics GroupCommitBatcher::ResolveBatchMetrics(
+    const std::string& suffix) {
+  BatchMetrics m;
+  m.entries = ObsRegistry().histogram("clio.net.batch.entries" + suffix);
+  m.dwell_us = ObsRegistry().histogram("clio.net.batch.dwell_us" + suffix);
+  m.commit_us = ObsRegistry().histogram("clio.net.batch.commit_us" + suffix);
+  m.batches = ObsRegistry().counter("clio.net.batch.batches" + suffix);
+  m.appends = ObsRegistry().counter("clio.net.batch.appends" + suffix);
+  return m;
+}
+
 GroupCommitBatcher::GroupCommitBatcher(LogService* service,
                                        std::shared_mutex* service_mu,
                                        const GroupCommitOptions& options)
-    : service_(service), service_mu_(service_mu), options_(options) {}
+    : service_(service), service_mu_(service_mu), options_(options) {
+  metrics_ = ResolveBatchMetrics("");
+  if (!options_.metric_suffix.empty()) {
+    labeled_ = ResolveBatchMetrics(options_.metric_suffix);
+  }
+}
 
 GroupCommitBatcher::~GroupCommitBatcher() { Stop(); }
 
@@ -86,21 +102,23 @@ void GroupCommitBatcher::CommitLoop() {
 }
 
 void GroupCommitBatcher::CommitBatch(const std::vector<Pending*>& batch) {
-  static Histogram* batch_entries =
-      ObsRegistry().histogram("clio.net.batch.entries");
-  static Histogram* dwell_us =
-      ObsRegistry().histogram("clio.net.batch.dwell_us");
-  static Histogram* commit_us =
-      ObsRegistry().histogram("clio.net.batch.commit_us");
-  batch_entries->Record(batch.size());
+  metrics_.entries->Record(batch.size());
+  if (labeled_) {
+    labeled_->entries->Record(batch.size());
+  }
   auto commit_started = std::chrono::steady_clock::now();
   for (const Pending* pending : batch) {
-    dwell_us->Record(static_cast<uint64_t>(
+    const uint64_t dwell = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             commit_started - pending->enqueued)
-            .count()));
+            .count());
+    metrics_.dwell_us->Record(dwell);
+    if (labeled_) {
+      labeled_->dwell_us->Record(dwell);
+    }
   }
-  ScopedTimer commit_timer(commit_us);
+  ScopedTimer commit_timer(metrics_.commit_us);
+  ScopedTimer labeled_commit_timer(labeled_ ? labeled_->commit_us : nullptr);
 
   std::vector<Result<AppendResult>> results;
   results.reserve(batch.size());
@@ -166,10 +184,12 @@ void GroupCommitBatcher::CommitBatch(const std::vector<Pending*>& batch) {
   }
   batches_committed_.fetch_add(1, std::memory_order_relaxed);
   entries_committed_.fetch_add(batch.size(), std::memory_order_relaxed);
-  static Counter* batches = ObsRegistry().counter("clio.net.batch.batches");
-  static Counter* entries = ObsRegistry().counter("clio.net.batch.appends");
-  batches->Increment();
-  entries->Increment(batch.size());
+  metrics_.batches->Increment();
+  metrics_.appends->Increment(batch.size());
+  if (labeled_) {
+    labeled_->batches->Increment();
+    labeled_->appends->Increment(batch.size());
+  }
   // Publish under mu_: waiters evaluate `result.has_value()` under mu_.
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < batch.size(); ++i) {

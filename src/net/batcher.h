@@ -33,6 +33,7 @@
 #include "src/clio/log_service.h"
 #include "src/ipc/codec.h"
 #include "src/net/dedup.h"
+#include "src/obs/metrics.h"
 
 namespace clio {
 
@@ -43,6 +44,10 @@ struct GroupCommitOptions {
   size_t max_batch_bytes = 1 << 20;
   // ...or when the oldest queued entry has waited this long.
   uint64_t max_hold_us = 500;
+  // When nonempty (".p<i>" on a partitioned server's lane i), this batcher
+  // additionally records into suffixed mirrors of the clio.net.batch.*
+  // metrics, so per-lane commit economics are separable in kStats.
+  std::string metric_suffix;
 };
 
 class GroupCommitBatcher {
@@ -82,6 +87,17 @@ class GroupCommitBatcher {
   }
 
  private:
+  // The clio.net.batch.* instruments, resolved once per batcher (the
+  // registry hands out stable pointers). `labeled_` holds the suffixed
+  // mirrors and is skipped when metric_suffix is empty.
+  struct BatchMetrics {
+    Histogram* entries = nullptr;
+    Histogram* dwell_us = nullptr;
+    Histogram* commit_us = nullptr;
+    Counter* batches = nullptr;
+    Counter* appends = nullptr;
+  };
+
   // One waiting session-side append. Stack-allocated by Append(); the
   // queue holds pointers, and `result` is the handoff slot.
   struct Pending {
@@ -92,6 +108,8 @@ class GroupCommitBatcher {
     std::optional<Result<AppendResult>> result;
   };
 
+  static BatchMetrics ResolveBatchMetrics(const std::string& suffix);
+
   void CommitLoop();
   void CommitBatch(const std::vector<Pending*>& batch);
 
@@ -99,6 +117,8 @@ class GroupCommitBatcher {
   std::shared_mutex* const service_mu_;
   const GroupCommitOptions options_;
   AppendDedupIndex* dedup_ = nullptr;
+  BatchMetrics metrics_;
+  std::optional<BatchMetrics> labeled_;
 
   std::mutex mu_;
   std::condition_variable queue_cv_;  // commit thread <- arrivals, stop

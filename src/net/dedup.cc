@@ -1,8 +1,17 @@
 #include "src/net/dedup.h"
 
+#include <chrono>
+
 #include "src/obs/metrics.h"
 
 namespace clio {
+
+uint64_t AppendDedupIndex::NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 AppendDedupIndex::ClientWindow* AppendDedupIndex::Window(uint64_t client_id) {
   auto [it, inserted] = clients_.try_emplace(client_id);
@@ -50,6 +59,48 @@ void AppendDedupIndex::Prune(ClientWindow* window) {
     window->entries.erase(window->completed_order.front());
     window->completed_order.pop_front();
   }
+  if (options_.max_stamp_age_us > 0) {
+    PruneExpiredLocked(window, NowUs());
+  }
+}
+
+void AppendDedupIndex::PruneExpiredLocked(ClientWindow* window,
+                                          uint64_t now_us) {
+  // completed_order is completion order, so ages decrease front to back:
+  // stop at the first keeper. A STAGED entry also stops the walk — its ack
+  // was never delivered as durable, so its retry is still live and evicting
+  // it would re-execute (duplicate) the append.
+  static Counter* expired = ObsRegistry().counter("clio.net.dedup.expired");
+  while (!window->completed_order.empty()) {
+    auto it = window->entries.find(window->completed_order.front());
+    if (it == window->entries.end()) {
+      window->completed_order.pop_front();  // already size-pruned
+      continue;
+    }
+    if (it->second.state != State::kDurable ||
+        now_us < it->second.completed_at_us + options_.max_stamp_age_us) {
+      return;
+    }
+    window->entries.erase(it);
+    window->completed_order.pop_front();
+    expired->Increment();
+  }
+}
+
+void AppendDedupIndex::PruneExpired(uint64_t now_us) {
+  if (options_.max_stamp_age_us == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto client = clients_.begin(); client != clients_.end();) {
+    ClientWindow& window = client->second;
+    PruneExpiredLocked(&window, now_us);
+    if (window.entries.empty() && window.in_flight == 0) {
+      client = clients_.erase(client);
+    } else {
+      ++client;
+    }
+  }
 }
 
 std::optional<AppendDedupIndex::Replay> AppendDedupIndex::Begin(
@@ -92,6 +143,7 @@ void AppendDedupIndex::CompleteStaged(uint64_t client_id,
   }
   entry->state = State::kStaged;
   entry->result = result;
+  entry->completed_at_us = NowUs();
   ClientWindow* window = Window(client_id);
   --window->in_flight;
   window->completed_order.push_back(request_seq);

@@ -49,6 +49,14 @@ namespace clio {
 struct AppendDedupOptions {
   size_t window_per_client = 256;
   size_t max_clients = 1024;
+  // Age bound on completed stamps, bounding index memory for long-lived
+  // clients that trickle (a full window of 256 stamps per client would
+  // otherwise pin acks from hours ago). A DURABLE stamp older than this is
+  // evicted; its retry would re-execute, but a client retransmits within
+  // seconds, never hours, so an expired stamp has no live retry. Staged
+  // stamps are NEVER age-evicted — their ack was not delivered durable and
+  // the retry is still expected. 0 disables (default).
+  uint64_t max_stamp_age_us = 0;
 };
 
 class AppendDedupIndex {
@@ -92,6 +100,15 @@ class AppendDedupIndex {
   // never landed, so the next Begin() with the same stamp re-executes.
   void CompleteFailure(uint64_t client_id, uint64_t request_seq);
 
+  // Evicts durable stamps whose age (relative to `now_us`, on the same
+  // steady-clock-microseconds scale completions are stamped with) exceeds
+  // max_stamp_age_us. Runs implicitly on every completion; this entry
+  // point exists for tests and for supervisors that want to reclaim
+  // memory from idle windows on a timer. No-op when the bound is 0.
+  void PruneExpired(uint64_t now_us);
+  // The steady-clock microsecond scale completions are stamped with.
+  static uint64_t NowUs();
+
   // Forgets every entry not marked durable. A supervisor calls this
   // between server incarnations: staged entries died in the crashed
   // server's buffer, so their retries must re-execute, and in-flight
@@ -107,6 +124,7 @@ class AppendDedupIndex {
   struct Entry {
     State state = State::kInFlight;
     AppendResult result;
+    uint64_t completed_at_us = 0;  // NowUs() at staging; 0 while in flight
   };
   struct ClientWindow {
     std::map<uint64_t, Entry> entries;
@@ -120,6 +138,7 @@ class AppendDedupIndex {
   Entry* Find(uint64_t client_id, uint64_t request_seq);
   void EvictIdleClients();
   void Prune(ClientWindow* window);
+  void PruneExpiredLocked(ClientWindow* window, uint64_t now_us);
 
   const AppendDedupOptions options_;
   mutable std::mutex mu_;

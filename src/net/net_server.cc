@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/partition/partition_backend.h"
+#include "src/partition/partitioned_service.h"
 
 namespace clio {
 namespace {
@@ -39,20 +42,58 @@ NetLogServer::NetLogServer(LogService* service,
 Result<std::unique_ptr<NetLogServer>> NetLogServer::Start(
     LogService* service, const NetLogServerOptions& options) {
   std::unique_ptr<NetLogServer> server(new NetLogServer(service, options));
+  return Boot(std::move(server), {service});
+}
+
+Result<std::unique_ptr<NetLogServer>> NetLogServer::StartPartitioned(
+    PartitionedLogService* service, const NetLogServerOptions& options) {
+  if (!options.partition_dedup.empty() &&
+      options.partition_dedup.size() != service->partition_count()) {
+    return InvalidArgument("partition_dedup holds " +
+                           std::to_string(options.partition_dedup.size()) +
+                           " indexes for " +
+                           std::to_string(service->partition_count()) +
+                           " partitions");
+  }
+  std::unique_ptr<NetLogServer> server(new NetLogServer(nullptr, options));
+  server->partitioned_ = service;
+  std::vector<LogService*> services;
+  for (uint32_t p = 0; p < service->partition_count(); ++p) {
+    services.push_back(service->partition(p));
+  }
+  return Boot(std::move(server), services);
+}
+
+Result<std::unique_ptr<NetLogServer>> NetLogServer::Boot(
+    std::unique_ptr<NetLogServer> server,
+    const std::vector<LogService*>& services) {
+  const NetLogServerOptions& options = server->options_;
   CLIO_ASSIGN_OR_RETURN(server->listener_,
                         TcpSocket::ListenLoopback(options.port));
   CLIO_ASSIGN_OR_RETURN(server->port_, server->listener_.local_port());
-  if (options.dedup != nullptr) {
-    server->dedup_ = options.dedup;
-  } else {
-    server->owned_dedup_ = std::make_unique<AppendDedupIndex>();
-    server->dedup_ = server->owned_dedup_.get();
-  }
-  if (options.batching) {
-    server->batcher_ = std::make_unique<GroupCommitBatcher>(
-        service, &service->mutex(), options.batch);
-    server->batcher_->set_dedup(server->dedup_);
-    server->batcher_->Start();
+  const bool partitioned = server->partitioned_ != nullptr;
+  server->lanes_.resize(services.size());
+  for (size_t i = 0; i < services.size(); ++i) {
+    AppendLane& lane = server->lanes_[i];
+    lane.service = services[i];
+    if (partitioned && !options.partition_dedup.empty()) {
+      lane.dedup = options.partition_dedup[i];
+    } else if (!partitioned && options.dedup != nullptr) {
+      lane.dedup = options.dedup;
+    } else {
+      lane.owned_dedup = std::make_unique<AppendDedupIndex>();
+      lane.dedup = lane.owned_dedup.get();
+    }
+    if (options.batching) {
+      GroupCommitOptions batch = options.batch;
+      if (partitioned) {
+        batch.metric_suffix = ".p" + std::to_string(i);
+      }
+      lane.batcher = std::make_unique<GroupCommitBatcher>(
+          lane.service, &lane.service->mutex(), batch);
+      lane.batcher->set_dedup(lane.dedup);
+      lane.batcher->Start();
+    }
   }
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   return server;
@@ -84,10 +125,12 @@ void NetLogServer::Stop() {
     }
   }
   sessions_.clear();
-  // After the sessions: a session blocked in the batcher needs the commit
+  // After the sessions: a session blocked in a batcher needs that commit
   // thread alive to get its result.
-  if (batcher_ != nullptr) {
-    batcher_->Stop();
+  for (AppendLane& lane : lanes_) {
+    if (lane.batcher != nullptr) {
+      lane.batcher->Stop();
+    }
   }
   stopped_ = true;
 }
@@ -140,36 +183,55 @@ void NetLogServer::ReapFinishedSessions() {
   }
 }
 
-Result<AppendResult> NetLogServer::ExecuteAppend(const AppendRequest& request) {
+Result<AppendResult> NetLogServer::ExecuteAppend(AppendLane& lane,
+                                                 const AppendRequest& request) {
   // Forced appends share a batch force; unforced ones are pure buffer
   // writes with nothing to amortize, so they run directly.
-  if (batcher_ != nullptr && request.force) {
+  if (lane.batcher != nullptr && request.force) {
     TraceSpanTimer batch_wait(TraceStage::kBatchWait);
-    return batcher_->Append(request);
+    return lane.batcher->Append(request);
   }
-  std::lock_guard<std::shared_mutex> lock(service_->mutex());
+  std::lock_guard<std::shared_mutex> lock(lane.service->mutex());
   WriteOptions options;
   options.timestamped = request.timestamped;
   options.force = request.force;
-  return service_->Append(request.path, request.payload, options);
+  return lane.service->Append(request.path, request.payload, options);
 }
 
-Status NetLogServer::ForceService() {
-  std::lock_guard<std::shared_mutex> lock(service_->mutex());
-  Status force = service_->Force();
+Status NetLogServer::ForceLane(AppendLane& lane) {
+  std::lock_guard<std::shared_mutex> lock(lane.service->mutex());
+  Status force = lane.service->Force();
   if (force.ok()) {
     // Promotes every staged stamp this force covered (see dedup.h).
-    dedup_->MarkAllStagedDurable();
+    lane.dedup->MarkAllStagedDurable();
   }
   return force;
 }
 
+Result<NetLogServer::AppendLane*> NetLogServer::ResolveLane(
+    const std::string& path) {
+  // Single-service mode has exactly one lane; "/" (routeless — it spans
+  // every partition) keeps its historical home on lane 0.
+  if (partitioned_ == nullptr || path == "/") {
+    return &lanes_[0];
+  }
+  auto route = partitioned_->RouteOf(path);
+  if (!route.has_value()) {
+    return NotFound("log file '" + path + "' does not exist");
+  }
+  return &lanes_[*route];
+}
+
 Result<AppendResult> NetLogServer::RouteAppend(const AppendRequest& request) {
+  // Everything below — dedup window, batcher, covering force — is the
+  // owning lane's own; appends to other lanes proceed untouched.
+  CLIO_ASSIGN_OR_RETURN(AppendLane * lane, ResolveLane(request.path));
   // Unstamped appends (client_id 0) opted out of retry dedup.
   if (request.client_id == 0) {
-    return ExecuteAppend(request);
+    return ExecuteAppend(*lane, request);
   }
-  if (auto replay = dedup_->Begin(request.client_id, request.request_seq)) {
+  if (auto replay =
+          lane->dedup->Begin(request.client_id, request.request_seq)) {
     if (request.force && !replay->durable) {
       // The entry is staged in the log buffer but its covering force never
       // completed (a transient device fault failed the batch force, and
@@ -177,47 +239,58 @@ Result<AppendResult> NetLogServer::RouteAppend(const AppendRequest& request) {
       // durability the log doesn't have, and re-executing would duplicate
       // the entry — so force now (which promotes the stamp to durable),
       // then replay the recorded ack.
-      CLIO_RETURN_IF_ERROR(ForceService());
+      CLIO_RETURN_IF_ERROR(ForceLane(*lane));
     }
     return replay->result;
   }
-  if (batcher_ != nullptr && request.force) {
+  if (lane->batcher != nullptr && request.force) {
     // The batcher completes the claim itself: only it can tell a failed
     // stage from a failed covering force (see batcher.h).
     TraceSpanTimer batch_wait(TraceStage::kBatchWait);
-    return batcher_->Append(request);
+    return lane->batcher->Append(request);
   }
   // Unbatched path. Stage with the per-entry force suppressed so a failure
   // here is unambiguous — nothing landed, the stamp is released — then
   // force separately if the caller asked for durability.
   Result<AppendResult> staged = [&]() -> Result<AppendResult> {
-    std::lock_guard<std::shared_mutex> lock(service_->mutex());
+    std::lock_guard<std::shared_mutex> lock(lane->service->mutex());
     WriteOptions options;
     options.timestamped = request.timestamped;
     options.force = false;
-    return service_->Append(request.path, request.payload, options);
+    return lane->service->Append(request.path, request.payload, options);
   }();
   if (!staged.ok()) {
-    dedup_->CompleteFailure(request.client_id, request.request_seq);
+    lane->dedup->CompleteFailure(request.client_id, request.request_seq);
     return staged;
   }
-  dedup_->CompleteStaged(request.client_id, request.request_seq, *staged);
+  lane->dedup->CompleteStaged(request.client_id, request.request_seq, *staged);
   if (request.force) {
-    CLIO_RETURN_IF_ERROR(ForceService());
+    CLIO_RETURN_IF_ERROR(ForceLane(*lane));
   }
   // Unforced appends never promised durability, so their acks replay
   // as-is; forced ones reach here only after the force succeeded.
-  dedup_->MarkDurable(request.client_id, request.request_seq);
+  lane->dedup->MarkDurable(request.client_id, request.request_seq);
   return staged;
 }
 
 void NetLogServer::SessionLoop(Session* session) {
   using Clock = std::chrono::steady_clock;
   Metrics().active_sessions->Add(1);
-  ServiceDispatcher dispatcher(
-      service_, &service_->mutex(),
-      [this](const AppendRequest& request) { return RouteAppend(request); },
-      options_.serialize_reads);
+  // Partitioned sessions dispatch through the partition-aware backend
+  // (reads fan out and merge; creates route); single-service sessions keep
+  // the classic one-service backend. Appends go to RouteAppend either way.
+  auto route_append = [this](const AppendRequest& request) {
+    return RouteAppend(request);
+  };
+  std::unique_ptr<PartitionedDispatchBackend> backend;
+  std::optional<ServiceDispatcher> dispatcher;
+  if (partitioned_ != nullptr) {
+    backend = std::make_unique<PartitionedDispatchBackend>(partitioned_);
+    dispatcher.emplace(backend.get(), route_append);
+  } else {
+    dispatcher.emplace(service_, &service_->mutex(), route_append,
+                       options_.serialize_reads);
+  }
   const bool idle_enabled = options_.idle_timeout_ms > 0;
   auto idle_deadline =
       Clock::now() + std::chrono::milliseconds(options_.idle_timeout_ms);
@@ -295,7 +368,7 @@ void NetLogServer::SessionLoop(Session* session) {
       // Every span recorded below this point — dispatch, batch wait,
       // volume append, force, burn — attaches to this request's trace.
       ScopedTraceContext trace_scope(trace_id);
-      reply_body = dispatcher.Dispatch(static_cast<LogOp>(header->op), body);
+      reply_body = dispatcher->Dispatch(static_cast<LogOp>(header->op), body);
     }
     frames_dispatched_.fetch_add(1);
     Metrics().frames->Increment();

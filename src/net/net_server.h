@@ -10,6 +10,11 @@
 // GroupCommitBatcher so concurrent committers share device forces
 // (src/net/batcher.h).
 //
+// StartPartitioned() serves a PartitionedLogService instead: one append
+// lane (batcher + dedup index + lock) per partition, so appends to
+// different partitions batch, force, and dedup fully in parallel
+// (DESIGN.md §14).
+//
 // Robustness: a malformed or oversized frame closes only the offending
 // connection; a decodable frame with a garbage body gets an error reply
 // and the connection lives on. Stop() drains gracefully — in-flight
@@ -33,6 +38,8 @@
 
 namespace clio {
 
+class PartitionedLogService;
+
 struct NetLogServerOptions {
   uint16_t port = 0;  // 0: kernel-chosen; read it back with port()
   // A session with no traffic for this long is closed. 0 disables.
@@ -52,6 +59,11 @@ struct NetLogServerOptions {
   // should pass a long-lived index here so retried appends whose acks
   // were lost to a crash still deduplicate after the restart.
   AppendDedupIndex* dedup = nullptr;
+  // StartPartitioned only: one long-lived index per partition (size must
+  // equal the partition count). Dedup state is PER PARTITION — a log file
+  // never changes partitions, so a retried stamp always lands on the index
+  // that recorded it. Empty: the server owns private per-lane indexes.
+  std::vector<AppendDedupIndex*> partition_dedup;
   // Compatibility switch: take the service lock EXCLUSIVE for read ops
   // too, restoring the old one-request-at-a-time behaviour. Exists for
   // bench_read_scaling's --global-lock baseline; leave off in production.
@@ -63,6 +75,15 @@ class NetLogServer {
   // Binds, then starts the accept loop and (if enabled) the batcher.
   static Result<std::unique_ptr<NetLogServer>> Start(
       LogService* service, const NetLogServerOptions& options = {});
+
+  // Partitioned mode: one append LANE per partition — the partition's
+  // LogService, its own group-commit batcher (so batches never mix
+  // partitions and N covering forces run concurrently), and its own dedup
+  // index. Appends route to the owning lane via the service's router and
+  // contend only on that lane's lock; reads and searches fan out through
+  // the partitioned backend. `service` must outlive the server.
+  static Result<std::unique_ptr<NetLogServer>> StartPartitioned(
+      PartitionedLogService* service, const NetLogServerOptions& options = {});
   ~NetLogServer();
 
   NetLogServer(const NetLogServer&) = delete;
@@ -82,9 +103,17 @@ class NetLogServer {
   }
   uint64_t frames_dispatched() const { return frames_dispatched_.load(); }
   uint64_t frames_rejected() const { return frames_rejected_.load(); }
-  const GroupCommitBatcher* batcher() const { return batcher_.get(); }
-  // The dedup index in effect (caller-supplied or server-owned).
-  const AppendDedupIndex* dedup() const { return dedup_; }
+  size_t lane_count() const { return lanes_.size(); }
+  // Lane 0's instances (the only lane in single-service mode).
+  const GroupCommitBatcher* batcher() const { return batcher(0); }
+  const AppendDedupIndex* dedup() const { return dedup(0); }
+  // Per-lane access, for tests asserting lane isolation.
+  const GroupCommitBatcher* batcher(size_t lane) const {
+    return lanes_[lane].batcher.get();
+  }
+  const AppendDedupIndex* dedup(size_t lane) const {
+    return lanes_[lane].dedup;
+  }
 
  private:
   struct Session {
@@ -93,22 +122,40 @@ class NetLogServer {
     std::atomic<bool> done{false};
   };
 
+  // One append path: a partition's service, batcher, and dedup window.
+  // Single-service mode is the one-lane special case.
+  struct AppendLane {
+    LogService* service = nullptr;
+    std::unique_ptr<GroupCommitBatcher> batcher;
+    AppendDedupIndex* dedup = nullptr;
+    std::unique_ptr<AppendDedupIndex> owned_dedup;
+  };
+
   NetLogServer(LogService* service, const NetLogServerOptions& options);
+
+  // Shared by Start/StartPartitioned: binds the listener, builds one lane
+  // per entry of `services` (with per-lane ".p<i>" batch metric suffixes
+  // when partitioned), and starts the accept loop.
+  static Result<std::unique_ptr<NetLogServer>> Boot(
+      std::unique_ptr<NetLogServer> server,
+      const std::vector<LogService*>& services);
 
   void AcceptLoop();
   void SessionLoop(Session* session);
+  // The lane owning `path`'s appends; NotFound when no partition knows it.
+  Result<AppendLane*> ResolveLane(const std::string& path);
   Result<AppendResult> RouteAppend(const AppendRequest& request);
-  Result<AppendResult> ExecuteAppend(const AppendRequest& request);
-  Status ForceService();
+  Result<AppendResult> ExecuteAppend(AppendLane& lane,
+                                     const AppendRequest& request);
+  Status ForceLane(AppendLane& lane);
   void ReapFinishedSessions();
 
-  LogService* const service_;
+  LogService* const service_;  // null in partitioned mode
+  PartitionedLogService* partitioned_ = nullptr;
   const NetLogServerOptions options_;
   TcpSocket listener_;
   uint16_t port_ = 0;
-  std::unique_ptr<GroupCommitBatcher> batcher_;
-  std::unique_ptr<AppendDedupIndex> owned_dedup_;
-  AppendDedupIndex* dedup_ = nullptr;
+  std::vector<AppendLane> lanes_;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;  // Stop() already ran to completion

@@ -1,0 +1,78 @@
+#include "src/partition/partition_backend.h"
+
+#include <shared_mutex>
+#include <utility>
+
+namespace clio {
+
+class PartitionedDispatchBackend::ReaderImpl : public DispatchBackend::Reader {
+ public:
+  explicit ReaderImpl(std::unique_ptr<PartitionedLogReader> reader)
+      : reader_(std::move(reader)) {}
+
+  Result<std::optional<LogEntryRecord>> Next() override {
+    return reader_->Next();
+  }
+  Result<std::optional<LogEntryRecord>> Prev() override {
+    return reader_->Prev();
+  }
+  Status SeekToTime(Timestamp t) override { return reader_->SeekToTime(t); }
+  Status SeekToStart() override {
+    reader_->SeekToStart();
+    return Status::Ok();
+  }
+  Status SeekToEnd() override {
+    reader_->SeekToEnd();
+    return Status::Ok();
+  }
+
+ private:
+  std::unique_ptr<PartitionedLogReader> reader_;
+};
+
+Result<LogFileId> PartitionedDispatchBackend::CreateLogFile(
+    const std::string& path, uint32_t permissions,
+    std::optional<uint32_t> placement) {
+  CLIO_ASSIGN_OR_RETURN(uint32_t home,
+                        service_->CreateLogFile(path, permissions, placement));
+  // The wire contract returns the log file's id; ids are partition-local,
+  // so report the leaf's id on its home partition (clients address by path
+  // anyway — the id is informational).
+  LogService* owner = service_->partition(home);
+  std::shared_lock<std::shared_mutex> lock(owner->mutex());
+  return owner->Resolve(path);
+}
+
+Result<AppendResult> PartitionedDispatchBackend::ExecuteAppend(
+    const AppendRequest& request) {
+  WriteOptions options;
+  options.timestamped = request.timestamped;
+  options.force = request.force;
+  return service_->Append(request.path, request.payload, options);
+}
+
+Result<std::unique_ptr<DispatchBackend::Reader>>
+PartitionedDispatchBackend::OpenReader(const std::string& path) {
+  CLIO_ASSIGN_OR_RETURN(std::unique_ptr<PartitionedLogReader> reader,
+                        service_->OpenReader(path));
+  return std::unique_ptr<DispatchBackend::Reader>(
+      std::make_unique<ReaderImpl>(std::move(reader)));
+}
+
+Result<LogFileInfo> PartitionedDispatchBackend::Stat(const std::string& path) {
+  return service_->Stat(path);
+}
+
+Status PartitionedDispatchBackend::Force() { return service_->Force(); }
+
+Result<PartitionInfoResult> PartitionedDispatchBackend::PartitionInfo(
+    const std::string& path) {
+  PartitionInfoResult result;
+  result.partition_count = service_->partition_count();
+  if (!path.empty() && path != "/") {
+    result.partition = service_->RouteOf(path);
+  }
+  return result;
+}
+
+}  // namespace clio

@@ -1,0 +1,46 @@
+// PartitionedDispatchBackend: serves the wire protocol from a
+// PartitionedLogService.
+//
+// The dispatcher (src/ipc/codec.h) is backend-agnostic; this adapter makes
+// a partitioned deployment look like any other. No locking happens here —
+// PartitionedLogService and PartitionedLogReader are internally
+// synchronized, taking only the owning partition's lock per call — so a
+// session reading partition 2 never delays appends batching into
+// partition 0. Appends normally bypass ExecuteAppend entirely: the net
+// server installs an AppendFn that routes into the owning partition's
+// group-commit lane (net_server.cc).
+#ifndef SRC_PARTITION_PARTITION_BACKEND_H_
+#define SRC_PARTITION_PARTITION_BACKEND_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/ipc/codec.h"
+#include "src/partition/partitioned_service.h"
+
+namespace clio {
+
+class PartitionedDispatchBackend : public DispatchBackend {
+ public:
+  explicit PartitionedDispatchBackend(PartitionedLogService* service)
+      : service_(service) {}
+
+  Result<LogFileId> CreateLogFile(const std::string& path,
+                                  uint32_t permissions,
+                                  std::optional<uint32_t> placement) override;
+  Result<AppendResult> ExecuteAppend(const AppendRequest& request) override;
+  Result<std::unique_ptr<Reader>> OpenReader(const std::string& path) override;
+  Result<LogFileInfo> Stat(const std::string& path) override;
+  Status Force() override;
+  Result<PartitionInfoResult> PartitionInfo(const std::string& path) override;
+
+ private:
+  class ReaderImpl;
+
+  PartitionedLogService* service_;
+};
+
+}  // namespace clio
+
+#endif  // SRC_PARTITION_PARTITION_BACKEND_H_

@@ -1,0 +1,404 @@
+#include "src/partition/partitioned_service.h"
+
+#include <algorithm>
+#include <shared_mutex>
+#include <utility>
+
+namespace clio {
+
+namespace {
+
+// Per-partition variant of the shared option template: sequence ids are
+// assigned by the caller; the metric suffix and label identify the lane.
+LogServiceOptions PartitionOptions(const LogServiceOptions& base, uint32_t p) {
+  LogServiceOptions o = base;
+  o.metric_suffix = ".p" + std::to_string(p);
+  if (!o.label.empty()) {
+    o.label += "/p" + std::to_string(p);
+  } else {
+    o.label = "p" + std::to_string(p);
+  }
+  return o;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PartitionedLogService>> PartitionedLogService::Create(
+    std::vector<std::unique_ptr<WormDevice>> devices, TimeSource* clock,
+    const PartitionedServiceOptions& options) {
+  if (devices.empty()) {
+    return InvalidArgument("a partitioned service needs at least one device");
+  }
+  auto svc =
+      std::unique_ptr<PartitionedLogService>(new PartitionedLogService(clock));
+  // One base, partitions offset from it: sequence ids must differ so a
+  // mis-mounted chain is caught at recovery, and the low byte leaves room
+  // for 256 partitions under one clock draw.
+  uint64_t base = options.base.sequence_id;
+  if (base == 0) {
+    base = (static_cast<uint64_t>(clock->NowUnique()) << 8) | 1;
+  }
+  for (size_t p = 0; p < devices.size(); ++p) {
+    LogServiceOptions o =
+        PartitionOptions(options.base, static_cast<uint32_t>(p));
+    o.sequence_id = base + p;
+    CLIO_ASSIGN_OR_RETURN(auto part, LogService::Create(std::move(devices[p]),
+                                                        clock, o));
+    svc->partitions_.push_back(std::move(part));
+  }
+  svc->router_ = std::make_unique<PartitionRouter>(
+      static_cast<uint32_t>(svc->partitions_.size()));
+  return svc;
+}
+
+Result<std::unique_ptr<PartitionedLogService>> PartitionedLogService::Recover(
+    std::vector<std::vector<std::unique_ptr<WormDevice>>> devices,
+    TimeSource* clock, const PartitionedServiceOptions& options,
+    std::vector<RecoveryReport>* reports) {
+  if (devices.empty()) {
+    return InvalidArgument("a partitioned service needs at least one device");
+  }
+  auto svc =
+      std::unique_ptr<PartitionedLogService>(new PartitionedLogService(clock));
+  for (size_t p = 0; p < devices.size(); ++p) {
+    LogServiceOptions o =
+        PartitionOptions(options.base, static_cast<uint32_t>(p));
+    o.sequence_id = 0;  // adopt whatever the media carries
+    RecoveryReport report;
+    CLIO_ASSIGN_OR_RETURN(
+        auto part,
+        LogService::Recover(std::move(devices[p]), clock, o, &report));
+    if (reports != nullptr) {
+      reports->push_back(report);
+    }
+    svc->partitions_.push_back(std::move(part));
+  }
+  // Each partition is its own volume sequence; two equal ids mean the same
+  // chain (or a copy) was mounted twice.
+  for (size_t i = 0; i < svc->partitions_.size(); ++i) {
+    for (size_t j = i + 1; j < svc->partitions_.size(); ++j) {
+      if (svc->partitions_[i]->volume(0)->header().sequence_id ==
+          svc->partitions_[j]->volume(0)->header().sequence_id) {
+        return Corrupt("partitions " + std::to_string(i) + " and " +
+                       std::to_string(j) +
+                       " recovered the same volume sequence id");
+      }
+    }
+  }
+  // The catalogs are the durable routing table; rebuild the cache. Mirrored
+  // ancestors carry their original home id, so every partition that knows a
+  // path agrees on its home (disagreement is corruption, caught by Learn).
+  svc->router_ = std::make_unique<PartitionRouter>(
+      static_cast<uint32_t>(svc->partitions_.size()));
+  for (const auto& part : svc->partitions_) {
+    for (const LogFileInfo& info : part->catalog().All()) {
+      CLIO_ASSIGN_OR_RETURN(std::string path, part->catalog().PathOf(info.id));
+      CLIO_RETURN_IF_ERROR(svc->router_->Learn(path, info.home_partition));
+    }
+  }
+  return svc;
+}
+
+Result<uint32_t> PartitionedLogService::CreateLogFile(
+    std::string_view path, uint32_t permissions,
+    std::optional<uint32_t> placement) {
+  if (placement.has_value() && *placement >= partition_count()) {
+    return InvalidArgument("placement " + std::to_string(*placement) +
+                           " out of range: " +
+                           std::to_string(partition_count()) + " partitions");
+  }
+  if (path == "/") {
+    return AlreadyExists("'/' names the volume sequence log");
+  }
+  std::lock_guard<std::mutex> create_lock(create_mu_);
+  if (auto existing = router_->Lookup(path)) {
+    if (placement.has_value() && *placement != *existing) {
+      return FailedPrecondition("log file '" + std::string(path) +
+                                "' already lives on partition " +
+                                std::to_string(*existing));
+    }
+    return AlreadyExists("log file '" + std::string(path) +
+                         "' already exists");
+  }
+  uint32_t home =
+      placement.has_value() ? *placement : router_->HashRoute(path);
+  CLIO_RETURN_IF_ERROR(MirrorAncestors(path, home));
+  {
+    std::lock_guard<std::shared_mutex> lock(partitions_[home]->mutex());
+    auto created = partitions_[home]->CreateLogFile(path, permissions, home);
+    if (!created.ok()) {
+      return created.status();
+    }
+  }
+  CLIO_RETURN_IF_ERROR(router_->Learn(path, home));
+  return home;
+}
+
+Status PartitionedLogService::MirrorAncestors(std::string_view path,
+                                              uint32_t home) {
+  // Proper ancestors, root excluded, parent-before-child: "/a/b/c" visits
+  // "/a" then "/a/b". Each must already exist somewhere (matching the
+  // single-service rule that intermediate components are created first).
+  for (size_t pos = path.find('/', 1); pos != std::string_view::npos;
+       pos = path.find('/', pos + 1)) {
+    std::string_view ancestor = path.substr(0, pos);
+    auto ancestor_home = router_->Lookup(ancestor);
+    if (!ancestor_home.has_value()) {
+      return NotFound("log file '" + std::string(ancestor) +
+                      "' does not exist");
+    }
+    if (*ancestor_home == home) {
+      continue;  // native to the target partition
+    }
+    {
+      std::shared_lock<std::shared_mutex> lock(partitions_[home]->mutex());
+      if (partitions_[home]->Resolve(ancestor).ok()) {
+        continue;  // already mirrored by an earlier create
+      }
+    }
+    LogFileInfo info;
+    {
+      std::shared_lock<std::shared_mutex> lock(
+          partitions_[*ancestor_home]->mutex());
+      auto stat = partitions_[*ancestor_home]->Stat(ancestor);
+      if (!stat.ok()) {
+        return stat.status();
+      }
+      info = std::move(stat).value();
+    }
+    std::lock_guard<std::shared_mutex> lock(partitions_[home]->mutex());
+    auto created = partitions_[home]->CreateLogFile(ancestor, info.permissions,
+                                                    *ancestor_home);
+    if (!created.ok()) {
+      return created.status();
+    }
+  }
+  return Status::Ok();
+}
+
+Result<AppendResult> PartitionedLogService::Append(
+    std::string_view path, std::span<const std::byte> payload,
+    const WriteOptions& options) {
+  uint32_t target = 0;
+  if (path != "/") {  // "/" has no single home; its direct appends land on 0
+    auto route = router_->Lookup(path);
+    if (!route.has_value()) {
+      return NotFound("log file '" + std::string(path) + "' does not exist");
+    }
+    target = *route;
+  }
+  LogService* service = partitions_[target].get();
+  std::lock_guard<std::shared_mutex> lock(service->mutex());
+  return service->Append(path, payload, options);
+}
+
+Status PartitionedLogService::Force() {
+  Status first = Status::Ok();
+  for (const auto& part : partitions_) {
+    std::lock_guard<std::shared_mutex> lock(part->mutex());
+    Status st = part->Force();
+    if (!st.ok() && first.ok()) {
+      first = st;
+    }
+  }
+  return first;
+}
+
+Result<LogFileInfo> PartitionedLogService::Stat(std::string_view path) const {
+  uint32_t target = 0;
+  if (path != "/") {
+    auto route = router_->Lookup(path);
+    if (!route.has_value()) {
+      return NotFound("log file '" + std::string(path) + "' does not exist");
+    }
+    target = *route;
+  }
+  const LogService* service = partitions_[target].get();
+  std::shared_lock<std::shared_mutex> lock(service->mutex());
+  return service->Stat(path);
+}
+
+Result<std::unique_ptr<PartitionedLogReader>>
+PartitionedLogService::OpenReader(std::string_view path) {
+  std::vector<PartitionedLogReader::Source> sources;
+  for (const auto& part : partitions_) {
+    std::shared_lock<std::shared_mutex> lock(part->mutex());
+    auto reader = part->OpenReader(path);
+    if (!reader.ok()) {
+      if (reader.status().code() == StatusCode::kNotFound) {
+        continue;  // this partition holds none of the log file's entries
+      }
+      return reader.status();
+    }
+    sources.push_back({part.get(), std::move(reader).value()});
+  }
+  if (sources.empty()) {
+    return NotFound("log file '" + std::string(path) + "' does not exist");
+  }
+  return std::make_unique<PartitionedLogReader>(std::move(sources));
+}
+
+// -- PartitionedLogReader --
+
+void PartitionedLogReader::SeekToStart() {
+  for (auto& source : sources_) {
+    std::shared_lock<std::shared_mutex> lock(source.service->mutex());
+    source.reader->SeekToStart();
+  }
+}
+
+void PartitionedLogReader::SeekToEnd() {
+  for (auto& source : sources_) {
+    std::shared_lock<std::shared_mutex> lock(source.service->mutex());
+    source.reader->SeekToEnd();
+  }
+}
+
+Status PartitionedLogReader::SeekToTime(Timestamp t, OpStats* stats) {
+  for (auto& source : sources_) {
+    std::shared_lock<std::shared_mutex> lock(source.service->mutex());
+    CLIO_RETURN_IF_ERROR(source.reader->SeekToTime(t, stats));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Merge order: (timestamp, source index). Timestamps from the shared clock
+// are unique when exact; block-resolution (inexact) ones can tie, and the
+// source index breaks the tie the same way on both merge directions.
+bool MergesBefore(const LogEntryRecord& a, size_t ai, const LogEntryRecord& b,
+                  size_t bi) {
+  if (a.timestamp != b.timestamp) {
+    return a.timestamp < b.timestamp;
+  }
+  return ai < bi;
+}
+
+}  // namespace
+
+Result<std::optional<LogEntryRecord>> PartitionedLogReader::Next(
+    OpStats* stats) {
+  // Advance-and-undo: step every source forward, keep the minimum, back
+  // the others up. The cursor gap model (Next then Prev returns the same
+  // entry) makes the undo exact.
+  std::vector<std::optional<LogEntryRecord>> advanced(sources_.size());
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    std::shared_lock<std::shared_mutex> lock(sources_[i].service->mutex());
+    auto next = sources_[i].reader->Next(stats);
+    if (!next.ok()) {
+      lock.unlock();
+      // Roll back the sources already stepped so the merge position is
+      // unchanged; a rollback failure is unreported (the blocks were just
+      // read, so re-reading them is as good as a read can get).
+      for (size_t j = 0; j < i; ++j) {
+        if (advanced[j].has_value()) {
+          std::shared_lock<std::shared_mutex> undo_lock(
+              sources_[j].service->mutex());
+          (void)sources_[j].reader->Prev();
+        }
+      }
+      return next.status();
+    }
+    advanced[i] = std::move(next).value();
+  }
+  std::optional<size_t> winner;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (advanced[i].has_value() &&
+        (!winner.has_value() ||
+         MergesBefore(*advanced[i], i, *advanced[*winner], *winner))) {
+      winner = i;
+    }
+  }
+  if (!winner.has_value()) {
+    return std::optional<LogEntryRecord>{};
+  }
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (i != *winner && advanced[i].has_value()) {
+      std::shared_lock<std::shared_mutex> lock(sources_[i].service->mutex());
+      auto undone = sources_[i].reader->Prev();
+      if (!undone.ok()) {
+        return undone.status();
+      }
+    }
+  }
+  return std::move(advanced[*winner]);
+}
+
+Result<std::optional<LogEntryRecord>> PartitionedLogReader::Prev(
+    OpStats* stats) {
+  // Mirror of Next(): step every source backward, keep the MAXIMUM (ties
+  // to the highest index, so Next-then-Prev round-trips), undo the rest.
+  std::vector<std::optional<LogEntryRecord>> stepped(sources_.size());
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    std::shared_lock<std::shared_mutex> lock(sources_[i].service->mutex());
+    auto prev = sources_[i].reader->Prev(stats);
+    if (!prev.ok()) {
+      lock.unlock();
+      for (size_t j = 0; j < i; ++j) {
+        if (stepped[j].has_value()) {
+          std::shared_lock<std::shared_mutex> undo_lock(
+              sources_[j].service->mutex());
+          (void)sources_[j].reader->Next();
+        }
+      }
+      return prev.status();
+    }
+    stepped[i] = std::move(prev).value();
+  }
+  std::optional<size_t> winner;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (stepped[i].has_value() &&
+        (!winner.has_value() ||
+         !MergesBefore(*stepped[i], i, *stepped[*winner], *winner))) {
+      winner = i;
+    }
+  }
+  if (!winner.has_value()) {
+    return std::optional<LogEntryRecord>{};
+  }
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (i != *winner && stepped[i].has_value()) {
+      std::shared_lock<std::shared_mutex> lock(sources_[i].service->mutex());
+      auto undone = sources_[i].reader->Next();
+      if (!undone.ok()) {
+        return undone.status();
+      }
+    }
+  }
+  return std::move(stepped[*winner]);
+}
+
+Result<std::optional<LogEntryRecord>> PartitionedLogReader::FindByTimestamp(
+    Timestamp t, OpStats* stats) {
+  for (auto& source : sources_) {
+    std::shared_lock<std::shared_mutex> lock(source.service->mutex());
+    auto found = source.reader->FindByTimestamp(t, stats);
+    if (!found.ok()) {
+      return found.status();
+    }
+    if (found.value().has_value()) {
+      return std::move(found).value();
+    }
+  }
+  return std::optional<LogEntryRecord>{};
+}
+
+Result<std::optional<LogEntryRecord>> PartitionedLogReader::FindByClientId(
+    uint32_t sequence, Timestamp client_time, Timestamp max_skew,
+    OpStats* stats) {
+  for (auto& source : sources_) {
+    std::shared_lock<std::shared_mutex> lock(source.service->mutex());
+    auto found =
+        source.reader->FindByClientId(sequence, client_time, max_skew, stats);
+    if (!found.ok()) {
+      return found.status();
+    }
+    if (found.value().has_value()) {
+      return std::move(found).value();
+    }
+  }
+  return std::optional<LogEntryRecord>{};
+}
+
+}  // namespace clio

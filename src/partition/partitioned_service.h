@@ -1,0 +1,203 @@
+// PartitionedLogService: N independent volume sequences behind one server.
+//
+// The paper's volume sequence (§2.1) has a single write head: every append
+// funnels through one VolumeWriter, so a server saturates at one device's
+// burn bandwidth no matter how many clients it serves. This subsystem
+// scales writes horizontally WITHOUT changing the media format: it runs N
+// complete, unmodified LogServices side by side — each with its own
+// WormDevice chain, volume writer, entrymap, block cache and (in the net
+// server) group-commit batcher — and pins every log file to exactly one of
+// them at creation time.
+//
+// Routing. A log file's HOME partition is chosen at create time (hash of
+// the path by default; tests and capacity planners may place explicitly)
+// and persisted in its kCreate catalog record, so the assignment survives
+// restarts and a retried append always lands on the same partition — which
+// is what keeps per-partition (client_id, request_seq) dedup exact. The
+// in-memory PartitionRouter is rebuilt on recovery from the union of the
+// partitions' catalogs.
+//
+// Namespace. Paths are global; ids are per-partition-local (all wire
+// addressing is by path). A leaf is created only on its home partition.
+// Its proper ancestors are MIRRORED onto that partition (each mirror
+// carrying the ancestor's own original home id), because within one
+// LogService an entry is a member of its ancestors (§2.1) and the parent
+// chain must resolve locally. Reading an interior log file such as "/mail"
+// therefore means merging the partitions where it exists — which is
+// exactly what OpenReader returns (see PartitionedLogReader).
+//
+// Time. All partitions share one TimeSource; NowUnique() is a CAS loop, so
+// timestamps are globally unique and ordered across partitions, which is
+// what makes the cross-partition merge-by-timestamp well defined.
+//
+// Concurrency. Unlike LogService (whose mutex() is caller-held), this
+// class is internally synchronized: each call routes and then takes the
+// OWNING partition's lock in the contract's mode, so appends to different
+// partitions never contend. Multi-lane frontends (src/net/) that need to
+// interleave batching with the lock reach through partition(i)/mutex()
+// directly, exactly as they do for a single service.
+#ifndef SRC_PARTITION_PARTITIONED_SERVICE_H_
+#define SRC_PARTITION_PARTITIONED_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/clio/log_service.h"
+#include "src/clio/types.h"
+#include "src/device/block_device.h"
+#include "src/partition/partition_router.h"
+#include "src/util/status.h"
+#include "src/util/time.h"
+
+namespace clio {
+
+class PartitionedLogReader;
+
+struct PartitionedServiceOptions {
+  // Template applied to every partition. `sequence_id`, when nonzero, is
+  // the BASE id: partition p's sequence gets base + p (a fresh base is
+  // derived from the clock when 0). `metric_suffix` is overridden with
+  // ".p<i>" per partition; `label` gets "/p<i>" appended.
+  LogServiceOptions base;
+};
+
+class PartitionedLogService {
+ public:
+  // Creates a brand-new partitioned deployment, one empty device per
+  // partition. `devices.size()` fixes the partition count for the life of
+  // the deployment (it is implied by the set of volume sequences mounted,
+  // not stored anywhere).
+  static Result<std::unique_ptr<PartitionedLogService>> Create(
+      std::vector<std::unique_ptr<WormDevice>> devices, TimeSource* clock,
+      const PartitionedServiceOptions& options);
+
+  // Re-opens after a crash/restart: `devices[p]` holds partition p's volume
+  // chain in order. Recovers each partition independently (appending one
+  // RecoveryReport per partition to `reports` if non-null), verifies the
+  // recovered sequence ids are pairwise distinct (catching a mis-mounted
+  // chain), and rebuilds the router from the partitions' catalogs.
+  static Result<std::unique_ptr<PartitionedLogService>> Recover(
+      std::vector<std::vector<std::unique_ptr<WormDevice>>> devices,
+      TimeSource* clock, const PartitionedServiceOptions& options,
+      std::vector<RecoveryReport>* reports);
+
+  PartitionedLogService(const PartitionedLogService&) = delete;
+  PartitionedLogService& operator=(const PartitionedLogService&) = delete;
+
+  uint32_t partition_count() const {
+    return static_cast<uint32_t>(partitions_.size());
+  }
+  LogService* partition(uint32_t i) { return partitions_[i].get(); }
+  PartitionRouter& router() { return *router_; }
+  const PartitionRouter& router() const { return *router_; }
+  TimeSource* clock() { return clock_; }
+
+  // Creates a log file on `placement` (explicit) or its hash partition,
+  // mirroring any not-yet-present ancestors onto that partition first.
+  // Returns the home partition chosen. Intermediate components must
+  // already exist somewhere in the deployment, matching LogService.
+  Result<uint32_t> CreateLogFile(std::string_view path,
+                                 uint32_t permissions = 0644,
+                                 std::optional<uint32_t> placement
+                                 = std::nullopt);
+
+  // Routes to the owning partition and appends under that partition's
+  // exclusive lock only — appends to other partitions proceed in parallel.
+  Result<AppendResult> Append(std::string_view path,
+                              std::span<const std::byte> payload,
+                              const WriteOptions& options = {});
+
+  // Forces every partition (in index order, each under its own lock).
+  Status Force();
+
+  Result<LogFileInfo> Stat(std::string_view path) const;
+
+  // The recorded home partition of `path`, nullopt if unknown ("/" has no
+  // home: it exists on every partition).
+  std::optional<uint32_t> RouteOf(std::string_view path) const {
+    return router_->Lookup(path);
+  }
+
+  // Opens a merged reader over every partition where `path` resolves
+  // (its home plus any partitions holding it as a mirrored ancestor).
+  Result<std::unique_ptr<PartitionedLogReader>> OpenReader(
+      std::string_view path);
+
+ private:
+  explicit PartitionedLogService(TimeSource* clock) : clock_(clock) {}
+
+  // Mirrors `path`'s proper ancestors onto partition `home` (each with its
+  // own original home id). Caller holds create_mu_.
+  Status MirrorAncestors(std::string_view path, uint32_t home);
+
+  TimeSource* clock_;
+  std::vector<std::unique_ptr<LogService>> partitions_;
+  std::unique_ptr<PartitionRouter> router_;
+  // Serializes CreateLogFile end to end, so two concurrent creates of the
+  // same path cannot race the router and split-brain onto two partitions.
+  // Creates are rare; appends and reads never take this.
+  std::mutex create_mu_;
+};
+
+// Merge-by-timestamp reader over one log file's per-partition readers.
+//
+// Entries of one log file live on one partition, but an INTERIOR log file
+// ("/mail", or "/" itself) spans every partition holding a descendant, so
+// its merged stream interleaves partitions. The shared clock hands out
+// globally unique, monotone timestamps, so merging per-partition streams
+// by (timestamp, partition index) yields one totally ordered stream.
+//
+// The merge is advance-and-undo, exploiting the cursor gap model
+// (cursor.h: after Next() returns E, Prev() returns E again): Next()
+// advances every source, keeps the minimum, and backs the losers up with
+// Prev(); Prev() mirrors with the maximum and Next(). No entries are
+// buffered, so a reader holds no payload memory between calls and
+// interleaved Next/Prev behave exactly like a single-partition reader.
+//
+// Each per-source call runs under that partition's SHARED lock, taken one
+// source at a time (never nested), so a merged read never blocks appends
+// on partitions it is not currently touching.
+class PartitionedLogReader {
+ public:
+  // One per-partition source. `service` is borrowed from the parent
+  // PartitionedLogService; `reader` was opened on it.
+  struct Source {
+    LogService* service;
+    std::unique_ptr<LogReader> reader;
+  };
+
+  explicit PartitionedLogReader(std::vector<Source> sources)
+      : sources_(std::move(sources)) {}
+
+  size_t source_count() const { return sources_.size(); }
+
+  void SeekToStart();
+  void SeekToEnd();
+  Status SeekToTime(Timestamp t, OpStats* stats = nullptr);
+
+  Result<std::optional<LogEntryRecord>> Next(OpStats* stats = nullptr);
+  Result<std::optional<LogEntryRecord>> Prev(OpStats* stats = nullptr);
+
+  // Point lookups probe sources in order and return the first hit; the
+  // shared clock guarantees at most one source can match a timestamp.
+  Result<std::optional<LogEntryRecord>> FindByTimestamp(Timestamp t,
+                                                        OpStats* stats
+                                                        = nullptr);
+  Result<std::optional<LogEntryRecord>> FindByClientId(uint32_t sequence,
+                                                       Timestamp client_time,
+                                                       Timestamp max_skew,
+                                                       OpStats* stats
+                                                       = nullptr);
+
+ private:
+  std::vector<Source> sources_;
+};
+
+}  // namespace clio
+
+#endif  // SRC_PARTITION_PARTITIONED_SERVICE_H_

@@ -38,6 +38,7 @@
 #include "src/device/memory_worm_device.h"
 #include "src/net/net_client.h"
 #include "src/net/net_server.h"
+#include "src/partition/partitioned_service.h"
 #include "tests/test_util.h"
 
 namespace clio {
@@ -230,8 +231,9 @@ class ChaosTest : public ::testing::Test {
 // sequence number — retrying it under a FRESH stamp could double-log if
 // the first attempt was secretly staged, which is exactly what the stamp
 // made safe, so the abandoned payload is simply allowed to be absent.
-void WriterLoop(uint16_t port, int id, const std::atomic<bool>* stop,
-                AckJournal* journal, std::atomic<uint64_t>* failures) {
+void WriterLoop(uint16_t port, std::string path, int id,
+                const std::atomic<bool>* stop, AckJournal* journal,
+                std::atomic<uint64_t>* failures) {
   NetClientOptions options;
   options.retry.max_attempts = 60;
   options.retry.initial_backoff_ms = 1;
@@ -246,7 +248,7 @@ void WriterLoop(uint16_t port, int id, const std::atomic<bool>* stop,
   while (!stop->load()) {
     std::string payload =
         "c" + std::to_string(id) + "-" + std::to_string(seq);
-    auto result = (*client)->Append(kLog, AsBytes(payload), true, true);
+    auto result = (*client)->Append(path, AsBytes(payload), true, true);
     if (result.ok()) {
       journal->Record(payload);
     } else {
@@ -260,7 +262,8 @@ void WriterLoop(uint16_t port, int id, const std::atomic<bool>* stop,
 // A reader tails the log across crashes on a virtualized handle. It only
 // has to keep making progress without wedging or erroring permanently —
 // ordering is audited offline.
-void ReaderLoop(uint16_t port, const std::atomic<bool>* stop,
+void ReaderLoop(uint16_t port, std::string path,
+                const std::atomic<bool>* stop,
                 std::atomic<uint64_t>* entries_read) {
   NetClientOptions options;
   options.retry.max_attempts = 60;
@@ -271,7 +274,7 @@ void ReaderLoop(uint16_t port, const std::atomic<bool>* stop,
     ADD_FAILURE() << "reader never connected: " << client.status().message();
     return;
   }
-  auto handle = (*client)->OpenReader(kLog);
+  auto handle = (*client)->OpenReader(path);
   if (!handle.ok()) {
     ADD_FAILURE() << "reader never opened: " << handle.status().message();
     return;
@@ -297,10 +300,11 @@ TEST_F(ChaosTest, CrashRestartLoopKeepsAckedAppendsExactlyOnce) {
   AckJournal journal;
   std::vector<std::thread> threads;
   for (int id = 0; id < kWriters; ++id) {
-    threads.emplace_back(WriterLoop, port_, id, &stop, &journal,
-                         &append_failures);
+    threads.emplace_back(WriterLoop, port_, std::string(kLog), id, &stop,
+                         &journal, &append_failures);
   }
-  threads.emplace_back(ReaderLoop, port_, &stop, &entries_read);
+  threads.emplace_back(ReaderLoop, port_, std::string(kLog), &stop,
+                       &entries_read);
 
   uint64_t revives = 0;
   for (int iteration = 0; iteration < kIterations; ++iteration) {
@@ -349,6 +353,245 @@ TEST_F(ChaosTest, CrashRestartLoopKeepsAckedAppendsExactlyOnce) {
   EXPECT_GE(revives, 1u);
   // Failures are legal (an outage can outlast a retry budget) but should
   // be the exception, not the rule.
+  EXPECT_LT(append_failures.load(), acked.size());
+}
+
+// -- Partitioned deployment under the same chaos discipline. --
+//
+// N volume sequences behind one server (src/partition/), each append lane
+// with its own supervisor-owned dedup index. Every iteration ONE rotating
+// partition runs under a fault policy while the others run clean media, so
+// a dark or flaky partition never stops the survivors from acking — the
+// writers pinned to healthy partitions keep succeeding while the faulty
+// partition's writers ride their retry machinery. The kill then takes the
+// whole incarnation (all lanes, mid-batch), and the offline audit recovers
+// the partitioned service from the bare media: router rebuilt from the
+// catalogs, every partition's volume verified clean, and every acked
+// append present exactly once on its home partition.
+
+constexpr uint32_t kChaosPartitions = 2;
+
+class PartitionedChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MemoryWormOptions dev_options;
+    dev_options.block_size = 1024;
+    dev_options.capacity_blocks = 32768;
+    for (uint32_t p = 0; p < kChaosPartitions; ++p) {
+      media_.push_back(std::make_unique<MemoryWormDevice>(dev_options));
+      dedup_.push_back(std::make_unique<AppendDedupIndex>());
+    }
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+    }
+  }
+
+  static std::string PartitionLog(uint32_t p) {
+    return "/part" + std::to_string(p);
+  }
+
+  PartitionedServiceOptions ServiceOptions() {
+    PartitionedServiceOptions options;
+    options.base.sequence_id = 0xC4A1;
+    return options;
+  }
+
+  // Brings up one incarnation with `policy` injected on partition
+  // `faulty` only; the other partitions get clean pass-through injectors.
+  void StartGeneration(const FaultPolicy& policy, uint32_t faulty,
+                       uint64_t seed) {
+    injectors_.assign(kChaosPartitions, nullptr);
+    auto injector_for = [&](uint32_t p) {
+      auto injector = std::make_unique<FaultInjectingWormDevice>(
+          std::make_unique<testing::BorrowedDevice>(media_[p].get()),
+          p == faulty ? policy : FaultPolicy{}, seed + p);
+      injectors_[p] = injector.get();
+      return injector;
+    };
+    if (!created_) {
+      std::vector<std::unique_ptr<WormDevice>> devices;
+      for (uint32_t p = 0; p < kChaosPartitions; ++p) {
+        devices.push_back(injector_for(p));
+      }
+      auto service = PartitionedLogService::Create(std::move(devices),
+                                                   &clock_, ServiceOptions());
+      ASSERT_OK(service.status());
+      service_ = std::move(service).value();
+      for (uint32_t p = 0; p < kChaosPartitions; ++p) {
+        ASSERT_OK(service_->CreateLogFile(PartitionLog(p), 0644, p).status());
+      }
+      created_ = true;
+    } else {
+      std::vector<std::vector<std::unique_ptr<WormDevice>>> chains;
+      for (uint32_t p = 0; p < kChaosPartitions; ++p) {
+        std::vector<std::unique_ptr<WormDevice>> chain;
+        chain.push_back(injector_for(p));
+        chains.push_back(std::move(chain));
+      }
+      auto service = PartitionedLogService::Recover(
+          std::move(chains), &clock_, ServiceOptions(), nullptr);
+      ASSERT_OK(service.status());
+      service_ = std::move(service).value();
+    }
+    NetLogServerOptions options;
+    options.port = port_;
+    for (auto& dedup : dedup_) {
+      options.partition_dedup.push_back(dedup.get());
+    }
+    options.batch.max_hold_us = 200;
+    auto server = NetLogServer::StartPartitioned(service_.get(), options);
+    ASSERT_OK(server.status());
+    server_ = std::move(server).value();
+    port_ = server_->port();
+  }
+
+  void KillServer() {
+    server_->Stop();
+    server_.reset();
+    service_.reset();
+    injectors_.assign(kChaosPartitions, nullptr);
+    for (auto& dedup : dedup_) {
+      dedup->DropNonDurable();
+    }
+  }
+
+  // Offline audit over the bare media: recover the whole deployment,
+  // verify every partition's volume, and scan each partition's log file
+  // against the acked journal and the routing invariant (writer w's
+  // payloads live on partition w % kChaosPartitions and nowhere else).
+  void AuditMedia(const std::vector<std::string>& acked, int iteration) {
+    SCOPED_TRACE("audit after iteration " + std::to_string(iteration));
+    std::vector<std::vector<std::unique_ptr<WormDevice>>> chains;
+    for (auto& media : media_) {
+      std::vector<std::unique_ptr<WormDevice>> chain;
+      chain.push_back(std::make_unique<testing::BorrowedDevice>(media.get()));
+      chains.push_back(std::move(chain));
+    }
+    auto service = PartitionedLogService::Recover(std::move(chains), &clock_,
+                                                  ServiceOptions(), nullptr);
+    ASSERT_OK(service.status());
+
+    std::map<std::string, int> multiplicity;
+    std::vector<int64_t> last_seq(kWriters, -1);
+    for (uint32_t p = 0; p < kChaosPartitions; ++p) {
+      ASSERT_OK_AND_ASSIGN(
+          VerifyReport verify,
+          VerifyVolume((*service)->partition(p)->current_volume()));
+      EXPECT_TRUE(verify.clean())
+          << "partition " << p
+          << " missing_bits=" << verify.missing_bits.size()
+          << " broken_chains=" << verify.broken_chains.size()
+          << " time_regressions=" << verify.time_regressions.size();
+      EXPECT_EQ((*service)->RouteOf(PartitionLog(p)),
+                std::optional<uint32_t>(p));
+
+      ASSERT_OK_AND_ASSIGN(auto reader,
+                           (*service)->OpenReader(PartitionLog(p)));
+      Timestamp previous = 0;
+      for (;;) {
+        ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+        if (!record.has_value()) {
+          break;
+        }
+        std::string payload = ToString(record->payload);
+        ++multiplicity[payload];
+        EXPECT_GE(record->timestamp, previous) << "at " << payload;
+        previous = record->timestamp;
+        ASSERT_EQ(payload[0], 'c');
+        size_t dash = payload.find('-');
+        ASSERT_NE(dash, std::string::npos);
+        int writer = std::stoi(payload.substr(1, dash - 1));
+        int64_t seq = std::stoll(payload.substr(dash + 1));
+        ASSERT_LT(writer, kWriters);
+        EXPECT_EQ(static_cast<uint32_t>(writer) % kChaosPartitions, p)
+            << payload << " on the wrong partition";
+        EXPECT_GT(seq, last_seq[writer])
+            << "writer " << writer << " out of order at " << payload;
+        last_seq[writer] = seq;
+      }
+    }
+    for (const auto& [payload, count] : multiplicity) {
+      EXPECT_EQ(count, 1) << payload << " duplicated";
+    }
+    for (const std::string& payload : acked) {
+      auto it = multiplicity.find(payload);
+      EXPECT_TRUE(it != multiplicity.end()) << "acked " << payload << " lost";
+    }
+  }
+
+  SimulatedClock clock_{1'000'000, /*auto_tick=*/7};
+  // Supervisor state: one dedup index per append lane, outliving every
+  // incarnation (mirrors how StartPartitioned wires partition_dedup).
+  std::vector<std::unique_ptr<AppendDedupIndex>> dedup_;
+  std::vector<std::unique_ptr<MemoryWormDevice>> media_;
+  std::unique_ptr<PartitionedLogService> service_;
+  std::unique_ptr<NetLogServer> server_;
+  std::vector<FaultInjectingWormDevice*> injectors_;
+  uint16_t port_ = 0;
+  bool created_ = false;
+};
+
+TEST_F(PartitionedChaosTest, RotatingPartitionFaultsKeepAcksExactlyOnce) {
+  StartGeneration(CleanPolicy(), /*faulty=*/0, kSeedBase);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> append_failures{0};
+  std::atomic<uint64_t> entries_read{0};
+  AckJournal journal;
+  std::vector<std::thread> threads;
+  // Writer w is pinned to partition w % kChaosPartitions, so every
+  // iteration has writers on both the faulty partition and the survivors.
+  for (int id = 0; id < kWriters; ++id) {
+    threads.emplace_back(WriterLoop, port_,
+                         PartitionLog(id % kChaosPartitions), id, &stop,
+                         &journal, &append_failures);
+  }
+  threads.emplace_back(ReaderLoop, port_, PartitionLog(0), &stop,
+                       &entries_read);
+
+  uint64_t revives = 0;
+  for (int iteration = 0; iteration < kIterations; ++iteration) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(40);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (FaultInjectingWormDevice* injector : injectors_) {
+        if (injector != nullptr && injector->powered_off()) {
+          injector->Revive();
+          ++revives;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+
+    KillServer();
+    AuditMedia(journal.Snapshot(), iteration);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+
+    const int mode = (iteration + 1) % 3;
+    StartGeneration(mode == 1   ? FlakyMediaPolicy()
+                    : mode == 2 ? PowerCutPolicy()
+                                : CleanPolicy(),
+                    /*faulty=*/(iteration + 1) % kChaosPartitions,
+                    kSeedBase + 0x1000 + iteration + 1);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  }
+
+  stop.store(true);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  KillServer();
+  std::vector<std::string> acked = journal.Snapshot();
+  AuditMedia(acked, kIterations);
+
+  EXPECT_GT(acked.size(), 100u);
+  EXPECT_GT(entries_read.load(), 0u);
+  EXPECT_GE(revives, 1u);
   EXPECT_LT(append_failures.load(), acked.size());
 }
 

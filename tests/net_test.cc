@@ -783,6 +783,41 @@ TEST(AppendDedup, WindowPrunesOldestCompletions) {
   EXPECT_FALSE(index.Begin(1, 1).has_value());
 }
 
+TEST(AppendDedup, AgeEvictsDurableStampsOnly) {
+  AppendDedupOptions options;
+  options.max_stamp_age_us = 1000;
+  AppendDedupIndex index(options);
+  AppendResult result;
+  result.timestamp = 42;
+  ASSERT_FALSE(index.Begin(1, 1).has_value());
+  index.CompleteSuccess(1, 1, result);  // durable: age-evictable
+  ASSERT_FALSE(index.Begin(1, 2).has_value());
+  index.CompleteStaged(1, 2, result);  // staged: never age-evicted
+
+  // Within the window both stamps replay.
+  ASSERT_TRUE(index.Begin(1, 1).has_value());
+  ASSERT_TRUE(index.Begin(1, 2).has_value());
+
+  // Past the window, the durable stamp is gone — its retry re-executes —
+  // but the staged one (undelivered durability, retry still live) remains.
+  index.PruneExpired(AppendDedupIndex::NowUs() + options.max_stamp_age_us +
+                     1);
+  EXPECT_FALSE(index.Begin(1, 1).has_value());
+  auto staged = index.Begin(1, 2);
+  ASSERT_TRUE(staged.has_value());
+  EXPECT_FALSE(staged->durable);
+}
+
+TEST(AppendDedup, AgeZeroDisablesExpiry) {
+  AppendDedupIndex index;  // default: max_stamp_age_us = 0
+  AppendResult result;
+  result.timestamp = 7;
+  ASSERT_FALSE(index.Begin(1, 1).has_value());
+  index.CompleteSuccess(1, 1, result);
+  index.PruneExpired(AppendDedupIndex::NowUs() + 3'600'000'000ull);
+  EXPECT_TRUE(index.Begin(1, 1).has_value());
+}
+
 TEST(AppendDedup, ConcurrentDuplicateWaitsForTheOriginal) {
   AppendDedupIndex index;
   ASSERT_FALSE(index.Begin(3, 9).has_value());  // original in flight
