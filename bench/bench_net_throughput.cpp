@@ -82,6 +82,7 @@ struct CellResult {
   double p50_us = 0;
   double p99_us = 0;
   double mean_batch = 0;  // entries per force (1.0 when batching is off)
+  uint64_t scrub_passes = 0;  // completed online scrub passes (scrub cells)
 };
 
 double Percentile(std::vector<double>* samples, double p) {
@@ -93,7 +94,8 @@ double Percentile(std::vector<double>* samples, double p) {
   return (*samples)[index];
 }
 
-CellResult RunCell(int clients, bool batching, uint64_t hold_us) {
+CellResult RunCell(int clients, bool batching, uint64_t hold_us,
+                   bool scrub = false) {
   const int kAppendsPerClient = AppendsPerClient();
   SimulatedClock clock(1'000'000, /*auto_tick=*/11);
   MemoryWormOptions dev;
@@ -114,6 +116,12 @@ CellResult RunCell(int clients, bool batching, uint64_t hold_us) {
   // Commit as soon as every connected committer has joined the batch; the
   // hold window is the fallback when some are mid-round-trip.
   server_options.batch.max_batch_entries = static_cast<size_t>(clients);
+  // Scrub cells run the online scrubber at an aggressive cadence so it
+  // actually races the committers during the short measurement window —
+  // the overhead measured here is an upper bound on production settings.
+  server_options.scrub = scrub;
+  server_options.scrub_options.interval_ms = 2;
+  server_options.scrub_options.max_busy_yields = 2;
   auto server = NetLogServer::Start(service.value().get(), server_options);
   BENCH_CHECK_OK(server.status());
 
@@ -162,6 +170,9 @@ CellResult RunCell(int clients, bool batching, uint64_t hold_us) {
         (*server)->batcher()->batches_committed();
   } else {
     result.mean_batch = 1.0;
+  }
+  if (scrub && (*server)->scrubber() != nullptr) {
+    result.scrub_passes = (*server)->scrubber()->passes_completed();
   }
   (*server)->Stop();
   return result;
@@ -353,6 +364,46 @@ int main(int argc, char** argv) {
   std::printf("8-client group-commit speedup over per-append force: %.1fx %s\n",
               speedup, speedup >= 3.0 ? "(>= 3x: PASS)" : "(< 3x)");
   report.AddCounter("c8_summary", "batching_speedup", speedup);
+
+  // -- Scrubber A/B: the 8-committer batched cell with the online
+  // scrubber off vs on. The acceptance gate (CI floors it) is that the
+  // scrubber's shared-lock chunks cost < 5% of append throughput.
+  std::printf("\nOnline scrubber A/B (8 clients, batching hold 1000us)\n");
+  std::printf("%8s  %10s  %10s  %10s  %14s\n", "scrub", "appends/s",
+              "p50 (us)", "p99 (us)", "scrub passes");
+  struct ScrubConfig {
+    const char* name;
+    const char* slug;
+    bool scrub;
+  };
+  const ScrubConfig scrub_configs[] = {{"off", "scrub_off", false},
+                                       {"on", "scrub_on", true}};
+  double scrub_off_thr = 0, scrub_on_thr = 0;
+  uint64_t scrub_passes = 0;
+  for (const ScrubConfig& config : scrub_configs) {
+    CellResult cell = RunCell(8, true, 1000, config.scrub);
+    std::printf("%8s  %10.0f  %10.0f  %10.0f  %14llu\n", config.name,
+                cell.appends_per_sec, cell.p50_us, cell.p99_us,
+                static_cast<unsigned long long>(cell.scrub_passes));
+    size_t n = 8 * static_cast<size_t>(AppendsPerClient());
+    report.AddMean(config.slug, n, cell.appends_per_sec > 0
+                                       ? 1e6 / cell.appends_per_sec
+                                       : 0.0);
+    report.AddPercentiles(config.slug, cell.p50_us, cell.p99_us);
+    report.AddCounter(config.slug, "appends_per_sec", cell.appends_per_sec);
+    if (config.scrub) {
+      scrub_on_thr = cell.appends_per_sec;
+      scrub_passes = cell.scrub_passes;
+    } else {
+      scrub_off_thr = cell.appends_per_sec;
+    }
+  }
+  double scrub_ratio = scrub_off_thr > 0 ? scrub_on_thr / scrub_off_thr : 0;
+  std::printf("scrub-on throughput vs off: %.3fx %s\n", scrub_ratio,
+              scrub_ratio >= 0.95 ? "(>= 0.95x: PASS)" : "(< 0.95x)");
+  report.AddCounter("scrub_summary", "throughput_ratio", scrub_ratio);
+  report.AddCounter("scrub_summary", "scrub_passes",
+                    static_cast<double>(scrub_passes));
 
   // -- Partition sweep: same committers, more write heads. --
   std::vector<uint32_t> partition_counts;

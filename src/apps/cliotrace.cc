@@ -10,6 +10,9 @@
 //   cliotrace --port 9000 --min-total-us 5000 # only requests >= 5ms
 //   cliotrace --port 9000 --json trace.json   # export for chrome://tracing
 //   cliotrace --port 9000 --stats             # metrics incl. per-partition
+//   cliotrace --port 9000 --verify /adm/audit --timestamp 42
+//                                             # prove one entry against the
+//                                             # volume hash chain
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +41,13 @@ void Usage(const char* argv0) {
                "with a\n"
                "                      per-partition append-lane breakdown "
                "on a\n"
-               "                      partitioned server\n",
+               "                      partitioned server\n"
+               "  --verify PATH       fetch an inclusion proof for PATH's "
+               "entry at\n"
+               "                      --timestamp and check it against the "
+               "volume\n"
+               "                      hash chain (DESIGN.md section 15)\n"
+               "  --timestamp T       the entry to prove (with --verify)\n",
                argv0);
 }
 
@@ -54,6 +63,16 @@ void PrintStats(const clio::StatsSnapshot& stats) {
               stats.counter("clio.net.batch.appends"),
               stats.counter("clio.net.batch.batches"),
               stats.counter("clio.net.dedup.replays"));
+  std::printf("  scrub: passes %" PRIu64 "  blocks %" PRIu64
+              "  corrupt %" PRIu64 "  chain mismatches %" PRIu64
+              "  quarantined %" PRIu64 "  degraded %s\n",
+              stats.counter("clio.scrub.passes"),
+              stats.counter("clio.scrub.blocks_scanned"),
+              stats.counter("clio.scrub.corrupt_blocks"),
+              stats.counter("clio.scrub.chain_mismatches"),
+              stats.counter("clio.scrub.quarantined_blocks"),
+              stats.counter("clio.scrub.quarantined_blocks") > 0 ? "yes"
+                                                                 : "no");
 
   // Discover partitions from the suffixed batch counters.
   std::map<uint32_t, uint64_t> partitions;
@@ -96,6 +115,9 @@ int main(int argc, char** argv) {
   size_t top = 10;
   const char* json_path = nullptr;
   bool show_stats = false;
+  const char* verify_path = nullptr;
+  clio::Timestamp verify_t = 0;
+  bool have_timestamp = false;
   for (int i = 1; i < argc; ++i) {
     auto want_value = [&](const char* flag) -> const char* {
       if (std::strcmp(argv[i], flag) != 0) {
@@ -119,6 +141,11 @@ int main(int argc, char** argv) {
       max_spans = static_cast<uint32_t>(std::strtoul(v4, nullptr, 10));
     } else if (const char* v5 = want_value("--json")) {
       json_path = v5;
+    } else if (const char* v6 = want_value("--verify")) {
+      verify_path = v6;
+    } else if (const char* v7 = want_value("--timestamp")) {
+      verify_t = static_cast<clio::Timestamp>(std::strtoll(v7, nullptr, 10));
+      have_timestamp = true;
     } else {
       Usage(argv[0]);
       return 2;
@@ -134,6 +161,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "connect failed: %s\n",
                  client.status().message().c_str());
     return 1;
+  }
+
+  if (verify_path != nullptr) {
+    if (!have_timestamp) {
+      std::fprintf(stderr, "--verify needs --timestamp\n");
+      return 2;
+    }
+    auto proof = (*client)->FetchChainProof(verify_path, verify_t);
+    if (!proof.ok()) {
+      std::fprintf(stderr, "proof fetch failed: %s\n",
+                   proof.status().message().c_str());
+      return 1;
+    }
+    std::printf("proof for %s @ %" PRId64 ": volume %u block %" PRIu64
+                " entry %u, %zu record hashes, %zu chain links to head "
+                "block %" PRIu64 "\n",
+                verify_path, static_cast<int64_t>(verify_t),
+                proof->volume_index, proof->block, proof->entry_index,
+                proof->record_hashes.size(), proof->links.size(),
+                proof->head_block);
+    auto entry = proof->Verify();
+    if (!entry.ok()) {
+      std::printf("VERIFY FAILED: %s\n", entry.status().message().c_str());
+      return 1;
+    }
+    std::printf("VERIFY OK: %zu-byte entry is committed by the volume "
+                "chain head tag %016" PRIx64 "\n",
+                entry->payload.size(), proof->head_tag);
+    return 0;
   }
 
   if (show_stats) {

@@ -30,13 +30,15 @@ bool IsAllOnes(std::span<const std::byte> block) {
 
 }  // namespace
 
-BlockBuilder::BlockBuilder(uint32_t block_size) : block_size_(block_size) {
+BlockBuilder::BlockBuilder(uint32_t block_size,
+                           std::optional<uint64_t> chain_tag)
+    : block_size_(block_size), chain_tag_(chain_tag) {
   assert(block_size >= kMinBlockSize);
   data_.reserve(block_size);
 }
 
 uint32_t BlockBuilder::FreeBytes() const {
-  uint32_t fixed = kBlockFooterSize +
+  uint32_t fixed = footer_size() +
                    kSizeSlotBytes * static_cast<uint32_t>(sizes_.size());
   uint32_t used = static_cast<uint32_t>(data_.size());
   if (used + fixed >= block_size_) {
@@ -88,23 +90,87 @@ void BlockBuilder::AddEntry(HeaderVersion v, LogFileId id,
 }
 
 Bytes BlockBuilder::Finish() const {
+  const uint32_t footer = footer_size();
   Bytes block(block_size_, std::byte{0});
   std::copy(data_.begin(), data_.end(), block.begin());
   std::span<std::byte> b(block);
   // Size index: slot for entry i sits at block_size - footer - 2*(i+1),
   // i.e. s_1 nearest the footer (paper Fig. 1 shows s_k ... s_2 s_1).
   for (size_t i = 0; i < sizes_.size(); ++i) {
-    StoreU16(b, block_size_ - kBlockFooterSize - kSizeSlotBytes * (i + 1),
-             sizes_[i]);
+    StoreU16(b, block_size_ - footer - kSizeSlotBytes * (i + 1), sizes_[i]);
   }
-  StoreU16(b, block_size_ - 12, static_cast<uint16_t>(sizes_.size()));
-  StoreU16(b, block_size_ - 10, flags_);
-  StoreU16(b, block_size_ - 8, static_cast<uint16_t>(data_.size()));
-  StoreU16(b, block_size_ - 6, kBlockMagic);
+  StoreU16(b, block_size_ - footer, static_cast<uint16_t>(sizes_.size()));
+  StoreU16(b, block_size_ - footer + 2, flags_);
+  StoreU16(b, block_size_ - footer + 4, static_cast<uint16_t>(data_.size()));
+  if (chain_tag_.has_value()) {
+    StoreU64(b, block_size_ - 14, *chain_tag_);
+  }
+  StoreU16(b, block_size_ - 6, chain_tag_ ? kBlockMagicV2 : kBlockMagic);
   uint32_t crc = Crc32c(std::span<const std::byte>(block.data(),
                                                    block_size_ - 4));
   StoreU32(b, block_size_ - 4, crc);
   return block;
+}
+
+Result<ParsedEntry> ParseEntryRecord(std::span<const std::byte> record) {
+  const uint32_t record_size = static_cast<uint32_t>(record.size());
+  if (record_size < 2 || record_size > 0xFFFF) {
+    return Corrupt("entry record has impossible size");
+  }
+  uint16_t base = LoadU16(record, 0);
+  ParsedEntry entry;
+  entry.version = static_cast<HeaderVersion>(base & kVersionMask);
+  entry.logfile_id = static_cast<LogFileId>(base >> 4);
+  entry.offset = 0;
+  entry.record_size = record_size;
+  uint32_t header_size = HeaderInlineSize(entry.version);
+  if (entry.version == HeaderVersion::kMulti) {
+    if (record_size < 11) {
+      return Corrupt("multi-membership header truncated");
+    }
+    uint32_t n = static_cast<uint8_t>(record[10]);
+    header_size = HeaderInlineSize(entry.version, n);
+    if (record_size < header_size) {
+      return Corrupt("multi-membership id list truncated");
+    }
+    entry.timestamp = LoadI64(record, 2);
+    entry.extra_ids.reserve(n);
+    for (uint32_t e = 0; e < n; ++e) {
+      entry.extra_ids.push_back(LoadU16(record, 11 + 2 * e));
+    }
+  }
+  switch (entry.version) {
+    case HeaderVersion::kCompact:
+    case HeaderVersion::kMulti:  // decoded above (variable-length header)
+      break;
+    case HeaderVersion::kFragment:
+      if (record_size < 10) {
+        return Corrupt("fragment header truncated");
+      }
+      entry.timestamp = LoadI64(record, 2);
+      break;
+    case HeaderVersion::kComplete:
+      if (record_size < 14) {
+        return Corrupt("complete header truncated");
+      }
+      entry.timestamp = LoadI64(record, 2);
+      entry.client_sequence = LoadU32(record, 10);
+      break;
+    case HeaderVersion::kTimestamped:
+      if (record_size < 10) {
+        return Corrupt("timestamped header truncated");
+      }
+      entry.timestamp = LoadI64(record, 2);
+      break;
+    default:
+      return Corrupt("unknown header version " +
+                     std::to_string(static_cast<int>(entry.version)));
+  }
+  if (record_size < header_size) {
+    return Corrupt("record smaller than its header");
+  }
+  entry.payload = record.subspan(header_size);
+  return entry;
 }
 
 Result<ParsedBlock> ParsedBlock::Parse(std::shared_ptr<const Bytes> block) {
@@ -116,9 +182,12 @@ Result<ParsedBlock> ParsedBlock::Parse(std::shared_ptr<const Bytes> block) {
   if (IsAllOnes(b)) {
     return Invalidated("block burned to all 1s");
   }
-  if (LoadU16(b, bs - 6) != kBlockMagic) {
+  const uint16_t magic = LoadU16(b, bs - 6);
+  if (magic != kBlockMagic && magic != kBlockMagicV2) {
     return Corrupt("bad block magic");
   }
+  const bool chained = magic == kBlockMagicV2;
+  const uint32_t footer = BlockFooterBytes(chained);
   uint32_t stored_crc = LoadU32(b, bs - 4);
   uint32_t computed = Crc32c(b.first(bs - 4));
   if (stored_crc != computed) {
@@ -127,76 +196,29 @@ Result<ParsedBlock> ParsedBlock::Parse(std::shared_ptr<const Bytes> block) {
 
   ParsedBlock parsed;
   parsed.image_ = std::move(block);
-  uint32_t count = LoadU16(b, bs - 12);
-  parsed.flags_ = LoadU16(b, bs - 10);
-  uint32_t used = LoadU16(b, bs - 8);
+  uint32_t count = LoadU16(b, bs - footer);
+  parsed.flags_ = LoadU16(b, bs - footer + 2);
+  uint32_t used = LoadU16(b, bs - footer + 4);
+  parsed.used_ = static_cast<uint16_t>(used);
+  if (chained) {
+    parsed.chain_tag_ = LoadU64(b, bs - 14);
+  }
   uint32_t index_bytes = kSizeSlotBytes * count;
-  if (used + index_bytes + kBlockFooterSize > bs) {
+  if (used + index_bytes + footer > bs) {
     return Corrupt("block framing exceeds block size");
   }
 
   parsed.entries_.reserve(count);
   uint32_t off = 0;
   for (uint32_t i = 0; i < count; ++i) {
-    uint16_t record_size =
-        LoadU16(b, bs - kBlockFooterSize - kSizeSlotBytes * (i + 1));
+    uint16_t record_size = LoadU16(b, bs - footer - kSizeSlotBytes * (i + 1));
     if (record_size < 2 || off + record_size > used) {
       return Corrupt("entry " + std::to_string(i) + " overruns block");
     }
-    uint16_t base = LoadU16(b, off);
-    ParsedEntry entry;
-    entry.version = static_cast<HeaderVersion>(base & kVersionMask);
-    entry.logfile_id = static_cast<LogFileId>(base >> 4);
+    CLIO_ASSIGN_OR_RETURN(ParsedEntry entry,
+                          ParseEntryRecord(b.subspan(off, record_size)));
     entry.offset = off;
-    entry.record_size = record_size;
-    uint32_t header_size = HeaderInlineSize(entry.version);
-    if (entry.version == HeaderVersion::kMulti) {
-      if (record_size < 11) {
-        return Corrupt("multi-membership header truncated");
-      }
-      uint32_t n = static_cast<uint8_t>(b[off + 11 - 1]);
-      header_size = HeaderInlineSize(entry.version, n);
-      if (record_size < header_size) {
-        return Corrupt("multi-membership id list truncated");
-      }
-      entry.timestamp = LoadI64(b, off + 2);
-      entry.extra_ids.reserve(n);
-      for (uint32_t e = 0; e < n; ++e) {
-        entry.extra_ids.push_back(LoadU16(b, off + 11 + 2 * e));
-      }
-    }
-    switch (entry.version) {
-      case HeaderVersion::kCompact:
-      case HeaderVersion::kMulti:  // decoded above (variable-length header)
-        break;
-      case HeaderVersion::kFragment:
-        if (record_size < 10) {
-          return Corrupt("fragment header truncated");
-        }
-        entry.timestamp = LoadI64(b, off + 2);
-        break;
-      case HeaderVersion::kComplete:
-        if (record_size < 14) {
-          return Corrupt("complete header truncated");
-        }
-        entry.timestamp = LoadI64(b, off + 2);
-        entry.client_sequence = LoadU32(b, off + 10);
-        break;
-      case HeaderVersion::kTimestamped:
-        if (record_size < 10) {
-          return Corrupt("timestamped header truncated");
-        }
-        entry.timestamp = LoadI64(b, off + 2);
-        break;
-      default:
-        return Corrupt("unknown header version " +
-                       std::to_string(static_cast<int>(entry.version)));
-    }
-    if (record_size < header_size) {
-      return Corrupt("record smaller than its header");
-    }
-    entry.payload = b.subspan(off + header_size, record_size - header_size);
-    parsed.entries_.push_back(entry);
+    parsed.entries_.push_back(std::move(entry));
     off += record_size;
   }
   return parsed;

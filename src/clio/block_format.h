@@ -7,10 +7,18 @@
 //   | entry 1 | entry 2 | ... | entry k | pad | s_k ... s_2 s_1 | footer |
 //
 // Each entry is an inline header (2/10/14 bytes depending on version)
-// followed by payload bytes. The 12-byte footer carries the entry count,
-// block flags, the used-byte watermark, a magic, and a CRC32C over the
-// whole block; a block burned to all 1s (an invalidated block, §2.3.2)
-// or one containing garbage fails validation and is skipped by readers.
+// followed by payload bytes. The 12-byte v1 footer carries the entry
+// count, block flags, the used-byte watermark, a magic, and a CRC32C over
+// the whole block; a block burned to all 1s (an invalidated block,
+// §2.3.2) or one containing garbage fails validation and is skipped by
+// readers.
+//
+// The 20-byte v2 footer (magic kBlockMagicV2) additionally carries an
+// 8-byte CHAIN TAG: the SHA-256-derived accumulator over every valid
+// block burned before this one, seeded from the volume header
+// (src/clio/chain.h, DESIGN.md §15). Magic and CRC sit at the same
+// offsets from the end in both versions, so Parse dispatches on the magic
+// value and v1 volumes stay readable.
 #ifndef SRC_CLIO_BLOCK_FORMAT_H_
 #define SRC_CLIO_BLOCK_FORMAT_H_
 
@@ -31,9 +39,16 @@ constexpr uint16_t kFlagFirstEntryIsFragment = 1u << 1;
 constexpr uint16_t kFlagEntrymapContinues = 1u << 2;   // home-block overflow
 constexpr uint16_t kFlagVolumeSealed = 1u << 3;        // last block of volume
 
-constexpr uint32_t kBlockFooterSize = 12;
+constexpr uint32_t kBlockFooterSize = 12;    // v1
+constexpr uint32_t kBlockFooterSizeV2 = 20;  // v1 + 8-byte chain tag
 constexpr uint32_t kSizeSlotBytes = 2;
-constexpr uint16_t kBlockMagic = 0xC110;
+constexpr uint16_t kBlockMagic = 0xC110;    // v1: unchained footer
+constexpr uint16_t kBlockMagicV2 = 0xC111;  // v2: chained footer
+
+// Footer bytes a block of the given flavour spends.
+constexpr uint32_t BlockFooterBytes(bool chained) {
+  return chained ? kBlockFooterSizeV2 : kBlockFooterSize;
+}
 
 // Minimum block size that leaves room for a footer, one size slot and one
 // timestamped entry with a byte of payload.
@@ -44,12 +59,21 @@ constexpr uint32_t kMinBlockSize = 64;
 // block to NVRAM on a forced write and keep appending afterwards (§2.3.1).
 class BlockBuilder {
  public:
-  explicit BlockBuilder(uint32_t block_size);
+  // When `chain_tag` is present the block gets a v2 footer carrying it;
+  // the tag is fixed at construction because BurnBuilder snapshots one
+  // Finish() image and retries IT across bad blocks — a retried burn must
+  // not change the bytes it is retrying.
+  explicit BlockBuilder(uint32_t block_size,
+                        std::optional<uint64_t> chain_tag = std::nullopt);
 
   uint32_t block_size() const { return block_size_; }
   uint32_t entry_count() const { return static_cast<uint32_t>(sizes_.size()); }
   bool empty() const { return sizes_.empty(); }
   uint16_t flags() const { return flags_; }
+  std::optional<uint64_t> chain_tag() const { return chain_tag_; }
+  uint32_t footer_size() const {
+    return BlockFooterBytes(chain_tag_.has_value());
+  }
 
   // Bytes still unclaimed by entries, their size slots, and the footer;
   // this is what burns as internal padding if the block is forced early.
@@ -77,6 +101,7 @@ class BlockBuilder {
   uint32_t FreeBytes() const;
 
   uint32_t block_size_;
+  std::optional<uint64_t> chain_tag_;  // presence selects the v2 footer
   Bytes data_;                  // packed entries, grows forward
   std::vector<uint16_t> sizes_;  // record sizes in append order
   uint16_t flags_ = 0;
@@ -95,6 +120,13 @@ struct ParsedEntry {
 
   bool is_fragment() const { return version == HeaderVersion::kFragment; }
 };
+
+// Decodes ONE entry record from its raw bytes (header + payload, exactly
+// as packed into a block). Shared by ParsedBlock::Parse and client-side
+// inclusion-proof verification (src/clio/chain.h), which receives record
+// bytes over the wire without the surrounding block. `offset` in the
+// result is 0; `payload` points into `record`.
+Result<ParsedEntry> ParseEntryRecord(std::span<const std::byte> record);
 
 // A validated, decoded block. Owns (shares) the underlying block image so
 // payload spans stay valid.
@@ -118,6 +150,12 @@ class ParsedBlock {
   }
   bool volume_sealed() const { return (flags_ & kFlagVolumeSealed) != 0; }
 
+  // The v2 footer's accumulated chain tag over all valid predecessor
+  // blocks; nullopt for v1 (unchained) blocks.
+  std::optional<uint64_t> chain_tag() const { return chain_tag_; }
+  uint16_t used_bytes() const { return used_; }
+  const Bytes& image() const { return *image_; }
+
   // Timestamp of the block's first entry. The writer guarantees the first
   // entry of every block is timestamped (§2.1), so this is present for any
   // block it produced; defensive None otherwise.
@@ -127,6 +165,8 @@ class ParsedBlock {
   std::shared_ptr<const Bytes> image_;
   std::vector<ParsedEntry> entries_;
   uint16_t flags_ = 0;
+  uint16_t used_ = 0;
+  std::optional<uint64_t> chain_tag_;
 };
 
 }  // namespace clio

@@ -28,6 +28,11 @@ Bytes CatalogRecord::Encode() const {
       break;
     case Op::kSeal:
       break;
+    case Op::kQuarantine:
+    case Op::kScrubCursor:
+      w.PutU32(volume_index);
+      w.PutU64(block);
+      break;
   }
   return out;
 }
@@ -58,6 +63,11 @@ Result<CatalogRecord> CatalogRecord::Decode(
       rec.name = r.GetString();
       break;
     case Op::kSeal:
+      break;
+    case Op::kQuarantine:
+    case Op::kScrubCursor:
+      rec.volume_index = r.GetU32();
+      rec.block = r.GetU64();
       break;
     default:
       return Corrupt("unknown catalog op");
@@ -184,6 +194,28 @@ Result<CatalogRecord> Catalog::Seal(LogFileId id) {
   return rec;
 }
 
+Result<CatalogRecord> Catalog::Quarantine(uint32_t volume_index,
+                                          uint64_t block) {
+  CatalogRecord rec;
+  rec.op = CatalogRecord::Op::kQuarantine;
+  rec.subject = kBadBlockLogId;
+  rec.volume_index = volume_index;
+  rec.block = block;
+  CLIO_RETURN_IF_ERROR(Apply(rec));
+  return rec;
+}
+
+Result<CatalogRecord> Catalog::RecordScrubCursor(uint32_t volume_index,
+                                                 uint64_t block) {
+  CatalogRecord rec;
+  rec.op = CatalogRecord::Op::kScrubCursor;
+  rec.subject = kBadBlockLogId;
+  rec.volume_index = volume_index;
+  rec.block = block;
+  CLIO_RETURN_IF_ERROR(Apply(rec));
+  return rec;
+}
+
 Status Catalog::Apply(const CatalogRecord& record) {
   if (record.subject > kMaxLogFileId) {
     return Corrupt("catalog subject id out of range");
@@ -232,6 +264,19 @@ Status Catalog::Apply(const CatalogRecord& record) {
         return Corrupt("catalog seal of unknown log file");
       }
       table_[record.subject]->sealed = true;
+      return Status::Ok();
+    case CatalogRecord::Op::kQuarantine: {
+      std::pair<uint32_t, uint64_t> key{record.volume_index, record.block};
+      if (quarantined_.count(key) == 0 &&
+          quarantined_.size() >= kMaxQuarantinedBlocks) {
+        ++quarantine_dropped_;  // set is bounded; the record stays on media
+        return Status::Ok();
+      }
+      quarantined_.insert(key);
+      return Status::Ok();
+    }
+    case CatalogRecord::Op::kScrubCursor:
+      scrub_cursor_ = {record.volume_index, record.block};
       return Status::Ok();
   }
   return Corrupt("unknown catalog op");
@@ -360,6 +405,24 @@ std::vector<CatalogRecord> Catalog::ExportRecords() const {
       seal.subject = slot->id;
       records.push_back(std::move(seal));
     }
+  }
+  // Scrubber state rides along so a successor volume (and a restart that
+  // replays it) keeps the quarantine verdicts and resumes the scan.
+  for (const auto& [volume_index, block] : quarantined_) {
+    CatalogRecord rec;
+    rec.op = CatalogRecord::Op::kQuarantine;
+    rec.subject = kBadBlockLogId;
+    rec.volume_index = volume_index;
+    rec.block = block;
+    records.push_back(std::move(rec));
+  }
+  if (scrub_cursor_.has_value()) {
+    CatalogRecord rec;
+    rec.op = CatalogRecord::Op::kScrubCursor;
+    rec.subject = kBadBlockLogId;
+    rec.volume_index = scrub_cursor_->first;
+    rec.block = scrub_cursor_->second;
+    records.push_back(std::move(rec));
   }
   return records;
 }

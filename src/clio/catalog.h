@@ -16,14 +16,22 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/clio/types.h"
 #include "src/util/status.h"
 
 namespace clio {
+
+// The quarantine set is bounded: a device rotting faster than this is
+// beyond salvaging block by block, and an unbounded set would let a
+// corrupt catalog log exhaust server memory. Overflow drops the oldest
+// information (the records stay on media; only the cache is bounded).
+constexpr size_t kMaxQuarantinedBlocks = 4096;
 
 // One record in the catalog log file.
 struct CatalogRecord {
@@ -32,6 +40,12 @@ struct CatalogRecord {
     kSetPermissions = 2,
     kRename = 3,
     kSeal = 4,
+    // Scrubber state (DESIGN.md §15), persisted through the catalog log so
+    // quarantine decisions and scan progress survive restarts. Decoders
+    // that predate these ops reject the record as "unknown catalog op" and
+    // catalog replay skips it — old servers simply run unquarantined.
+    kQuarantine = 5,    // volume_index/block: known-corrupt burned block
+    kScrubCursor = 6,   // volume_index/block: scan resumes here
   };
 
   Op op = Op::kCreate;
@@ -46,6 +60,9 @@ struct CatalogRecord {
   // (src/partition/). Encoded as a trailing field so records burned by
   // older servers (which never wrote it) still decode — absent reads as 0.
   uint32_t home_partition = 0;
+  // kQuarantine / kScrubCursor fields:
+  uint32_t volume_index = 0;
+  uint64_t block = 0;
 
   Bytes Encode() const;
   static Result<CatalogRecord> Decode(std::span<const std::byte> payload);
@@ -66,6 +83,14 @@ class Catalog {
   Result<CatalogRecord> SetPermissions(LogFileId id, uint32_t permissions);
   Result<CatalogRecord> Rename(LogFileId id, std::string_view new_name);
   Result<CatalogRecord> Seal(LogFileId id);
+
+  // Marks a burned block as known-corrupt (scrubber verdict); readers
+  // crossing it fail fast with kCorrupt (LogVolume::GetBlock).
+  Result<CatalogRecord> Quarantine(uint32_t volume_index, uint64_t block);
+  // Records scrub progress so a restarted server resumes scanning at the
+  // cursor instead of block 0.
+  Result<CatalogRecord> RecordScrubCursor(uint32_t volume_index,
+                                          uint64_t block);
 
   // Replays a record read back from the catalog log (recovery, or opening a
   // successor volume). Idempotent for records already applied.
@@ -96,6 +121,24 @@ class Catalog {
   // Every client-visible log file, in id order.
   std::vector<LogFileInfo> All() const;
 
+  // -- Scrubber state. Reads run under the service's SHARED lock; all
+  // mutation goes through Apply under the EXCLUSIVE lock (the same
+  // discipline as the log-file table). --
+
+  bool IsQuarantined(uint32_t volume_index, uint64_t block) const {
+    return !quarantined_.empty() &&
+           quarantined_.count({volume_index, block}) > 0;
+  }
+  const std::set<std::pair<uint32_t, uint64_t>>& quarantined() const {
+    return quarantined_;
+  }
+  // Quarantine records dropped because the bounded set was full.
+  uint64_t quarantine_dropped() const { return quarantine_dropped_; }
+  // Latest persisted scrub position, nullopt if never recorded.
+  std::optional<std::pair<uint32_t, uint64_t>> scrub_cursor() const {
+    return scrub_cursor_;
+  }
+
   // Records that re-create the current state, used to seed the catalog log
   // of a successor volume so each volume is self-describing.
   std::vector<CatalogRecord> ExportRecords() const;
@@ -110,6 +153,9 @@ class Catalog {
   std::vector<std::optional<LogFileInfo>> table_;  // indexed by LogFileId
   std::map<LogFileId, std::map<std::string, LogFileId>> children_;
   uint64_t next_unique_id_ = 1;
+  std::set<std::pair<uint32_t, uint64_t>> quarantined_;
+  uint64_t quarantine_dropped_ = 0;
+  std::optional<std::pair<uint32_t, uint64_t>> scrub_cursor_;
 };
 
 // Path component validation: nonempty, no '/', and clients may not use the

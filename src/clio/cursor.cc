@@ -22,6 +22,21 @@ bool VolumeCursor::Matches(const ParsedEntry& e) const {
   return !e.is_fragment() && volume_->EntryBelongsTo(e, id_);
 }
 
+// Anonymous media garbage is skipped (§2.3.2: readers cannot tell garbage
+// from data, so they tolerate it), but a QUARANTINED block is a recorded
+// verdict — the scrubber proved this block once held real entries and is
+// now rotten. Scans that need it fail fast with the quarantine status
+// instead of silently dropping entries (DESIGN.md §15 degraded mode).
+Status VolumeCursor::TolerateBlockFailure(uint64_t block,
+                                          const Status& failure) const {
+  Catalog* catalog = volume_->catalog();
+  if (catalog != nullptr &&
+      catalog->IsQuarantined(volume_->header().volume_index, block)) {
+    return failure;
+  }
+  return Status::Ok();
+}
+
 bool VolumeCursor::IsOwnFragment(const ParsedEntry& e) const {
   return e.is_fragment() &&
          volume_->catalog()->IsWithin(e.logfile_id, id_);
@@ -91,6 +106,8 @@ Result<std::optional<LogEntryRecord>> VolumeCursor::Next(OpStats* stats) {
       if (index_ == kScanAll) {
         index_ = entries.size();
       }
+    } else {
+      CLIO_RETURN_IF_ERROR(TolerateBlockFailure(block_, parsed.status()));
     }
     CLIO_ASSIGN_OR_RETURN(std::optional<uint64_t> next,
                           volume_->NextBlockWith(id_, block_ + 1, stats));
@@ -143,6 +160,9 @@ Result<std::optional<LogEntryRecord>> VolumeCursor::Prev(OpStats* stats) {
   while (true) {
     if (index_ > 0) {
       auto parsed = volume_->GetBlock(block_, stats);
+      if (!parsed.ok()) {
+        CLIO_RETURN_IF_ERROR(TolerateBlockFailure(block_, parsed.status()));
+      }
       if (parsed.ok()) {
         const auto& entries = parsed.value().entries();
         size_t from = std::min(index_, entries.size());

@@ -55,6 +55,9 @@ class VolumeCursor {
 
   bool Matches(const ParsedEntry& e) const;
   bool IsOwnFragment(const ParsedEntry& e) const;
+  // Ok to skip an unreadable block (anonymous garbage), or the failure
+  // itself when the block is quarantined (degraded mode, DESIGN.md §15).
+  Status TolerateBlockFailure(uint64_t block, const Status& failure) const;
 
   // Base entry whose fragment chain covers fragments seen in `block`.
   Result<std::optional<EntryPosition>> FindFragmentBase(uint64_t block,

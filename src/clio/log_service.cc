@@ -381,6 +381,116 @@ Result<std::unique_ptr<LogReader>> LogService::OpenReaderById(LogFileId id) {
   return std::make_unique<LogReader>(this, id);
 }
 
+Result<ChainProof> LogService::BuildChainProof(std::string_view path,
+                                               Timestamp t) {
+  CLIO_ASSIGN_OR_RETURN(LogFileId id, catalog_.Resolve(path));
+  if (id != kVolumeSeqLogId) {
+    CLIO_RETURN_IF_ERROR(CheckPermission(id, kReadBit));
+  }
+  LogReader reader(this, id);
+  CLIO_ASSIGN_OR_RETURN(auto found, reader.FindByTimestamp(t));
+  if (!found.has_value()) {
+    return NotFound("no entry of " + std::string(path) + " at timestamp " +
+                    std::to_string(t));
+  }
+  const EntryPosition& pos = found->position;
+  CLIO_ASSIGN_OR_RETURN(LogVolume* volume, VolumeForRead(pos.volume_index));
+  if (!volume->header().chained()) {
+    return FailedPrecondition("volume " + std::to_string(pos.volume_index) +
+                              " predates hash chaining (v1 format)");
+  }
+  OpStats stats;
+  CLIO_ASSIGN_OR_RETURN(ParsedBlock proven, volume->GetBlock(pos.block,
+                                                             &stats));
+  if (!proven.chain_tag().has_value()) {
+    return Corrupt("block " + std::to_string(pos.block) +
+                   " carries no chain tag in a chained volume");
+  }
+  if (pos.index_in_block >= proven.entries().size()) {
+    return Internal("entry position past the block's entry count");
+  }
+
+  ChainProof proof;
+  proof.volume_index = pos.volume_index;
+  proof.block = pos.block;
+  proof.entry_index = pos.index_in_block;
+  proof.count = static_cast<uint16_t>(proven.entries().size());
+  proof.flags = proven.flags();
+  proof.used = proven.used_bytes();
+  proof.prev_tag = *proven.chain_tag();
+  std::span<const std::byte> image(proven.image());
+  proof.record_hashes.reserve(proven.entries().size());
+  for (const ParsedEntry& e : proven.entries()) {
+    proof.record_hashes.push_back(
+        ChainRecordHash(image.subspan(e.offset, e.record_size)));
+  }
+  const ParsedEntry& e = proven.entries()[pos.index_in_block];
+  auto record = image.subspan(e.offset, e.record_size);
+  proof.record.assign(record.begin(), record.end());
+
+  // Walk from the proven block to the head, checking stored-tag linkage at
+  // every step. Invalidated blocks never advanced the chain; a corrupt or
+  // quarantined block did (it was valid when burned) but its commit can no
+  // longer be recomputed, so the proof cannot be built across it.
+  uint64_t acc = AdvanceChainTag(proof.prev_tag, ChainBlockCommit(proven));
+  const uint64_t end = volume->end_including_staged();
+  for (uint64_t b = pos.block + 1; b < end; ++b) {
+    auto parsed = volume->GetBlock(b, &stats);
+    if (!parsed.ok()) {
+      if (parsed.status().code() == StatusCode::kInvalidated) {
+        continue;
+      }
+      return Corrupt("cannot build proof across unreadable block " +
+                     std::to_string(b) + ": " +
+                     std::string(parsed.status().message()));
+    }
+    if (!parsed.value().chain_tag().has_value() ||
+        *parsed.value().chain_tag() != acc) {
+      return Corrupt("chain mismatch at block " + std::to_string(b) +
+                     " while building proof");
+    }
+    if (proof.links.size() >= kMaxProofLinks) {
+      return FailedPrecondition("proof from block " +
+                                std::to_string(pos.block) +
+                                " would exceed the link cap");
+    }
+    Sha256Digest commit = ChainBlockCommit(parsed.value());
+    proof.links.push_back(commit);
+    acc = AdvanceChainTag(acc, commit);
+  }
+  proof.head_tag = acc;
+  proof.head_block = end;
+  return proof;
+}
+
+Status LogService::QuarantineBlock(uint32_t volume_index, uint64_t block) {
+  CLIO_SINGLE_MUTATOR_CHECK();
+  if (catalog_.IsQuarantined(volume_index, block)) {
+    return Status::Ok();
+  }
+  CLIO_ASSIGN_OR_RETURN(CatalogRecord record,
+                        catalog_.Quarantine(volume_index, block));
+  // Drop any cached copy so every future read funnels through GetBlock's
+  // quarantine check instead of serving stale cached bytes.
+  cache_->Erase({volume_index, block});
+  WriteOptions opts;
+  opts.timestamped = true;
+  auto appended = current_volume()->writer()->Append(kCatalogLogId,
+                                                     record.Encode(), opts);
+  return appended.ok() ? Status::Ok() : appended.status();
+}
+
+Status LogService::PersistScrubCursor(uint32_t volume_index, uint64_t block) {
+  CLIO_SINGLE_MUTATOR_CHECK();
+  CLIO_ASSIGN_OR_RETURN(CatalogRecord record,
+                        catalog_.RecordScrubCursor(volume_index, block));
+  WriteOptions opts;
+  opts.timestamped = true;
+  auto appended = current_volume()->writer()->Append(kCatalogLogId,
+                                                     record.Encode(), opts);
+  return appended.ok() ? Status::Ok() : appended.status();
+}
+
 SpaceAccounting LogService::TotalSpace() const {
   SpaceAccounting total;
   auto add = [&](const SpaceAccounting& s) {

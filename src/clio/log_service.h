@@ -22,6 +22,7 @@
 
 #include "src/cache/block_cache.h"
 #include "src/clio/catalog.h"
+#include "src/clio/chain.h"
 #include "src/clio/cursor.h"
 #include "src/clio/types.h"
 #include "src/clio/volume.h"
@@ -129,6 +130,34 @@ class LogService {
   // Opens a reader positioned at the start, end, or a point in time.
   Result<std::unique_ptr<LogReader>> OpenReader(std::string_view path);
   Result<std::unique_ptr<LogReader>> OpenReaderById(LogFileId id);
+
+  // -- Integrity (DESIGN.md §15). --
+
+  // Builds a single-entry inclusion proof for the entry of `path` whose
+  // exact persisted timestamp is `t`: the entry's raw record, the record
+  // hashes of its block, and the commit of every later valid block up to
+  // the chain head, checking stored-tag linkage at every step (a forged
+  // block fails the build with kCorrupt rather than producing a proof
+  // that papers over it). SHARED lock. kFailedPrecondition on v1 volumes.
+  Result<ChainProof> BuildChainProof(std::string_view path, Timestamp t);
+
+  // Marks a burned block known-corrupt (the scrubber's verdict): readers
+  // crossing it fail fast with kCorrupt; unaffected log files keep
+  // serving. The verdict is applied to the cached catalog first and then
+  // persisted as a catalog record — if the persist append fails the
+  // in-memory verdict STANDS (the media is already in trouble; the record
+  // is re-exported at the next volume roll) and the error is returned so
+  // the caller can count it. EXCLUSIVE lock.
+  Status QuarantineBlock(uint32_t volume_index, uint64_t block);
+
+  // Persists scrub progress so a restarted server resumes scanning at the
+  // cursor instead of block 0. EXCLUSIVE lock.
+  Status PersistScrubCursor(uint32_t volume_index, uint64_t block);
+
+  // Degraded mode: at least one block is quarantined, i.e. some stored
+  // data is known lost. Reads crossing a quarantined block return
+  // kCorrupt; everything else keeps serving.
+  bool degraded() const { return !catalog_.quarantined().empty(); }
 
   // -- Concurrency contract (DESIGN.md §12). --
   //

@@ -4,6 +4,8 @@
 #include <set>
 #include <string>
 
+#include "src/clio/chain.h"
+
 namespace clio {
 namespace {
 
@@ -29,6 +31,17 @@ Result<VerifyReport> VerifyVolume(LogVolume* volume) {
   bool pending_continue = false;
   uint64_t continue_from = 0;
 
+  // Hash-chain walk (chained volumes): replay the writer's accumulator from
+  // the header seed and check every valid block's stored tag against it.
+  // Any gap desyncs the walk: a burn-retry garbage block never advanced
+  // the chain, but a post-burn invalidation or an unreadable (corrupt /
+  // quarantined) block DID advance it when burned, and the two are
+  // indistinguishable from the media — so the walk resynchronizes from the
+  // next valid block's stored tag instead of blaming every survivor.
+  const bool chained = volume->header().chained();
+  uint64_t chain_acc = volume->chain_seed();
+  bool chain_synced = chained;
+
   for (uint64_t b = 1; b < end; ++b) {
     ++report.blocks_total;
     OpStats stats;
@@ -39,10 +52,30 @@ Result<VerifyReport> VerifyVolume(LogVolume* volume) {
       } else {
         ++report.blocks_corrupt;
       }
+      chain_synced = false;  // can't check across a gap (see above)
       continue;  // an invalid block legitimately breaks a fragment chain
     }
     ++report.blocks_valid;
     const ParsedBlock& block = parsed.value();
+
+    if (chained) {
+      if (!block.chain_tag().has_value()) {
+        report.chain_mismatches.push_back(
+            "block " + std::to_string(b) +
+            " carries a v1 footer inside a chained volume");
+        chain_synced = false;
+      } else {
+        if (chain_synced && *block.chain_tag() != chain_acc) {
+          report.chain_mismatches.push_back(
+              "block " + std::to_string(b) + " stores chain tag " +
+              std::to_string(*block.chain_tag()) + " but the chain expects " +
+              std::to_string(chain_acc));
+        }
+        // Resynchronize from the stored tag so one break is reported once.
+        chain_acc = AdvanceChainTag(*block.chain_tag(), ChainBlockCommit(block));
+        chain_synced = true;
+      }
+    }
 
     if (pending_continue) {
       bool satisfied = false;
@@ -118,6 +151,18 @@ Result<VerifyReport> VerifyVolume(LogVolume* volume) {
       pending_continue = true;
       continue_from = b;
     }
+  }
+
+  // The recovered head tag was derived from the LAST block's stored tag
+  // (an O(1) shortcut, src/clio/volume.cc); the full walk from the seed
+  // must land on the same value. Only comparable when the walk stayed
+  // synced and covered exactly the burned blocks (no staged tail).
+  if (chained && chain_synced && end == volume->end_block() &&
+      volume->chain_head_tag().has_value() &&
+      chain_acc != *volume->chain_head_tag()) {
+    report.chain_mismatches.push_back(
+        "recovered chain head " + std::to_string(*volume->chain_head_tag()) +
+        " != walked chain head " + std::to_string(chain_acc));
   }
 
   // Pass 2: recompute every stored node's bitmaps from the blocks it

@@ -12,7 +12,12 @@
 //    (dangerous: searches would miss them) are both reported;
 //  - catalog replay: every catalog record decodes and applies;
 //  - fragment chains: every continues-flag is satisfied by a following
-//    fragment.
+//    fragment;
+//  - hash chain (chained volumes): every valid block's stored chain tag
+//    equals the tag accumulated from the volume-header seed over the
+//    valid blocks before it (src/clio/chain.h) — this is the offline form
+//    of the online scrubber's walk and catches consistent forgeries a CRC
+//    cannot.
 #ifndef SRC_CLIO_VERIFY_H_
 #define SRC_CLIO_VERIFY_H_
 
@@ -39,10 +44,14 @@ struct VerifyReport {
   std::vector<std::string> stale_bits;     // bits with nothing behind them
   std::vector<std::string> broken_chains;  // unsatisfied continues-flags
   std::vector<std::string> time_regressions;
+  std::vector<std::string> chain_mismatches;  // hash-chain violations (§15)
 
+  // A volume with corrupt (unreadable but not deliberately invalidated)
+  // blocks is NOT clean: their data is lost even though readers skip them.
   bool clean() const {
-    return missing_bits.empty() && broken_chains.empty() &&
-           time_regressions.empty();
+    return blocks_corrupt == 0 && missing_bits.empty() &&
+           broken_chains.empty() && time_regressions.empty() &&
+           chain_mismatches.empty();
   }
 };
 

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "src/clio/chain.h"
+
 namespace clio {
 namespace {
 
@@ -56,7 +58,8 @@ Result<std::unique_ptr<LogVolume>> LogVolume::Format(
     return InvalidArgument("entrymap degree must be a power of two >= 2");
   }
 
-  CLIO_ASSIGN_OR_RETURN(uint64_t index, device->AppendBlock(header.Encode()));
+  const Bytes header_image = header.Encode();
+  CLIO_ASSIGN_OR_RETURN(uint64_t index, device->AppendBlock(header_image));
   if (index != 0) {
     return FailedPrecondition("volume header did not land in block 0");
   }
@@ -65,11 +68,13 @@ Result<std::unique_ptr<LogVolume>> LogVolume::Format(
       device, cache, cache_device_id, catalog, clock, header));
   volume->accumulator_ready_ = true;
   volume->end_block_ = 1;
+  volume->chain_seed_ = ChainSeed(header_image);
   volume->writer_ = std::make_unique<LogVolumeWriter>(
       &volume->blocks_, header, &volume->geometry_, catalog, clock, nvram);
-  CLIO_RETURN_IF_ERROR(
-      volume->writer_->Restore(1, EntrymapAccumulator(&volume->geometry_),
-                               nullptr));
+  CLIO_RETURN_IF_ERROR(volume->writer_->Restore(
+      1, EntrymapAccumulator(&volume->geometry_), nullptr,
+      header.chained() ? std::optional<uint64_t>(volume->chain_seed_)
+                       : std::nullopt));
   return volume;
 }
 
@@ -174,6 +179,27 @@ Result<std::unique_ptr<LogVolume>> LogVolume::Open(
     }
   }
 
+  // Step 1d: recover the chain accumulator (chained volumes only). Each
+  // valid block stores the accumulated tag over all valid blocks BEFORE
+  // it, so the tag after the last valid block is its stored tag advanced
+  // by its own commit — O(1) plus the invalidated tail, no full rescan
+  // (a periodic scrub pass re-walks from the seed and would expose a
+  // forged prefix this shortcut trusts).
+  volume->chain_seed_ = ChainSeed(header_block);
+  if (header.chained()) {
+    std::optional<uint64_t> acc;
+    for (uint64_t b = end; b > 1 && !acc.has_value();) {
+      --b;
+      OpStats ignore;
+      auto parsed = volume->GetBlock(b, &ignore);
+      if (parsed.ok() && parsed.value().chain_tag().has_value()) {
+        acc = AdvanceChainTag(*parsed.value().chain_tag(),
+                              ChainBlockCommit(parsed.value()));
+      }
+    }
+    volume->chain_head_tag_ = acc.value_or(volume->chain_seed_);
+  }
+
   // Step 3 of the paper's recovery, run before step 2 here: the catalog is
   // needed to expand sublog ancestor chains while rebuilding entrymap
   // bitmaps. Searches during replay synthesize any entrymap info the
@@ -235,7 +261,8 @@ Result<std::unique_ptr<LogVolume>> LogVolume::Open(
     volume->writer_ = std::make_unique<LogVolumeWriter>(
         &volume->blocks_, header, &volume->geometry_, catalog, clock, nvram);
     CLIO_RETURN_IF_ERROR(
-        volume->writer_->Restore(end, std::move(accumulator), staged));
+        volume->writer_->Restore(end, std::move(accumulator), staged,
+                                 volume->chain_head_tag_));
     for (uint64_t bad : torn) {
       volume->writer_->NoteBadBlock(bad);
     }
@@ -403,6 +430,13 @@ Result<ParsedBlock> LogVolume::GetBlock(uint64_t block, OpStats* stats,
   if (block >= end_block()) {
     return NotWritten("block " + std::to_string(block) +
                       " is past the written end");
+  }
+  // Degraded mode: a block the scrubber quarantined is known-corrupt; fail
+  // fast with its address instead of re-reading and re-parsing garbage.
+  if (catalog_->IsQuarantined(header_.volume_index, block)) {
+    return Corrupt("quarantined block " + std::to_string(block) +
+                   " (volume " + std::to_string(header_.volume_index) +
+                   ", chain position " + std::to_string(block) + ")");
   }
   // Readahead never crosses end_block(): the staging block is served from
   // memory above and unburned blocks would fail the device read.

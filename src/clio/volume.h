@@ -98,6 +98,16 @@ class LogVolume {
   bool sealed() const { return sealed_; }
   void MarkSealed() { sealed_ = true; }
 
+  // Chain accumulator over every valid burned block of this v2 volume
+  // (nullopt on unchained v1 volumes): the writer's live tag when
+  // writable, the value recovered by Open() when read-only. This is the
+  // tag the NEXT burned block would carry.
+  std::optional<uint64_t> chain_head_tag() const {
+    return writer_ != nullptr ? writer_->chain_tag() : chain_head_tag_;
+  }
+  // trunc8(SHA256(header block image)) — tag_0 of the chain.
+  uint64_t chain_seed() const { return chain_seed_; }
+
   // Largest entry timestamp found on media during recovery (0 if none);
   // the service floors its clock here so timestamps stay unique.
   Timestamp recovered_max_timestamp() const {
@@ -203,6 +213,8 @@ class LogVolume {
   uint32_t readahead_blocks_ = 0;
   bool sealed_ = false;
   Timestamp recovered_max_timestamp_ = 0;
+  std::optional<uint64_t> chain_head_tag_;  // read-only chained volumes
+  uint64_t chain_seed_ = 0;
 };
 
 }  // namespace clio

@@ -6,7 +6,6 @@ namespace clio {
 namespace {
 
 constexpr uint32_t kVolumeMagic = 0x434C494F;  // "CLIO"
-constexpr uint16_t kVolumeFormatVersion = 1;
 
 }  // namespace
 
@@ -14,7 +13,7 @@ Bytes VolumeHeader::Encode() const {
   Bytes fields;
   ByteWriter w(&fields);
   w.PutU32(kVolumeMagic);
-  w.PutU16(kVolumeFormatVersion);
+  w.PutU16(format_version);
   w.PutU32(block_size);
   w.PutU16(entrymap_degree);
   w.PutU64(sequence_id);
@@ -49,10 +48,11 @@ Result<VolumeHeader> VolumeHeader::Decode(std::span<const std::byte> block) {
     return Corrupt("volume header magic mismatch");
   }
   uint16_t version = r.GetU16();
-  if (version != kVolumeFormatVersion) {
+  if (version != kVolumeFormatV1 && version != kVolumeFormatChained) {
     return Corrupt("unsupported volume format version");
   }
   VolumeHeader h;
+  h.format_version = version;
   h.block_size = r.GetU32();
   h.entrymap_degree = r.GetU16();
   h.sequence_id = r.GetU64();

@@ -15,6 +15,12 @@
 
 namespace clio {
 
+// Format versions: v1 volumes carry unchained (12-byte-footer) blocks;
+// v2 volumes hash-chain every burned block (src/clio/chain.h, DESIGN.md
+// §15). New volumes are formatted v2; v1 volumes remain fully readable.
+constexpr uint16_t kVolumeFormatV1 = 1;
+constexpr uint16_t kVolumeFormatChained = 2;
+
 struct VolumeHeader {
   uint32_t block_size = 1024;
   uint16_t entrymap_degree = 16;  // N: bitmap width / tree fan-out (§2.1)
@@ -22,11 +28,16 @@ struct VolumeHeader {
   uint32_t volume_index = 0;      // 0-based position within the sequence
   Timestamp created_at = 0;
   std::string label;
+  uint16_t format_version = kVolumeFormatChained;
+
+  // True if this volume's blocks carry chained v2 footers.
+  bool chained() const { return format_version >= kVolumeFormatChained; }
 
   // Serializes into a full block image of `block_size` bytes (CRC'd).
   Bytes Encode() const;
 
-  // Decodes and validates block 0. kCorrupt if magic/CRC fail.
+  // Decodes and validates block 0. kCorrupt if magic/CRC fail or the
+  // format version is newer than this build understands.
   static Result<VolumeHeader> Decode(std::span<const std::byte> block);
 };
 

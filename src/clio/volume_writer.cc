@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/clio/chain.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -37,10 +38,16 @@ LogVolumeWriter::LogVolumeWriter(CachedBlockReader* blocks,
       nvram_(nvram),
       accumulator_(geometry) {}
 
+std::unique_ptr<BlockBuilder> LogVolumeWriter::NewBuilder() const {
+  return std::make_unique<BlockBuilder>(header_.block_size, chain_tag_);
+}
+
 Status LogVolumeWriter::Restore(uint64_t next_block,
                                 EntrymapAccumulator accumulator,
-                                const Bytes* staged_image) {
+                                const Bytes* staged_image,
+                                std::optional<uint64_t> chain_tag) {
   staging_block_ = next_block;
+  chain_tag_ = chain_tag;
   accumulator_ = std::move(accumulator);
   builder_.reset();
   pending_mark_ids_.clear();
@@ -57,7 +64,7 @@ Status LogVolumeWriter::Restore(uint64_t next_block,
     CLIO_ASSIGN_OR_RETURN(
         ParsedBlock parsed,
         ParsedBlock::Parse(std::make_shared<const Bytes>(*staged_image)));
-    builder_ = std::make_unique<BlockBuilder>(header_.block_size);
+    builder_ = NewBuilder();
     builder_->SetFlags(parsed.flags());
     for (const ParsedEntry& e : parsed.entries()) {
       builder_->AddEntry(e.version, e.logfile_id, e.payload,
@@ -80,7 +87,7 @@ Status LogVolumeWriter::OpenBuilder() {
   if (builder_ != nullptr) {
     return Status::Ok();
   }
-  builder_ = std::make_unique<BlockBuilder>(header_.block_size);
+  builder_ = NewBuilder();
   pending_mark_ids_.clear();
   if (last_home_emitted_.empty()) {
     last_home_emitted_.assign(geometry_->max_level() + 1, 0);
@@ -111,8 +118,8 @@ Status LogVolumeWriter::EmitEntrymapNode(int level, uint64_t home) {
   // Largest encoded payload that fits a fresh block alongside a
   // timestamped header.
   const uint32_t max_chunk =
-      header_.block_size - kBlockFooterSize - kSizeSlotBytes -
-      HeaderInlineSize(HeaderVersion::kTimestamped);
+      header_.block_size - BlockFooterBytes(chain_tag_.has_value()) -
+      kSizeSlotBytes - HeaderInlineSize(HeaderVersion::kTimestamped);
 
   {
     EntrymapPayload payload = accumulator_.Take(level, home);
@@ -135,7 +142,7 @@ Status LogVolumeWriter::EmitEntrymapNode(int level, uint64_t home) {
       if (builder_->PayloadCapacity(v) < encoded.size()) {
         builder_->SetFlags(kFlagEntrymapContinues);
         CLIO_RETURN_IF_ERROR(BurnBuilder());
-        builder_ = std::make_unique<BlockBuilder>(header_.block_size);
+        builder_ = NewBuilder();
         v = HeaderVersion::kTimestamped;
       }
       space_.entrymap_bytes +=
@@ -160,11 +167,14 @@ Status LogVolumeWriter::BurnBuilder() {
     if (result.ok()) {
       uint64_t actual = result.value();
       // If the burn landed past where the write head should have been,
-      // garbage occupies the skipped blocks (a wild write while we were
-      // not looking). Invalidate them and record their locations (§2.3.2).
+      // garbage occupies the skipped blocks — a wild write while we were
+      // not looking, or a torn burn whose invalidation was interrupted by
+      // a power cut. Nothing in [staging_block_, actual) was burned by us,
+      // so invalidate everything not already invalidated and record the
+      // locations (§2.3.2).
       for (uint64_t skipped = staging_block_; skipped < actual; ++skipped) {
-        if (blocks_->device()->BlockState(skipped) ==
-            WormBlockState::kScribbled) {
+        if (blocks_->device()->BlockState(skipped) !=
+            WormBlockState::kInvalidated) {
           CLIO_RETURN_IF_ERROR(blocks_->device()->InvalidateBlock(skipped));
           blocks_->Evict(skipped);
           ++space_.invalidated_blocks;
@@ -178,12 +188,22 @@ Status LogVolumeWriter::BurnBuilder() {
                                    pending_mark_ids_.end());
         accumulator_.Mark(actual, ids);
       }
-      space_.footer_bytes += kBlockFooterSize;
+      space_.footer_bytes += builder_->footer_size();
       space_.padding_bytes += builder_->free_bytes();
       ++space_.blocks_burned;
       static Counter* burned =
           ObsRegistry().counter("clio.volume.blocks_burned");
       burned->Increment();
+      if (chain_tag_.has_value()) {
+        // Only a successfully burned, valid block advances the chain —
+        // garbage and invalidated blocks are skipped by readers, so they
+        // are skipped by the chain too (see src/clio/chain.h).
+        auto parsed = ParsedBlock::Parse(std::make_shared<const Bytes>(image));
+        if (parsed.ok()) {
+          chain_tag_ =
+              AdvanceChainTag(*chain_tag_, ChainBlockCommit(parsed.value()));
+        }
+      }
       blocks_->Put(actual, std::move(image));
       staging_block_ = actual + 1;
       builder_.reset();

@@ -73,8 +73,12 @@ class LogVolumeWriter {
   // (1 for a fresh volume, the recovered end otherwise); `accumulator`
   // carries the open-group bitmaps (empty for fresh). If `staged_image` is
   // a valid block image recovered from NVRAM, its entries are re-staged.
+  // On a chained (v2) volume `chain_tag` is the accumulated tag over every
+  // valid block below `next_block` (the seed for a fresh volume); nullopt
+  // keeps the writer unchained for v1 volumes.
   Status Restore(uint64_t next_block, EntrymapAccumulator accumulator,
-                 const Bytes* staged_image);
+                 const Bytes* staged_image,
+                 std::optional<uint64_t> chain_tag = std::nullopt);
 
   // Appends one entry to `id`. Returns the server timestamp assigned to the
   // entry (its unique id within the sequence for synchronous writers) and
@@ -112,11 +116,19 @@ class LogVolumeWriter {
   const EntrymapAccumulator& accumulator() const { return accumulator_; }
   const SpaceAccounting& space() const { return space_; }
 
+  // Accumulated chain tag over every valid burned block (the tag the NEXT
+  // burned block will carry); nullopt on an unchained (v1) volume. This is
+  // the chain HEAD a VERIFY_CHAIN reply reports.
+  std::optional<uint64_t> chain_tag() const { return chain_tag_; }
+
   // Total time (us of TimeSource progression) spent maintaining + logging
   // entrymap information, for the §3.2 breakdown bench.
   uint64_t entrymap_upkeep_calls() const { return entrymap_upkeep_calls_; }
 
  private:
+  // A staging builder carrying the current chain tag (v2 footer) when the
+  // volume is chained, a plain v1 builder otherwise.
+  std::unique_ptr<BlockBuilder> NewBuilder() const;
   Status OpenBuilder();  // starts a block; emits due entrymap entries
   Status BurnBuilder();
   // Emits the level-`level` entrymap node homed at `home` into the current
@@ -135,6 +147,7 @@ class LogVolumeWriter {
 
   std::unique_ptr<BlockBuilder> builder_;
   uint64_t staging_block_ = 1;
+  std::optional<uint64_t> chain_tag_;
   std::set<LogFileId> pending_mark_ids_;
   EntrymapAccumulator accumulator_;
   // Home block of the last node emitted per level. Emission happens when

@@ -44,7 +44,17 @@ Status FaultInjectingWormDevice::ReadBlock(uint64_t index,
     c->Increment();
     return Unavailable("injected transient read failure");
   }
-  return base_->ReadBlock(index, out);
+  Status st = base_->ReadBlock(index, out);
+  if (st.ok() && !out.empty() && policy_.read_bit_flip_per_mille > 0 &&
+      rng_.Chance(policy_.read_bit_flip_per_mille, 1000)) {
+    // A soft error: this read returns one flipped bit, the media is fine.
+    ++read_bit_flips_;
+    static Counter* c = FaultCounter("read_bit_flip");
+    c->Increment();
+    size_t pos = rng_.Below(out.size());
+    out[pos] ^= static_cast<std::byte>(1u << rng_.Below(8));
+  }
+  return st;
 }
 
 Result<uint64_t> FaultInjectingWormDevice::AppendBlock(
@@ -127,8 +137,31 @@ Result<uint64_t> FaultInjectingWormDevice::AppendBlock(
   auto result = base_->AppendBlock(data);
   if (result.ok()) {
     appends_since_revive_.fetch_add(1, std::memory_order_relaxed);
+    if (mem_base_ != nullptr && policy_.media_bit_flip_per_mille > 0 &&
+        rng_.Chance(policy_.media_bit_flip_per_mille, 1000)) {
+      // The burn succeeded, then the media rotted: one stored bit flips.
+      static Counter* c = FaultCounter("media_bit_flip");
+      c->Increment();
+      (void)FlipBitOnMedia(result.value(),
+                           rng_.Below(uint64_t{8} * block_size()));
+    }
   }
   return result;
+}
+
+Status FaultInjectingWormDevice::FlipBitOnMedia(uint64_t index,
+                                                uint64_t bit_index) {
+  if (mem_base_ == nullptr) {
+    return FailedPrecondition(
+        "FlipBitOnMedia needs an in-memory base device");
+  }
+  Bytes buf(block_size());
+  CLIO_RETURN_IF_ERROR(mem_base_->ReadBlock(index, buf));
+  buf[bit_index / 8 % buf.size()] ^=
+      static_cast<std::byte>(1u << (bit_index % 8));
+  mem_base_->Scribble(index, buf);
+  ++media_bit_flips_;
+  return Status::Ok();
 }
 
 Status FaultInjectingWormDevice::InvalidateBlock(uint64_t index) {

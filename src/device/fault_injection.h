@@ -43,6 +43,15 @@ struct FaultPolicy {
   uint32_t torn_append_per_mille = 0;
   // Per-read probability of a transient kUnavailable failure.
   uint32_t transient_read_failure_per_mille = 0;
+  // Per-read probability that the read "succeeds" but one bit of the
+  // returned buffer is flipped — a soft error in the read path (the media
+  // itself is intact; a retry would return clean bytes).
+  uint32_t read_bit_flip_per_mille = 0;
+  // Per-append probability that, after a successful burn, one bit of the
+  // block ON the media flips — silent rot a later scrub pass must catch.
+  // Requires an in-memory base (the flip rewrites stored bytes); on other
+  // bases the knob is inert.
+  uint32_t media_bit_flip_per_mille = 0;
   // Per-query probability that QueryEnd under-reports the end by 1..8
   // blocks. Recovery must re-probe past the reported end (§2.3.1).
   uint32_t query_end_lies_per_mille = 0;
@@ -91,6 +100,12 @@ class FaultInjectingWormDevice : public WormDevice {
 
   WormDevice* base() { return base_.get(); }
 
+  // Deterministically flips one bit of an already-burned block on the
+  // media — the scrub tests' precision instrument (the per-mille knobs are
+  // for chaos volume). Requires an in-memory base; the flipped block still
+  // reads (as scribbled bytes), it just no longer checksums.
+  Status FlipBitOnMedia(uint64_t index, uint64_t bit_index);
+
   // Powers the device back on after a scheduled cut and re-arms the
   // schedule (the next power_cut_after_appends successful appends trip it
   // again).
@@ -101,6 +116,8 @@ class FaultInjectingWormDevice : public WormDevice {
   uint64_t injected_corruptions() const { return corruptions_; }
   uint64_t injected_torn_appends() const { return torn_appends_; }
   uint64_t injected_read_failures() const { return read_failures_; }
+  uint64_t injected_read_bit_flips() const { return read_bit_flips_; }
+  uint64_t injected_media_bit_flips() const { return media_bit_flips_; }
   uint64_t injected_query_end_lies() const { return query_end_lies_; }
   uint64_t power_cuts() const { return power_cuts_.load(); }
 
@@ -120,6 +137,8 @@ class FaultInjectingWormDevice : public WormDevice {
   uint64_t corruptions_ = 0;
   uint64_t torn_appends_ = 0;
   uint64_t read_failures_ = 0;
+  uint64_t read_bit_flips_ = 0;
+  uint64_t media_bit_flips_ = 0;
   uint64_t query_end_lies_ = 0;
   std::atomic<uint64_t> power_cuts_{0};
   // Ops failed at the injector, folded into stats(); reset by ResetStats.

@@ -80,7 +80,7 @@ constexpr uint32_t kReadBatchMaxEntries = 65536;
 // default when the client asks for 0 ("server default").
 constexpr uint32_t kTraceDumpMaxSpans = 100'000;
 
-constexpr uint32_t kMaxOp = static_cast<uint32_t>(LogOp::kPartitionInfo);
+constexpr uint32_t kMaxOp = static_cast<uint32_t>(LogOp::kVerifyChain);
 
 // Per-op request counters, resolved once and indexed by op value so the
 // dispatch hot path never touches the registry map.
@@ -133,6 +133,8 @@ std::string_view LogOpName(LogOp op) {
       return "trace_dump";
     case LogOp::kPartitionInfo:
       return "partition_info";
+    case LogOp::kVerifyChain:
+      return "verify_chain";
   }
   return "unknown";
 }
@@ -356,6 +358,14 @@ Status SingleServiceBackend::Force() {
   return service_->Force();
 }
 
+Result<ChainProof> SingleServiceBackend::VerifyChain(const std::string& path,
+                                                     Timestamp t) {
+  // A read-path op: proof building only walks burned (immutable) blocks
+  // and the published staged tail, so the SHARED lock suffices.
+  MaybeServiceLock lock(service_mu_, /*exclusive=*/serialize_reads_);
+  return service_->BuildChainProof(path, t);
+}
+
 Result<PartitionInfoResult> SingleServiceBackend::PartitionInfo(
     const std::string& path) {
   PartitionInfoResult info;
@@ -567,6 +577,22 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
                                                 : it->second->SeekToEnd();
       return status.ok() ? EncodeOkReplyBody() : EncodeErrorReplyBody(status);
     }
+    case LogOp::kVerifyChain: {
+      std::string path = r.GetString();
+      Timestamp t = r.GetI64();
+      if (r.failed()) {
+        return EncodeErrorReplyBody(
+            InvalidArgument("malformed verify chain request"));
+      }
+      auto proof = backend_->VerifyChain(path, t);
+      if (!proof.ok()) {
+        return EncodeErrorReplyBody(proof.status());
+      }
+      Bytes payload;
+      ByteWriter w(&payload);
+      proof->EncodeTo(w);
+      return EncodeOkReplyBody(payload);
+    }
     case LogOp::kStat: {
       std::string path = r.GetString();
       auto info = backend_->Stat(path);
@@ -737,6 +763,35 @@ Result<LogFileInfo> LogClientBase::Stat(std::string_view path) {
 }
 
 Status LogClientBase::Force() { return Call(LogOp::kForce, {}).status(); }
+
+Result<ChainProof> LogClientBase::FetchChainProof(std::string_view path,
+                                                  Timestamp t) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutString(path);
+  w.PutI64(t);
+  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kVerifyChain, body));
+  ByteReader r(reply);
+  return ChainProof::DecodeFrom(r);
+}
+
+Result<RemoteEntry> LogClientBase::VerifyEntry(std::string_view path,
+                                               Timestamp t) {
+  CLIO_ASSIGN_OR_RETURN(ChainProof proof, FetchChainProof(path, t));
+  CLIO_ASSIGN_OR_RETURN(ParsedEntry entry, proof.Verify());
+  // The proof binds the record to the chain; this binds the record to the
+  // question asked. A server pointing the proof at some OTHER (genuine)
+  // entry fails here.
+  if (!entry.timestamp.has_value() || *entry.timestamp != t) {
+    return Corrupt("proven entry does not carry the requested timestamp");
+  }
+  RemoteEntry out;
+  out.logfile_id = entry.logfile_id;
+  out.timestamp = *entry.timestamp;
+  out.timestamp_exact = true;
+  out.payload.assign(entry.payload.begin(), entry.payload.end());
+  return out;
+}
 
 Result<StatsSnapshot> LogClientBase::GetStats() {
   CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kStats, {}));

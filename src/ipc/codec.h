@@ -70,6 +70,15 @@ enum class LogOp : uint32_t {
   // has_route, u32 home partition of the path (valid when has_route = 1).
   // An unpartitioned server answers partition_count = 1.
   kPartitionInfo = 15,
+  // Single-entry inclusion proof (DESIGN.md §15): the server proves that
+  // the entry of `path` with exact timestamp `t` is committed to by the
+  // volume hash chain, without the client reading the volume. Request:
+  // string path, i64 timestamp. Reply payload = ChainProof::EncodeTo. The
+  // client verifies with ChainProof::Verify (see
+  // LogClientBase::VerifyEntry); kFailedPrecondition on unchained (v1)
+  // volumes, kCorrupt when the server detects a broken chain while
+  // building the proof.
+  kVerifyChain = 16,
 };
 
 // Stable lowercase metric-label name for an op ("append", "stats", ...);
@@ -182,6 +191,10 @@ class DispatchBackend {
   virtual Status Force() = 0;
   virtual Result<PartitionInfoResult> PartitionInfo(
       const std::string& path) = 0;
+  // Inclusion proof for the entry of `path` at exact timestamp `t`
+  // (kVerifyChain). A partitioned backend routes to the owning partition.
+  virtual Result<ChainProof> VerifyChain(const std::string& path,
+                                         Timestamp t) = 0;
 };
 
 // Backend over one LogService. When `service_mu` is non-null, each call
@@ -208,6 +221,8 @@ class SingleServiceBackend : public DispatchBackend {
   Result<LogFileInfo> Stat(const std::string& path) override;
   Status Force() override;
   Result<PartitionInfoResult> PartitionInfo(const std::string& path) override;
+  Result<ChainProof> VerifyChain(const std::string& path,
+                                 Timestamp t) override;
 
  private:
   class ReaderImpl;
@@ -295,6 +310,16 @@ class LogClientBase {
   virtual Status SeekToEnd(uint64_t handle);
   Result<LogFileInfo> Stat(std::string_view path);
   Status Force();
+  // Raw inclusion proof for the entry of `path` with exact timestamp `t`
+  // (kVerifyChain), undecoded beyond framing. Most callers want
+  // VerifyEntry below, which also checks the proof.
+  Result<ChainProof> FetchChainProof(std::string_view path, Timestamp t);
+  // Fetches the proof AND verifies it client-side (ChainProof::Verify):
+  // recomputes the record hash, reassembles the block commit, and links to
+  // the head tag — then cross-checks that the proven entry really carries
+  // timestamp `t`. Returns the proven entry; kCorrupt if the proof does
+  // not hold up (a tampered volume, or a server lying about the entry).
+  Result<RemoteEntry> VerifyEntry(std::string_view path, Timestamp t);
   // Fetches the server's metrics snapshot (counters, gauges, latency
   // histograms) via the kStats op.
   Result<StatsSnapshot> GetStats();

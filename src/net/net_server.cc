@@ -94,6 +94,14 @@ Result<std::unique_ptr<NetLogServer>> NetLogServer::Boot(
       lane.batcher->set_dedup(lane.dedup);
       lane.batcher->Start();
     }
+    if (options.scrub) {
+      ScrubOptions scrub = options.scrub_options;
+      if (partitioned) {
+        scrub.metric_suffix = ".p" + std::to_string(i);
+      }
+      lane.scrubber = std::make_unique<Scrubber>(lane.service, scrub);
+      lane.scrubber->Start();
+    }
   }
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   return server;
@@ -106,6 +114,14 @@ void NetLogServer::Stop() {
     return;
   }
   stopping_.store(true);
+  // Quiesce the scrubbers first: they only hold the service lock in
+  // bounded chunks, so this is quick, and it keeps a scan from contending
+  // with the draining sessions below.
+  for (AppendLane& lane : lanes_) {
+    if (lane.scrubber != nullptr) {
+      lane.scrubber->Stop();
+    }
+  }
   // Unblock the accept loop, then the sessions' reads. Sessions finish
   // (and answer) whatever request they are mid-way through first.
   listener_.ShutdownBoth();

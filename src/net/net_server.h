@@ -35,6 +35,7 @@
 #include "src/net/dedup.h"
 #include "src/net/frame.h"
 #include "src/net/socket.h"
+#include "src/scrub/scrubber.h"
 
 namespace clio {
 
@@ -64,6 +65,12 @@ struct NetLogServerOptions {
   // never changes partitions, so a retried stamp always lands on the index
   // that recorded it. Empty: the server owns private per-lane indexes.
   std::vector<AppendDedupIndex*> partition_dedup;
+  // Online scrubbing (DESIGN.md §15): one background Scrubber per append
+  // lane (per partition when partitioned), started with the server and
+  // stopped by Stop(). Lane i's scrub metrics mirror under ".p<i>" in
+  // partitioned mode, same as the batch metrics.
+  bool scrub = false;
+  ScrubOptions scrub_options;
   // Compatibility switch: take the service lock EXCLUSIVE for read ops
   // too, restoring the old one-request-at-a-time behaviour. Exists for
   // bench_read_scaling's --global-lock baseline; leave off in production.
@@ -114,6 +121,10 @@ class NetLogServer {
   const AppendDedupIndex* dedup(size_t lane) const {
     return lanes_[lane].dedup;
   }
+  // Lane i's scrubber; null unless options.scrub was set.
+  const Scrubber* scrubber(size_t lane = 0) const {
+    return lanes_[lane].scrubber.get();
+  }
 
  private:
   struct Session {
@@ -129,6 +140,7 @@ class NetLogServer {
     std::unique_ptr<GroupCommitBatcher> batcher;
     AppendDedupIndex* dedup = nullptr;
     std::unique_ptr<AppendDedupIndex> owned_dedup;
+    std::unique_ptr<Scrubber> scrubber;
   };
 
   NetLogServer(LogService* service, const NetLogServerOptions& options);

@@ -65,6 +65,31 @@ Result<LogFileInfo> PartitionedDispatchBackend::Stat(const std::string& path) {
 
 Status PartitionedDispatchBackend::Force() { return service_->Force(); }
 
+Result<ChainProof> PartitionedDispatchBackend::VerifyChain(
+    const std::string& path, Timestamp t) {
+  // The proof lives on the partition that owns the log file. Routed like
+  // reads: the owning partition's SHARED lock only, so proof building on
+  // one partition never delays appends on another.
+  std::optional<uint32_t> home = service_->RouteOf(path);
+  if (home.has_value()) {
+    LogService* owner = service_->partition(*home);
+    std::shared_lock<std::shared_mutex> lock(owner->mutex());
+    return owner->BuildChainProof(path, t);
+  }
+  // Unroutable path (no such log file anywhere, or a service path): probe
+  // each partition and surface the first answer that is not "not found".
+  for (uint32_t p = 0; p < service_->partition_count(); ++p) {
+    LogService* owner = service_->partition(p);
+    std::shared_lock<std::shared_mutex> lock(owner->mutex());
+    auto proof = owner->BuildChainProof(path, t);
+    if (proof.ok() || proof.status().code() != StatusCode::kNotFound) {
+      return proof;
+    }
+  }
+  return NotFound("no entry of " + path + " at timestamp " +
+                  std::to_string(t) + " on any partition");
+}
+
 Result<PartitionInfoResult> PartitionedDispatchBackend::PartitionInfo(
     const std::string& path) {
   PartitionInfoResult result;

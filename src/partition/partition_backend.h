@@ -34,6 +34,8 @@ class PartitionedDispatchBackend : public DispatchBackend {
   Result<LogFileInfo> Stat(const std::string& path) override;
   Status Force() override;
   Result<PartitionInfoResult> PartitionInfo(const std::string& path) override;
+  Result<ChainProof> VerifyChain(const std::string& path,
+                                 Timestamp t) override;
 
  private:
   class ReaderImpl;

@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "src/net/net_client.h"
 #include "src/net/net_server.h"
 #include "src/partition/partitioned_service.h"
+#include "src/scrub/scrubber.h"
 #include "tests/test_util.h"
 
 namespace clio {
@@ -70,6 +72,31 @@ class AckJournal {
 };
 
 FaultPolicy CleanPolicy() { return FaultPolicy{}; }
+
+// Finds a readable burned block all of whose entries belong to `id` (a
+// pure data block, not an entrymap/catalog block). 0 if none. Caller
+// holds the service lock.
+uint64_t FindDataBlockOf(LogService* service, LogFileId id) {
+  LogVolume* volume = service->current_volume();
+  for (uint64_t b = 1; b < volume->end_block(); ++b) {
+    OpStats op;
+    auto parsed = volume->GetBlock(b, &op);
+    if (!parsed.ok() || parsed->entries().empty()) {
+      continue;
+    }
+    bool all_ours = true;
+    for (const ParsedEntry& e : parsed->entries()) {
+      if (e.logfile_id != id) {
+        all_ours = false;
+        break;
+      }
+    }
+    if (all_ours) {
+      return b;
+    }
+  }
+  return 0;
+}
 
 // Write-side mayhem: failed burns depositing garbage, torn burns leaving
 // prefix+garbage blocks, and a QueryEnd that under-reports — recovery must
@@ -119,7 +146,8 @@ class ChaosTest : public ::testing::Test {
   // Brings up one server incarnation over a fresh fault injector wrapping
   // the shared media. The first generation creates the volume; later ones
   // re-run crash recovery on whatever the previous incarnation left.
-  void StartGeneration(const FaultPolicy& policy, uint64_t seed) {
+  void StartGeneration(const FaultPolicy& policy, uint64_t seed,
+                       bool scrub = false) {
     auto injector = std::make_unique<FaultInjectingWormDevice>(
         std::make_unique<testing::BorrowedDevice>(media_.get()), policy,
         seed);
@@ -144,6 +172,10 @@ class ChaosTest : public ::testing::Test {
     options.port = port_;  // first generation: 0 = pick; then reuse
     options.dedup = &dedup_;
     options.batch.max_hold_us = 200;
+    options.scrub = scrub;
+    options.scrub_options.interval_ms = 1;
+    options.scrub_options.blocks_per_tick = 256;
+    options.scrub_options.max_busy_yields = 1;
     auto server = NetLogServer::Start(service_.get(), options);
     ASSERT_OK(server.status());
     server_ = std::move(server).value();
@@ -178,7 +210,12 @@ class ChaosTest : public ::testing::Test {
     EXPECT_TRUE(verify.clean())
         << "missing_bits=" << verify.missing_bits.size()
         << " broken_chains=" << verify.broken_chains.size()
-        << " time_regressions=" << verify.time_regressions.size();
+        << " time_regressions=" << verify.time_regressions.size()
+        << " blocks_corrupt=" << verify.blocks_corrupt
+        << " chain_mismatches=" << verify.chain_mismatches.size()
+        << (verify.chain_mismatches.empty()
+                ? ""
+                : " first=" + verify.chain_mismatches.front());
 
     // Full scan: count payload multiplicity, check the timestamp total
     // order and each writer's per-client append order.
@@ -356,6 +393,146 @@ TEST_F(ChaosTest, CrashRestartLoopKeepsAckedAppendsExactlyOnce) {
   EXPECT_LT(append_failures.load(), acked.size());
 }
 
+// -- Degraded mode under the same crash-restart discipline. --
+//
+// Each generation runs with the in-server scrubber enabled while bit rot
+// strikes one burned data block (a deterministic on-media flip through the
+// fault injector — the WORM media itself lies, not the transport). The
+// scrubber must find and quarantine the rotten block while the server
+// keeps serving; the kill-and-audit then recovers the media offline, runs
+// a synchronous scrub pass, and asserts the degraded-mode contract:
+// every corrupt block convicted in ONE pass, a second pass silent, the
+// hash-chain walk free of mismatches (rot desyncs and resyncs the chain,
+// it does not forge it), and reads either draining or failing fast with
+// the quarantine verdict instead of silently dropping entries.
+TEST_F(ChaosTest, BitRotIsQuarantinedWhileTheServiceKeepsServing) {
+  constexpr int kRotIterations = 6;
+  StartGeneration(CleanPolicy(), kSeedBase + 0x2000, /*scrub=*/true);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+
+  NetClientOptions client_options;
+  client_options.retry.max_attempts = 20;
+  client_options.retry.initial_backoff_ms = 1;
+
+  uint64_t flips = 0;
+  uint64_t appends = 0;
+  for (int iteration = 0; iteration < kRotIterations; ++iteration) {
+    SCOPED_TRACE("rot iteration " + std::to_string(iteration));
+    auto client = NetLogClient::Connect(port_, client_options);
+    ASSERT_OK(client.status());
+
+    // Append a burst of forced entries so fresh pure data blocks exist.
+    for (int i = 0; i < 40; ++i) {
+      std::string payload = "c0-" + std::to_string(appends++);
+      ASSERT_OK(
+          (*client)->Append(kLog, AsBytes(payload), true, true).status());
+    }
+
+    // Rot one burned data block of the log. The exclusive lock fences the
+    // media mutation against the scrubber's concurrent shared-lock reads.
+    uint64_t victim = 0;
+    {
+      std::unique_lock<std::shared_mutex> lock(service_->mutex());
+      ASSERT_OK_AND_ASSIGN(LogFileId id, service_->Resolve(kLog));
+      victim = FindDataBlockOf(service_.get(), id);
+      ASSERT_NE(victim, 0u);
+      Bytes buf(media_->block_size());
+      ASSERT_OK(media_->ReadBlock(victim, buf));
+      buf[100] ^= std::byte{0x01 << (iteration % 8)};
+      media_->Scribble(victim, buf);
+      service_->cache().Erase({0, victim});
+    }
+    ++flips;
+
+    // The background scrubber (interval 1ms) must find and quarantine the
+    // rotten block on its own while the server stays up.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    for (;;) {
+      {
+        std::shared_lock<std::shared_mutex> lock(service_->mutex());
+        if (service_->catalog().IsQuarantined(0, victim)) {
+          break;
+        }
+      }
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "scrubber never quarantined block " << victim;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    {
+      std::shared_lock<std::shared_mutex> lock(service_->mutex());
+      EXPECT_TRUE(service_->degraded());
+    }
+
+    // Degraded, not down: appends still succeed after the verdict, and a
+    // scan either drains or fails FAST with the quarantine status — never
+    // a silent skip of a block known to have held entries.
+    ASSERT_OK((*client)
+                  ->Append(kLog, AsBytes("c0-" + std::to_string(appends++)),
+                           true, true)
+                  .status());
+    {
+      std::shared_lock<std::shared_mutex> lock(service_->mutex());
+      ASSERT_OK_AND_ASSIGN(auto reader, service_->OpenReader(kLog));
+      for (;;) {
+        auto next = reader->Next();
+        if (!next.ok()) {
+          EXPECT_EQ(next.status().code(), StatusCode::kCorrupt)
+              << next.status().ToString();
+          break;
+        }
+        if (!next->has_value()) {
+          break;
+        }
+      }
+    }
+
+    (*client).reset();
+    KillServer();
+
+    // Offline audit: recover the bare media and scrub it synchronously.
+    {
+      SCOPED_TRACE("degraded audit after iteration " +
+                   std::to_string(iteration));
+      std::vector<std::unique_ptr<WormDevice>> devices;
+      devices.push_back(
+          std::make_unique<testing::BorrowedDevice>(media_.get()));
+      RecoveryReport recovery;
+      auto service = LogService::Recover(std::move(devices), &clock_,
+                                         ServiceOptions(), &recovery);
+      ASSERT_OK(service.status());
+
+      ScrubOptions audit_options;
+      audit_options.cursor_persist_blocks = 1 << 20;  // full passes only
+      Scrubber scrubber((*service).get(), audit_options);
+      ASSERT_OK_AND_ASSIGN(Scrubber::PassStats first, scrubber.RunOnce());
+      // Rot is detected as corruption, never as a forged chain, and every
+      // corrupt block found is convicted in the same pass.
+      EXPECT_EQ(first.chain_mismatches, 0u);
+      EXPECT_EQ(first.corrupt_blocks, first.quarantined);
+      ASSERT_OK_AND_ASSIGN(Scrubber::PassStats second, scrubber.RunOnce());
+      EXPECT_EQ(second.corrupt_blocks, 0u);
+      EXPECT_EQ(second.quarantined, 0u);
+
+      // After the pass the quarantine set covers exactly the rotten
+      // blocks: the verifier's corrupt count matches it, and the chain
+      // walk stays mismatch-free end to end.
+      EXPECT_EQ((*service)->catalog().quarantined().size(), flips);
+      ASSERT_OK_AND_ASSIGN(VerifyReport verify,
+                           VerifyVolume((*service)->current_volume()));
+      EXPECT_EQ(verify.blocks_corrupt, flips);
+      EXPECT_TRUE(verify.chain_mismatches.empty())
+          << verify.chain_mismatches.front();
+    }
+
+    StartGeneration(CleanPolicy(), kSeedBase + 0x2000 + iteration + 1,
+                    /*scrub=*/true);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  }
+  KillServer();
+  EXPECT_EQ(flips, static_cast<uint64_t>(kRotIterations));
+}
+
 // -- Partitioned deployment under the same chaos discipline. --
 //
 // N volume sequences behind one server (src/partition/), each append lane
@@ -484,7 +661,12 @@ class PartitionedChaosTest : public ::testing::Test {
           << "partition " << p
           << " missing_bits=" << verify.missing_bits.size()
           << " broken_chains=" << verify.broken_chains.size()
-          << " time_regressions=" << verify.time_regressions.size();
+          << " time_regressions=" << verify.time_regressions.size()
+          << " blocks_corrupt=" << verify.blocks_corrupt
+          << " chain_mismatches=" << verify.chain_mismatches.size()
+          << (verify.chain_mismatches.empty()
+                  ? ""
+                  : " first=" + verify.chain_mismatches.front());
       EXPECT_EQ((*service)->RouteOf(PartitionLog(p)),
                 std::optional<uint32_t>(p));
 

@@ -74,6 +74,41 @@ TEST(Verify, MultiMembershipVolumesVerifyClean) {
   EXPECT_TRUE(report.clean());
 }
 
+TEST(Verify, CorruptBlockMakesTheReportUnclean) {
+  // Regression: clean() once ignored blocks_corrupt entirely, so a volume
+  // full of unreadable blocks still audited "clean".
+  MemoryWormOptions dev;
+  dev.block_size = 512;
+  dev.capacity_blocks = 8192;
+  MemoryWormDevice media(dev);
+  SimulatedClock clock(1'000'000, 7);
+  LogServiceOptions options;
+  options.entrymap_degree = 8;
+  ASSERT_OK_AND_ASSIGN(
+      auto service,
+      LogService::Create(std::make_unique<testing::BorrowedDevice>(&media),
+                         &clock, options));
+  ASSERT_OK(service->CreateLogFile("/a").status());
+  Rng rng(5);
+  WriteOptions forced;
+  forced.force = true;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(
+        service->Append("/a", RandomPayload(&rng, 60), forced).status());
+  }
+  // Flip one stored bit: the block fails its CRC and is counted corrupt.
+  uint64_t victim = 4;
+  Bytes buf(dev.block_size);
+  ASSERT_OK(media.ReadBlock(victim, buf));
+  buf[100] ^= std::byte{0x10};
+  media.Scribble(victim, buf);
+  service->cache().Erase({0, victim});
+  ASSERT_OK_AND_ASSIGN(VerifyReport report,
+                       VerifyVolume(service->current_volume()));
+  EXPECT_FALSE(report.clean());
+  EXPECT_GE(report.blocks_corrupt, 1u);
+}
+
 TEST(Verify, InvalidatedDataBlockLeavesStaleBitsOnly) {
   MemoryWormOptions dev;
   dev.block_size = 512;
