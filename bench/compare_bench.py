@@ -24,6 +24,13 @@ the partition scaling factor) that must hold outright, not merely avoid
 regressing. A floor whose bench/op/counter is absent from the run fails
 (a silently vanished gate is itself a regression).
 
+--ceiling BENCH/op/metric=value is the mirror image: an ABSOLUTE
+maximum. `metric` may be a time key (p50_us, p99_us, us_per_op, ...) or
+a counter — latency gates ("soak p99 must stay under 10ms outright") and
+ratio gates ("idle connections may tax hot p99 by at most 1.5x") both
+use it. Like floors, a ceiling whose metric is missing from the run
+fails.
+
 Exit status: 0 when no metric regressed past the threshold, 1 otherwise.
 To refresh the baseline after an intentional perf change, run the benches
 with CLIO_BENCH_FAST=1 and rebuild baseline.json with --emit-baseline
@@ -104,28 +111,50 @@ def compare_op(bench, op, base_op, run_op, threshold, failures, notes):
             notes.append(line)
 
 
-def parse_floor(spec):
-    """'BENCH/op/counter=value' -> (bench, op, counter, float(value))."""
+def parse_bound(spec, flag):
+    """'BENCH/op/metric=value' -> (bench, op, metric, float(value))."""
     try:
         path, value = spec.split("=", 1)
-        bench, op, counter = path.split("/")
-        return bench, op, counter, float(value)
+        bench, op, metric = path.split("/")
+        return bench, op, metric, float(value)
     except ValueError:
-        sys.exit(f"compare_bench: bad --floor spec {spec!r} "
-                 "(want BENCH/op/counter=value)")
+        sys.exit(f"compare_bench: bad {flag} spec {spec!r} "
+                 "(want BENCH/op/metric=value)")
+
+
+def lookup_metric(runs, bench, op, metric):
+    """Run value for a bound's metric: op-level time key, else counter."""
+    op_record = runs.get(bench, {}).get("ops", {}).get(op, {})
+    if metric in op_record:
+        return op_record[metric]
+    return op_record.get("counters", {}).get(metric)
 
 
 def check_floors(runs, floors, failures, notes):
-    for bench, op, counter, minimum in floors:
-        value = (runs.get(bench, {}).get("ops", {}).get(op, {})
-                 .get("counters", {}).get(counter))
+    for bench, op, metric, minimum in floors:
+        value = lookup_metric(runs, bench, op, metric)
         if value is None:
-            failures.append(f"{bench}/{op} {counter}: floor {minimum:g} "
-                            "but counter missing from run")
+            failures.append(f"{bench}/{op} {metric}: floor {minimum:g} "
+                            "but metric missing from run")
             continue
         value = float(value)
-        line = f"{bench}/{op} {counter}: {value:.3f} (floor {minimum:g})"
+        line = f"{bench}/{op} {metric}: {value:.3f} (floor {minimum:g})"
         if value < minimum:
+            failures.append(line)
+        else:
+            notes.append(line)
+
+
+def check_ceilings(runs, ceilings, failures, notes):
+    for bench, op, metric, maximum in ceilings:
+        value = lookup_metric(runs, bench, op, metric)
+        if value is None:
+            failures.append(f"{bench}/{op} {metric}: ceiling {maximum:g} "
+                            "but metric missing from run")
+            continue
+        value = float(value)
+        line = f"{bench}/{op} {metric}: {value:.3f} (ceiling {maximum:g})"
+        if value > maximum:
             failures.append(line)
         else:
             notes.append(line)
@@ -138,9 +167,13 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression (default 0.25)")
     parser.add_argument("--floor", action="append", default=[],
-                        metavar="BENCH/op/counter=value",
-                        help="absolute minimum for a run counter "
+                        metavar="BENCH/op/metric=value",
+                        help="absolute minimum for a run metric "
                              "(repeatable); fails if below or missing")
+    parser.add_argument("--ceiling", action="append", default=[],
+                        metavar="BENCH/op/metric=value",
+                        help="absolute maximum for a run metric "
+                             "(repeatable); fails if above or missing")
     parser.add_argument("--emit-baseline", metavar="OUT",
                         help="write the run's records as a new baseline "
                              "instead of comparing")
@@ -180,8 +213,10 @@ def main():
         for op in sorted(set(base_ops) - set(run_ops)):
             notes.append(f"{bench}/{op}: in baseline but not in run (skipped)")
 
-    check_floors(runs, [parse_floor(spec) for spec in args.floor],
+    check_floors(runs, [parse_bound(s, "--floor") for s in args.floor],
                  failures, notes)
+    check_ceilings(runs, [parse_bound(s, "--ceiling") for s in args.ceiling],
+                   failures, notes)
 
     for line in notes:
         print(f"  ok   {line}")

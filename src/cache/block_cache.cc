@@ -1,6 +1,7 @@
 #include "src/cache/block_cache.h"
 
 #include <cassert>
+#include <iterator>
 #include <utility>
 
 #include "src/obs/metrics.h"
@@ -24,6 +25,10 @@ struct CacheCounters {
   Counter* evictions = ObsRegistry().counter("clio.cache.evictions");
   Counter* double_inserts =
       ObsRegistry().counter("clio.cache.double_insert");
+  // Outstanding pin leases (zero-copy replies in flight) and evictions
+  // that had to pass over a pinned LRU entry.
+  Gauge* pinned = ObsRegistry().gauge("clio.cache.pinned_blocks");
+  Counter* pin_skips = ObsRegistry().counter("clio.cache.pin_eviction_skips");
 };
 
 CacheCounters& Counters() {
@@ -44,6 +49,76 @@ BlockCache::BlockCache(size_t capacity_blocks)
     shards_[i].capacity =
         capacity_blocks / shards_.size() +
         (i < capacity_blocks % shards_.size() ? 1 : 0);
+  }
+}
+
+void BlockCache::PinLease::Release() {
+  if (cache_ != nullptr) {
+    cache_->Unpin(key_);
+    cache_ = nullptr;
+  }
+}
+
+BlockCache::PinLease BlockCache::Pin(const Key& key) {
+  if (capacity_blocks_ == 0) {
+    return PinLease();  // nothing is resident; nothing to pin
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    return PinLease();
+  }
+  ++it->second->pins;
+  Counters().pinned->Add(1);
+  return PinLease(this, key);
+}
+
+void BlockCache::Unpin(const Key& key) {
+  // The gauge tracks leases, not entries, so it stays accurate even when a
+  // pinned entry was dropped (Erase/Clear) before its lease died.
+  Counters().pinned->Add(-1);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end() && it->second->pins > 0) {
+    --it->second->pins;
+  }
+}
+
+size_t BlockCache::pinned_blocks() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Entry& e : shard.lru) {
+      if (e.pins > 0) {
+        ++total;
+      }
+    }
+  }
+  return total;
+}
+
+void BlockCache::MaybeEvict(Shard& shard) {
+  if (shard.map.size() < shard.capacity) {
+    return;
+  }
+  // Walk from coldest to hottest, passing over pinned entries. If every
+  // entry is pinned the shard temporarily exceeds capacity — the overshoot
+  // is bounded by the number of live leases, each of which is tied to one
+  // in-flight reply flush.
+  for (auto it = std::prev(shard.lru.end());; --it) {
+    if (it->pins == 0) {
+      ++shard.stats.evictions;
+      Counters().evictions->Increment();
+      shard.map.erase(it->key);
+      shard.lru.erase(it);
+      return;
+    }
+    Counters().pin_skips->Increment();
+    if (it == shard.lru.begin()) {
+      return;
+    }
   }
 }
 
@@ -83,12 +158,7 @@ std::shared_ptr<const Bytes> BlockCache::Insert(const Key& key, Bytes data) {
   }
   ++shard.stats.insertions;
   Counters().insertions->Increment();
-  if (shard.map.size() >= shard.capacity) {
-    ++shard.stats.evictions;
-    Counters().evictions->Increment();
-    shard.map.erase(shard.lru.back().key);
-    shard.lru.pop_back();
-  }
+  MaybeEvict(shard);
   shard.lru.push_front(Entry{key, shared});
   shard.map[key] = shard.lru.begin();
   return shared;
@@ -109,12 +179,7 @@ std::shared_ptr<const Bytes> BlockCache::Replace(const Key& key, Bytes data) {
   }
   ++shard.stats.insertions;
   Counters().insertions->Increment();
-  if (shard.map.size() >= shard.capacity) {
-    ++shard.stats.evictions;
-    Counters().evictions->Increment();
-    shard.map.erase(shard.lru.back().key);
-    shard.lru.pop_back();
-  }
+  MaybeEvict(shard);
   shard.lru.push_front(Entry{key, shared});
   shard.map[key] = shard.lru.begin();
   return shared;

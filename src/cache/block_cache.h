@@ -62,6 +62,53 @@ class BlockCache {
     bool operator==(const Key&) const = default;
   };
 
+  // Best-effort residency lease on one cached block (DESIGN.md §16). While
+  // at least one lease on a key is live, the LRU evictor skips that entry,
+  // so a block referenced by an in-flight zero-copy reply stays cached
+  // until the reply has been flushed. Pinning is a residency optimization
+  // only — LIVENESS of the bytes is always the shared_ptr's job — so a
+  // pinned entry may still be dropped by Erase/EraseDevice/Clear (the
+  // lease then unpins into nothing, harmlessly). An empty lease (default
+  // constructed, or from pinning a non-resident key) is a no-op.
+  class PinLease {
+   public:
+    PinLease() = default;
+    ~PinLease() { Release(); }
+    PinLease(PinLease&& other) noexcept
+        : cache_(other.cache_), key_(other.key_) {
+      other.cache_ = nullptr;
+    }
+    PinLease& operator=(PinLease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        cache_ = other.cache_;
+        key_ = other.key_;
+        other.cache_ = nullptr;
+      }
+      return *this;
+    }
+    PinLease(const PinLease&) = delete;
+    PinLease& operator=(const PinLease&) = delete;
+
+    explicit operator bool() const { return cache_ != nullptr; }
+    // Unpins early (idempotent; the destructor does the same).
+    void Release();
+
+   private:
+    friend class BlockCache;
+    PinLease(BlockCache* cache, const Key& key) : cache_(cache), key_(key) {}
+    BlockCache* cache_ = nullptr;
+    Key key_{};
+  };
+
+  // Pins `key` if it is currently resident; returns an empty lease
+  // otherwise. Pins stack: an entry is evictable again only when every
+  // lease on it has been released.
+  PinLease Pin(const Key& key);
+
+  // Blocks currently held by at least one pin lease (over all shards).
+  size_t pinned_blocks() const;
+
   // Returns the cached block and bumps it to most-recently-used, or nullptr
   // on miss.
   std::shared_ptr<const Bytes> Lookup(const Key& key);
@@ -107,6 +154,8 @@ class BlockCache {
   struct Entry {
     Key key;
     std::shared_ptr<const Bytes> data;
+    // Live PinLease count; > 0 exempts the entry from LRU eviction.
+    uint32_t pins = 0;
   };
 
   using LruList = std::list<Entry>;
@@ -120,6 +169,15 @@ class BlockCache {
     std::unordered_map<Key, LruList::iterator, KeyHash> map;
     CacheStats stats;
   };
+
+  // Drops one lease on `key` (no-op if the entry is gone).
+  void Unpin(const Key& key);
+
+  // Evicts the least-recently-used UNPINNED entry of `shard` if the shard
+  // is at capacity. When every entry is pinned the insert proceeds over
+  // capacity instead (bounded by the number of in-flight leases). Caller
+  // holds shard.mu.
+  void MaybeEvict(Shard& shard);
 
   Shard& ShardFor(const Key& key) {
     // The map consumes the low hash bits; shard selection uses the high

@@ -155,6 +155,9 @@ class ParsedBlock {
   std::optional<uint64_t> chain_tag() const { return chain_tag_; }
   uint16_t used_bytes() const { return used_; }
   const Bytes& image() const { return *image_; }
+  // The shared block image, for zero-copy payload segments that must keep
+  // the bytes alive past this ParsedBlock (see PayloadSegment).
+  const std::shared_ptr<const Bytes>& shared_image() const { return image_; }
 
   // Timestamp of the block's first entry. The writer guarantees the first
   // entry of every block is timestamped (§2.1), so this is present for any

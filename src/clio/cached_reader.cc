@@ -75,6 +75,17 @@ Result<std::shared_ptr<const Bytes>> CachedBlockReader::FetchSequential(
   return demanded;
 }
 
+std::shared_ptr<void> CachedBlockReader::Pin(uint64_t block) {
+  if (cache_ == nullptr) {
+    return nullptr;
+  }
+  BlockCache::PinLease lease = cache_->Pin({cache_device_id_, block});
+  if (!lease) {
+    return nullptr;
+  }
+  return std::make_shared<BlockCache::PinLease>(std::move(lease));
+}
+
 void CachedBlockReader::Put(uint64_t block, Bytes image) {
   if (cache_ != nullptr) {
     cache_->Insert({cache_device_id_, block}, std::move(image));

@@ -39,6 +39,13 @@ class CachedBlockReader {
                                                        uint32_t readahead,
                                                        OpStats* stats);
 
+  // Type-erased cache-residency pin on `block` for zero-copy payload
+  // segments (PayloadSegment::pin): holds a BlockCache::PinLease so the
+  // block is exempt from LRU eviction until the pin is dropped. Null when
+  // the block is not resident (or caching is off) — liveness then rests on
+  // the segment's shared image alone, which is always sufficient.
+  std::shared_ptr<void> Pin(uint64_t block);
+
   // Inserts a freshly burned block image (write path keeps the cache warm,
   // mirroring the paper's observation that recent data is read from cache).
   void Put(uint64_t block, Bytes image);

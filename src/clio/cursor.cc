@@ -58,7 +58,9 @@ Result<LogEntryRecord> VolumeCursor::MakeRecord(uint64_t block,
   bool truncated = false;
   CLIO_ASSIGN_OR_RETURN(
       record.payload,
-      volume_->AssembleEntryPayload(block, parsed, index, stats, &truncated));
+      volume_->AssembleEntryPayload(block, parsed, index, stats, &truncated,
+                                    collect_segments_ ? &record.segments
+                                                      : nullptr));
   record.truncated = truncated;
   return record;
 }

@@ -31,6 +31,12 @@ class VolumeCursor {
   LogFileId logfile_id() const { return id_; }
   LogVolume* volume() { return volume_; }
 
+  // Zero-copy mode: records carry their payload as PayloadSegments
+  // referencing pinned block images instead of a flat copy (DESIGN.md
+  // §16). Callers that enable this must consume records via
+  // segments/CopyPayload, not .payload.
+  void set_collect_segments(bool on) { collect_segments_ = on; }
+
   // Position before the first / after the last entry currently present.
   void SeekToStart() { state_ = State::kAtStart; }
   void SeekToEnd() { state_ = State::kAtEnd; }
@@ -68,6 +74,7 @@ class VolumeCursor {
 
   LogVolume* volume_;
   LogFileId id_;
+  bool collect_segments_ = false;
   State state_ = State::kAtStart;
   // Valid when kPositioned: the gap sits immediately before entry `index_`
   // of `block_` (index_ may exceed the block's entry count = gap at the

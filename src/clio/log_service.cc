@@ -536,6 +536,7 @@ Status LogReader::EnsureCursor(size_t volume_index) {
                         service_->VolumeForRead(volume_index));
   volume_index_ = volume_index;
   cursor_.emplace(volume, id_);
+  cursor_->set_collect_segments(zero_copy_);
   return Status::Ok();
 }
 

@@ -249,6 +249,17 @@ class LogReader {
 
   LogFileId logfile_id() const { return id_; }
 
+  // Zero-copy mode (DESIGN.md §16): returned records carry PayloadSegments
+  // into pinned block images instead of flat payload copies. Only enable
+  // when every consumer of this reader's records goes through
+  // segments/CopyPayload (the net server's reply encoder does).
+  void set_zero_copy(bool on) {
+    zero_copy_ = on;
+    if (cursor_.has_value()) {
+      cursor_->set_collect_segments(on);
+    }
+  }
+
   void SeekToStart();
   void SeekToEnd();
   // Position so Prev() yields the last entry with timestamp <= t.
@@ -281,6 +292,7 @@ class LogReader {
   LogService* service_;
   LogFileId id_;
   size_t volume_index_;
+  bool zero_copy_ = false;
   std::optional<VolumeCursor> cursor_;
   enum class Edge { kStart, kEnd, kNone } pending_edge_ = Edge::kStart;
 };

@@ -3,6 +3,7 @@
 #define SRC_CLIO_TYPES_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -88,6 +89,24 @@ struct EntryPosition {
   auto operator<=>(const EntryPosition&) const = default;
 };
 
+// One contiguous slice of an entry's payload, referencing the block image
+// it was parsed from instead of copying it (DESIGN.md §16). `image` keeps
+// the (immutable, write-once) block bytes alive for as long as the segment
+// exists; `pin` optionally holds a cache-residency lease (a type-erased
+// BlockCache::PinLease) so the block also stays cached until the segment
+// is consumed. A non-fragmented entry has one segment; each continuation
+// fragment adds one.
+struct PayloadSegment {
+  std::shared_ptr<const Bytes> image;
+  uint32_t offset = 0;
+  uint32_t length = 0;
+  std::shared_ptr<void> pin;
+
+  std::span<const std::byte> view() const {
+    return std::span<const std::byte>(*image).subspan(offset, length);
+  }
+};
+
 // A log entry as returned to readers.
 struct LogEntryRecord {
   LogFileId logfile_id = kNoLogFileId;
@@ -98,10 +117,32 @@ struct LogEntryRecord {
   std::optional<uint32_t> client_sequence;
   std::vector<LogFileId> extra_memberships;
   Bytes payload;
+  // Zero-copy representation (readers in zero-copy mode): when non-empty,
+  // `segments` — not `payload`, which is left empty — is the authoritative
+  // payload, as borrowed views into pinned block images. The two forms are
+  // mutually exclusive; payload_size()/CopyPayload() work on either.
+  std::vector<PayloadSegment> segments;
   EntryPosition position;
   // True if part of the entry's fragment chain was lost to corruption; the
   // payload holds whatever survived (§2.3.2: surface the useful remainder).
   bool truncated = false;
+
+  size_t payload_size() const {
+    size_t total = payload.size();
+    for (const PayloadSegment& s : segments) {
+      total += s.length;
+    }
+    return total;
+  }
+  // The payload as one contiguous buffer, copying segments if needed.
+  Bytes CopyPayload() const {
+    Bytes out = payload;
+    for (const PayloadSegment& s : segments) {
+      auto v = s.view();
+      out.insert(out.end(), v.begin(), v.end());
+    }
+    return out;
+  }
 };
 
 // Per-operation cost counters. The paper's tables are expressed in these

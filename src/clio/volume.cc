@@ -450,14 +450,36 @@ Result<ParsedBlock> LogVolume::GetBlock(uint64_t block, OpStats* stats,
   return ParsedBlock::Parse(std::move(image).value());
 }
 
-Result<Bytes> LogVolume::AssembleEntryPayload(uint64_t block,
-                                              const ParsedBlock& parsed,
-                                              size_t entry_index,
-                                              OpStats* stats,
-                                              bool* truncated) {
+namespace {
+
+// Segment describing `span` within the (shared) image it points into,
+// pinned in the cache while the segment lives (best effort).
+PayloadSegment SegmentFor(const ParsedBlock& parsed,
+                          std::span<const std::byte> span, uint64_t block,
+                          CachedBlockReader* blocks) {
+  PayloadSegment segment;
+  segment.image = parsed.shared_image();
+  segment.offset = static_cast<uint32_t>(span.data() - segment.image->data());
+  segment.length = static_cast<uint32_t>(span.size());
+  segment.pin = blocks->Pin(block);
+  return segment;
+}
+
+}  // namespace
+
+Result<Bytes> LogVolume::AssembleEntryPayload(
+    uint64_t block, const ParsedBlock& parsed, size_t entry_index,
+    OpStats* stats, bool* truncated, std::vector<PayloadSegment>* segments) {
   *truncated = false;
   const ParsedEntry& base = parsed.entries()[entry_index];
-  Bytes out(base.payload.begin(), base.payload.end());
+  Bytes out;
+  if (segments != nullptr) {
+    if (!base.payload.empty()) {
+      segments->push_back(SegmentFor(parsed, base.payload, block, &blocks_));
+    }
+  } else {
+    out.assign(base.payload.begin(), base.payload.end());
+  }
   bool continues = entry_index + 1 == parsed.entries().size() &&
                    parsed.last_entry_continues();
   uint64_t b = block;
@@ -482,7 +504,14 @@ Result<Bytes> LogVolume::AssembleEntryPayload(uint64_t block,
     for (size_t i = 0; i < next.value().entries().size(); ++i) {
       const ParsedEntry& e = next.value().entries()[i];
       if (e.is_fragment() && e.logfile_id == base.logfile_id) {
-        out.insert(out.end(), e.payload.begin(), e.payload.end());
+        if (segments != nullptr) {
+          if (!e.payload.empty()) {
+            segments->push_back(
+                SegmentFor(next.value(), e.payload, b, &blocks_));
+          }
+        } else {
+          out.insert(out.end(), e.payload.begin(), e.payload.end());
+        }
         continues = i + 1 == next.value().entries().size() &&
                     next.value().last_entry_continues();
         found = true;

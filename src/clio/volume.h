@@ -147,9 +147,17 @@ class LogVolume {
   // Full payload of entry `entry_index` of `parsed` (which was read from
   // `block`), following its fragment chain into subsequent blocks. Sets
   // *truncated if part of the chain was lost to corruption.
+  //
+  // When `segments` is non-null the payload is returned by REFERENCE
+  // instead: one PayloadSegment per fragment, each holding the parsed
+  // block's image (shared, immutable) plus a best-effort cache pin, and
+  // the returned flat Bytes stays empty (DESIGN.md §16). Callers choose
+  // exactly one representation.
   Result<Bytes> AssembleEntryPayload(uint64_t block, const ParsedBlock& parsed,
                                      size_t entry_index, OpStats* stats,
-                                     bool* truncated);
+                                     bool* truncated,
+                                     std::vector<PayloadSegment>* segments
+                                     = nullptr);
 
  private:
   LogVolume(WormDevice* device, BlockCache* cache, uint64_t cache_device_id,

@@ -99,6 +99,25 @@ Counter* RequestCounter(LogOp op) {
   return counters[index >= 1 && index <= kMaxOp ? index : 0];
 }
 
+// Per-class latency histograms: appends and reads are the two op families
+// the soak bench gates on, so they get their own percentile series beside
+// the all-ops clio.rpc.request_us. Null for everything else (ScopedTimer
+// treats null as "don't record").
+Histogram* OpClassHistogram(LogOp op) {
+  static Histogram* append_us = ObsRegistry().histogram("clio.rpc.append_us");
+  static Histogram* read_us = ObsRegistry().histogram("clio.rpc.read_us");
+  switch (op) {
+    case LogOp::kAppend:
+      return append_us;
+    case LogOp::kReadNext:
+    case LogOp::kReadPrev:
+    case LogOp::kReadBatch:
+      return read_us;
+    default:
+      return nullptr;
+  }
+}
+
 }  // namespace
 
 std::string_view LogOpName(LogOp op) {
@@ -173,12 +192,23 @@ Result<Bytes> DecodeReplyBody(std::span<const std::byte> body) {
 namespace {
 
 // Record-level halves shared by the single-entry and batch codecs.
-void AppendEntryRecord(ByteWriter* w, const LogEntryRecord& record) {
+// A record arrives in one of two representations (types.h): a flat
+// `payload`, or zero-copy `segments` into block images. Both encode to
+// the same bytes — flattening here is the fallback for the ops that have
+// no scatter path (kReadNext/kReadPrev on a zero-copy reader).
+void AppendEntryRecordMeta(ByteWriter* w, const LogEntryRecord& record) {
   w->PutU16(record.logfile_id);
   w->PutI64(record.timestamp);
   w->PutU8(record.timestamp_exact ? 1 : 0);
-  w->PutU32(static_cast<uint32_t>(record.payload.size()));
+  w->PutU32(static_cast<uint32_t>(record.payload_size()));
+}
+
+void AppendEntryRecord(ByteWriter* w, const LogEntryRecord& record) {
+  AppendEntryRecordMeta(w, record);
   w->PutBytes(record.payload);
+  for (const PayloadSegment& segment : record.segments) {
+    w->PutBytes(segment.view());
+  }
 }
 
 RemoteEntry ReadEntryRecord(ByteReader* r) {
@@ -229,6 +259,63 @@ Bytes EncodeEntryBatch(const std::vector<LogEntryRecord>& records,
     AppendEntryRecord(&w, record);
   }
   return out;
+}
+
+void WireMessage::AddOwned(Bytes bytes) {
+  if (bytes.empty()) {
+    return;
+  }
+  total_bytes_ += bytes.size();
+  WireSlice slice;
+  slice.owned = std::move(bytes);
+  slices_.push_back(std::move(slice));
+}
+
+void WireMessage::AddBorrowed(PayloadSegment segment) {
+  if (segment.length == 0) {
+    return;
+  }
+  total_bytes_ += segment.length;
+  borrowed_bytes_ += segment.length;
+  WireSlice slice;
+  slice.ref = std::move(segment);
+  slices_.push_back(std::move(slice));
+}
+
+Bytes WireMessage::Flatten() const {
+  Bytes out;
+  out.reserve(total_bytes_);
+  for (const WireSlice& slice : slices_) {
+    auto view = slice.view();
+    out.insert(out.end(), view.begin(), view.end());
+  }
+  return out;
+}
+
+void EncodeEntryBatchReplyTo(const std::vector<LogEntryRecord>& records,
+                             bool at_end, WireMessage* out) {
+  // Owned metadata accumulates here and is cut into a slice each time a
+  // borrowed payload interleaves. `meta` is re-used after the move; the
+  // clear() restores it to a known-empty state.
+  Bytes meta;
+  ByteWriter w(&meta);
+  w.PutU8(static_cast<uint8_t>(StatusCode::kOk));
+  w.PutString("");  // EncodeOkReplyBody's empty message
+  w.PutU32(static_cast<uint32_t>(records.size()));
+  w.PutU8(at_end ? 1 : 0);
+  for (const LogEntryRecord& record : records) {
+    AppendEntryRecordMeta(&w, record);
+    w.PutBytes(record.payload);  // flat records stay inline
+    for (const PayloadSegment& segment : record.segments) {
+      if (segment.length == 0) {
+        continue;
+      }
+      out->AddOwned(std::move(meta));
+      meta.clear();
+      out->AddBorrowed(segment);
+    }
+  }
+  out->AddOwned(std::move(meta));
 }
 
 Result<EntryBatch> DecodeEntryBatch(std::span<const std::byte> payload) {
@@ -312,6 +399,10 @@ class SingleServiceBackend::ReaderImpl : public DispatchBackend::Reader {
     reader_->SeekToEnd();
     return Status::Ok();
   }
+  void SetZeroCopy(bool on) override {
+    MaybeServiceLock lock(mu_, exclusive_);
+    reader_->set_zero_copy(on);
+  }
 
  private:
   std::unique_ptr<LogReader> reader_;
@@ -388,6 +479,7 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
   static Histogram* request_us =
       ObsRegistry().histogram("clio.rpc.request_us");
   ScopedTimer timer(request_us);
+  ScopedTimer op_timer(OpClassHistogram(op));
   TraceSpanTimer dispatch_span(TraceStage::kDispatch);
 
   // kStats reads only the (internally synchronized) metrics registry, so
@@ -494,6 +586,9 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
         return EncodeErrorReplyBody(reader.status());
       }
       uint64_t handle = next_handle_++;
+      if (zero_copy_) {
+        reader.value()->SetZeroCopy(true);
+      }
       readers_[handle] = std::move(reader).value();
       Bytes payload;
       ByteWriter w(&payload);
@@ -519,40 +614,8 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
       }
       return EncodeOkReplyBody(EncodeEntryRecord(record.value()));
     }
-    case LogOp::kReadBatch: {
-      uint64_t handle = r.GetU64();
-      uint32_t max_entries = r.GetU32();
-      if (r.failed() || max_entries == 0) {
-        return EncodeErrorReplyBody(InvalidArgument("malformed batch read"));
-      }
-      auto it = readers_.find(handle);
-      if (it == readers_.end()) {
-        return EncodeErrorReplyBody(NotFound("no such reader handle"));
-      }
-      max_entries = std::min(max_entries, kReadBatchMaxEntries);
-      std::vector<LogEntryRecord> records;
-      size_t bytes = 0;
-      bool at_end = false;
-      while (records.size() < max_entries && bytes < kReadBatchByteBudget) {
-        auto record = it->second->Next();
-        if (!record.ok()) {
-          // Mid-batch failure: return the prefix that DID read; a clean
-          // error only if nothing did. The reader is positioned after the
-          // prefix, so the client's next call surfaces the error itself.
-          if (records.empty()) {
-            return EncodeErrorReplyBody(record.status());
-          }
-          break;
-        }
-        if (!record.value().has_value()) {
-          at_end = true;
-          break;
-        }
-        bytes += record.value()->payload.size() + 16;
-        records.push_back(std::move(*record.value()));
-      }
-      return EncodeOkReplyBody(EncodeEntryBatch(records, at_end));
-    }
+    case LogOp::kReadBatch:
+      return ReadBatch(body, /*scatter=*/nullptr);
     case LogOp::kSeekToTime: {
       uint64_t handle = r.GetU64();
       Timestamp t = r.GetI64();
@@ -607,6 +670,69 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
     }
   }
   return EncodeErrorReplyBody(Unimplemented("unknown log server op"));
+}
+
+Bytes ServiceDispatcher::ReadBatch(std::span<const std::byte> body,
+                                   WireMessage* scatter) {
+  ByteReader r(body);
+  uint64_t handle = r.GetU64();
+  uint32_t max_entries = r.GetU32();
+  if (r.failed() || max_entries == 0) {
+    return EncodeErrorReplyBody(InvalidArgument("malformed batch read"));
+  }
+  auto it = readers_.find(handle);
+  if (it == readers_.end()) {
+    return EncodeErrorReplyBody(NotFound("no such reader handle"));
+  }
+  max_entries = std::min(max_entries, kReadBatchMaxEntries);
+  std::vector<LogEntryRecord> records;
+  size_t bytes = 0;
+  bool at_end = false;
+  while (records.size() < max_entries && bytes < kReadBatchByteBudget) {
+    auto record = it->second->Next();
+    if (!record.ok()) {
+      // Mid-batch failure: return the prefix that DID read; a clean
+      // error only if nothing did. The reader is positioned after the
+      // prefix, so the client's next call surfaces the error itself.
+      if (records.empty()) {
+        return EncodeErrorReplyBody(record.status());
+      }
+      break;
+    }
+    if (!record.value().has_value()) {
+      at_end = true;
+      break;
+    }
+    bytes += record.value()->payload_size() + 16;
+    records.push_back(std::move(*record.value()));
+  }
+  if (scatter != nullptr) {
+    EncodeEntryBatchReplyTo(records, at_end, scatter);
+    return {};
+  }
+  return EncodeOkReplyBody(EncodeEntryBatch(records, at_end));
+}
+
+WireMessage ServiceDispatcher::DispatchScatter(LogOp op,
+                                               std::span<const std::byte> body) {
+  WireMessage msg;
+  if (!zero_copy_ || op != LogOp::kReadBatch) {
+    msg.AddOwned(Dispatch(op, body));
+    return msg;
+  }
+  // Mirror Dispatch's accounting so the two entry points are
+  // indistinguishable in metrics and traces.
+  RequestCounter(op)->Increment();
+  static Histogram* request_us =
+      ObsRegistry().histogram("clio.rpc.request_us");
+  ScopedTimer timer(request_us);
+  ScopedTimer op_timer(OpClassHistogram(op));
+  TraceSpanTimer dispatch_span(TraceStage::kDispatch);
+  Bytes flat = ReadBatch(body, &msg);
+  if (msg.empty()) {
+    msg.AddOwned(std::move(flat));  // the error-reply paths stay flat
+  }
+  return msg;
 }
 
 // ---------------------------------------------------------------------------

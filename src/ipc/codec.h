@@ -99,6 +99,48 @@ Bytes EncodeErrorReplyBody(const Status& status);
 // Splits a reply body into its payload, or the error it carries.
 Result<Bytes> DecodeReplyBody(std::span<const std::byte> body);
 
+// -- Scatter-gather reply bodies (the zero-copy reply path). --
+//
+// A WireMessage is a reply body held as a sequence of slices: owned bytes
+// (status prefix, record metadata) interleaved with borrowed views into
+// block images held alive by shared_ptr and kept cache-resident by pin
+// leases. The event-loop server flushes one with writev(), so borrowed
+// payload bytes go from the block image straight to the socket without an
+// intermediate copy. Flatten() produces the byte-identical contiguous
+// form; every transport-visible encoding decision lives in the encoders
+// below, never in the slicing.
+struct WireSlice {
+  Bytes owned;         // used when ref.image == nullptr
+  PayloadSegment ref;  // borrowed view (+ pin) otherwise
+  bool borrowed() const { return ref.image != nullptr; }
+  std::span<const std::byte> view() const {
+    return borrowed() ? ref.view() : std::span<const std::byte>(owned);
+  }
+};
+
+class WireMessage {
+ public:
+  bool empty() const { return slices_.empty(); }
+  const std::vector<WireSlice>& slices() const { return slices_; }
+  size_t total_bytes() const { return total_bytes_; }
+  // Bytes that will be written directly from block images (the zero-copy
+  // savings; feeds clio.net.reply.zerocopy_bytes).
+  size_t borrowed_bytes() const { return borrowed_bytes_; }
+
+  void AddOwned(Bytes bytes);
+  void AddBorrowed(PayloadSegment segment);
+
+  // Contiguous form, byte-identical to what a flat encoder would have
+  // produced. Fallback for transports without scatter I/O and for A/B
+  // equivalence tests.
+  Bytes Flatten() const;
+
+ private:
+  std::vector<WireSlice> slices_;
+  size_t total_bytes_ = 0;
+  size_t borrowed_bytes_ = 0;
+};
+
 // -- Entry records (the reply payload of kReadNext / kReadPrev). --
 Bytes EncodeEntryRecord(const std::optional<LogEntryRecord>& record);
 Result<std::optional<RemoteEntry>> DecodeEntryRecord(
@@ -117,6 +159,15 @@ struct EntryBatch {
 Bytes EncodeEntryBatch(const std::vector<LogEntryRecord>& records,
                        bool at_end);
 Result<EntryBatch> DecodeEntryBatch(std::span<const std::byte> payload);
+
+// Scatter form of EncodeOkReplyBody(EncodeEntryBatch(records, at_end)):
+// record metadata accumulates in owned slices; payloads carried as
+// PayloadSegments (zero-copy readers) become borrowed slices referencing
+// the block images directly. Byte-identical to the flat form after
+// Flatten(); records with flat payloads are inlined into the metadata
+// slice unchanged.
+void EncodeEntryBatchReplyTo(const std::vector<LogEntryRecord>& records,
+                             bool at_end, WireMessage* out);
 
 // -- Append requests (the request body of kAppend). --
 //
@@ -172,6 +223,11 @@ class DispatchBackend {
     virtual Status SeekToTime(Timestamp t) = 0;
     virtual Status SeekToStart() = 0;
     virtual Status SeekToEnd() = 0;
+    // Zero-copy mode: records come back carrying PayloadSegments instead
+    // of flat payloads (see LogReader::set_zero_copy). Default no-op so
+    // backends without segment support keep returning flat records, which
+    // every consumer still accepts.
+    virtual void SetZeroCopy(bool on) { (void)on; }
   };
 
   virtual ~DispatchBackend() = default;
@@ -261,15 +317,33 @@ class ServiceDispatcher {
   explicit ServiceDispatcher(DispatchBackend* backend, AppendFn append_fn = {})
       : backend_(backend), append_fn_(std::move(append_fn)) {}
 
+  // Zero-copy reply mode (the event-loop server's default): readers opened
+  // after this collect PayloadSegments, and DispatchScatter returns
+  // kReadBatch replies as scatter lists over the pinned block images. Set
+  // once at session setup, before any requests.
+  void set_zero_copy(bool on) { zero_copy_ = on; }
+
   // Executes one request and returns the encoded reply body.
   Bytes Dispatch(LogOp op, std::span<const std::byte> body);
 
+  // Scatter-aware Dispatch: identical semantics and (after Flatten())
+  // identical bytes, but in zero-copy mode a kReadBatch reply keeps entry
+  // payloads as borrowed slices. Every other op degenerates to one owned
+  // slice.
+  WireMessage DispatchScatter(LogOp op, std::span<const std::byte> body);
+
  private:
+  // The kReadBatch handler, shared by both dispatch forms. With `scatter`
+  // non-null the reply goes there (return value empty); otherwise returns
+  // the flat reply body.
+  Bytes ReadBatch(std::span<const std::byte> body, WireMessage* scatter);
+
   std::unique_ptr<DispatchBackend> owned_backend_;
   DispatchBackend* backend_;
   AppendFn append_fn_;
   std::map<uint64_t, std::unique_ptr<DispatchBackend::Reader>> readers_;
   uint64_t next_handle_ = 1;
+  bool zero_copy_ = false;
 };
 
 // Typed client stub; transports supply Call(). The reader-facing methods

@@ -1,0 +1,100 @@
+#include "src/net/event_loop.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace clio {
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Unavailable(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+  }
+}
+
+Status EventLoop::Init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return ErrnoStatus("epoll_create1");
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return ErrnoStatus("eventfd");
+  }
+  return Add(wake_fd_, EPOLLIN, nullptr);
+}
+
+Status EventLoop::Add(int fd, uint32_t events, void* tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return ErrnoStatus("epoll_ctl(ADD)");
+  }
+  return Status::Ok();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events, void* tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return ErrnoStatus("epoll_ctl(MOD)");
+  }
+  return Status::Ok();
+}
+
+Status EventLoop::Remove(int fd) {
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    return ErrnoStatus("epoll_ctl(DEL)");
+  }
+  return Status::Ok();
+}
+
+Result<int> EventLoop::Poll(std::span<epoll_event> out, int timeout_ms) {
+  int n = ::epoll_wait(epoll_fd_, out.data(), static_cast<int>(out.size()),
+                       timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) {
+      return 0;
+    }
+    return ErrnoStatus("epoll_wait");
+  }
+  for (int i = 0; i < n; ++i) {
+    if (out[i].data.ptr == nullptr) {
+      // Drain the eventfd so level-triggered epoll quiets down; coalesced
+      // wakes collapse into this one readout.
+      uint64_t count = 0;
+      ssize_t r;
+      do {
+        r = ::read(wake_fd_, &count, sizeof(count));
+      } while (r < 0 && errno == EINTR);
+    }
+  }
+  return n;
+}
+
+void EventLoop::Wake() {
+  const uint64_t one = 1;
+  ssize_t r;
+  do {
+    r = ::write(wake_fd_, &one, sizeof(one));
+  } while (r < 0 && errno == EINTR);
+  // EAGAIN means the counter is saturated — a wake is already pending,
+  // which is all a caller wants.
+}
+
+}  // namespace clio

@@ -26,6 +26,21 @@ Bytes EncodeFrame(const FrameHeader& header, std::span<const std::byte> body) {
   return out;
 }
 
+Bytes EncodeFrameHeaderOnly(const FrameHeader& header) {
+  const bool legacy = header.version == kFrameVersionLegacy;
+  Bytes out(kFrameHeaderSize + (legacy ? 0 : kFrameTraceExtSize));
+  StoreU32(out, 0, kFrameMagic);
+  StoreU16(out, 4, legacy ? kFrameVersionLegacy : kFrameVersion);
+  StoreU16(out, 6, 0);  // flags
+  StoreU32(out, 8, header.op);
+  StoreU64(out, 12, header.request_id);
+  StoreU32(out, 20, header.body_size);
+  if (!legacy) {
+    StoreU64(out, 24, header.trace_id);
+  }
+  return out;
+}
+
 Result<FrameHeader> DecodeFramePrefix(std::span<const std::byte> data,
                                       uint32_t max_body_size) {
   if (data.size() < kFrameHeaderSize) {

@@ -74,6 +74,11 @@ constexpr size_t FrameExtensionSize(uint16_t version) {
 // header the bare 24-byte prefix (its trace_id is not encoded).
 Bytes EncodeFrame(const FrameHeader& header, std::span<const std::byte> body);
 
+// Header bytes only, with header.body_size announcing a body the caller
+// sends separately (the event-loop server's scatter reply path, which
+// writev()s the header alongside borrowed body slices).
+Bytes EncodeFrameHeaderOnly(const FrameHeader& header);
+
 // Validates and decodes the 24-byte header prefix. `data` needs only the
 // prefix; for a v2 header the caller then reads
 // FrameExtensionSize(header.version) more bytes and passes them to

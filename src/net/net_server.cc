@@ -1,10 +1,13 @@
 #include "src/net/net_server.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <optional>
 #include <utility>
 
+#include "src/net/conn_state.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/partition/partition_backend.h"
@@ -13,7 +16,10 @@
 namespace clio {
 namespace {
 
-// Poll slice: how often a blocked session rechecks stop + idle deadline.
+using Clock = std::chrono::steady_clock;
+
+// Poll slice: how often a blocked session (or the event loop's deadline
+// sweep) rechecks stop + idle deadlines.
 constexpr int kPollSliceMs = 50;
 
 struct ServerMetrics {
@@ -26,6 +32,20 @@ struct ServerMetrics {
   Counter* bytes_out = ObsRegistry().counter("clio.net.server.bytes_out");
   Gauge* active_sessions =
       ObsRegistry().gauge("clio.net.server.active_sessions");
+  // Event-loop mode: payload bytes handed to the socket straight from
+  // block images, never copied into a reply buffer (counted when the
+  // reply is queued), loop activity, and per-stage latency
+  // (parked-in-queue, worker execution, reply flush).
+  Counter* zerocopy_bytes =
+      ObsRegistry().counter("clio.net.reply.zerocopy_bytes");
+  Counter* loop_wakeups = ObsRegistry().counter("clio.net.loop.wakeups");
+  Gauge* queue_depth = ObsRegistry().gauge("clio.net.loop.queue_depth");
+  Histogram* stage_queue_us =
+      ObsRegistry().histogram("clio.net.stage.queue_us");
+  Histogram* stage_handle_us =
+      ObsRegistry().histogram("clio.net.stage.handle_us");
+  Histogram* stage_flush_us =
+      ObsRegistry().histogram("clio.net.stage.flush_us");
 };
 
 ServerMetrics& Metrics() {
@@ -34,6 +54,31 @@ ServerMetrics& Metrics() {
 }
 
 }  // namespace
+
+// One event-loop connection. The transport machine (ConnState) and the
+// session's dispatcher travel together between the loop thread and a
+// worker. While `busy` is true the worker owns everything here and the
+// loop thread touches nothing but `busy` itself; the worker's release
+// store of busy=false (after its inline flush) publishes its writes to
+// the loop's acquire loads. The remaining booleans stay loop-confined.
+struct NetLogServer::Conn {
+  Conn(TcpSocket socket, uint32_t max_frame_body)
+      : state(std::move(socket), max_frame_body) {}
+
+  ConnState state;
+  std::unique_ptr<PartitionedDispatchBackend> backend;
+  std::optional<ServiceDispatcher> dispatcher;
+
+  Clock::time_point idle_deadline;
+  Clock::time_point io_deadline;  // mid-frame stall / stuck-flush limit
+  bool io_deadline_armed = false;
+  std::atomic<bool> busy{false};  // parked; a worker owns the connection
+  bool flushing = false;  // EPOLLOUT armed, reply partially written
+  bool dead = false;      // closed; reaped after the current event batch
+  uint64_t enqueued_us = 0;
+  uint64_t flush_start_us = 0;
+  uint64_t trace_id = 0;  // of the request being answered
+};
 
 NetLogServer::NetLogServer(LogService* service,
                            const NetLogServerOptions& options)
@@ -103,7 +148,24 @@ Result<std::unique_ptr<NetLogServer>> NetLogServer::Boot(
       lane.scrubber->Start();
     }
   }
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  if (options.thread_per_conn) {
+    server->accept_thread_ =
+        std::thread([s = server.get()] { s->AcceptLoop(); });
+    return server;
+  }
+  CLIO_RETURN_IF_ERROR(server->loop_.Init());
+  CLIO_RETURN_IF_ERROR(server->listener_.SetNonBlocking(true));
+  CLIO_RETURN_IF_ERROR(server->loop_.Add(server->listener_.fd(), EPOLLIN,
+                                         &server->listener_));
+  size_t workers = options.workers;
+  if (workers == 0) {
+    workers = std::max(8u, std::thread::hardware_concurrency());
+  }
+  for (size_t i = 0; i < workers; ++i) {
+    server->worker_threads_.emplace_back(
+        [s = server.get()] { s->WorkerMain(); });
+  }
+  server->loop_thread_ = std::thread([s = server.get()] { s->LoopMain(); });
   return server;
 }
 
@@ -122,25 +184,45 @@ void NetLogServer::Stop() {
       lane.scrubber->Stop();
     }
   }
-  // Unblock the accept loop, then the sessions' reads. Sessions finish
-  // (and answer) whatever request they are mid-way through first.
-  listener_.ShutdownBoth();
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (options_.thread_per_conn) {
+    // Unblock the accept loop, then the sessions' reads. Sessions finish
+    // (and answer) whatever request they are mid-way through first.
+    listener_.ShutdownBoth();
+    if (accept_thread_.joinable()) {
+      accept_thread_.join();
+    }
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (auto& session : sessions_) {
+        session->socket.ShutdownBoth();
+      }
+    }
+    // No lock needed below: the accept loop (sole inserter) has exited.
     for (auto& session : sessions_) {
-      session->socket.ShutdownBoth();
+      if (session->thread.joinable()) {
+        session->thread.join();
+      }
     }
-  }
-  // No lock needed below: the accept loop (sole inserter) has exited.
-  for (auto& session : sessions_) {
-    if (session->thread.joinable()) {
-      session->thread.join();
+    sessions_.clear();
+  } else {
+    // The loop sees stopping_, stops accepting, closes idle connections
+    // at once, and keeps running until every in-flight request has been
+    // executed and its reply flushed — the same drain the per-session
+    // threads did.
+    loop_.Wake();
+    if (loop_thread_.joinable()) {
+      loop_thread_.join();
     }
+    // Workers exit once the queue is dry (the drained loop guarantees it).
+    work_cv_.notify_all();
+    for (std::thread& worker : worker_threads_) {
+      if (worker.joinable()) {
+        worker.join();
+      }
+    }
+    worker_threads_.clear();
+    listener_.ShutdownBoth();
   }
-  sessions_.clear();
   // After the sessions: a session blocked in a batcher needs that commit
   // thread alive to get its result.
   for (AppendLane& lane : lanes_) {
@@ -172,6 +254,9 @@ void NetLogServer::AcceptLoop() {
     Metrics().sessions->Increment();
     auto session = std::make_unique<Session>();
     session->socket = std::move(conn).value();
+    if (options_.accept_sndbuf > 0) {
+      (void)session->socket.SetSendBufferSize(options_.accept_sndbuf);
+    }
     if (options_.session_io_timeout_ms > 0) {
       // Best effort: a failure here just leaves the session un-deadlined.
       (void)session->socket.SetIoTimeout(options_.session_io_timeout_ms);
@@ -415,6 +500,369 @@ void NetLogServer::SessionLoop(Session* session) {
   session->socket.ShutdownBoth();
   Metrics().active_sessions->Add(-1);
   session->done.store(true);
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop mode (DESIGN.md §16). One loop thread owns every socket:
+// accepts, per-connection framed reads, and reply flushes. A complete
+// request parks its connection (epoll interest dropped — one request in
+// flight per connection, preserving the per-session serial contract) and
+// hands it to the worker pool; the worker executes the dispatch — including
+// blocking in the group-commit batcher — assembles the reply scatter list,
+// and hands the connection back via the completion queue + eventfd wake.
+
+void NetLogServer::SetUpDispatcher(Conn* conn) {
+  auto route_append = [this](const AppendRequest& request) {
+    return RouteAppend(request);
+  };
+  if (partitioned_ != nullptr) {
+    conn->backend = std::make_unique<PartitionedDispatchBackend>(partitioned_);
+    conn->dispatcher.emplace(conn->backend.get(), route_append);
+  } else {
+    conn->dispatcher.emplace(service_, &service_->mutex(), route_append,
+                             options_.serialize_reads);
+  }
+  if (options_.zero_copy) {
+    conn->dispatcher->set_zero_copy(true);
+  }
+}
+
+void NetLogServer::LoopMain() {
+  std::array<epoll_event, 128> events;
+  auto next_sweep = Clock::now();
+  bool draining = false;
+  while (true) {
+    if (stopping_.load() && !draining) {
+      draining = true;
+      (void)loop_.Remove(listener_.fd());
+    }
+    if (draining) {
+      // Idle connections close now; busy and flushing ones drain first.
+      // Swept every iteration, not once: a worker's inline flush re-arms
+      // its connection (busy -> false) after the stop flag was raised,
+      // and that connection must still be collected.
+      for (auto& conn : conns_) {
+        if (!conn->busy.load(std::memory_order_acquire) && !conn->flushing &&
+            !conn->dead) {
+          CloseConn(conn.get());
+        }
+      }
+      conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                  [](const std::unique_ptr<Conn>& c) {
+                                    return c->dead;
+                                  }),
+                   conns_.end());
+      if (conns_.empty()) {
+        return;
+      }
+    }
+    auto n = loop_.Poll(events, kPollSliceMs);
+    if (!n.ok()) {
+      return;  // epoll itself failed; Stop() still joins and cleans up
+    }
+    Metrics().loop_wakeups->Increment();
+    for (int i = 0; i < *n; ++i) {
+      void* tag = events[static_cast<size_t>(i)].data.ptr;
+      const uint32_t ev = events[static_cast<size_t>(i)].events;
+      if (tag == nullptr) {
+        continue;  // wakeup, drained by Poll; completions handled below
+      }
+      if (tag == &listener_) {
+        if (!stopping_.load()) {
+          LoopAccept();
+        }
+        continue;
+      }
+      Conn* conn = static_cast<Conn*>(tag);
+      if (conn->dead || conn->busy.load(std::memory_order_acquire)) {
+        // Busy: a worker owns it. Level-triggered epoll re-delivers any
+        // readiness we skip here once the worker re-arms interest.
+        continue;
+      }
+      if (conn->flushing && (ev & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0) {
+        HandleWritable(conn);
+      } else if (!conn->flushing &&
+                 (ev & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        HandleReadable(conn);
+      }
+    }
+    DrainCompletions();
+    if (Clock::now() >= next_sweep) {
+      SweepDeadlines();
+      next_sweep = Clock::now() + std::chrono::milliseconds(kPollSliceMs);
+    }
+    // Reap closed connections only after the event batch: epoll may have
+    // reported several events for a connection the first one killed, and
+    // those later events still dereference the tag.
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const std::unique_ptr<Conn>& c) {
+                                  return c->dead;
+                                }),
+                 conns_.end());
+  }
+}
+
+void NetLogServer::LoopAccept() {
+  while (true) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      return;  // EAGAIN (backlog drained) or transient error; wait for epoll
+    }
+    sessions_opened_.fetch_add(1);
+    Metrics().sessions->Increment();
+    Metrics().active_sessions->Add(1);
+    auto conn = std::make_unique<Conn>(std::move(accepted).value(),
+                                       options_.max_frame_body);
+    if (options_.accept_sndbuf > 0) {
+      (void)conn->state.socket().SetSendBufferSize(options_.accept_sndbuf);
+    }
+    if (!conn->state.socket().SetNonBlocking(true).ok()) {
+      Metrics().active_sessions->Add(-1);
+      continue;  // conn destructor closes the socket
+    }
+    SetUpDispatcher(conn.get());
+    conn->idle_deadline =
+        Clock::now() + std::chrono::milliseconds(options_.idle_timeout_ms);
+    Conn* raw = conn.get();
+    if (!loop_.Add(raw->state.socket().fd(), EPOLLIN, raw).ok()) {
+      Metrics().active_sessions->Add(-1);
+      continue;
+    }
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void NetLogServer::HandleReadable(Conn* conn) {
+  switch (conn->state.ReadStep()) {
+    case ConnState::ReadOutcome::kNeedMore:
+      // A partial frame sitting on the wire is the slow-loris window: arm
+      // the stall deadline; completion disarms it.
+      if (conn->state.mid_frame() && !conn->io_deadline_armed &&
+          options_.session_io_timeout_ms > 0) {
+        conn->io_deadline =
+            Clock::now() +
+            std::chrono::milliseconds(options_.session_io_timeout_ms);
+        conn->io_deadline_armed = true;
+      }
+      return;
+    case ConnState::ReadOutcome::kFrame: {
+      conn->io_deadline_armed = false;
+      Metrics().bytes_in->Increment(conn->state.frame_wire_bytes());
+      const uint64_t trace_id = conn->state.header().trace_id;
+      if (trace_id != 0) {
+        FlightRecorder::Instance().Record(
+            trace_id, TraceStage::kSessionRead, conn->state.frame_start_us(),
+            TraceNowUs() - conn->state.frame_start_us());
+      }
+      // Park: no epoll interest while the worker owns the connection.
+      (void)loop_.Modify(conn->state.socket().fd(), 0, conn);
+      conn->busy.store(true, std::memory_order_release);
+      conn->enqueued_us = TraceNowUs();
+      {
+        std::lock_guard<std::mutex> lock(work_mu_);
+        work_queue_.push_back(conn);
+      }
+      Metrics().queue_depth->Add(1);
+      work_cv_.notify_one();
+      return;
+    }
+    case ConnState::ReadOutcome::kPeerClosed:
+      CloseConn(conn);
+      return;
+    case ConnState::ReadOutcome::kBadFrame:
+      frames_rejected_.fetch_add(1);
+      Metrics().rejected->Increment();
+      CloseConn(conn);
+      return;
+    case ConnState::ReadOutcome::kError:
+      CloseConn(conn);
+      return;
+  }
+}
+
+void NetLogServer::HandleWritable(Conn* conn) { FlushReply(conn); }
+
+void NetLogServer::FlushReply(Conn* conn) {
+  switch (conn->state.FlushStep()) {
+    case ConnState::FlushOutcome::kDone: {
+      Metrics().bytes_out->Increment(conn->state.reply_wire_bytes());
+      const uint64_t now_us = TraceNowUs();
+      Metrics().stage_flush_us->Record(now_us - conn->flush_start_us);
+      if (conn->trace_id != 0) {
+        FlightRecorder::Instance().Record(conn->trace_id,
+                                          TraceStage::kReplyWrite,
+                                          conn->flush_start_us,
+                                          now_us - conn->flush_start_us);
+      }
+      conn->io_deadline_armed = false;
+      if (stopping_.load()) {
+        CloseConn(conn);  // drained: answered, now gone
+        return;
+      }
+      conn->flushing = false;
+      conn->idle_deadline =
+          Clock::now() + std::chrono::milliseconds(options_.idle_timeout_ms);
+      if (!loop_.Modify(conn->state.socket().fd(), EPOLLIN, conn).ok()) {
+        CloseConn(conn);
+      }
+      return;
+    }
+    case ConnState::FlushOutcome::kAgain:
+      if (!conn->flushing) {
+        conn->flushing = true;
+        if (!loop_.Modify(conn->state.socket().fd(), EPOLLOUT, conn).ok()) {
+          CloseConn(conn);
+          return;
+        }
+      }
+      // Stall limit since the last would-block; progress re-arms it, so
+      // only a peer draining nothing at all hits it (matching the old
+      // per-send SO_SNDTIMEO).
+      if (options_.session_io_timeout_ms > 0) {
+        conn->io_deadline =
+            Clock::now() +
+            std::chrono::milliseconds(options_.session_io_timeout_ms);
+        conn->io_deadline_armed = true;
+      }
+      return;
+    case ConnState::FlushOutcome::kError:
+      CloseConn(conn);
+      return;
+  }
+}
+
+void NetLogServer::DrainCompletions() {
+  std::vector<Conn*> done;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done.swap(done_queue_);
+  }
+  for (Conn* conn : done) {
+    // The worker stamped flush_start_us before its inline attempt, so a
+    // partially-flushed reply keeps its true start time here.
+    conn->busy.store(false, std::memory_order_release);
+    FlushReply(conn);
+  }
+}
+
+void NetLogServer::SweepDeadlines() {
+  const auto now = Clock::now();
+  for (auto& conn : conns_) {
+    if (conn->dead || conn->busy.load(std::memory_order_acquire)) {
+      continue;
+    }
+    if (conn->io_deadline_armed && now >= conn->io_deadline) {
+      CloseConn(conn.get());  // slow-loris or never-draining peer
+      continue;
+    }
+    const bool idle = !conn->flushing && !conn->state.mid_frame();
+    if (idle && options_.idle_timeout_ms > 0 && now >= conn->idle_deadline) {
+      sessions_idle_closed_.fetch_add(1);
+      Metrics().idle_closed->Increment();
+      CloseConn(conn.get());
+    }
+  }
+}
+
+void NetLogServer::CloseConn(Conn* conn) {
+  if (conn->dead) {
+    return;
+  }
+  conn->dead = true;
+  (void)loop_.Remove(conn->state.socket().fd());
+  conn->state.socket().Close();
+  Metrics().active_sessions->Add(-1);
+}
+
+void NetLogServer::WorkerMain() {
+  while (true) {
+    Conn* conn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [this] {
+        return !work_queue_.empty() || stopping_.load();
+      });
+      if (work_queue_.empty()) {
+        return;  // stopping and drained
+      }
+      conn = work_queue_.front();
+      work_queue_.pop_front();
+    }
+    Metrics().queue_depth->Add(-1);
+    const uint64_t start_us = TraceNowUs();
+    Metrics().stage_queue_us->Record(start_us - conn->enqueued_us);
+    const FrameHeader request = conn->state.header();
+    conn->trace_id = request.trace_id;
+    WireMessage reply;
+    {
+      // Every span recorded below — dispatch, batch wait, volume append,
+      // force, burn — attaches to this request's trace.
+      ScopedTraceContext trace_scope(request.trace_id);
+      reply = conn->dispatcher->DispatchScatter(
+          static_cast<LogOp>(request.op), conn->state.body());
+    }
+    Metrics().stage_handle_us->Record(TraceNowUs() - start_us);
+    frames_dispatched_.fetch_add(1);
+    Metrics().frames->Increment();
+    FrameHeader reply_header;
+    reply_header.op = request.op;
+    reply_header.request_id = request.request_id;
+    reply_header.trace_id = request.trace_id;
+    // Echo the peer's version, exactly as the blocking server does.
+    reply_header.version = request.version;
+    reply_header.body_size = static_cast<uint32_t>(reply.total_bytes());
+    // Zero-copy accounting happens here, before the first byte can reach
+    // the peer: any observer that already holds the reply (a test reading
+    // the counter, a stats scrape) then sees it included. Counting after
+    // the sendmsg would race that observer and lose on a single core.
+    if (reply.borrowed_bytes() > 0) {
+      Metrics().zerocopy_bytes->Increment(reply.borrowed_bytes());
+    }
+    conn->state.ResetRead();
+    conn->state.BeginReply(reply_header, std::move(reply));
+    conn->flush_start_us = TraceNowUs();
+    // Fast path: flush inline while the connection is still parked. A
+    // reply the kernel accepts whole skips the done-queue handoff (lock,
+    // eventfd wake, loop dispatch, two context switches) — the common
+    // case, and on few-core hosts the difference between the loop keeping
+    // up with thread-per-conn and trailing it. Would-block, errors, and
+    // shutdown fall back to the loop thread, which owns EPOLLOUT arming
+    // and connection close.
+    if (!stopping_.load()) {
+      if (conn->state.FlushStep() == ConnState::FlushOutcome::kDone &&
+          loop_.Modify(conn->state.socket().fd(), EPOLLIN, conn).ok()) {
+        // Re-armed read interest BEFORE releasing `busy`: while busy the
+        // loop ignores this connection, and level-triggered epoll
+        // re-delivers anything skipped. The reverse order would let the
+        // loop's idle/drain sweep close the fd out from under the Modify
+        // and race a reused descriptor.
+        Metrics().bytes_out->Increment(conn->state.reply_wire_bytes());
+        const uint64_t now_us = TraceNowUs();
+        Metrics().stage_flush_us->Record(now_us - conn->flush_start_us);
+        if (conn->trace_id != 0) {
+          FlightRecorder::Instance().Record(conn->trace_id,
+                                            TraceStage::kReplyWrite,
+                                            conn->flush_start_us,
+                                            now_us - conn->flush_start_us);
+        }
+        conn->io_deadline_armed = false;
+        conn->idle_deadline =
+            Clock::now() +
+            std::chrono::milliseconds(options_.idle_timeout_ms);
+        conn->busy.store(false, std::memory_order_release);
+        continue;
+      }
+      // kError falls through too: the loop's retry hits the same error
+      // and closes the connection on its own thread. A failed Modify
+      // re-runs FlushStep over the already-drained cursor (immediate
+      // kDone) and lets the loop's re-arm-or-close logic decide.
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_queue_.push_back(conn);
+    }
+    loop_.Wake();
+  }
 }
 
 }  // namespace clio

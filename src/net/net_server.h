@@ -2,13 +2,20 @@
 //
 // Where src/ipc/ models the paper's single-machine kernel-IPC path, this
 // is the ROADMAP's service evolution: many concurrent client connections
-// on a localhost TCP port, each with its own session (dedicated thread,
-// per-connection reader table, idle timeout), all dispatching onto one
-// shared LogService. Sessions take LogService::mutex() SHARED for read
-// ops — write-once data lets tail scans run concurrently — and EXCLUSIVE
-// for mutations (DESIGN.md §12). Forced appends are routed through a
-// GroupCommitBatcher so concurrent committers share device forces
-// (src/net/batcher.h).
+// on a localhost TCP port, each with its own session (per-connection
+// reader table, idle timeout), all dispatching onto one shared
+// LogService. Since the event-loop refactor (DESIGN.md §16) one epoll
+// thread multiplexes every socket — accepts, framed partial reads, and
+// zero-copy reply flushes — while a worker pool executes decoded
+// requests; connection count no longer costs a thread. Batched-read
+// replies are scatter lists over cache-pinned block images flushed with
+// sendmsg() (no payload memcpy). The pre-refactor thread-per-connection
+// server survives behind options.thread_per_conn for A/B benching; the
+// wire contract is identical in both modes. Sessions take
+// LogService::mutex() SHARED for read ops — write-once data lets tail
+// scans run concurrently — and EXCLUSIVE for mutations (DESIGN.md §12).
+// Forced appends are routed through a GroupCommitBatcher so concurrent
+// committers share device forces (src/net/batcher.h).
 //
 // StartPartitioned() serves a PartitionedLogService instead: one append
 // lane (batcher + dedup index + lock) per partition, so appends to
@@ -23,7 +30,9 @@
 #define SRC_NET_NET_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -33,6 +42,7 @@
 #include "src/ipc/codec.h"
 #include "src/net/batcher.h"
 #include "src/net/dedup.h"
+#include "src/net/event_loop.h"
 #include "src/net/frame.h"
 #include "src/net/socket.h"
 #include "src/scrub/scrubber.h"
@@ -75,6 +85,26 @@ struct NetLogServerOptions {
   // too, restoring the old one-request-at-a-time behaviour. Exists for
   // bench_read_scaling's --global-lock baseline; leave off in production.
   bool serialize_reads = false;
+  // Compatibility switch: one blocking thread per connection (the
+  // pre-event-loop server) instead of the epoll loop + worker pool. The
+  // wire behaviour is identical; exists for A/B benching and as a
+  // fallback. Leave off in production.
+  bool thread_per_conn = false;
+  // Event-loop mode: worker threads executing decoded requests. Appends
+  // routed through the group-commit batcher BLOCK their worker until the
+  // covering force completes, so this bounds the append batching degree
+  // the same way the session count did in thread-per-conn mode. 0: auto
+  // (max(8, hardware_concurrency)).
+  size_t workers = 0;
+  // Test knob: SO_SNDBUF for accepted session sockets, in bytes. Shrinking
+  // it makes the kernel's send queue fill deterministically so backpressure
+  // tests can force the partial-flush (EPOLLOUT) path. 0: kernel default.
+  int accept_sndbuf = 0;
+  // Event-loop mode: assemble kReadBatch replies as scatter lists over
+  // cache-pinned block images and flush them with sendmsg() instead of
+  // copying payload bytes into a contiguous reply (DESIGN.md §16). Wire
+  // bytes are identical either way.
+  bool zero_copy = true;
 };
 
 class NetLogServer {
@@ -143,17 +173,34 @@ class NetLogServer {
     std::unique_ptr<Scrubber> scrubber;
   };
 
+  // One event-loop connection: transport state machine + this session's
+  // dispatcher. Defined in net_server.cc.
+  struct Conn;
+
   NetLogServer(LogService* service, const NetLogServerOptions& options);
 
   // Shared by Start/StartPartitioned: binds the listener, builds one lane
   // per entry of `services` (with per-lane ".p<i>" batch metric suffixes
-  // when partitioned), and starts the accept loop.
+  // when partitioned), and starts the accept loop or event loop.
   static Result<std::unique_ptr<NetLogServer>> Boot(
       std::unique_ptr<NetLogServer> server,
       const std::vector<LogService*>& services);
 
   void AcceptLoop();
   void SessionLoop(Session* session);
+
+  // -- Event-loop mode internals (all socket I/O on the loop thread). --
+  void LoopMain();
+  void WorkerMain();
+  void LoopAccept();
+  void HandleReadable(Conn* conn);
+  void HandleWritable(Conn* conn);
+  void FlushReply(Conn* conn);
+  void DrainCompletions();
+  void SweepDeadlines();
+  void CloseConn(Conn* conn);
+  // Builds the per-session dispatcher exactly as SessionLoop does.
+  void SetUpDispatcher(Conn* conn);
   // The lane owning `path`'s appends; NotFound when no partition knows it.
   Result<AppendLane*> ResolveLane(const std::string& path);
   Result<AppendResult> RouteAppend(const AppendRequest& request);
@@ -174,6 +221,18 @@ class NetLogServer {
 
   std::mutex sessions_mu_;
   std::vector<std::unique_ptr<Session>> sessions_;
+
+  // -- Event-loop mode state. conns_ is loop-thread-confined; the queues
+  // carry parked connections between the loop and the workers. --
+  EventLoop loop_;
+  std::thread loop_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<Conn*> work_queue_;
+  std::mutex done_mu_;
+  std::vector<Conn*> done_queue_;
 
   std::atomic<uint64_t> sessions_opened_{0};
   std::atomic<uint64_t> sessions_idle_closed_{0};

@@ -1,6 +1,7 @@
 #include "src/net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -63,7 +64,13 @@ Result<TcpSocket> TcpSocket::ConnectLoopback(uint16_t port) {
   }
   TcpSocket sock(fd);
   sockaddr_in addr = LoopbackAddress(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    // An EINTR'd connect completes asynchronously; retrying reports
+    // EISCONN once the (loopback, so effectively instant) handshake lands.
+  } while (rc != 0 && (errno == EINTR || errno == EALREADY));
+  if (rc != 0 && errno != EISCONN) {
     return ErrnoStatus("connect");
   }
   // Request/reply frames are small; don't let Nagle batch them for us —
@@ -74,7 +81,10 @@ Result<TcpSocket> TcpSocket::ConnectLoopback(uint16_t port) {
 }
 
 Result<TcpSocket> TcpSocket::Accept() {
-  int fd = ::accept(fd_, nullptr, nullptr);
+  int fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     return ErrnoStatus("accept");
   }
@@ -155,6 +165,75 @@ Result<bool> TcpSocket::WaitReadable(int timeout_ms) {
   }
   // HUP/ERR count as readable: the next read returns EOF or the error.
   return n > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+Status TcpSocket::SetNonBlocking(bool on) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) {
+    return ErrnoStatus("fcntl(F_GETFL)");
+  }
+  flags = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, flags) != 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+Result<IoResult> TcpSocket::RecvSome(std::span<std::byte> out) {
+  IoResult result;
+  ssize_t n;
+  do {
+    n = ::recv(fd_, out.data(), out.size(), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.would_block = true;
+      return result;
+    }
+    return ErrnoStatus("recv");
+  }
+  if (n == 0) {
+    result.eof = true;
+    return result;
+  }
+  result.bytes = static_cast<size_t>(n);
+  return result;
+}
+
+Result<IoResult> TcpSocket::SendmsgSome(std::span<const iovec> iov) {
+  msghdr msg{};
+  msg.msg_iov = const_cast<iovec*>(iov.data());
+  msg.msg_iovlen = iov.size();
+  IoResult result;
+  ssize_t n;
+  do {
+    // MSG_NOSIGNAL as in WriteAll: a vanished peer is a Status, never
+    // SIGPIPE.
+    n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.would_block = true;
+      return result;
+    }
+    return ErrnoStatus("sendmsg");
+  }
+  result.bytes = static_cast<size_t>(n);
+  return result;
+}
+
+Status TcpSocket::SetSendBufferSize(int bytes) {
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) != 0) {
+    return ErrnoStatus("setsockopt(SO_SNDBUF)");
+  }
+  return Status::Ok();
+}
+
+Status TcpSocket::SetRecvBufferSize(int bytes) {
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) != 0) {
+    return ErrnoStatus("setsockopt(SO_RCVBUF)");
+  }
+  return Status::Ok();
 }
 
 void TcpSocket::ShutdownBoth() {

@@ -8,12 +8,24 @@
 #ifndef SRC_NET_SOCKET_H_
 #define SRC_NET_SOCKET_H_
 
+#include <sys/uio.h>
+
 #include <cstdint>
+#include <span>
 
 #include "src/util/bytes.h"
 #include "src/util/status.h"
 
 namespace clio {
+
+// Outcome of one non-blocking I/O attempt (RecvSome / SendmsgSome).
+// Exactly one of {bytes > 0, would_block, eof} describes what happened;
+// hard socket errors come back as a Status instead.
+struct IoResult {
+  size_t bytes = 0;
+  bool would_block = false;
+  bool eof = false;  // recv only: orderly peer shutdown
+};
 
 class TcpSocket {
  public:
@@ -57,6 +69,27 @@ class TcpSocket {
   // Blocks until the socket is readable (data, EOF, or error — any state
   // where a read won't block) or `timeout_ms` elapses. True = readable.
   Result<bool> WaitReadable(int timeout_ms);
+
+  // -- Non-blocking mode (the epoll event loop, src/net/event_loop.*). --
+
+  // O_NONBLOCK on/off. The Some() calls below are meaningful only with it
+  // on; the blocking calls above are only correct with it off.
+  Status SetNonBlocking(bool on);
+
+  // One recv() attempt: up to out.size() bytes, never blocking. See
+  // IoResult for the outcome encoding.
+  Result<IoResult> RecvSome(std::span<std::byte> out);
+
+  // One sendmsg() attempt over a scatter list (the zero-copy reply
+  // flush): writes as much of `iov` as the kernel accepts in one call.
+  // A short write is normal — the caller advances its cursor and waits
+  // for EPOLLOUT.
+  Result<IoResult> SendmsgSome(std::span<const iovec> iov);
+
+  // Kernel buffer sizes; the backpressure tests shrink SO_SNDBUF so a
+  // large reply overruns it deterministically.
+  Status SetSendBufferSize(int bytes);
+  Status SetRecvBufferSize(int bytes);
 
   // Disallows further sends and receives; unblocks a peer (or our own
   // thread) blocked in a read. The fd stays owned until Close().

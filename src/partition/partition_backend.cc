@@ -25,6 +25,7 @@ class PartitionedDispatchBackend::ReaderImpl : public DispatchBackend::Reader {
     reader_->SeekToEnd();
     return Status::Ok();
   }
+  void SetZeroCopy(bool on) override { reader_->set_zero_copy(on); }
 
  private:
   std::unique_ptr<PartitionedLogReader> reader_;

@@ -176,6 +176,15 @@ class PartitionedLogReader {
 
   size_t source_count() const { return sources_.size(); }
 
+  // Zero-copy mode, forwarded to every per-partition reader (see
+  // LogReader::set_zero_copy). Records produced by the merge then carry
+  // PayloadSegments from whichever partition they came from.
+  void set_zero_copy(bool on) {
+    for (Source& source : sources_) {
+      source.reader->set_zero_copy(on);
+    }
+  }
+
   void SeekToStart();
   void SeekToEnd();
   Status SeekToTime(Timestamp t, OpStats* stats = nullptr);

@@ -154,5 +154,88 @@ TEST(Cache, ManyDevicesDoNotCollide) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pin leases (zero-copy reply residency; DESIGN.md §16)
+
+TEST(CachePin, PinnedEntrySurvivesEvictionPressure) {
+  BlockCache cache(2);
+  cache.Insert({1, 1}, Payload(1));
+  cache.Insert({1, 2}, Payload(2));
+  auto lease = cache.Pin({1, 1});
+  ASSERT_TRUE(static_cast<bool>(lease));
+  EXPECT_EQ(cache.pinned_blocks(), 1u);
+  // {1,1} is the LRU victim, but the lease makes the evictor pass over it
+  // and take {1,2} instead.
+  cache.Insert({1, 3}, Payload(3));
+  EXPECT_NE(cache.Lookup({1, 1}), nullptr);
+  EXPECT_EQ(cache.Lookup({1, 2}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 3}), nullptr);
+}
+
+TEST(CachePin, ReleaseMakesEntryEvictableAgain) {
+  BlockCache cache(2);
+  cache.Insert({1, 1}, Payload(1));
+  cache.Insert({1, 2}, Payload(2));
+  {
+    auto lease = cache.Pin({1, 1});
+    ASSERT_TRUE(static_cast<bool>(lease));
+  }  // lease released
+  EXPECT_EQ(cache.pinned_blocks(), 0u);
+  cache.Lookup({1, 2});  // make {1,1} the coldest entry again
+  cache.Insert({1, 3}, Payload(3));
+  EXPECT_EQ(cache.Lookup({1, 1}), nullptr);  // evicted normally
+}
+
+TEST(CachePin, PinsStack) {
+  BlockCache cache(2);
+  cache.Insert({1, 1}, Payload(1));
+  cache.Insert({1, 2}, Payload(2));
+  auto first = cache.Pin({1, 1});
+  auto second = cache.Pin({1, 1});
+  EXPECT_EQ(cache.pinned_blocks(), 1u);  // one block, two leases
+  first.Release();
+  // Still held by the second lease.
+  cache.Insert({1, 3}, Payload(3));
+  EXPECT_NE(cache.Lookup({1, 1}), nullptr);
+  second.Release();
+  EXPECT_EQ(cache.pinned_blocks(), 0u);
+}
+
+TEST(CachePin, AllPinnedOvershootsCapacityInsteadOfFailing) {
+  BlockCache cache(2);
+  cache.Insert({1, 1}, Payload(1));
+  cache.Insert({1, 2}, Payload(2));
+  auto a = cache.Pin({1, 1});
+  auto b = cache.Pin({1, 2});
+  // No unpinned victim exists: the insert must proceed over capacity
+  // rather than evict pinned bytes or reject the block.
+  cache.Insert({1, 3}, Payload(3));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_NE(cache.Lookup({1, 1}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 2}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 3}), nullptr);
+}
+
+TEST(CachePin, PinOnAbsentKeyIsEmptyNoOp) {
+  BlockCache cache(2);
+  auto lease = cache.Pin({9, 9});
+  EXPECT_FALSE(static_cast<bool>(lease));
+  EXPECT_EQ(cache.pinned_blocks(), 0u);
+  lease.Release();  // harmless
+}
+
+TEST(CachePin, EraseUnderLeaseIsSafe) {
+  BlockCache cache(2);
+  auto image = cache.Insert({1, 1}, Payload(7));
+  auto lease = cache.Pin({1, 1});
+  // A pin is residency-only: Erase still drops the entry, the holder's
+  // shared_ptr keeps the bytes alive, and the lease dies quietly.
+  cache.Erase({1, 1});
+  EXPECT_EQ(cache.Lookup({1, 1}), nullptr);
+  EXPECT_EQ((*image)[0], std::byte{7});
+  lease.Release();
+  EXPECT_EQ(cache.pinned_blocks(), 0u);
+}
+
 }  // namespace
 }  // namespace clio

@@ -48,8 +48,9 @@ namespace {
 
 constexpr char kLog[] = "/chaos";
 constexpr int kWriters = 3;
-// Crash-restart iterations (the ISSUE floor is 20).
-constexpr int kIterations = 24;
+// Crash-restart iterations (the ISSUE floor is 20). Nightly CI stretches
+// this through CLIO_CHAOS_ITERATIONS (see tests/test_util.h).
+const int kIterations = clio::testing::ChaosIterations(24);
 constexpr uint64_t kSeedBase = 0xC4405;
 
 // Acknowledged-append journal shared by the writer threads: a payload is

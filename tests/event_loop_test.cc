@@ -1,0 +1,475 @@
+// Event-loop server tests: partial-frame state machine behaviour under
+// slow and hostile clients, write backpressure on the zero-copy flush
+// path, connection churn, and byte-for-byte wire equivalence between the
+// epoll server and the thread-per-connection compat mode (DESIGN.md §16).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/ipc/codec.h"
+#include "src/net/frame.h"
+#include "src/net/net_client.h"
+#include "src/net/net_server.h"
+#include "src/net/socket.h"
+#include "src/obs/metrics.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace clio {
+namespace {
+
+using testing::RandomPayload;
+using testing::ServiceFixture;
+
+// True once the peer has hung up on `socket` (clean EOF or reset).
+bool ConnectionDropped(TcpSocket* socket) {
+  Bytes sink(1);
+  auto n = socket->ReadFull(sink);
+  return !n.ok() || *n == 0;
+}
+
+// Spins until `done` holds or ~5 s pass; returns the final verdict. The
+// event loop sweeps deadlines and reaps connections on its own schedule,
+// so tests observe its side effects with a bounded poll.
+template <typename Predicate>
+bool Eventually(Predicate done) {
+  for (int i = 0; i < 500; ++i) {
+    if (done()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return done();
+}
+
+// Sends one request frame and reads back the COMPLETE raw reply — prefix,
+// version extension, and body, exactly as they crossed the wire.
+Result<Bytes> RawRoundTrip(TcpSocket* socket, LogOp op, uint64_t request_id,
+                           std::span<const std::byte> body,
+                           uint64_t trace_id = 0) {
+  FrameHeader request;
+  request.op = static_cast<uint32_t>(op);
+  request.request_id = request_id;
+  request.body_size = static_cast<uint32_t>(body.size());
+  request.trace_id = trace_id;
+  Bytes wire = EncodeFrame(request, body);
+  CLIO_RETURN_IF_ERROR(socket->WriteAll(wire));
+
+  Bytes reply(kFrameHeaderSize);
+  CLIO_ASSIGN_OR_RETURN(size_t n, socket->ReadFull(reply));
+  if (n != kFrameHeaderSize) {
+    return Unavailable("server closed the connection");
+  }
+  CLIO_ASSIGN_OR_RETURN(FrameHeader header, DecodeFramePrefix(reply));
+  const size_t ext = FrameExtensionSize(header.version);
+  reply.resize(kFrameHeaderSize + ext + header.body_size);
+  auto rest = std::span<std::byte>(reply).subspan(kFrameHeaderSize);
+  if (!rest.empty()) {
+    CLIO_ASSIGN_OR_RETURN(n, socket->ReadFull(rest));
+    if (n != rest.size()) {
+      return Unavailable("server closed mid-reply");
+    }
+  }
+  return reply;
+}
+
+Bytes PathBody(std::string_view path) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutString(path);
+  return body;
+}
+
+Bytes HandleBody(uint64_t handle) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutU64(handle);
+  return body;
+}
+
+Bytes ReadBatchBody(uint64_t handle, uint32_t max_entries) {
+  Bytes body;
+  ByteWriter w(&body);
+  w.PutU64(handle);
+  w.PutU32(max_entries);
+  return body;
+}
+
+class EventLoopTest : public ::testing::Test {
+ protected:
+  void StartServer(NetLogServerOptions options = {}) {
+    fx_ = ServiceFixture::Make();
+    auto server = NetLogServer::Start(fx_.service.get(), options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+  }
+
+  std::unique_ptr<NetLogClient> Client() {
+    auto client = NetLogClient::Connect(server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  // The server must still answer a fresh, well-behaved client — the
+  // postcondition of every hostile-client test.
+  void ExpectServerHealthy() {
+    auto client = Client();
+    auto stats = client->GetStats();
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+    }
+  }
+
+  ServiceFixture fx_;
+  std::unique_ptr<NetLogServer> server_;
+};
+
+// ---------------------------------------------------------------------------
+// Zero-copy reply path
+
+TEST_F(EventLoopTest, BatchedReadIsServedZeroCopy) {
+  StartServer();
+  auto client = Client();
+  ASSERT_OK(client->CreateLogFile("/zc").status());
+  Rng rng(0x5EED);
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 24; ++i) {
+    payloads.push_back(RandomPayload(&rng, 2048));
+    ASSERT_OK(client->Append("/zc", payloads.back(), /*timestamped=*/false).status());
+  }
+  ASSERT_OK(client->Force());
+
+  const uint64_t zerocopy_before =
+      ObsRegistry().counter("clio.net.reply.zerocopy_bytes")->value();
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, client->OpenReader("/zc"));
+  ASSERT_OK(client->SeekToStart(handle));
+  ASSERT_OK_AND_ASSIGN(EntryBatch batch, client->ReadNextBatch(handle, 1000));
+  ASSERT_EQ(batch.entries.size(), payloads.size());
+  EXPECT_TRUE(batch.at_end);
+  size_t payload_bytes = 0;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(batch.entries[i].payload, payloads[i]) << "entry " << i;
+    payload_bytes += payloads[i].size();
+  }
+
+  // Every payload byte of the batch reply must have been sent straight
+  // from pinned block images, never copied into a reply buffer.
+  const uint64_t zerocopy_after =
+      ObsRegistry().counter("clio.net.reply.zerocopy_bytes")->value();
+  EXPECT_GE(zerocopy_after - zerocopy_before, payload_bytes);
+  // All flush-time pins must have been released with the reply.
+  EXPECT_TRUE(Eventually([] {
+    return ObsRegistry().gauge("clio.cache.pinned_blocks")->value() == 0;
+  }));
+}
+
+TEST_F(EventLoopTest, ZeroCopyDisabledStillServesIdenticalBatches) {
+  NetLogServerOptions options;
+  options.zero_copy = false;
+  StartServer(options);
+  auto client = Client();
+  ASSERT_OK(client->CreateLogFile("/flat").status());
+  Rng rng(0xF1A7);
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 8; ++i) {
+    payloads.push_back(RandomPayload(&rng, 1500));
+    ASSERT_OK(client->Append("/flat", payloads.back(), /*timestamped=*/true).status());
+  }
+  const uint64_t zerocopy_before =
+      ObsRegistry().counter("clio.net.reply.zerocopy_bytes")->value();
+  ASSERT_OK_AND_ASSIGN(uint64_t handle, client->OpenReader("/flat"));
+  ASSERT_OK(client->SeekToStart(handle));
+  ASSERT_OK_AND_ASSIGN(EntryBatch batch, client->ReadNextBatch(handle, 1000));
+  ASSERT_EQ(batch.entries.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(batch.entries[i].payload, payloads[i]) << "entry " << i;
+  }
+  EXPECT_EQ(ObsRegistry().counter("clio.net.reply.zerocopy_bytes")->value(),
+            zerocopy_before);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile and slow clients
+
+TEST_F(EventLoopTest, SlowLorisMidFrameStallIsClosed) {
+  NetLogServerOptions options;
+  options.session_io_timeout_ms = 200;
+  options.idle_timeout_ms = 60'000;  // only the mid-frame deadline may fire
+  StartServer(options);
+
+  // Send a valid frame prefix minus its last byte, then stall forever.
+  ASSERT_OK_AND_ASSIGN(TcpSocket loris,
+                       TcpSocket::ConnectLoopback(server_->port()));
+  Bytes frame = EncodeFrame(
+      FrameHeader{static_cast<uint32_t>(LogOp::kStats), 1, 0}, {});
+  auto partial = std::span<const std::byte>(frame).first(frame.size() - 1);
+  ASSERT_OK(loris.WriteAll(partial));
+
+  EXPECT_TRUE(ConnectionDropped(&loris));
+  ExpectServerHealthy();
+}
+
+TEST_F(EventLoopTest, IdleConnectionWithNoFrameIsClosed) {
+  NetLogServerOptions options;
+  options.idle_timeout_ms = 150;
+  StartServer(options);
+  ASSERT_OK_AND_ASSIGN(TcpSocket idle,
+                       TcpSocket::ConnectLoopback(server_->port()));
+  EXPECT_TRUE(ConnectionDropped(&idle));
+  EXPECT_TRUE(Eventually([&] { return server_->sessions_idle_closed() >= 1; }));
+  ExpectServerHealthy();
+}
+
+TEST_F(EventLoopTest, MidFrameDisconnectCountsRejectedFrame) {
+  StartServer();
+  {
+    ASSERT_OK_AND_ASSIGN(TcpSocket quitter,
+                         TcpSocket::ConnectLoopback(server_->port()));
+    Bytes frame = EncodeFrame(
+        FrameHeader{static_cast<uint32_t>(LogOp::kStats), 1, 0}, {});
+    auto partial = std::span<const std::byte>(frame).first(10);
+    ASSERT_OK(quitter.WriteAll(partial));
+  }  // destructor closes with a frame underway: truncation, not clean EOF
+  EXPECT_TRUE(Eventually([&] { return server_->frames_rejected() >= 1; }));
+  ExpectServerHealthy();
+}
+
+TEST_F(EventLoopTest, GarbageHeaderClosesOnlyThatConnection) {
+  StartServer();
+  auto client = Client();  // healthy session, opened first
+  ASSERT_OK(client->CreateLogFile("/survivor").status());
+
+  ASSERT_OK_AND_ASSIGN(TcpSocket vandal,
+                       TcpSocket::ConnectLoopback(server_->port()));
+  Bytes garbage(kFrameHeaderSize);
+  for (size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<std::byte>(0xA5 ^ (i * 37));
+  }
+  ASSERT_OK(vandal.WriteAll(garbage));
+  EXPECT_TRUE(ConnectionDropped(&vandal));
+  EXPECT_TRUE(Eventually([&] { return server_->frames_rejected() >= 1; }));
+
+  // The pre-existing session rides on, unaffected.
+  ASSERT_OK(client->Append("/survivor", AsBytes("still here"), true).status());
+}
+
+// ---------------------------------------------------------------------------
+// Write backpressure
+
+TEST_F(EventLoopTest, HugeBatchedReplyDrainsThroughTinySendBuffer) {
+  NetLogServerOptions options;
+  options.accept_sndbuf = 8 * 1024;  // force the partial-flush path
+  StartServer(options);
+  auto client = Client();
+  ASSERT_OK(client->CreateLogFile("/big").status());
+  Rng rng(0xB16);
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 96; ++i) {
+    payloads.push_back(RandomPayload(&rng, 8 * 1024));
+    ASSERT_OK(client->Append("/big", payloads.back(), /*timestamped=*/false).status());
+  }
+  ASSERT_OK(client->Force());
+
+  // Drive the read raw so the reply (~768 KiB against an 8 KiB SO_SNDBUF)
+  // sits unread while the server is mid-flush: the kernel buffer fills,
+  // sendmsg() short-writes, and the loop must finish over EPOLLOUT.
+  ASSERT_OK_AND_ASSIGN(TcpSocket raw,
+                       TcpSocket::ConnectLoopback(server_->port()));
+  ASSERT_OK_AND_ASSIGN(
+      Bytes open_reply,
+      RawRoundTrip(&raw, LogOp::kOpenReader, 1, PathBody("/big")));
+  ASSERT_OK_AND_ASSIGN(FrameHeader open_header, DecodeFrameHeader(open_reply));
+  auto open_body = std::span<const std::byte>(open_reply)
+                       .subspan(open_reply.size() - open_header.body_size);
+  ASSERT_OK_AND_ASSIGN(Bytes open_payload, DecodeReplyBody(open_body));
+  ByteReader handle_reader(open_payload);
+  const uint64_t handle = handle_reader.GetU64();
+  ASSERT_OK(
+      RawRoundTrip(&raw, LogOp::kSeekToStart, 2, HandleBody(handle)).status());
+
+  FrameHeader request;
+  request.op = static_cast<uint32_t>(LogOp::kReadBatch);
+  request.request_id = 3;
+  Bytes body = ReadBatchBody(handle, 1000);
+  request.body_size = static_cast<uint32_t>(body.size());
+  Bytes wire = EncodeFrame(request, body);
+  ASSERT_OK(raw.WriteAll(wire));
+  // Let the server hit the kernel-buffer wall while we are not reading.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  Bytes reply(kFrameHeaderSize);
+  ASSERT_OK_AND_ASSIGN(size_t n, raw.ReadFull(reply));
+  ASSERT_EQ(n, kFrameHeaderSize);
+  ASSERT_OK_AND_ASSIGN(FrameHeader header, DecodeFramePrefix(reply));
+  Bytes rest(FrameExtensionSize(header.version) + header.body_size);
+  ASSERT_OK_AND_ASSIGN(n, raw.ReadFull(rest));
+  ASSERT_EQ(n, rest.size());
+
+  auto reply_body = std::span<const std::byte>(rest).subspan(
+      FrameExtensionSize(header.version));
+  ASSERT_OK_AND_ASSIGN(Bytes payload, DecodeReplyBody(reply_body));
+  ASSERT_OK_AND_ASSIGN(EntryBatch batch, DecodeEntryBatch(payload));
+  ASSERT_EQ(batch.entries.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    ASSERT_EQ(batch.entries[i].payload, payloads[i]) << "entry " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Connection churn
+
+TEST_F(EventLoopTest, AcceptAndTeardownChurnInRounds) {
+  StartServer();
+  constexpr size_t kRounds = 4;
+  constexpr size_t kPerRound = 250;
+  for (size_t round = 0; round < kRounds; ++round) {
+    std::vector<TcpSocket> sockets;
+    sockets.reserve(kPerRound);
+    for (size_t i = 0; i < kPerRound; ++i) {
+      auto socket = TcpSocket::ConnectLoopback(server_->port());
+      ASSERT_TRUE(socket.ok())
+          << "round " << round << " conn " << i << ": "
+          << socket.status().ToString();
+      sockets.push_back(std::move(socket).value());
+    }
+    // Every fourth connection does a real request; the rest just churn the
+    // accept/teardown path.
+    for (size_t i = 0; i < sockets.size(); i += 4) {
+      ASSERT_OK_AND_ASSIGN(
+          Bytes reply, RawRoundTrip(&sockets[i], LogOp::kStats, i + 1, {}));
+      ASSERT_OK_AND_ASSIGN(FrameHeader header, DecodeFrameHeader(reply));
+      EXPECT_EQ(header.op, static_cast<uint32_t>(LogOp::kStats));
+      EXPECT_EQ(header.request_id, i + 1);
+    }
+    sockets.clear();  // mass teardown
+  }
+  EXPECT_TRUE(Eventually(
+      [&] { return server_->sessions_opened() >= kRounds * kPerRound; }));
+  // Mass disconnects on frame boundaries are clean closes, not rejects.
+  EXPECT_EQ(server_->frames_rejected(), 0u);
+  ExpectServerHealthy();
+}
+
+// ---------------------------------------------------------------------------
+// A/B wire equivalence
+
+// The epoll server with zero-copy replies and the thread-per-connection
+// compat server answer the SAME raw request sequence with byte-identical
+// frames. Both serve one shared LogService, so any divergence is the
+// transport's fault — framing, scatter encoding, or flush order.
+TEST(EventLoopAbTest, BothModesProduceByteIdenticalReplies) {
+  ServiceFixture fx = ServiceFixture::Make();
+
+  NetLogServerOptions event_options;  // defaults: epoll loop, zero-copy on
+  auto event_server = NetLogServer::Start(fx.service.get(), event_options);
+  ASSERT_TRUE(event_server.ok()) << event_server.status().ToString();
+  NetLogServerOptions compat_options;
+  compat_options.thread_per_conn = true;
+  auto compat_server = NetLogServer::Start(fx.service.get(), compat_options);
+  ASSERT_TRUE(compat_server.ok()) << compat_server.status().ToString();
+
+  {
+    // Seed shared state through one server; entries with payloads spanning
+    // several 1 KiB blocks exercise multi-segment scatter replies.
+    auto writer = NetLogClient::Connect((*event_server)->port());
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    ASSERT_OK((*writer)->CreateLogFile("/ab").status());
+    Rng rng(0xAB);
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_OK((*writer)
+                    ->Append("/ab", RandomPayload(&rng, 100 + i * 700),
+                             /*force=*/false)
+                    .status());
+    }
+    ASSERT_OK((*writer)->Force());
+  }
+
+  ASSERT_OK_AND_ASSIGN(TcpSocket to_event,
+                       TcpSocket::ConnectLoopback((*event_server)->port()));
+  ASSERT_OK_AND_ASSIGN(TcpSocket to_compat,
+                       TcpSocket::ConnectLoopback((*compat_server)->port()));
+
+  // (op, body) script; both fresh sessions allocate the same handle.
+  const uint64_t kHandleProbe = 0;  // patched after kOpenReader
+  std::vector<std::pair<LogOp, Bytes>> script;
+  script.emplace_back(LogOp::kOpenReader, PathBody("/ab"));
+  script.emplace_back(LogOp::kSeekToStart, HandleBody(kHandleProbe));
+  script.emplace_back(LogOp::kReadBatch, ReadBatchBody(kHandleProbe, 5));
+  script.emplace_back(LogOp::kReadNext, HandleBody(kHandleProbe));
+  script.emplace_back(LogOp::kReadBatch, ReadBatchBody(kHandleProbe, 1000));
+  script.emplace_back(LogOp::kSeekToEnd, HandleBody(kHandleProbe));
+  script.emplace_back(LogOp::kReadPrev, HandleBody(kHandleProbe));
+  script.emplace_back(LogOp::kStat, PathBody("/ab"));
+  script.emplace_back(LogOp::kStat, PathBody("/missing"));  // error reply
+  script.emplace_back(LogOp::kReadNext, HandleBody(~0ull));  // bad handle
+
+  uint64_t event_handle = 0;
+  uint64_t compat_handle = 0;
+  for (size_t i = 0; i < script.size(); ++i) {
+    const auto& [op, body_template] = script[i];
+    auto patched = [&](uint64_t handle) {
+      Bytes body = body_template;
+      if (i > 0 && op != LogOp::kStat && body.size() >= 8) {
+        StoreU64(body, 0, handle);
+      }
+      return body;
+    };
+    const uint64_t request_id = 100 + i;
+    const uint64_t trace_id = 7'000 + i;
+    ASSERT_OK_AND_ASSIGN(Bytes event_reply,
+                         RawRoundTrip(&to_event, op, request_id,
+                                      patched(event_handle), trace_id));
+    ASSERT_OK_AND_ASSIGN(Bytes compat_reply,
+                         RawRoundTrip(&to_compat, op, request_id,
+                                      patched(compat_handle), trace_id));
+    EXPECT_EQ(event_reply, compat_reply)
+        << "step " << i << " (op " << static_cast<uint32_t>(op)
+        << "): wire divergence between event-loop and thread-per-conn";
+    if (op == LogOp::kOpenReader) {
+      auto extract = [](const Bytes& reply) -> uint64_t {
+        auto header = DecodeFrameHeader(reply);
+        if (!header.ok()) {
+          return 0;
+        }
+        auto payload = DecodeReplyBody(std::span<const std::byte>(reply)
+                                           .subspan(reply.size() -
+                                                    header->body_size));
+        if (!payload.ok() || payload->size() < 8) {
+          return 0;
+        }
+        return LoadU64(*payload, 0);
+      };
+      event_handle = extract(event_reply);
+      compat_handle = extract(compat_reply);
+      ASSERT_NE(event_handle, 0u);
+      EXPECT_EQ(event_handle, compat_handle);
+    }
+  }
+
+  (*event_server)->Stop();
+  (*compat_server)->Stop();
+}
+
+// Stop() with a flushed-but-unread reply still delivers the bytes: the
+// drain path lets flushing connections finish before their sockets close.
+TEST_F(EventLoopTest, StopDrainsInFlightRequests) {
+  StartServer();
+  ASSERT_OK_AND_ASSIGN(TcpSocket raw,
+                       TcpSocket::ConnectLoopback(server_->port()));
+  ASSERT_OK_AND_ASSIGN(Bytes reply, RawRoundTrip(&raw, LogOp::kStats, 9, {}));
+  ASSERT_OK_AND_ASSIGN(FrameHeader header, DecodeFrameHeader(reply));
+  EXPECT_EQ(header.request_id, 9u);
+  server_->Stop();
+  // After a graceful stop the socket reports EOF, not a reset.
+  EXPECT_TRUE(ConnectionDropped(&raw));
+}
+
+}  // namespace
+}  // namespace clio

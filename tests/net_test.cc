@@ -14,6 +14,7 @@
 #include "src/net/net_client.h"
 #include "src/net/net_server.h"
 #include "src/net/socket.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "tests/test_util.h"
 
@@ -239,11 +240,17 @@ TEST_F(NetServerTest, BatchReadDrainsTheLogInOrder) {
                   .status());
   }
 
+  const uint64_t zerocopy_before =
+      ObsRegistry().counter("clio.net.reply.zerocopy_bytes")->value();
   ASSERT_OK_AND_ASSIGN(uint64_t handle, client->OpenReader("/batched"));
   // A full batch stops at max_entries without claiming end-of-log.
   ASSERT_OK_AND_ASSIGN(EntryBatch first, client->ReadNextBatch(handle, 32));
   ASSERT_EQ(first.entries.size(), 32u);
   EXPECT_FALSE(first.at_end);
+  // The default server serves batch payloads zero-copy from pinned block
+  // images (DESIGN.md §16); the payload bytes must register as borrowed.
+  EXPECT_GT(ObsRegistry().counter("clio.net.reply.zerocopy_bytes")->value(),
+            zerocopy_before);
   EXPECT_EQ(ToString(first.entries.front().payload), "entry-0");
   EXPECT_EQ(ToString(first.entries.back().payload), "entry-31");
 

@@ -305,8 +305,9 @@ TEST(Scrub, BackgroundThreadScansUnderConcurrentAppends) {
   scrubber.Start();
   scrubber.Start();  // idempotent
   // The scrubber thread reads under the SHARED lock, so mutations must
-  // honour the LogService lock contract and take it EXCLUSIVE.
-  for (int i = 0; i < 200; ++i) {
+  // honour the LogService lock contract and take it EXCLUSIVE. Nightly CI
+  // stretches the loop through CLIO_CHAOS_ITERATIONS (tests/test_util.h).
+  for (int i = 0; i < testing::ScaledByChaos(200); ++i) {
     std::unique_lock<std::shared_mutex> lock(fx.service->mutex());
     ASSERT_OK(
         fx.service->Append("/a", RandomPayload(&rng, 60), forced).status());

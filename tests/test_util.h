@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -36,6 +38,27 @@
 
 namespace clio {
 namespace testing {
+
+// Long-haul iteration knob for the fault-injection suites. The unit is
+// crash-restart iterations: CLIO_CHAOS_ITERATIONS, when set to a
+// positive integer, replaces the chaos suites' default count (24 at
+// PR time; the nightly workflow sets 240 for a 10x soak). Loops that are
+// not literally crash-restart rounds scale proportionally through
+// ScaledByChaos() so one knob stretches every long-haul suite together.
+inline int ChaosIterations(int fallback) {
+  if (const char* env = std::getenv("CLIO_CHAOS_ITERATIONS")) {
+    const int value = std::atoi(env);
+    if (value > 0) {
+      return value;
+    }
+  }
+  return fallback;
+}
+
+inline int ScaledByChaos(int base) {
+  return static_cast<int>(static_cast<int64_t>(base) * ChaosIterations(24) /
+                          24);
+}
 
 // A WormDevice view that does not own the underlying device; lets a test
 // destroy the service ("crash") while the media survives.
