@@ -59,10 +59,12 @@ void PrintTheory() {
 // Measured, uncached: every block fetch hits the (instrumented) device.
 void MeasureFor(uint16_t degree, const std::vector<uint64_t>& distances) {
   const uint64_t max_d = distances.back();
+  LogServiceOptions opt;
+  opt.entrymap_degree = degree;
+  opt.cache_blocks = 0;              // NO caching (the figure)
+  opt.enable_extent_index = false;   // the figure measures the WALK
   auto b = BenchService::Make(/*block_size=*/256,
-                              /*capacity_blocks=*/3 * max_d + 4096,
-                              degree,
-                              /*cache_blocks=*/0);  // NO caching (the figure)
+                              /*capacity_blocks=*/3 * max_d + 4096, opt);
   BENCH_CHECK_OK(b.service->CreateLogFile("/rare").status());
   BENCH_CHECK_OK(b.service->CreateLogFile("/noise").status());
   Rng rng(3);
@@ -112,6 +114,109 @@ void MeasureFor(uint16_t degree, const std::vector<uint64_t>& distances) {
   }
 }
 
+// Warm/cold extension (DESIGN.md §17): the same locate answered by the
+// RAM extent index (warm — the hot-server cost model) vs. the on-device
+// entrymap walk with the index and cache disabled (cold — the paper's
+// cost model). The warm path must do ZERO device reads; the summary
+// records locate_warm_speedup = cold us/op over warm us/op, gated as an
+// absolute floor (>= 10x) in the bench-smoke CI job.
+void MeasureIndexCells(BenchReport* report) {
+  const uint16_t degree = 16;
+  const std::vector<uint64_t> distances = {16, 256, 4096};
+  const uint64_t max_d = distances.back();
+  const int reps = FastMode() ? 64 : 256;
+
+  // Identical workloads on two services: index on (warm) and index +
+  // cache off (cold). Same seed, same appends, same needle block.
+  struct Cell {
+    BenchService b;
+    LogFileId rare_id = kNoLogFileId;
+    uint64_t needle = 0;
+  };
+  auto build = [&](bool with_index) {
+    LogServiceOptions options;
+    options.entrymap_degree = degree;
+    options.cache_blocks = with_index ? 4096 : 0;
+    options.enable_extent_index = with_index;
+    Cell cell;
+    cell.b = BenchService::Make(/*block_size=*/256,
+                                /*capacity_blocks=*/3 * max_d + 4096, options);
+    BENCH_CHECK_OK(cell.b.service->CreateLogFile("/rare").status());
+    BENCH_CHECK_OK(cell.b.service->CreateLogFile("/noise").status());
+    Rng rng(3);
+    WriteOptions forced;
+    forced.force = true;
+    LogVolume* volume = cell.b.service->current_volume();
+    uint64_t align = 1;
+    while (align < max_d) {
+      align *= degree;
+    }
+    while (volume->writer()->staging_block() % align != 0) {
+      BENCH_CHECK_OK(cell.b.service->Append("/noise", FillPayload(&rng, 40),
+                                            forced)
+                         .status());
+    }
+    cell.needle = volume->writer()->staging_block();
+    BENCH_CHECK_OK(
+        cell.b.service->Append("/rare", AsBytes("needle"), forced).status());
+    while (volume->writer()->staging_block() <=
+           cell.needle + max_d + 2 * degree) {
+      BENCH_CHECK_OK(cell.b.service->Append("/noise", FillPayload(&rng, 40),
+                                            forced)
+                         .status());
+    }
+    cell.rare_id = cell.b.service->Resolve("/rare").value();
+    return cell;
+  };
+  Cell warm = build(/*with_index=*/true);
+  Cell cold = build(/*with_index=*/false);
+
+  auto measure = [&](Cell& cell, bool expect_zero_reads, double* out_us,
+                     double* out_reads) {
+    LogVolume* volume = cell.b.service->current_volume();
+    OpStats op;
+    uint64_t locates = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      for (uint64_t d : distances) {
+        auto found = volume->PrevBlockWith(cell.rare_id, cell.needle + d, &op);
+        BENCH_CHECK_OK(found.status());
+        if (!found.value().has_value() || *found.value() != cell.needle) {
+          BENCH_CHECK_OK(Internal("search missed the needle"));
+        }
+        ++locates;
+      }
+    }
+    *out_us = UsSince(start) / static_cast<double>(locates);
+    *out_reads =
+        static_cast<double>(op.device_reads) / static_cast<double>(locates);
+    if (expect_zero_reads && op.device_reads != 0) {
+      BENCH_CHECK_OK(Internal("warm locate touched the device"));
+    }
+  };
+  double warm_us = 0, warm_reads = 0, cold_us = 0, cold_reads = 0;
+  measure(warm, /*expect_zero_reads=*/true, &warm_us, &warm_reads);
+  measure(cold, /*expect_zero_reads=*/false, &cold_us, &cold_reads);
+  double speedup = warm_us > 0 ? cold_us / warm_us : 0.0;
+
+  std::printf("\nwarm (RAM extent index) vs cold (uncached entrymap walk), "
+              "N=%u, %d reps x %zu distances:\n",
+              degree, reps, distances.size());
+  std::printf("%-22s | %-12s | %s\n", "cell", "us/locate", "device reads/op");
+  std::printf("-----------------------+--------------+----------------\n");
+  std::printf("%-22s | %-12.3f | %.1f\n", "warm (index)", warm_us, warm_reads);
+  std::printf("%-22s | %-12.3f | %.1f\n", "cold (entrymap walk)", cold_us,
+              cold_reads);
+  std::printf("locate_warm_speedup: %.1fx (CI floor: 10x)\n", speedup);
+
+  size_t n = static_cast<size_t>(reps) * distances.size();
+  report->AddMean("locate_warm", n, warm_us);
+  report->AddCounter("locate_warm", "device_reads_per_op", warm_reads);
+  report->AddMean("locate_cold", n, cold_us);
+  report->AddCounter("locate_cold", "device_reads_per_op", cold_reads);
+  report->AddCounter("summary", "locate_warm_speedup", speedup);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace clio
@@ -121,9 +226,19 @@ int main() {
   PrintHeader("Figure 3: cost of locating an entry d blocks away, "
               "no caching", "paper Figure 3, section 3.3.1");
   PrintTheory();
-  MeasureFor(4, {4, 16, 64, 256, 1024, 4096});
-  MeasureFor(16, {16, 256, 4096, 65536});
+  if (!FastMode()) {
+    MeasureFor(4, {4, 16, 64, 256, 1024, 4096});
+    MeasureFor(16, {16, 256, 4096, 65536});
+  } else {
+    MeasureFor(16, {16, 256, 4096});
+  }
+  BenchReport report("fig3_locate_cost");
+  MeasureIndexCells(&report);
+  if (!report.Write()) {
+    return 1;
+  }
   std::printf("\nShape check: n grows as 2*log_N(d)-1; increasing N past "
-              "16-32 buys little (paper's conclusion).\n");
+              "16-32 buys little (paper's conclusion); the RAM index "
+              "removes the device from the hot path entirely.\n");
   return 0;
 }

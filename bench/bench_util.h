@@ -46,14 +46,21 @@ struct BenchService {
 
   static BenchService Make(uint32_t block_size, uint64_t capacity_blocks,
                            uint16_t degree, size_t cache_blocks) {
+    LogServiceOptions options;
+    options.entrymap_degree = degree;
+    options.cache_blocks = cache_blocks;
+    return Make(block_size, capacity_blocks, options);
+  }
+
+  // Full-options variant for cells that toggle extent-index/checkpoint/
+  // NVRAM behavior rather than just degree and cache size.
+  static BenchService Make(uint32_t block_size, uint64_t capacity_blocks,
+                           LogServiceOptions options) {
     BenchService b;
     b.clock = std::make_unique<SimulatedClock>(1'000'000, 11);
     MemoryWormOptions dev;
     dev.block_size = block_size;
     dev.capacity_blocks = capacity_blocks;
-    LogServiceOptions options;
-    options.entrymap_degree = degree;
-    options.cache_blocks = cache_blocks;
     options.sequence_id = 0xBE7C4;
     auto service = LogService::Create(
         std::make_unique<MemoryWormDevice>(dev), b.clock.get(), options);

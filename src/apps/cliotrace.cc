@@ -73,6 +73,18 @@ void PrintStats(const clio::StatsSnapshot& stats) {
               stats.counter("clio.scrub.quarantined_blocks"),
               stats.counter("clio.scrub.quarantined_blocks") > 0 ? "yes"
                                                                  : "no");
+  std::printf("  index: hits %" PRIu64 "  misses %" PRIu64
+              "  rebuilds %" PRIu64 "  readahead blocks %" PRIu64 "\n",
+              stats.counter("clio.index.hits"),
+              stats.counter("clio.index.misses"),
+              stats.counter("clio.index.rebuilds"),
+              stats.counter("clio.index.rebuild_readahead_blocks"));
+  std::printf("  checkpoints: written %" PRIu64 "  restored %" PRIu64
+              "  bytes %" PRIu64 "  age %" PRId64 " blocks\n",
+              stats.counter("clio.index.checkpoints_written"),
+              stats.counter("clio.index.checkpoints_restored"),
+              stats.counter("clio.index.checkpoint_bytes"),
+              stats.gauge("clio.index.checkpoint_age_blocks"));
 
   // Discover partitions from the suffixed batch counters.
   std::map<uint32_t, uint64_t> partitions;
@@ -89,18 +101,21 @@ void PrintStats(const clio::StatsSnapshot& stats) {
     return;
   }
   std::printf("per-partition append lanes:\n");
-  std::printf("  %4s  %10s  %8s  %10s  %12s  %12s\n", "part", "appends",
-              "batches", "vol blocks", "commit p99", "append p99");
+  std::printf("  %4s  %10s  %8s  %10s  %9s  %9s  %12s  %12s\n", "part",
+              "appends", "batches", "vol blocks", "idx hits", "idx miss",
+              "commit p99", "append p99");
   for (const auto& [p, appends] : partitions) {
     const std::string suffix = ".p" + std::to_string(p);
     auto commit_us =
         stats.histogram("clio.net.batch.commit_us" + suffix);
     auto append_us = stats.histogram("clio.volume.append_us" + suffix);
     std::printf("  %4u  %10" PRIu64 "  %8" PRIu64 "  %10" PRIu64
-                "  %9.0f us  %9.0f us\n",
+                "  %9" PRIu64 "  %9" PRIu64 "  %9.0f us  %9.0f us\n",
                 p, appends,
                 stats.counter("clio.net.batch.batches" + suffix),
                 stats.counter("clio.volume.appends" + suffix),
+                stats.counter("clio.index.hits" + suffix),
+                stats.counter("clio.index.misses" + suffix),
                 commit_us ? commit_us->p99() : 0.0,
                 append_us ? append_us->p99() : 0.0);
   }

@@ -87,6 +87,9 @@ void BlockBuilder::AddEntry(HeaderVersion v, LogFileId id,
   if (v == HeaderVersion::kFragment && sizes_.size() == 1) {
     flags_ |= kFlagFirstEntryIsFragment;
   }
+  if (sizes_.size() == 1 && v != HeaderVersion::kCompact) {
+    first_timestamp_ = ts;
+  }
 }
 
 Bytes BlockBuilder::Finish() const {

@@ -70,6 +70,11 @@ class BlockBuilder {
   uint32_t entry_count() const { return static_cast<uint32_t>(sizes_.size()); }
   bool empty() const { return sizes_.empty(); }
   uint16_t flags() const { return flags_; }
+
+  // Timestamp of the first entry added, when its header persists one —
+  // the builder-side twin of ParsedBlock::FirstTimestamp(), so the
+  // writer can feed the extent index without re-parsing its own image.
+  std::optional<Timestamp> first_timestamp() const { return first_timestamp_; }
   std::optional<uint64_t> chain_tag() const { return chain_tag_; }
   uint32_t footer_size() const {
     return BlockFooterBytes(chain_tag_.has_value());
@@ -105,6 +110,7 @@ class BlockBuilder {
   Bytes data_;                  // packed entries, grows forward
   std::vector<uint16_t> sizes_;  // record sizes in append order
   uint16_t flags_ = 0;
+  std::optional<Timestamp> first_timestamp_;
 };
 
 // One decoded entry record.

@@ -33,7 +33,8 @@ Result<std::shared_ptr<const Bytes>> CachedBlockReader::Fetch(
 }
 
 Result<std::shared_ptr<const Bytes>> CachedBlockReader::FetchSequential(
-    uint64_t block, uint64_t limit, uint32_t readahead, OpStats* stats) {
+    uint64_t block, uint64_t limit, uint32_t readahead, OpStats* stats,
+    Counter* readahead_counter) {
   if (cache_ == nullptr || readahead == 0 || limit <= block + 1) {
     return Fetch(block, stats);
   }
@@ -60,6 +61,9 @@ Result<std::shared_ptr<const Bytes>> CachedBlockReader::FetchSequential(
   }
   static Counter* readahead_blocks =
       ObsRegistry().counter("clio.cache.readahead_blocks");
+  if (readahead_counter == nullptr) {
+    readahead_counter = readahead_blocks;
+  }
   std::shared_ptr<const Bytes> demanded;
   for (uint64_t i = 0; i < got.value(); ++i) {
     Bytes image(run.begin() + i * block_bytes,
@@ -69,7 +73,7 @@ Result<std::shared_ptr<const Bytes>> CachedBlockReader::FetchSequential(
     if (i == 0) {
       demanded = std::move(cached);
     } else {
-      readahead_blocks->Increment();
+      readahead_counter->Increment();
     }
   }
   return demanded;

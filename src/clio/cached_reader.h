@@ -15,6 +15,8 @@
 
 namespace clio {
 
+class Counter;  // src/obs/metrics.h
+
 class CachedBlockReader {
  public:
   // `cache` may be null (uncached reads, used by the no-caching analyses).
@@ -32,12 +34,15 @@ class CachedBlockReader {
   // `readahead` following blocks (bounded by `limit`, exclusive) from the
   // device in one pass (WormDevice::ReadBlocks), caching them all. Only
   // the demanded block is charged to `stats`; the speculative blocks show
-  // up later as cache hits (and in the clio.cache.readahead_blocks
-  // counter). Falls back to Fetch when caching or readahead is off.
-  Result<std::shared_ptr<const Bytes>> FetchSequential(uint64_t block,
-                                                       uint64_t limit,
-                                                       uint32_t readahead,
-                                                       OpStats* stats);
+  // up later as cache hits. Speculative blocks count into
+  // `readahead_counter` when given, else into the default
+  // clio.cache.readahead_blocks — bulk internal scans (extent index
+  // rebuild, checkpoint replay) pass their own counter so demand-path
+  // readahead stats stay clean. Falls back to Fetch when caching or
+  // readahead is off.
+  Result<std::shared_ptr<const Bytes>> FetchSequential(
+      uint64_t block, uint64_t limit, uint32_t readahead, OpStats* stats,
+      Counter* readahead_counter = nullptr);
 
   // Type-erased cache-residency pin on `block` for zero-copy payload
   // segments (PayloadSegment::pin): holds a BlockCache::PinLease so the

@@ -188,4 +188,29 @@ std::vector<LogFileId> EntrymapAccumulator::MarkedIds(int level,
 
 void EntrymapAccumulator::Clear() { pending_.clear(); }
 
+std::vector<EntrymapAccumulator::ExportedNode>
+EntrymapAccumulator::ExportPending() const {
+  std::vector<ExportedNode> nodes;
+  nodes.reserve(pending_.size());
+  for (const auto& [key, files] : pending_) {
+    ExportedNode node;
+    node.level = key.first;
+    node.home = key.second;
+    node.files.assign(files.begin(), files.end());
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+void EntrymapAccumulator::ImportPending(
+    const std::vector<ExportedNode>& nodes) {
+  pending_.clear();
+  for (const ExportedNode& node : nodes) {
+    std::map<LogFileId, Bytes>& files = pending_[{node.level, node.home}];
+    for (const auto& [id, bitmap] : node.files) {
+      files[id] = bitmap;
+    }
+  }
+}
+
 }  // namespace clio

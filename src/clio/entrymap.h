@@ -143,6 +143,18 @@ class EntrymapAccumulator {
 
   void Clear();
 
+  // Snapshot / restore of the pending state, for the recovery checkpoint
+  // (src/index/checkpoint.h). Export returns every pending node in
+  // (level, home) order with its per-file bitmaps; Import replaces the
+  // current pending state with a previously exported snapshot.
+  struct ExportedNode {
+    int level = 0;
+    uint64_t home = 0;
+    std::vector<std::pair<LogFileId, Bytes>> files;
+  };
+  std::vector<ExportedNode> ExportPending() const;
+  void ImportPending(const std::vector<ExportedNode>& nodes);
+
  private:
   const EntrymapGeometry* geometry_;
   // (level, home block) -> log file -> bitmap

@@ -63,7 +63,51 @@ LogService::LogService(TimeSource* clock, const LogServiceOptions& options)
                                                   options_.metric_suffix);
     labeled_append_us_ = ObsRegistry().histogram("clio.volume.append_us" +
                                                  options_.metric_suffix);
+    labeled_index_hits_ =
+        ObsRegistry().counter("clio.index.hits" + options_.metric_suffix);
+    labeled_index_misses_ =
+        ObsRegistry().counter("clio.index.misses" + options_.metric_suffix);
   }
+}
+
+void LogService::ConfigureVolumeIndex(LogVolume* volume) {
+  if (!options_.enable_extent_index) {
+    return;
+  }
+  volume->SetIndexMetricMirrors(labeled_index_hits_, labeled_index_misses_);
+  volume->EnableExtentIndex();
+}
+
+void LogService::MaybeWriteCheckpoint() {
+  if (options_.nvram == nullptr || !options_.enable_extent_index ||
+      options_.checkpoint_interval_blocks == 0) {
+    return;
+  }
+  LogVolume* volume = current_volume();
+  if (volume->writer() == nullptr || volume->sealed()) {
+    return;
+  }
+  const uint64_t staging = volume->writer()->staging_block();
+  static Gauge* age = ObsRegistry().gauge("clio.index.checkpoint_age_blocks");
+  if (staging <
+      last_checkpoint_block_ + options_.checkpoint_interval_blocks) {
+    age->Set(static_cast<int64_t>(staging - last_checkpoint_block_));
+    return;
+  }
+  auto state = volume->BuildCheckpointState();
+  if (!state.ok()) {
+    return;  // e.g. the index build hit device trouble; keep appending
+  }
+  const Bytes blob = state.value().Encode();
+  options_.nvram->StoreCheckpoint(blob);
+  last_checkpoint_block_ = staging;
+  age->Set(0);
+  static Counter* written =
+      ObsRegistry().counter("clio.index.checkpoints_written");
+  static Counter* bytes =
+      ObsRegistry().counter("clio.index.checkpoint_bytes");
+  written->Increment();
+  bytes->Increment(blob.size());
 }
 
 Result<std::unique_ptr<LogService>> LogService::Create(
@@ -81,6 +125,7 @@ Result<std::unique_ptr<LogService>> LogService::Create(
                         /*cache_device_id=*/0, &service->catalog_, clock,
                         service->options_.nvram, format));
   volume->set_readahead_blocks(service->options_.readahead_blocks);
+  service->ConfigureVolumeIndex(volume.get());
   service->devices_.push_back(std::move(first_device));
   service->volumes_.push_back(std::move(volume));
   service->volume_slots_.emplace_back(service->volumes_.back().get());
@@ -94,6 +139,19 @@ Result<std::unique_ptr<LogService>> LogService::Recover(
     return InvalidArgument("recover requires at least one volume device");
   }
   std::unique_ptr<LogService> service(new LogService(clock, options));
+  // The NVRAM sidecar may hold a checkpoint for the newest volume; a blob
+  // that fails to decode (torn battery RAM) is simply ignored and the
+  // full-scan recovery runs.
+  CheckpointState checkpoint;
+  const CheckpointState* checkpoint_ptr = nullptr;
+  if (options.nvram != nullptr && options.enable_extent_index &&
+      options.nvram->has_checkpoint()) {
+    auto decoded = CheckpointState::Decode(options.nvram->checkpoint());
+    if (decoded.ok()) {
+      checkpoint = std::move(decoded).value();
+      checkpoint_ptr = &checkpoint;
+    }
+  }
   uint64_t sequence_id = 0;
   for (size_t i = 0; i < devices.size(); ++i) {
     bool writable = i + 1 == devices.size();
@@ -103,7 +161,8 @@ Result<std::unique_ptr<LogService>> LogService::Recover(
         LogVolume::Open(devices[i].get(), service->cache_.get(),
                         /*cache_device_id=*/i, &service->catalog_, clock,
                         writable ? options.nvram : nullptr, writable,
-                        &volume_report));
+                        &volume_report, /*replay_catalog=*/true,
+                        writable ? checkpoint_ptr : nullptr));
     if (volume->header().volume_index != i) {
       return Corrupt("volume " + std::to_string(i) +
                      " carries wrong sequence position");
@@ -121,8 +180,19 @@ Result<std::unique_ptr<LogService>> LogService::Recover(
       report->catalog_replay_blocks += volume_report.catalog_replay_blocks;
       report->invalidated_blocks += volume_report.invalidated_blocks;
       report->restored_nvram_tail |= volume_report.restored_nvram_tail;
+      report->restored_checkpoint |= volume_report.restored_checkpoint;
+      report->checkpoint_replay_blocks +=
+          volume_report.checkpoint_replay_blocks;
+    }
+    if (volume_report.restored_checkpoint) {
+      static Counter* restored =
+          ObsRegistry().counter("clio.index.checkpoints_restored");
+      restored->Increment();
+      // The restored coverage is as fresh as a just-written checkpoint.
+      service->last_checkpoint_block_ = checkpoint.covered_end;
     }
     volume->set_readahead_blocks(service->options_.readahead_blocks);
+    service->ConfigureVolumeIndex(volume.get());
     service->volumes_.push_back(std::move(volume));
     service->volume_slots_.emplace_back(service->volumes_.back().get());
     service->devices_.push_back(std::move(devices[i]));
@@ -246,6 +316,14 @@ Status LogService::RollToNewVolume() {
     }
   }
   volume->set_readahead_blocks(options_.readahead_blocks);
+  ConfigureVolumeIndex(volume.get());
+  // The sidecar checkpoint described the sealed predecessor; recovery
+  // validates volume_index before trusting one, but clearing keeps the
+  // sidecar from carrying a stale record across the roll.
+  if (options_.nvram != nullptr) {
+    options_.nvram->ClearCheckpoint();
+  }
+  last_checkpoint_block_ = 0;
   devices_.push_back(std::move(device));
   volumes_.push_back(std::move(volume));
   volume_slots_.emplace_back(volumes_.back().get());
@@ -283,7 +361,10 @@ Result<AppendResult> LogService::Append(LogFileId id,
   auto result = volume->writer()->Append(id, payload, options);
   if (!result.ok() && result.status().code() == StatusCode::kNoSpace) {
     CLIO_RETURN_IF_ERROR(RollToNewVolume());
-    return current_volume()->writer()->Append(id, payload, options);
+    result = current_volume()->writer()->Append(id, payload, options);
+  }
+  if (result.ok()) {
+    MaybeWriteCheckpoint();
   }
   return result;
 }
@@ -357,6 +438,7 @@ Result<LogVolume*> LogService::VolumeForRead(size_t index) {
     return Corrupt("mounted device holds the wrong volume");
   }
   volume->set_readahead_blocks(options_.readahead_blocks);
+  ConfigureVolumeIndex(volume.get());
   on_demand_mounts_.fetch_add(1, std::memory_order_relaxed);
   devices_[index] = std::move(device);
   volumes_[index] = std::move(volume);

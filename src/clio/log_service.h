@@ -42,6 +42,13 @@ struct LogServiceOptions {
   // Blocks speculatively fetched past a cache miss during a forward scan
   // (one device pass; see DESIGN.md §12). 0 disables readahead.
   uint32_t readahead_blocks = 8;
+  // RAM extent index (DESIGN.md §17): hot locates resolve in memory with
+  // zero device reads, falling back to the entrymap walk on index miss.
+  bool enable_extent_index = true;
+  // Blocks burned between checkpoint records written to the NVRAM sidecar
+  // (restart then replays only the post-checkpoint suffix). 0 disables
+  // checkpointing; no NVRAM also disables it.
+  uint64_t checkpoint_interval_blocks = 256;
   // When nonempty (e.g. ".p2" for partition 2 of a partitioned service),
   // this service additionally records its appends into suffixed mirrors of
   // the volume-append metrics ("clio.volume.appends.p2", ...), so the
@@ -208,6 +215,13 @@ class LogService {
 
   Status CheckPermission(LogFileId id, uint32_t needed_bits) const;
   Status RollToNewVolume();
+  // Applies the extent-index configuration (enable + per-partition metric
+  // mirrors) to a volume entering service.
+  void ConfigureVolumeIndex(LogVolume* volume);
+  // Writes a checkpoint record to the NVRAM sidecar when enough blocks
+  // burned since the last one. Failures are swallowed: a checkpoint is an
+  // accelerator, never required for correctness.
+  void MaybeWriteCheckpoint();
 
   TimeSource* clock_;
   LogServiceOptions options_;
@@ -230,6 +244,10 @@ class LogService {
   Counter* labeled_appends_ = nullptr;
   Counter* labeled_append_bytes_ = nullptr;
   Histogram* labeled_append_us_ = nullptr;
+  Counter* labeled_index_hits_ = nullptr;
+  Counter* labeled_index_misses_ = nullptr;
+  // Staging block at the last checkpoint written for the current volume.
+  uint64_t last_checkpoint_block_ = 0;
   // Serializes on-demand mounting among shared-lock readers (VolumeForRead
   // misses); never held across a device read.
   mutable std::mutex mount_mu_;

@@ -3,8 +3,10 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/clio/chain.h"
+#include "src/index/extent_index.h"
 
 namespace clio {
 namespace {
@@ -42,6 +44,13 @@ Result<VerifyReport> VerifyVolume(LogVolume* volume) {
   uint64_t chain_acc = volume->chain_seed();
   bool chain_synced = chained;
 
+  // Extent-index replica: rebuild what the RAM index must contain from the
+  // same walk, using the writer's classification rules — invalidated blocks
+  // advance coverage silently (the writer never marked them), unreadable
+  // blocks become holes. Compared against the live index after the walk.
+  const uint64_t burned_end = volume->end_block();
+  ExtentIndex expected_index;
+
   for (uint64_t b = 1; b < end; ++b) {
     ++report.blocks_total;
     OpStats stats;
@@ -51,6 +60,12 @@ Result<VerifyReport> VerifyVolume(LogVolume* volume) {
         ++report.blocks_invalidated;
       } else {
         ++report.blocks_corrupt;
+        if (b < burned_end) {
+          expected_index.AddHole(b);
+        }
+      }
+      if (b < burned_end) {
+        expected_index.AdvanceCoveredEnd(b + 1);
       }
       chain_synced = false;  // can't check across a gap (see above)
       continue;  // an invalid block legitimately breaks a fragment chain
@@ -147,9 +162,38 @@ Result<VerifyReport> VerifyVolume(LogVolume* volume) {
         ++report.catalog_records;
       }
     }
+    if (b < burned_end) {
+      std::vector<LogFileId> ids;
+      auto it = members_of.find(b);
+      if (it != members_of.end()) {
+        ids.assign(it->second.begin(), it->second.end());
+      }
+      expected_index.MarkBlock(b, block.FirstTimestamp(), ids);
+    }
     if (block.last_entry_continues()) {
       pending_continue = true;
       continue_from = b;
+    }
+  }
+
+  // Extent-index cross-check: only meaningful when the live index claims
+  // authority over the whole burned prefix (a partially built or disabled
+  // index is not a defect — searches fall back to the tree walk). The bar
+  // is the entrymap's: the live index may carry STALE marks for blocks
+  // invalidated out-of-band after burning (candidates are re-read, so
+  // stale costs a read, never an answer), but anything the media holds
+  // that the index lacks would hide entries from the fast path.
+  if (const ExtentIndex* live = volume->extent_index();
+      live != nullptr && live->covered_end() == burned_end &&
+      expected_index.covered_end() == burned_end) {
+    report.index_checked = true;
+    if (!live->CoversAtLeast(expected_index)) {
+      report.index_mismatches.push_back(
+          "extent index misses state the media walk found (runs " +
+          std::to_string(live->run_count()) + " vs expected " +
+          std::to_string(expected_index.run_count()) + ", holes " +
+          std::to_string(live->hole_count()) + " vs expected " +
+          std::to_string(expected_index.hole_count()) + ")");
     }
   }
 

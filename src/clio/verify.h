@@ -17,7 +17,11 @@
 //    equals the tag accumulated from the volume-header seed over the
 //    valid blocks before it (src/clio/chain.h) — this is the offline form
 //    of the online scrubber's walk and catches consistent forgeries a CRC
-//    cannot.
+//    cannot;
+//  - extent index (§17): when the volume carries a RAM extent index that
+//    claims full coverage of the burned prefix, an index rebuilt from this
+//    walk must match it byte for byte — the entrymap tree and the media
+//    stay the source of truth, the index is only a cache.
 #ifndef SRC_CLIO_VERIFY_H_
 #define SRC_CLIO_VERIFY_H_
 
@@ -39,19 +43,25 @@ struct VerifyReport {
   uint64_t entrymap_nodes = 0;
   uint64_t catalog_records = 0;
 
+  // Extent-index cross-check (§17). `index_checked` is true when the
+  // volume exposed an index covering the whole burned prefix and the
+  // comparison actually ran; mismatches are defects.
+  bool index_checked = false;
+
   // Inconsistencies, most severe first. Empty = clean volume.
   std::vector<std::string> missing_bits;   // entries invisible to searches
   std::vector<std::string> stale_bits;     // bits with nothing behind them
   std::vector<std::string> broken_chains;  // unsatisfied continues-flags
   std::vector<std::string> time_regressions;
   std::vector<std::string> chain_mismatches;  // hash-chain violations (§15)
+  std::vector<std::string> index_mismatches;  // extent-index drift (§17)
 
   // A volume with corrupt (unreadable but not deliberately invalidated)
   // blocks is NOT clean: their data is lost even though readers skip them.
   bool clean() const {
     return blocks_corrupt == 0 && missing_bits.empty() &&
            broken_chains.empty() && time_regressions.empty() &&
-           chain_mismatches.empty();
+           chain_mismatches.empty() && index_mismatches.empty();
   }
 };
 

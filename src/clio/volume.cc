@@ -1,10 +1,12 @@
 #include "src/clio/volume.h"
 
 #include <algorithm>
+#include <set>
 #include <string>
 #include <utility>
 
 #include "src/clio/chain.h"
+#include "src/obs/metrics.h"
 
 namespace clio {
 namespace {
@@ -128,7 +130,8 @@ Result<uint64_t> LogVolume::LocateEnd(WormDevice* device, OpStats* stats) {
 Result<std::unique_ptr<LogVolume>> LogVolume::Open(
     WormDevice* device, BlockCache* cache, uint64_t cache_device_id,
     Catalog* catalog, TimeSource* clock, NvramTail* nvram, bool writable,
-    RecoveryReport* report, bool replay_catalog) {
+    RecoveryReport* report, bool replay_catalog,
+    const CheckpointState* checkpoint) {
   // Step 0: the volume header fixes geometry for everything below.
   Bytes header_block(device->block_size());
   CLIO_RETURN_IF_ERROR(device->ReadBlock(0, header_block));
@@ -200,30 +203,49 @@ Result<std::unique_ptr<LogVolume>> LogVolume::Open(
     volume->chain_head_tag_ = acc.value_or(volume->chain_seed_);
   }
 
-  // Step 3 of the paper's recovery, run before step 2 here: the catalog is
-  // needed to expand sublog ancestor chains while rebuilding entrymap
-  // bitmaps. Searches during replay synthesize any entrymap info the
-  // not-yet-rebuilt accumulator would have supplied.
-  OpStats catalog_stats;
-  if (replay_catalog) {
-    CLIO_RETURN_IF_ERROR(volume->ReplayCatalog(&catalog_stats));
-  }
-  if (report != nullptr) {
-    report->catalog_replay_blocks = catalog_stats.blocks_read;
-  }
-
-  // Step 2: reconstruct the entrymap information that had not been logged
-  // when the crash happened.
-  OpStats tail_stats;
+  // Steps 2 + 3: catalog replay and entrymap-tail reconstruction — from
+  // the NVRAM checkpoint when one applies (replay only the suffix past
+  // its coverage, DESIGN.md §17), else by the full §3.4 scan. Step 3 runs
+  // before step 2 on the scan path: the catalog is needed to expand
+  // sublog ancestor chains while rebuilding entrymap bitmaps; searches
+  // during replay synthesize any entrymap info the not-yet-rebuilt
+  // accumulator would have supplied.
   EntrymapAccumulator accumulator(&volume->geometry_);
-  CLIO_RETURN_IF_ERROR(
-      volume->RebuildAccumulator(&accumulator, &tail_stats));
-  if (report != nullptr) {
-    report->tail_scan_blocks = tail_stats.blocks_read;
+  bool from_checkpoint = false;
+  if (checkpoint != nullptr && replay_catalog) {
+    OpStats replay_stats;
+    auto restored = volume->TryRestoreFromCheckpoint(*checkpoint, end,
+                                                     &accumulator,
+                                                     &replay_stats);
+    if (restored.ok() && restored.value()) {
+      from_checkpoint = true;
+      if (report != nullptr) {
+        report->restored_checkpoint = true;
+        report->checkpoint_replay_blocks = end - checkpoint->covered_end;
+        report->tail_scan_blocks = replay_stats.blocks_read;
+      }
+    } else {
+      // A partial restore may have imported pending nodes; start over.
+      accumulator = EntrymapAccumulator(&volume->geometry_);
+    }
   }
-
-  OpStats ts_stats;
-  CLIO_RETURN_IF_ERROR(volume->ComputeRecoveredMaxTimestamp(&ts_stats));
+  if (!from_checkpoint) {
+    OpStats catalog_stats;
+    if (replay_catalog) {
+      CLIO_RETURN_IF_ERROR(volume->ReplayCatalog(&catalog_stats));
+    }
+    if (report != nullptr) {
+      report->catalog_replay_blocks = catalog_stats.blocks_read;
+    }
+    OpStats tail_stats;
+    CLIO_RETURN_IF_ERROR(
+        volume->RebuildAccumulator(&accumulator, &tail_stats));
+    if (report != nullptr) {
+      report->tail_scan_blocks = tail_stats.blocks_read;
+    }
+    OpStats ts_stats;
+    CLIO_RETURN_IF_ERROR(volume->ComputeRecoveredMaxTimestamp(&ts_stats));
+  }
 
   // Step 4: restore the NVRAM-staged tail block, if it is current.
   const Bytes* staged = nullptr;
@@ -265,6 +287,12 @@ Result<std::unique_ptr<LogVolume>> LogVolume::Open(
                                  volume->chain_head_tag_));
     for (uint64_t bad : torn) {
       volume->writer_->NoteBadBlock(bad);
+    }
+    // A checkpoint-restored index has replayed up to the staging block;
+    // attach it so subsequent burns keep it current.
+    if (volume->index_ != nullptr &&
+        volume->index_->covered_end() == volume->writer_->staging_block()) {
+      volume->writer_->set_extent_index(volume->index_.get());
     }
   } else {
     volume->accumulator_ = std::move(accumulator);
@@ -407,11 +435,226 @@ Status LogVolume::ComputeRecoveredMaxTimestamp(OpStats* stats) {
       }
     }
     if (max_ts != 0) {
-      recovered_max_timestamp_ = max_ts;
+      recovered_max_timestamp_ = std::max(recovered_max_timestamp_, max_ts);
       return Status::Ok();
     }
   }
   return Status::Ok();
+}
+
+std::vector<LogFileId> LogVolume::BlockMarkIds(const ParsedBlock& parsed)
+    const {
+  std::set<LogFileId> ids;
+  for (const ParsedEntry& e : parsed.entries()) {
+    for (LogFileId id : catalog_->SelfAndAncestors(e.logfile_id)) {
+      ids.insert(id);
+    }
+    for (LogFileId extra : e.extra_ids) {
+      for (LogFileId id : catalog_->SelfAndAncestors(extra)) {
+        ids.insert(id);
+      }
+    }
+  }
+  return std::vector<LogFileId>(ids.begin(), ids.end());
+}
+
+Result<ParsedBlock> LogVolume::ScanBlock(uint64_t block, uint64_t limit,
+                                         OpStats* stats) {
+  if (catalog_->IsQuarantined(header_.volume_index, block)) {
+    return Corrupt("quarantined block " + std::to_string(block));
+  }
+  static Counter* rebuild_readahead =
+      ObsRegistry().counter("clio.index.rebuild_readahead_blocks");
+  auto image = readahead_blocks_ > 0
+                   ? blocks_.FetchSequential(block, limit, readahead_blocks_,
+                                             stats, rebuild_readahead)
+                   : blocks_.Fetch(block, stats);
+  if (!image.ok()) {
+    return image.status();
+  }
+  return ParsedBlock::Parse(std::move(image).value());
+}
+
+Result<bool> LogVolume::TryRestoreFromCheckpoint(const CheckpointState& ck,
+                                                 uint64_t end,
+                                                 EntrymapAccumulator* acc,
+                                                 OpStats* stats) {
+  if (ck.volume_index != header_.volume_index || ck.covered_end < 1 ||
+      ck.covered_end > end) {
+    return false;  // foreign volume or coverage past the recovered end
+  }
+  auto index = ExtentIndex::Deserialize(ck.index_blob);
+  if (!index.ok() || index.value().covered_end() != ck.covered_end) {
+    return false;
+  }
+
+  // Catalog as of covered_end: the checkpoint carries the live catalog's
+  // export records (same compaction that seeds a successor volume).
+  for (const Bytes& encoded : ck.catalog_records) {
+    auto record = CatalogRecord::Decode(encoded);
+    if (!record.ok()) {
+      return false;
+    }
+    CLIO_RETURN_IF_ERROR(catalog_->Apply(record.value()));
+  }
+  std::vector<EntrymapAccumulator::ExportedNode> nodes;
+  nodes.reserve(ck.accumulator_nodes.size());
+  for (const AccumulatorNodeState& n : ck.accumulator_nodes) {
+    EntrymapAccumulator::ExportedNode node;
+    node.level = static_cast<int>(n.level);
+    node.home = n.home;
+    node.files = n.files;
+    nodes.push_back(std::move(node));
+  }
+  acc->ImportPending(nodes);
+  recovered_max_timestamp_ =
+      std::max(recovered_max_timestamp_, ck.max_timestamp);
+
+  // Replay [covered_end, end) with the same rules the writer applied
+  // live. Emission boundaries crossed by the replay position mean the
+  // node went to media before the block burned: drop it from the pending
+  // state (FetchEntrymap finds it there; one lost to a displaced burn is
+  // synthesized from below by GroupBitmap, exactly as after a full scan).
+  std::vector<uint64_t> last_home(geometry_.max_level() + 1, 0);
+  for (int level = 1; level <= geometry_.max_level(); ++level) {
+    uint64_t n = geometry_.PowN(level);
+    last_home[level] = ((ck.covered_end - 1) / n) * n;
+  }
+  auto idx = std::make_unique<ExtentIndex>(std::move(index).value());
+  for (uint64_t b = ck.covered_end; b < end; ++b) {
+    for (int level = 1; level <= geometry_.max_level(); ++level) {
+      uint64_t n = geometry_.PowN(level);
+      uint64_t due = (b / n) * n;
+      if (due > last_home[level]) {
+        acc->Take(level, due);
+        last_home[level] = due;
+      }
+    }
+    auto parsed = ScanBlock(b, end, stats);
+    if (!parsed.ok()) {
+      if (parsed.status().code() == StatusCode::kCorrupt) {
+        idx->AddHole(b);
+      }
+      idx->AdvanceCoveredEnd(b + 1);
+      continue;
+    }
+    // Catalog records burned after the checkpoint: apply before computing
+    // memberships so new sublogs' ancestor chains resolve.
+    for (size_t i = 0; i < parsed.value().entries().size(); ++i) {
+      const ParsedEntry& e = parsed.value().entries()[i];
+      if (e.logfile_id != kCatalogLogId || e.is_fragment()) {
+        continue;
+      }
+      bool truncated = false;
+      auto payload =
+          AssembleEntryPayload(b, parsed.value(), i, stats, &truncated);
+      if (!payload.ok() || truncated) {
+        continue;
+      }
+      auto record = CatalogRecord::Decode(payload.value());
+      if (record.ok()) {
+        CLIO_RETURN_IF_ERROR(catalog_->Apply(record.value()));
+      }
+    }
+    for (const ParsedEntry& e : parsed.value().entries()) {
+      if (e.timestamp.has_value()) {
+        recovered_max_timestamp_ =
+            std::max(recovered_max_timestamp_, *e.timestamp);
+      }
+    }
+    std::vector<LogFileId> ids = BlockMarkIds(parsed.value());
+    if (!ids.empty()) {
+      acc->Mark(b, ids);
+    }
+    idx->MarkBlock(b, parsed.value().FirstTimestamp(), ids);
+  }
+  index_ = std::move(idx);
+  index_enabled_ = true;
+  index_ready_.store(true, std::memory_order_release);
+  return true;
+}
+
+void LogVolume::EnableExtentIndex() {
+  std::lock_guard<std::mutex> lock(index_build_mu_);
+  index_enabled_ = true;
+  if (index_ready_.load(std::memory_order_acquire)) {
+    return;  // already built (checkpoint restore, or enabled twice)
+  }
+  if (end_block() == 1 && writer_ != nullptr) {
+    // Fresh volume: nothing burned yet, so an empty index is complete.
+    index_ = std::make_unique<ExtentIndex>();
+    writer_->set_extent_index(index_.get());
+    index_ready_.store(true, std::memory_order_release);
+  }
+}
+
+Status LogVolume::EnsureExtentIndex() {
+  if (!index_enabled_ || index_ready_.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> lock(index_build_mu_);
+  if (index_ready_.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  static Counter* rebuilds = ObsRegistry().counter("clio.index.rebuilds");
+  auto idx = std::make_unique<ExtentIndex>();
+  const uint64_t limit = end_block();
+  OpStats stats;
+  for (uint64_t b = 1; b < limit; ++b) {
+    auto parsed = ScanBlock(b, limit, &stats);
+    if (!parsed.ok()) {
+      switch (parsed.status().code()) {
+        case StatusCode::kInvalidated:
+          break;  // the writer skipped it too: not a hole
+        case StatusCode::kCorrupt:
+          idx->AddHole(b);
+          break;
+        default:
+          return parsed.status();  // device trouble: leave the index off
+      }
+      idx->AdvanceCoveredEnd(b + 1);
+      continue;
+    }
+    idx->MarkBlock(b, parsed.value().FirstTimestamp(),
+                   BlockMarkIds(parsed.value()));
+  }
+  if (writer_ != nullptr && idx->covered_end() == writer_->staging_block()) {
+    writer_->set_extent_index(idx.get());
+  }
+  index_ = std::move(idx);
+  rebuilds->Increment();
+  index_ready_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+Result<CheckpointState> LogVolume::BuildCheckpointState() {
+  if (writer_ == nullptr) {
+    return FailedPrecondition("checkpoint requires a writable volume");
+  }
+  CLIO_RETURN_IF_ERROR(EnsureExtentIndex());
+  const ExtentIndex* idx = extent_index();
+  if (idx == nullptr || idx->covered_end() != writer_->staging_block()) {
+    return FailedPrecondition(
+        "extent index has not caught up with the writer");
+  }
+  CheckpointState state;
+  state.volume_index = header_.volume_index;
+  state.covered_end = writer_->staging_block();
+  state.max_timestamp =
+      std::max(recovered_max_timestamp_, writer_->last_issued_timestamp());
+  state.index_blob = idx->Serialize();
+  for (const EntrymapAccumulator::ExportedNode& n :
+       writer_->accumulator().ExportPending()) {
+    AccumulatorNodeState node;
+    node.level = static_cast<uint32_t>(n.level);
+    node.home = n.home;
+    node.files = n.files;
+    state.accumulator_nodes.push_back(std::move(node));
+  }
+  for (const CatalogRecord& record : catalog_->ExportRecords()) {
+    state.catalog_records.push_back(record.Encode());
+  }
+  return state;
 }
 
 Result<ParsedBlock> LogVolume::GetBlock(uint64_t block, OpStats* stats,
@@ -775,6 +1018,31 @@ Result<std::optional<uint64_t>> LogVolume::PrevBlockWith(LogFileId id,
   if (limit <= 1) {
     return std::optional<uint64_t>(std::nullopt);
   }
+
+  // RAM fast path: a ready index covering every burned block answers with
+  // zero device reads; non-authoritative answers (a hole overlaps the
+  // range) fall through to the entrymap walk, the source of truth.
+  if (index_enabled_) {
+    static Counter* hits = ObsRegistry().counter("clio.index.hits");
+    static Counter* misses = ObsRegistry().counter("clio.index.misses");
+    Status built = EnsureExtentIndex();
+    const ExtentIndex* idx = built.ok() ? extent_index() : nullptr;
+    ExtentIndex::Lookup hit;
+    if (idx != nullptr && idx->covered_end() == end_block()) {
+      hit = idx->PrevBlockWith(id, limit);
+    }
+    if (hit.authoritative) {
+      hits->Increment();
+      if (labeled_index_hits_ != nullptr) {
+        labeled_index_hits_->Increment();
+      }
+      return hit.block;
+    }
+    misses->Increment();
+    if (labeled_index_misses_ != nullptr) {
+      labeled_index_misses_->Increment();
+    }
+  }
   const uint16_t n = geometry_.degree();
 
   // Level 1: the group containing the last candidate block.
@@ -832,7 +1100,36 @@ Result<std::optional<uint64_t>> LogVolume::NextBlockWith(LogFileId id,
 
   const uint64_t limit = end_block();
   const uint16_t n = geometry_.degree();
-  if (from < limit) {
+  bool search_burned = from < limit;
+
+  // RAM fast path over the burned range; an authoritative "none" still
+  // falls through to the staged-tail check below.
+  if (search_burned && index_enabled_) {
+    static Counter* hits = ObsRegistry().counter("clio.index.hits");
+    static Counter* misses = ObsRegistry().counter("clio.index.misses");
+    Status built = EnsureExtentIndex();
+    const ExtentIndex* idx = built.ok() ? extent_index() : nullptr;
+    ExtentIndex::Lookup hit;
+    if (idx != nullptr && idx->covered_end() == limit) {
+      hit = idx->NextBlockWith(id, from);
+    }
+    if (hit.authoritative) {
+      hits->Increment();
+      if (labeled_index_hits_ != nullptr) {
+        labeled_index_hits_->Increment();
+      }
+      if (hit.block.has_value()) {
+        return hit.block;
+      }
+      search_burned = false;
+    } else {
+      misses->Increment();
+      if (labeled_index_misses_ != nullptr) {
+        labeled_index_misses_->Increment();
+      }
+    }
+  }
+  if (search_burned) {
     uint64_t h1 = geometry_.HomeFor(from, 1);
     CLIO_ASSIGN_OR_RETURN(Bytes bitmap, GroupBitmap(id, 1, h1, stats));
     if (auto bit = EntrymapPayload::LowestSetFrom(
@@ -880,6 +1177,42 @@ Result<std::optional<uint64_t>> LogVolume::FindBlockByTime(Timestamp t,
   const uint64_t limit = end_including_staged();
   if (limit <= 1) {
     return std::optional<uint64_t>(std::nullopt);
+  }
+
+  // RAM fast path: the staged tail (if its leading stamp qualifies) is
+  // the latest candidate; otherwise the index's monotone (block, leading
+  // timestamp) vector answers for the burned range. Any scan hole makes
+  // the timestamp vector non-authoritative and the bisection below runs.
+  if (index_enabled_) {
+    static Counter* hits = ObsRegistry().counter("clio.index.hits");
+    static Counter* misses = ObsRegistry().counter("clio.index.misses");
+    Status built = EnsureExtentIndex();
+    const ExtentIndex* idx = built.ok() ? extent_index() : nullptr;
+    if (idx != nullptr && idx->covered_end() == end_block()) {
+      std::optional<Timestamp> staged_ts =
+          writer_ != nullptr && writer_->has_staged_entries()
+              ? writer_->staged_leading_timestamp()
+              : std::nullopt;
+      if (staged_ts.has_value() && *staged_ts <= t) {
+        hits->Increment();
+        if (labeled_index_hits_ != nullptr) {
+          labeled_index_hits_->Increment();
+        }
+        return std::optional<uint64_t>(writer_->staging_block());
+      }
+      ExtentIndex::Lookup hit = idx->LastBlockAtOrBefore(t);
+      if (hit.authoritative) {
+        hits->Increment();
+        if (labeled_index_hits_ != nullptr) {
+          labeled_index_hits_->Increment();
+        }
+        return hit.block;
+      }
+    }
+    misses->Increment();
+    if (labeled_index_misses_ != nullptr) {
+      labeled_index_misses_->Increment();
+    }
   }
   uint64_t lo = 1;
   uint64_t hi = limit;

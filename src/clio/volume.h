@@ -24,8 +24,10 @@
 #ifndef SRC_CLIO_VOLUME_H_
 #define SRC_CLIO_VOLUME_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -39,6 +41,8 @@
 #include "src/clio/volume_writer.h"
 #include "src/device/block_device.h"
 #include "src/device/nvram_tail.h"
+#include "src/index/checkpoint.h"
+#include "src/index/extent_index.h"
 #include "src/util/time.h"
 
 namespace clio {
@@ -50,6 +54,10 @@ struct RecoveryReport {
   uint64_t catalog_replay_blocks = 0;  // step 3 (approximate: via OpStats)
   uint64_t invalidated_blocks = 0;   // trailing garbage burned to 1s
   bool restored_nvram_tail = false;
+  // Checkpointed fast restart (DESIGN.md §17): the NVRAM checkpoint was
+  // accepted and only [checkpoint.covered_end, end) was replayed.
+  bool restored_checkpoint = false;
+  uint64_t checkpoint_replay_blocks = 0;
 };
 
 class LogVolume {
@@ -74,10 +82,17 @@ class LogVolume {
   // replay because every record of an old volume is already in the live
   // catalog (exported forward at roll time), and mutating the shared
   // catalog would race with concurrent shared-lock readers.
+  //
+  // `checkpoint` (if given) is a decoded NVRAM checkpoint record; when it
+  // matches this volume and its coverage is not past the recovered end,
+  // recovery restores catalog + accumulator + extent index from it and
+  // replays only [checkpoint->covered_end, end) instead of the full §3.4
+  // scan. A stale or unusable checkpoint silently falls back to the scan.
   static Result<std::unique_ptr<LogVolume>> Open(
       WormDevice* device, BlockCache* cache, uint64_t cache_device_id,
       Catalog* catalog, TimeSource* clock, NvramTail* nvram, bool writable,
-      RecoveryReport* report, bool replay_catalog = true);
+      RecoveryReport* report, bool replay_catalog = true,
+      const CheckpointState* checkpoint = nullptr);
 
   const VolumeHeader& header() const { return header_; }
   const EntrymapGeometry& geometry() const { return geometry_; }
@@ -144,6 +159,39 @@ class LogVolume {
   Result<std::optional<uint64_t>> FindBlockByTime(Timestamp t,
                                                   OpStats* stats);
 
+  // -- RAM extent index (src/index/, DESIGN.md §17). --
+
+  // Turns the extent index on for this volume. A fresh volume (nothing
+  // burned yet) gets an empty, complete index attached to its writer
+  // immediately; an opened volume defers the build to the first locate
+  // (EnsureExtentIndex), unless Open() already restored one from a
+  // checkpoint.
+  void EnableExtentIndex();
+
+  // Builds the index by scanning the burned blocks, if enabled and not
+  // built yet; a no-op once ready. Safe under the service's SHARED lock:
+  // concurrent builders serialize on an internal mutex, and the burn path
+  // (which mutates the index) runs only under the EXCLUSIVE lock.
+  Status EnsureExtentIndex();
+
+  // The ready index, or nullptr while disabled / not yet built.
+  const ExtentIndex* extent_index() const {
+    return index_ready_.load(std::memory_order_acquire) ? index_.get()
+                                                        : nullptr;
+  }
+
+  // Snapshot of this volume's recovery state for a checkpoint record.
+  // Requires a writable volume whose index has caught up with the staging
+  // position.
+  Result<CheckpointState> BuildCheckpointState();
+
+  // Per-partition mirrors of the clio.index.hits / clio.index.misses
+  // counters (see LogServiceOptions::metric_suffix); null disables.
+  void SetIndexMetricMirrors(Counter* hits, Counter* misses) {
+    labeled_index_hits_ = hits;
+    labeled_index_misses_ = misses;
+  }
+
   // Full payload of entry `entry_index` of `parsed` (which was read from
   // `block`), following its fragment chain into subsequent blocks. Sets
   // *truncated if part of the chain was lost to corruption.
@@ -168,6 +216,26 @@ class LogVolume {
   Status ReplayCatalog(OpStats* stats);
   Status RebuildAccumulator(EntrymapAccumulator* acc, OpStats* stats);
   Status ComputeRecoveredMaxTimestamp(OpStats* stats);
+
+  // Checkpointed fast restart: restores catalog/accumulator/index state
+  // from `ck` and replays only [ck.covered_end, end). Returns false when
+  // the checkpoint does not apply to this volume (stale coverage, wrong
+  // volume, undecodable index blob) — the caller then runs the full scan.
+  Result<bool> TryRestoreFromCheckpoint(const CheckpointState& ck,
+                                        uint64_t end,
+                                        EntrymapAccumulator* acc,
+                                        OpStats* stats);
+
+  // Quarantine-aware sequential fetch+parse for bulk internal scans
+  // (index rebuild, checkpoint replay). Readahead charges the
+  // clio.index.rebuild_readahead_blocks counter, not the demand-path
+  // clio.cache.readahead_blocks.
+  Result<ParsedBlock> ScanBlock(uint64_t block, uint64_t limit,
+                                OpStats* stats);
+
+  // The block's tracked-membership set, exactly as the writer fed it to
+  // the accumulator and extent index at burn time (sorted, deduplicated).
+  std::vector<LogFileId> BlockMarkIds(const ParsedBlock& parsed) const;
 
   // The entrymap entry (merged chunks) for (level, home), following
   // displacement past invalidated blocks. nullopt = info missing.
@@ -223,6 +291,16 @@ class LogVolume {
   Timestamp recovered_max_timestamp_ = 0;
   std::optional<uint64_t> chain_head_tag_;  // read-only chained volumes
   uint64_t chain_seed_ = 0;
+
+  // RAM extent index state. `index_` is written under index_build_mu_
+  // (lazy build) or the service's EXCLUSIVE lock (burn path, checkpoint
+  // restore during Open); readers gate on the acquire-loaded ready flag.
+  bool index_enabled_ = false;
+  std::atomic<bool> index_ready_{false};
+  mutable std::mutex index_build_mu_;
+  std::unique_ptr<ExtentIndex> index_;
+  Counter* labeled_index_hits_ = nullptr;
+  Counter* labeled_index_misses_ = nullptr;
 };
 
 }  // namespace clio

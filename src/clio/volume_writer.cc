@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/clio/chain.h"
+#include "src/index/extent_index.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -80,6 +81,61 @@ Status LogVolumeWriter::Restore(uint64_t next_block,
       }
     }
   }
+  if (builder_ == nullptr) {
+    CLIO_RETURN_IF_ERROR(SealStrandedChain());
+  }
+  return Status::Ok();
+}
+
+Status LogVolumeWriter::SealStrandedChain() {
+  // A crash can strand a fragment chain: the burned prefix ends in a block
+  // flagged last-entry-continues while the completing fragment died in the
+  // volatile staging buffer (a forced tail would have been restored above
+  // and always begins with that fragment). The flag is burned into
+  // write-once media and cannot be cleared, so seal the chain instead by
+  // staging a zero-length terminator fragment as the next block's first
+  // client entry. Readers already return the burned prefix for a truncated
+  // tail entry, so no payload changes — this only keeps the chain
+  // invariant (a continues flag is followed by a fragment) intact once
+  // later appends burn past the crash point. Unparseable blocks are
+  // skipped on the walk back: garbage burns legitimately interleave with
+  // a chain without ending it.
+  for (uint64_t b = staging_block_; b-- > 1;) {
+    auto image = blocks_->Fetch(b, nullptr);
+    if (!image.ok()) {
+      break;
+    }
+    auto parsed = ParsedBlock::Parse(*image);
+    if (!parsed.ok()) {
+      continue;
+    }
+    if (!parsed->last_entry_continues() || parsed->entries().empty()) {
+      break;
+    }
+    const ParsedEntry& last = parsed->entries().back();
+    int stalls = 0;
+    for (;;) {
+      CLIO_RETURN_IF_ERROR(OpenBuilder());
+      if (builder_->free_bytes() >=
+          HeaderInlineSize(HeaderVersion::kFragment, 0) + kSizeSlotBytes) {
+        break;
+      }
+      // Entrymap entries packed this block solid; the chain stays open
+      // through it, exactly as in the append-side fragment loop.
+      if (++stalls > geometry_->max_level() + 1) {
+        return Internal("chain terminator made no progress");
+      }
+      builder_->SetFlags(kFlagLastEntryContinues);
+      CLIO_RETURN_IF_ERROR(BurnBuilder());
+    }
+    builder_->AddEntry(HeaderVersion::kFragment, last.logfile_id, {},
+                       last.timestamp.value_or(0));
+    AccountClientEntry(last.logfile_id, HeaderVersion::kFragment, 0);
+    for (LogFileId a : catalog_->SelfAndAncestors(last.logfile_id)) {
+      pending_mark_ids_.insert(a);
+    }
+    break;
+  }
   return Status::Ok();
 }
 
@@ -147,7 +203,9 @@ Status LogVolumeWriter::EmitEntrymapNode(int level, uint64_t home) {
       }
       space_.entrymap_bytes +=
           HeaderInlineSize(v) + kSizeSlotBytes + encoded.size();
-      builder_->AddEntry(v, kEntrymapLogId, encoded, clock_->NowUnique());
+      const Timestamp node_ts = clock_->NowUnique();
+      last_issued_timestamp_ = node_ts;
+      builder_->AddEntry(v, kEntrymapLogId, encoded, node_ts);
     } while (emitted < payload.files.size());
   }
   return Status::Ok();
@@ -183,10 +241,20 @@ Status LogVolumeWriter::BurnBuilder() {
           pending_bad_blocks_.push_back(skipped);
         }
       }
-      if (!pending_mark_ids_.empty()) {
+      {
         std::vector<LogFileId> ids(pending_mark_ids_.begin(),
                                    pending_mark_ids_.end());
-        accumulator_.Mark(actual, ids);
+        if (!ids.empty()) {
+          accumulator_.Mark(actual, ids);
+        }
+        if (extent_index_ != nullptr) {
+          // Mirror the burn into the RAM extent index with the exact
+          // membership set and leading timestamp a later scan of this
+          // block would reconstruct — the two maintenance paths must
+          // produce byte-identical indexes. Runs even with no client
+          // memberships (entrymap-only blocks) so coverage advances.
+          extent_index_->MarkBlock(actual, builder_->first_timestamp(), ids);
+        }
       }
       space_.footer_bytes += builder_->footer_size();
       space_.padding_bytes += builder_->free_bytes();
@@ -343,6 +411,7 @@ Result<AppendResult> LogVolumeWriter::Append(LogFileId id,
   // entries, and timestamps must be non-decreasing in physical order for
   // the time search (§2.1) to bisect on block-leading timestamps.
   const Timestamp ts = clock_->NowUnique();
+  last_issued_timestamp_ = ts;
 
   AppendResult out;
   out.timestamp = ts;
@@ -380,7 +449,13 @@ Result<AppendResult> LogVolumeWriter::Append(LogFileId id,
     size_t n = std::min(fcap, remaining.size());
     builder_->AddEntry(HeaderVersion::kFragment, id, remaining.first(n), ts);
     AccountClientEntry(id, HeaderVersion::kFragment, n);
-    for (LogFileId a : ancestors) {
+    // Continuation blocks are marked with the base log file's lineage only,
+    // NOT the extra memberships: a kFragment header persists just the base
+    // id, so this is exactly the set a later scan of the block can
+    // reconstruct — and the index maintenance paths must stay
+    // byte-identical. Readers of an extra membership position on the base
+    // block (the kMulti header), so they never need the continuations.
+    for (LogFileId a : catalog_->SelfAndAncestors(id)) {
       pending_mark_ids_.insert(a);
     }
     remaining = remaining.subspan(n);

@@ -34,6 +34,8 @@
 
 namespace clio {
 
+class ExtentIndex;  // src/index/extent_index.h
+
 struct AppendResult {
   Timestamp timestamp = 0;
   EntryPosition position;
@@ -125,6 +127,25 @@ class LogVolumeWriter {
   // entrymap information, for the §3.2 breakdown bench.
   uint64_t entrymap_upkeep_calls() const { return entrymap_upkeep_calls_; }
 
+  // Attaches the volume's RAM extent index (src/index/extent_index.h);
+  // every subsequent burn marks it with the same membership set fed to
+  // the entrymap accumulator. Null detaches. The owning LogVolume only
+  // attaches an index whose coverage has caught up with the staging
+  // position, so the index stays a faithful mirror.
+  void set_extent_index(ExtentIndex* index) { extent_index_ = index; }
+
+  // Leading timestamp of the staged (partial) tail block, if any — what
+  // the block's FirstTimestamp() will be once burned. Lets the timestamp
+  // fast path consult the staged tail without parsing its image.
+  std::optional<Timestamp> staged_leading_timestamp() const {
+    return builder_ != nullptr ? builder_->first_timestamp() : std::nullopt;
+  }
+
+  // Largest timestamp this writer has stamped into any entry (client,
+  // entrymap, catalog, bad-block). Checkpoints persist it so recovery can
+  // floor the unique clock without rescanning covered blocks.
+  Timestamp last_issued_timestamp() const { return last_issued_timestamp_; }
+
  private:
   // A staging builder carrying the current chain tag (v2 footer) when the
   // volume is chained, a plain v1 builder otherwise.
@@ -137,6 +158,9 @@ class LogVolumeWriter {
   void AccountClientEntry(LogFileId id, HeaderVersion v, size_t payload_size);
   Status AppendInternal(LogFileId id, std::span<const std::byte> payload);
   Status DrainBadBlockRecords();
+  // Stages a zero-length terminator fragment when a crash left the burned
+  // log ending in a dangling last-entry-continues flag (see Restore).
+  Status SealStrandedChain();
 
   CachedBlockReader* blocks_;
   VolumeHeader header_;
@@ -161,6 +185,8 @@ class LogVolumeWriter {
 
   SpaceAccounting space_;
   uint64_t entrymap_upkeep_calls_ = 0;
+  ExtentIndex* extent_index_ = nullptr;  // not owned; may be null
+  Timestamp last_issued_timestamp_ = kTimestampMin;
 };
 
 }  // namespace clio

@@ -19,4 +19,15 @@ void NvramTail::Clear() {
   data_.clear();
 }
 
+void NvramTail::StoreCheckpoint(std::span<const std::byte> blob) {
+  checkpoint_.assign(blob.begin(), blob.end());
+  has_checkpoint_ = true;
+  ++checkpoint_store_count_;
+}
+
+void NvramTail::ClearCheckpoint() {
+  has_checkpoint_ = false;
+  checkpoint_.clear();
+}
+
 }  // namespace clio

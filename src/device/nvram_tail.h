@@ -40,12 +40,30 @@ class NvramTail {
   // Counters for the fragmentation ablation bench.
   uint64_t store_count() const { return store_count_; }
 
+  // -- Checkpoint sidecar (DESIGN.md §17) --
+  //
+  // A second, independent rewritable slot holding the volume's latest
+  // recovery checkpoint (src/index/checkpoint.h). It is not limited to
+  // one block: battery-backed RAM is sized in kilobytes-to-megabytes
+  // while the staged tail needs exactly one block, so the checkpoint
+  // gets the rest. The two slots have independent lifetimes — burning
+  // the tail clears only the tail slot; rolling to a new volume clears
+  // only the checkpoint.
+  void StoreCheckpoint(std::span<const std::byte> blob);
+  bool has_checkpoint() const { return has_checkpoint_; }
+  std::span<const std::byte> checkpoint() const { return checkpoint_; }
+  void ClearCheckpoint();
+  uint64_t checkpoint_store_count() const { return checkpoint_store_count_; }
+
  private:
   uint32_t block_size_;
   bool has_data_ = false;
   uint64_t block_index_ = 0;
   Bytes data_;
   uint64_t store_count_ = 0;
+  bool has_checkpoint_ = false;
+  Bytes checkpoint_;
+  uint64_t checkpoint_store_count_ = 0;
 };
 
 }  // namespace clio

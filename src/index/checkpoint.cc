@@ -1,0 +1,119 @@
+#include "src/index/checkpoint.h"
+
+#include "src/util/crc32c.h"
+
+namespace clio {
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0xC110'C4E1;
+constexpr uint16_t kCheckpointVersion = 1;
+
+// Sanity bounds: a decoded count larger than these means the record is
+// garbage even if the checksum happened to collide.
+constexpr uint32_t kMaxNodes = 1 << 20;
+constexpr uint32_t kMaxRecords = 1 << 24;
+
+}  // namespace
+
+Bytes CheckpointState::Encode() const {
+  Bytes body_bytes;
+  ByteWriter body(&body_bytes);
+  body.PutU32(volume_index);
+  body.PutU64(covered_end);
+  body.PutI64(max_timestamp);
+  body.PutU32(static_cast<uint32_t>(index_blob.size()));
+  body.PutBytes(index_blob);
+  body.PutU32(static_cast<uint32_t>(accumulator_nodes.size()));
+  for (const AccumulatorNodeState& node : accumulator_nodes) {
+    body.PutU8(static_cast<uint8_t>(node.level));
+    body.PutU64(node.home);
+    body.PutU16(static_cast<uint16_t>(node.files.size()));
+    for (const auto& [id, bitmap] : node.files) {
+      body.PutU16(id);
+      body.PutU16(static_cast<uint16_t>(bitmap.size()));
+      body.PutBytes(bitmap);
+    }
+  }
+  body.PutU32(static_cast<uint32_t>(catalog_records.size()));
+  for (const Bytes& record : catalog_records) {
+    body.PutU32(static_cast<uint32_t>(record.size()));
+    body.PutBytes(record);
+  }
+
+  Bytes out_bytes;
+  ByteWriter out(&out_bytes);
+  out.PutU32(kCheckpointMagic);
+  out.PutU16(kCheckpointVersion);
+  out.PutU32(Crc32c(body_bytes));
+  out.PutBytes(body_bytes);
+  return out_bytes;
+}
+
+Result<CheckpointState> CheckpointState::Decode(
+    std::span<const std::byte> blob) {
+  ByteReader r(blob);
+  if (r.GetU32() != kCheckpointMagic || r.GetU16() != kCheckpointVersion ||
+      r.failed()) {
+    return Corrupt("checkpoint: bad magic/version");
+  }
+  uint32_t crc = r.GetU32();
+  if (r.failed() || crc != Crc32c(blob.subspan(r.pos()))) {
+    return Corrupt("checkpoint: checksum mismatch");
+  }
+
+  CheckpointState state;
+  state.volume_index = r.GetU32();
+  state.covered_end = r.GetU64();
+  state.max_timestamp = r.GetI64();
+  uint32_t index_len = r.GetU32();
+  if (r.failed() || index_len > r.remaining()) {
+    return Corrupt("checkpoint: truncated index blob");
+  }
+  auto index_span = r.GetBytes(index_len);
+  state.index_blob.assign(index_span.begin(), index_span.end());
+  uint32_t node_count = r.GetU32();
+  if (r.failed() || node_count > kMaxNodes) {
+    return Corrupt("checkpoint: bad node count");
+  }
+  state.accumulator_nodes.reserve(node_count);
+  for (uint32_t i = 0; i < node_count; ++i) {
+    AccumulatorNodeState node;
+    node.level = r.GetU8();
+    node.home = r.GetU64();
+    uint16_t file_count = r.GetU16();
+    if (r.failed() || node.level == 0) {
+      return Corrupt("checkpoint: bad accumulator node");
+    }
+    node.files.reserve(file_count);
+    for (uint16_t f = 0; f < file_count; ++f) {
+      uint16_t id = r.GetU16();
+      uint16_t bitmap_len = r.GetU16();
+      auto bitmap = r.GetBytes(bitmap_len);
+      if (r.failed()) {
+        return Corrupt("checkpoint: truncated bitmap");
+      }
+      node.files.emplace_back(static_cast<LogFileId>(id),
+                              Bytes(bitmap.begin(), bitmap.end()));
+    }
+    state.accumulator_nodes.push_back(std::move(node));
+  }
+  uint32_t record_count = r.GetU32();
+  if (r.failed() || record_count > kMaxRecords) {
+    return Corrupt("checkpoint: bad record count");
+  }
+  state.catalog_records.reserve(record_count);
+  for (uint32_t i = 0; i < record_count; ++i) {
+    uint32_t len = r.GetU32();
+    if (r.failed() || len > r.remaining()) {
+      return Corrupt("checkpoint: truncated catalog record");
+    }
+    auto record = r.GetBytes(len);
+    state.catalog_records.emplace_back(record.begin(), record.end());
+  }
+  if (r.remaining() != 0) {
+    return Corrupt("checkpoint: trailing bytes");
+  }
+  return state;
+}
+
+}  // namespace clio

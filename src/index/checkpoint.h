@@ -1,0 +1,63 @@
+// Checkpoint record: a point-in-time snapshot of one volume's recovery
+// state, rewritten periodically into the NVRAM sidecar slot
+// (src/device/nvram_tail.h) so restart replays a bounded suffix of the
+// volume instead of re-scanning it (DESIGN.md §17).
+//
+// The record carries everything LogVolume::Open otherwise reconstructs
+// by reading media:
+//  - the serialized extent index covering blocks [1, covered_end);
+//  - the entrymap accumulator's pending (not-yet-burned) nodes;
+//  - the catalog's export records as of covered_end;
+//  - the largest timestamp issued so far (for the uniqueness floor).
+//
+// A checkpoint is advisory: any decode failure (bad magic, truncation,
+// checksum mismatch) or staleness mismatch (wrong volume, covered_end
+// past the recovered end-of-log) makes recovery fall back to the full
+// scan. The structs here are plain data so the codec lives below
+// clio_core; conversion to/from EntrymapAccumulator and CatalogRecord
+// happens in the volume layer.
+#ifndef SRC_INDEX_CHECKPOINT_H_
+#define SRC_INDEX_CHECKPOINT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/clio/types.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+#include "src/util/time.h"
+
+namespace clio {
+
+// One pending entrymap accumulator node: per-file bitmap bytes for the
+// (level, home) group still being accumulated at checkpoint time.
+struct AccumulatorNodeState {
+  uint32_t level = 0;
+  uint64_t home = 0;
+  std::vector<std::pair<LogFileId, Bytes>> files;
+
+  bool operator==(const AccumulatorNodeState&) const = default;
+};
+
+struct CheckpointState {
+  uint32_t volume_index = 0;
+  // First block NOT covered by this checkpoint (the writer's staging
+  // block when it was taken). Recovery replays [covered_end, end).
+  uint64_t covered_end = 0;
+  // Upper bound on every timestamp stamped into blocks below
+  // covered_end; recovery floors the unique clock with it.
+  Timestamp max_timestamp = 0;
+  Bytes index_blob;  // ExtentIndex::Serialize()
+  std::vector<AccumulatorNodeState> accumulator_nodes;
+  std::vector<Bytes> catalog_records;  // encoded CatalogRecords
+
+  bool operator==(const CheckpointState&) const = default;
+
+  Bytes Encode() const;
+  static Result<CheckpointState> Decode(std::span<const std::byte> blob);
+};
+
+}  // namespace clio
+
+#endif  // SRC_INDEX_CHECKPOINT_H_

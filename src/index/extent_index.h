@@ -1,0 +1,130 @@
+// RAM-resident per-logfile extent index over one volume's burned blocks.
+//
+// The on-device entrymap tree (paper Fig. 2, DESIGN.md §3) answers "which
+// block near X holds log file F" in O(log_N V) *device reads* — the right
+// trade for 1987 optical platters, the wrong one for a hot server whose
+// locate working set fits in RAM. The extent index is a redundant,
+// in-memory acceleration structure: for every log file it keeps the
+// sorted list of block runs that contain entries of that file, plus one
+// monotone (block, leading timestamp) vector for timestamp search. Hot
+// locates resolve against it with zero device reads; any question it
+// cannot answer authoritatively (cold volume, scan holes from quarantined
+// or unparseable blocks) falls back to the entrymap walk, which remains
+// the source of truth (DESIGN.md §17).
+//
+// The index is maintained two ways, and both must produce byte-identical
+// state for the same media — the chaos suite serializes and compares:
+//  - incrementally: LogVolumeWriter calls MarkBlock for every block it
+//    burns, with the same membership set it feeds the entrymap
+//    accumulator;
+//  - by scan: LogVolume rebuilds lazily on first locate (or checkpoint
+//    replay) by walking blocks in order and calling MarkBlock with the
+//    memberships parsed back from media.
+#ifndef SRC_INDEX_EXTENT_INDEX_H_
+#define SRC_INDEX_EXTENT_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/clio/types.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+#include "src/util/time.h"
+
+namespace clio {
+
+class ExtentIndex {
+ public:
+  // Answer to a point lookup. `authoritative == false` means the index
+  // cannot rule on this query (a hole overlaps the searched range) and
+  // the caller must fall back to the entrymap walk; when true, `block`
+  // is the walk's answer, including the authoritative "no such block"
+  // (nullopt).
+  struct Lookup {
+    bool authoritative = false;
+    std::optional<uint64_t> block;
+  };
+
+  // Records a burned block: `ids` is the block's tracked-membership set
+  // (each entry's log file plus ancestors plus extra memberships — the
+  // same set the entrymap accumulator marks). Ids the entrymap does not
+  // track (the volume-sequence and entrymap logs themselves) are
+  // ignored. `leading_timestamp` is the block's first entry's stamp as
+  // written (present for every writer-produced block, absent only for
+  // defensive parses); every stamped block joins the timestamp vector —
+  // fragment-led blocks dip below their neighbors (DESIGN.md §8), which
+  // LastBlockAtOrBefore resolves. Blocks must be marked in increasing
+  // order; re-marking an already-covered block is a no-op.
+  void MarkBlock(uint64_t block, std::optional<Timestamp> leading_timestamp,
+                 std::span<const LogFileId> ids);
+
+  // Advances the covered frontier past blocks with nothing to index
+  // (invalidated / skipped). Lookups are only served when the covered
+  // frontier equals the volume's end-of-log.
+  void AdvanceCoveredEnd(uint64_t end);
+
+  // Records a block the scan could not classify (quarantined or
+  // unparseable garbage). Queries whose answer could hide inside a hole
+  // return non-authoritative.
+  void AddHole(uint64_t block);
+
+  // First block NOT covered by the index; starts at 1 (block 0 is the
+  // volume header and never indexed).
+  uint64_t covered_end() const { return covered_end_; }
+
+  // Highest indexed block < `before` holding `id`, mirroring
+  // LogVolume::PrevBlockWith over the burned range.
+  Lookup PrevBlockWith(LogFileId id, uint64_t before) const;
+
+  // Lowest indexed block >= `from` holding `id`.
+  Lookup NextBlockWith(LogFileId id, uint64_t from) const;
+
+  // Last block whose recorded leading timestamp is <= t, mirroring
+  // LogVolume::FindBlockByTime over the burned range.
+  Lookup LastBlockAtOrBefore(Timestamp t) const;
+
+  // Approximate resident size, total extent-run count, hole count.
+  size_t bytes() const;
+  uint64_t run_count() const;
+  size_t hole_count() const { return holes_.size(); }
+
+  bool operator==(const ExtentIndex& other) const;
+
+  // True when this index records at least everything `required` does:
+  // every run, every (block, leading timestamp) pair, and every hole.
+  // This is the verify-time bar — like the entrymap, the index may carry
+  // STALE state for blocks invalidated out-of-band after burning (the
+  // walk re-reads candidates, so stale marks cost a read, never an
+  // answer), but state the media has and the index lacks would make
+  // entries invisible to the fast path.
+  bool CoversAtLeast(const ExtentIndex& required) const;
+
+  // Stable binary form (varint-delta runs + crc32c); two equal indexes
+  // serialize byte-identically. Used by the checkpoint record and by the
+  // chaos suite's convergence check.
+  Bytes Serialize() const;
+  static Result<ExtentIndex> Deserialize(std::span<const std::byte> blob);
+
+ private:
+  // Per id: disjoint, sorted half-open [start, end) block runs.
+  using RunList = std::vector<std::pair<uint64_t, uint64_t>>;
+
+  bool HoleIn(uint64_t lo, uint64_t hi) const;  // any hole in [lo, hi)?
+
+  std::map<LogFileId, RunList> runs_;
+  // One pair per stamped block, increasing in block. Timestamps are
+  // non-monotone where fragment-led blocks dip (their leading stamp is
+  // the base entry's); prefix_max_ts_[i] = max stamp over [0, i] is the
+  // monotone shadow LastBlockAtOrBefore bisects.
+  std::vector<std::pair<uint64_t, Timestamp>> leading_ts_;
+  std::vector<Timestamp> prefix_max_ts_;
+  std::vector<uint64_t> holes_;  // sorted
+  uint64_t covered_end_ = 1;
+};
+
+}  // namespace clio
+
+#endif  // SRC_INDEX_EXTENT_INDEX_H_

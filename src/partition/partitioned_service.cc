@@ -42,6 +42,9 @@ Result<std::unique_ptr<PartitionedLogService>> PartitionedLogService::Create(
     LogServiceOptions o =
         PartitionOptions(options.base, static_cast<uint32_t>(p));
     o.sequence_id = base + p;
+    if (p < options.lane_nvram.size()) {
+      o.nvram = options.lane_nvram[p];
+    }
     CLIO_ASSIGN_OR_RETURN(auto part, LogService::Create(std::move(devices[p]),
                                                         clock, o));
     svc->partitions_.push_back(std::move(part));
@@ -64,6 +67,9 @@ Result<std::unique_ptr<PartitionedLogService>> PartitionedLogService::Recover(
     LogServiceOptions o =
         PartitionOptions(options.base, static_cast<uint32_t>(p));
     o.sequence_id = 0;  // adopt whatever the media carries
+    if (p < options.lane_nvram.size()) {
+      o.nvram = options.lane_nvram[p];
+    }
     RecoveryReport report;
     CLIO_ASSIGN_OR_RETURN(
         auto part,

@@ -64,6 +64,12 @@ struct PartitionedServiceOptions {
   // derived from the clock when 0). `metric_suffix` is overridden with
   // ".p<i>" per partition; `label` gets "/p<i>" appended.
   LogServiceOptions base;
+
+  // Per-lane NVRAM tails: partition p gets lane_nvram[p] when present,
+  // else base.nvram. Sharing one tail across lanes would cross-wire their
+  // staged blocks and checkpoints, so deployments wanting crash-safe tails
+  // and checkpointed restarts must hand each lane its own.
+  std::vector<NvramTail*> lane_nvram;
 };
 
 class PartitionedLogService {

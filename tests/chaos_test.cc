@@ -37,6 +37,8 @@
 #include "src/clio/verify.h"
 #include "src/device/fault_injection.h"
 #include "src/device/memory_worm_device.h"
+#include "src/device/nvram_tail.h"
+#include "src/index/extent_index.h"
 #include "src/net/net_client.h"
 #include "src/net/net_server.h"
 #include "src/partition/partitioned_service.h"
@@ -776,6 +778,155 @@ TEST_F(PartitionedChaosTest, RotatingPartitionFaultsKeepAcksExactlyOnce) {
   EXPECT_GT(entries_read.load(), 0u);
   EXPECT_GE(revives, 1u);
   EXPECT_LT(append_failures.load(), acked.size());
+}
+
+// -- Checkpointed fast-restart chaos (DESIGN.md §17) --
+//
+// Crash-restart loop around the NVRAM checkpoint sidecar: every round
+// appends a random forced/unforced mix (fragment chains included), kills
+// the service at an arbitrary distance past the last checkpoint — and
+// sometimes corrupts the checkpoint blob first, forcing the full-scan
+// fallback. After every recovery:
+//  - the restored-plus-replayed extent index must serialize byte-for-byte
+//    identical to an index rebuilt by a full media scan with no
+//    checkpoint in sight (convergence invariant I2, tests/index_test.cc);
+//  - VerifyVolume stays clean, including its index cross-check;
+//  - the surviving log is an append-order prefix that contains at least
+//    everything appended up to the last force.
+TEST(CheckpointChaosTest, KillsAroundCheckpointsConvergeByteForByte) {
+  const int kRounds = clio::testing::ChaosIterations(24);
+  constexpr uint32_t kBlockSize = 512;
+  NvramTail nvram(kBlockSize);
+  MemoryWormOptions dev;
+  dev.block_size = kBlockSize;
+  dev.capacity_blocks = 1 << 15;
+  MemoryWormDevice media(dev);
+  SimulatedClock clock(1'000'000, /*auto_tick=*/7);
+  LogServiceOptions options;
+  options.entrymap_degree = 8;
+  options.sequence_id = 0xC4A1;
+  options.nvram = &nvram;
+  options.checkpoint_interval_blocks = 8;
+
+  auto created = LogService::Create(
+      std::make_unique<testing::BorrowedDevice>(&media), &clock, options);
+  ASSERT_OK(created.status());
+  std::unique_ptr<LogService> service = std::move(created).value();
+  const std::vector<std::string> paths = {"/ck0", "/ck1"};
+  for (const std::string& path : paths) {
+    ASSERT_OK(service->CreateLogFile(path).status());
+  }
+
+  Rng rng(0xC4A0C4A0);
+  // Per-path journal of everything appended since the last crash trim;
+  // crash survivors are always an append-order prefix of it.
+  std::map<std::string, std::vector<std::string>> journal;
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    // Serve a burst of traffic. forced_floor = per-path journal size at
+    // the last force: those entries must survive the kill.
+    std::map<std::string, size_t> forced_floor;
+    const int appends = 10 + static_cast<int>(rng.Below(40));
+    for (int i = 0; i < appends; ++i) {
+      const std::string& path = paths[rng.Below(paths.size())];
+      Bytes payload =
+          testing::RandomPayload(&rng, 1 + rng.Below(3 * kBlockSize));
+      WriteOptions opts;
+      opts.timestamped = true;
+      opts.force = rng.Chance(1, 3);
+      auto result = service->Append(path, payload, opts);
+      ASSERT_OK(result.status());
+      journal[path].push_back(ToString(payload));
+      if (opts.force) {
+        for (const std::string& p : paths) {
+          forced_floor[p] = journal[p].size();
+        }
+      }
+    }
+
+    // Sometimes tamper with the checkpoint before the kill: recovery must
+    // detect the damage (crc) and fall back to the full scan.
+    bool tampered = false;
+    if (nvram.has_checkpoint() && rng.Chance(1, 5)) {
+      Bytes bad(nvram.checkpoint().begin(), nvram.checkpoint().end());
+      bad[rng.Below(bad.size())] ^= std::byte{0x20};
+      nvram.StoreCheckpoint(bad);
+      tampered = true;
+    }
+
+    // Kill: the service and every staged-unforced byte die; the media and
+    // the NVRAM sidecar survive.
+    service.reset();
+    std::vector<std::unique_ptr<WormDevice>> devices;
+    devices.push_back(std::make_unique<testing::BorrowedDevice>(&media));
+    RecoveryReport report;
+    auto recovered =
+        LogService::Recover(std::move(devices), &clock, options, &report);
+    ASSERT_OK(recovered.status());
+    service = std::move(recovered).value();
+    if (tampered) {
+      EXPECT_FALSE(report.restored_checkpoint);
+    }
+
+    // Convergence: recovered index bytes == full-scan-rebuilt index bytes.
+    LogVolume* volume = service->current_volume();
+    ASSERT_OK(volume->EnsureExtentIndex());
+    ASSERT_NE(volume->extent_index(), nullptr);
+    Bytes recovered_bytes = volume->extent_index()->Serialize();
+    {
+      LogServiceOptions scan_options = options;
+      scan_options.nvram = nullptr;  // no staged tail, no checkpoint
+      scan_options.checkpoint_interval_blocks = 0;
+      std::vector<std::unique_ptr<WormDevice>> scan_devices;
+      scan_devices.push_back(
+          std::make_unique<testing::BorrowedDevice>(&media));
+      auto scanned = LogService::Recover(std::move(scan_devices), &clock,
+                                         scan_options, nullptr);
+      ASSERT_OK(scanned.status());
+      LogVolume* scan_volume = (*scanned)->current_volume();
+      ASSERT_OK(scan_volume->EnsureExtentIndex());
+      ASSERT_NE(scan_volume->extent_index(), nullptr);
+      EXPECT_EQ(ToString(recovered_bytes),
+                ToString(scan_volume->extent_index()->Serialize()))
+          << "checkpoint-restored index diverged from a scan rebuild";
+    }
+
+    ASSERT_OK_AND_ASSIGN(VerifyReport verify, VerifyVolume(volume));
+    EXPECT_TRUE(verify.clean())
+        << (verify.index_mismatches.empty()
+                ? "non-index defect"
+                : verify.index_mismatches.front());
+
+    // Survivors: per path, an append-order prefix reaching the floor.
+    for (const std::string& path : paths) {
+      ASSERT_OK_AND_ASSIGN(auto reader, service->OpenReader(path));
+      std::vector<std::string> survivors;
+      while (true) {
+        ASSERT_OK_AND_ASSIGN(auto record, reader->Next());
+        if (!record.has_value()) {
+          break;
+        }
+        survivors.push_back(ToString(record->payload));
+      }
+      ASSERT_LE(survivors.size(), journal[path].size());
+      ASSERT_GE(survivors.size(), forced_floor[path]);
+      for (size_t i = 0; i < survivors.size(); ++i) {
+        const std::string& want = journal[path][i];
+        if (i + 1 == survivors.size() && i >= forced_floor[path] &&
+            survivors[i].size() < want.size()) {
+          // The path's last entry was mid-fragment-chain at the kill: its
+          // burned blocks survive, the staged tail fragment died with the
+          // service. Unforced entries carry no durability promise, so a
+          // truncated tail is legal — but it must be a byte prefix.
+          ASSERT_EQ(want.compare(0, survivors[i].size(), survivors[i]), 0)
+              << path << " truncated tail diverged at entry " << i;
+        } else {
+          ASSERT_EQ(survivors[i], want) << path << " entry " << i;
+        }
+      }
+      journal[path] = std::move(survivors);
+    }
+  }
 }
 
 }  // namespace

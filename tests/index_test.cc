@@ -1,0 +1,428 @@
+// Extent-index tests (DESIGN.md §17): unit coverage of the RAM index and
+// checkpoint record, plus the two system-level invariants behind the fast
+// locate path:
+//
+//  I1  equivalence: with the index enabled, every locate (PrevBlockWith,
+//      NextBlockWith, timestamp search) returns exactly what the
+//      entrymap/device walk returns on the same media;
+//  I2  convergence: the index the writer maintained incrementally, the one
+//      a recovery rebuilds by scan, and the one restored from a checkpoint
+//      serialize byte-identically.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/clio/log_service.h"
+#include "src/clio/verify.h"
+#include "src/device/memory_worm_device.h"
+#include "src/index/checkpoint.h"
+#include "src/index/extent_index.h"
+#include "tests/test_util.h"
+
+namespace clio {
+namespace {
+
+using testing::BorrowedDevice;
+using testing::RandomPayload;
+
+// -- ExtentIndex unit tests --
+
+TEST(ExtentIndex, RunsMergeAndAnswerPointLookups) {
+  ExtentIndex idx;
+  const LogFileId a = 7;
+  const LogFileId b = 9;
+  std::vector<LogFileId> both = {a, b};
+  std::vector<LogFileId> only_a = {a};
+  idx.MarkBlock(1, Timestamp{100}, only_a);
+  idx.MarkBlock(2, Timestamp{200}, only_a);  // merges into [1,3)
+  idx.MarkBlock(3, Timestamp{300}, both);
+  idx.AdvanceCoveredEnd(5);  // 4 invalidated: nothing to index
+  idx.MarkBlock(5, Timestamp{500}, only_a);
+  ASSERT_EQ(idx.covered_end(), 6u);
+  EXPECT_EQ(idx.run_count(), 3u);  // a: [1,4),[5,6); b: [3,4)
+
+  auto next = idx.NextBlockWith(a, 1);
+  ASSERT_TRUE(next.authoritative);
+  EXPECT_EQ(next.block, 1u);
+  next = idx.NextBlockWith(a, 4);
+  ASSERT_TRUE(next.authoritative);
+  EXPECT_EQ(next.block, 5u);
+  next = idx.NextBlockWith(b, 4);
+  ASSERT_TRUE(next.authoritative);
+  EXPECT_FALSE(next.block.has_value());
+
+  auto prev = idx.PrevBlockWith(b, 6);
+  ASSERT_TRUE(prev.authoritative);
+  EXPECT_EQ(prev.block, 3u);
+  prev = idx.PrevBlockWith(b, 3);
+  ASSERT_TRUE(prev.authoritative);
+  EXPECT_FALSE(prev.block.has_value());
+  prev = idx.PrevBlockWith(a, 6);
+  ASSERT_TRUE(prev.authoritative);
+  EXPECT_EQ(prev.block, 5u);
+}
+
+TEST(ExtentIndex, HolesMakeOverlappingQueriesNonAuthoritative) {
+  ExtentIndex idx;
+  const LogFileId a = 7;
+  std::vector<LogFileId> ids = {a};
+  idx.MarkBlock(1, Timestamp{100}, ids);
+  idx.AddHole(2);  // unreadable
+  idx.AdvanceCoveredEnd(3);
+  idx.MarkBlock(3, Timestamp{300}, ids);
+
+  // The hole could hide an occurrence between the marks.
+  EXPECT_FALSE(idx.PrevBlockWith(a, 3).authoritative);
+  EXPECT_FALSE(idx.NextBlockWith(a, 2).authoritative);
+  // Queries fully on one side of the hole still rule.
+  auto next = idx.NextBlockWith(a, 3);
+  ASSERT_TRUE(next.authoritative);
+  EXPECT_EQ(next.block, 3u);
+  // Timestamp search gives up entirely in the presence of holes.
+  EXPECT_FALSE(idx.LastBlockAtOrBefore(Timestamp{250}).authoritative);
+}
+
+TEST(ExtentIndex, TimestampSearchResolvesFragmentDips) {
+  ExtentIndex idx;
+  const LogFileId a = 7;
+  std::vector<LogFileId> ids = {a};
+  // Block 3 is fragment-led: its leading stamp is the base entry's (150),
+  // dipping below block 2's 200. The last block leading <= t must still
+  // be found on both sides of the dip.
+  idx.MarkBlock(1, Timestamp{100}, ids);
+  idx.MarkBlock(2, Timestamp{200}, ids);
+  idx.MarkBlock(3, Timestamp{150}, ids);
+  idx.MarkBlock(4, Timestamp{300}, ids);
+
+  auto hit = idx.LastBlockAtOrBefore(Timestamp{120});
+  ASSERT_TRUE(hit.authoritative);
+  EXPECT_EQ(hit.block, 1u);
+  hit = idx.LastBlockAtOrBefore(Timestamp{175});
+  ASSERT_TRUE(hit.authoritative);
+  EXPECT_EQ(hit.block, 3u);  // the dip block, not block 1
+  hit = idx.LastBlockAtOrBefore(Timestamp{250});
+  ASSERT_TRUE(hit.authoritative);
+  EXPECT_EQ(hit.block, 3u);
+  hit = idx.LastBlockAtOrBefore(Timestamp{300});
+  ASSERT_TRUE(hit.authoritative);
+  EXPECT_EQ(hit.block, 4u);
+  hit = idx.LastBlockAtOrBefore(Timestamp{50});
+  ASSERT_TRUE(hit.authoritative);
+  EXPECT_FALSE(hit.block.has_value());
+}
+
+TEST(ExtentIndex, SerializeRoundTripsAndDetectsDamage) {
+  ExtentIndex idx;
+  const LogFileId a = 7;
+  const LogFileId b = 123;
+  std::vector<LogFileId> both = {a, b};
+  std::vector<LogFileId> only_a = {a};
+  Timestamp ts = 1'000'000;
+  for (uint64_t blk = 1; blk <= 40; ++blk) {
+    if (blk == 17) {
+      idx.AddHole(blk);
+      idx.AdvanceCoveredEnd(blk + 1);
+      continue;
+    }
+    idx.MarkBlock(blk, ts, blk % 3 == 0 ? both : only_a);
+    ts += 13;
+  }
+  Bytes blob = idx.Serialize();
+  ASSERT_OK_AND_ASSIGN(ExtentIndex back, ExtentIndex::Deserialize(blob));
+  EXPECT_TRUE(back == idx);
+  EXPECT_EQ(ToString(back.Serialize()), ToString(blob));
+
+  // One flipped byte anywhere must be caught by the crc.
+  for (size_t i = 0; i < blob.size(); i += 7) {
+    Bytes bad = blob;
+    bad[i] ^= std::byte{0x01};
+    EXPECT_FALSE(ExtentIndex::Deserialize(bad).ok()) << "byte " << i;
+  }
+  // Truncations at every length must fail, never crash or misparse.
+  for (size_t len = 0; len < blob.size(); len += 5) {
+    EXPECT_FALSE(
+        ExtentIndex::Deserialize(std::span(blob).subspan(0, len)).ok())
+        << "len " << len;
+  }
+}
+
+TEST(Checkpoint, StateRoundTripsAndDetectsDamage) {
+  CheckpointState state;
+  state.volume_index = 3;
+  state.covered_end = 99;
+  state.max_timestamp = 1'234'567;
+  ExtentIndex idx;
+  std::vector<LogFileId> ids = {5};
+  idx.MarkBlock(1, Timestamp{10}, ids);
+  idx.MarkBlock(2, Timestamp{20}, ids);
+  state.index_blob = idx.Serialize();
+  AccumulatorNodeState node;
+  node.level = 1;
+  node.home = 16;
+  node.files.emplace_back(5, ToBytes("\x03"));
+  state.accumulator_nodes.push_back(node);
+  state.catalog_records.push_back(ToBytes("record-bytes"));
+
+  Bytes blob = state.Encode();
+  ASSERT_OK_AND_ASSIGN(CheckpointState back, CheckpointState::Decode(blob));
+  EXPECT_EQ(back.volume_index, 3u);
+  EXPECT_EQ(back.covered_end, 99u);
+  EXPECT_EQ(back.max_timestamp, 1'234'567);
+  EXPECT_EQ(ToString(back.index_blob), ToString(state.index_blob));
+  ASSERT_EQ(back.accumulator_nodes.size(), 1u);
+  EXPECT_EQ(back.accumulator_nodes[0].level, 1u);
+  EXPECT_EQ(back.accumulator_nodes[0].home, 16u);
+  ASSERT_EQ(back.catalog_records.size(), 1u);
+  EXPECT_EQ(ToString(back.catalog_records[0]), "record-bytes");
+
+  for (size_t i = 0; i < blob.size(); i += 11) {
+    Bytes bad = blob;
+    bad[i] ^= std::byte{0x80};
+    EXPECT_FALSE(CheckpointState::Decode(bad).ok()) << "byte " << i;
+  }
+  for (size_t len = 0; len < blob.size(); len += 9) {
+    EXPECT_FALSE(
+        CheckpointState::Decode(std::span(blob).subspan(0, len)).ok())
+        << "len " << len;
+  }
+}
+
+// -- System-level invariants --
+
+struct DualRig {
+  std::unique_ptr<SimulatedClock> clock =
+      std::make_unique<SimulatedClock>(1'000'000, 7);
+  std::unique_ptr<MemoryWormDevice> media;
+  std::unique_ptr<LogService> service;  // the writing service, index on
+  uint16_t degree = 0;
+  std::vector<std::string> paths;
+  std::map<std::string, std::vector<Bytes>> truth;
+  std::vector<std::pair<std::string, Timestamp>> stamps;
+
+  static DualRig Make(uint32_t block_size, uint16_t degree, int files) {
+    DualRig rig;
+    MemoryWormOptions dev;
+    dev.block_size = block_size;
+    dev.capacity_blocks = 1 << 15;
+    rig.media = std::make_unique<MemoryWormDevice>(dev);
+    rig.degree = degree;
+    LogServiceOptions options;
+    options.entrymap_degree = degree;
+    auto service = LogService::Create(
+        std::make_unique<BorrowedDevice>(rig.media.get()), rig.clock.get(),
+        options);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    rig.service = std::move(service).value();
+    for (int f = 0; f < files; ++f) {
+      std::string path = "/f" + std::to_string(f);
+      EXPECT_TRUE(rig.service->CreateLogFile(path).ok());
+      rig.paths.push_back(path);
+    }
+    return rig;
+  }
+
+  // Random appends: size sweep forces single-block, multi-entry, and
+  // fragment-chain blocks; some entries carry extra memberships (disabled
+  // by tests whose ground truth tracks only the primary log file).
+  void Workload(Rng* rng, int count, uint32_t max_entry, bool extras = true) {
+    for (int i = 0; i < count; ++i) {
+      const std::string& path = paths[rng->Below(paths.size())];
+      Bytes payload = RandomPayload(rng, 1 + rng->Below(max_entry));
+      WriteOptions opts;
+      opts.timestamped = true;
+      opts.force = rng->Chance(1, 4);
+      if (extras && paths.size() > 1 && rng->Chance(1, 8)) {
+        auto other = service->Resolve(paths[rng->Below(paths.size())]);
+        ASSERT_TRUE(other.ok());
+        opts.extra_memberships.push_back(other.value());
+      }
+      auto result = service->Append(path, payload, opts);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      truth[path].push_back(payload);
+      stamps.emplace_back(path, result.value().timestamp);
+    }
+  }
+
+  // Recovers a read companion over the same media with the index on or
+  // off. Requires a Force() first so media holds everything.
+  std::unique_ptr<LogService> Remount(bool with_index) {
+    LogServiceOptions options;
+    options.entrymap_degree = degree;
+    options.enable_extent_index = with_index;
+    std::vector<std::unique_ptr<WormDevice>> devices;
+    devices.push_back(std::make_unique<BorrowedDevice>(media.get()));
+    auto recovered =
+        LogService::Recover(std::move(devices), clock.get(), options, nullptr);
+    EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+    return std::move(recovered).value();
+  }
+};
+
+// I1: every volume-level locate agrees between the index fast path and
+// the entrymap walk, for every id and every position.
+TEST(IndexEquivalence, LocatesMatchTheWalkEverywhere) {
+  Rng rng(0x1DE1);
+  DualRig rig = DualRig::Make(/*block_size=*/512, /*degree=*/8, /*files=*/4);
+  rig.Workload(&rng, 250, /*max_entry=*/700);
+  ASSERT_OK(rig.service->Force());
+
+  auto indexed = rig.Remount(/*with_index=*/true);
+  auto walked = rig.Remount(/*with_index=*/false);
+  LogVolume* vi = indexed->current_volume();
+  LogVolume* vw = walked->current_volume();
+  ASSERT_EQ(vi->end_block(), vw->end_block());
+  const uint64_t end = vi->end_block();
+
+  for (const std::string& path : rig.paths) {
+    ASSERT_OK_AND_ASSIGN(LogFileId id, indexed->Resolve(path));
+    ASSERT_OK_AND_ASSIGN(LogFileId id_w, walked->Resolve(path));
+    ASSERT_EQ(id, id_w);
+    for (uint64_t b = 1; b <= end; ++b) {
+      ASSERT_OK_AND_ASSIGN(auto prev_i, vi->PrevBlockWith(id, b, nullptr));
+      ASSERT_OK_AND_ASSIGN(auto prev_w, vw->PrevBlockWith(id, b, nullptr));
+      EXPECT_EQ(prev_i, prev_w) << path << " prev before " << b;
+      ASSERT_OK_AND_ASSIGN(auto next_i, vi->NextBlockWith(id, b, nullptr));
+      ASSERT_OK_AND_ASSIGN(auto next_w, vw->NextBlockWith(id, b, nullptr));
+      EXPECT_EQ(next_i, next_w) << path << " next from " << b;
+    }
+  }
+  // Timestamp search across random probes, including misses and exact hits.
+  for (int probe = 0; probe < 60; ++probe) {
+    size_t pick = rng.Below(rig.stamps.size());
+    Timestamp t = rig.stamps[pick].second + (rng.Chance(1, 2) ? 0 : 5);
+    ASSERT_OK_AND_ASSIGN(auto by_time_i, vi->FindBlockByTime(t, nullptr));
+    ASSERT_OK_AND_ASSIGN(auto by_time_w, vw->FindBlockByTime(t, nullptr));
+    EXPECT_EQ(by_time_i, by_time_w) << "t=" << t;
+  }
+  // The warm path really is RAM-resident: repeating every locate adds no
+  // device reads.
+  const uint64_t reads_before = rig.media->stats().reads.load();
+  for (const std::string& path : rig.paths) {
+    ASSERT_OK_AND_ASSIGN(LogFileId id, indexed->Resolve(path));
+    for (uint64_t b = 1; b <= end; b += 3) {
+      ASSERT_OK(vi->PrevBlockWith(id, b, nullptr).status());
+      ASSERT_OK(vi->NextBlockWith(id, b, nullptr).status());
+    }
+  }
+  EXPECT_EQ(rig.media->stats().reads.load(), reads_before);
+}
+
+// I1 at the reader level: timestamp search through the public API agrees
+// with linear-scan ground truth with the index on.
+TEST(IndexEquivalence, ReaderTimestampSearchMatchesTruth) {
+  Rng rng(0xBEE5);
+  DualRig rig = DualRig::Make(/*block_size=*/256, /*degree=*/8, /*files=*/3);
+  rig.Workload(&rng, 300, /*max_entry=*/400, /*extras=*/false);
+  ASSERT_OK(rig.service->Force());
+
+  std::map<std::string, std::vector<std::pair<Timestamp, size_t>>> per_path;
+  std::map<std::string, size_t> counters;
+  for (const auto& [path, ts] : rig.stamps) {
+    per_path[path].emplace_back(ts, counters[path]++);
+  }
+  for (int probe = 0; probe < 40; ++probe) {
+    size_t pick = rng.Below(rig.stamps.size());
+    Timestamp t = rig.stamps[pick].second + (rng.Chance(1, 2) ? 0 : 3);
+    for (const auto& [path, entries] : per_path) {
+      std::optional<size_t> want;
+      for (const auto& [ts, index] : entries) {
+        if (ts <= t) {
+          want = index;
+        }
+      }
+      ASSERT_OK_AND_ASSIGN(auto reader, rig.service->OpenReader(path));
+      ASSERT_OK(reader->SeekToTime(t));
+      ASSERT_OK_AND_ASSIGN(auto record, reader->Prev());
+      if (!want.has_value()) {
+        EXPECT_FALSE(record.has_value()) << path << " t=" << t;
+      } else {
+        ASSERT_TRUE(record.has_value()) << path << " t=" << t;
+        EXPECT_EQ(ToString(record->payload), ToString(rig.truth[path][*want]))
+            << path << " t=" << t;
+      }
+    }
+  }
+}
+
+// I2: the writer-maintained index and a scan-rebuilt one serialize
+// byte-identically, and VerifyVolume cross-checks clean.
+TEST(IndexConvergence, WriterAndScanBuiltIndexesAreByteIdentical) {
+  Rng rng(0x5CA9);
+  DualRig rig = DualRig::Make(/*block_size=*/512, /*degree=*/8, /*files=*/3);
+  rig.Workload(&rng, 220, /*max_entry=*/900);
+  ASSERT_OK(rig.service->Force());
+
+  // The live service's index was built incrementally by the writer.
+  LogVolume* live = rig.service->current_volume();
+  ASSERT_OK(live->EnsureExtentIndex());
+  const ExtentIndex* live_idx = live->extent_index();
+  ASSERT_NE(live_idx, nullptr);
+  ASSERT_EQ(live_idx->covered_end(), live->end_block());
+
+  // A remount rebuilds purely by scanning media.
+  auto remounted = rig.Remount(/*with_index=*/true);
+  LogVolume* scan = remounted->current_volume();
+  ASSERT_OK(scan->EnsureExtentIndex());
+  const ExtentIndex* scan_idx = scan->extent_index();
+  ASSERT_NE(scan_idx, nullptr);
+
+  EXPECT_TRUE(*live_idx == *scan_idx);
+  EXPECT_EQ(ToString(live_idx->Serialize()), ToString(scan_idx->Serialize()));
+
+  // VerifyVolume's independent walk agrees with both.
+  ASSERT_OK_AND_ASSIGN(VerifyReport report, VerifyVolume(live));
+  EXPECT_TRUE(report.index_checked);
+  EXPECT_TRUE(report.clean()) << (report.index_mismatches.empty()
+                                      ? "other defect"
+                                      : report.index_mismatches[0]);
+}
+
+// Lazy rebuild is safe under concurrent readers holding the shared lock
+// (the TSan lane runs this with real interleavings).
+TEST(IndexConcurrency, ConcurrentColdLocatesBuildTheIndexOnce) {
+  Rng rng(0xC0DE);
+  DualRig rig = DualRig::Make(/*block_size=*/512, /*degree=*/8, /*files=*/4);
+  rig.Workload(&rng, 150, /*max_entry=*/500, /*extras=*/false);
+  ASSERT_OK(rig.service->Force());
+  auto remounted = rig.Remount(/*with_index=*/true);
+
+  // Expected per-path entry counts, precomputed so the worker threads
+  // never touch the truth map (it is not thread-safe).
+  std::vector<size_t> expect_count;
+  for (const std::string& path : rig.paths) {
+    expect_count.push_back(rig.truth[path].size());
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&remounted, &rig, &expect_count, w] {
+      const std::string& path = rig.paths[w % rig.paths.size()];
+      std::shared_lock lock(remounted->mutex());
+      auto reader = remounted->OpenReader(path);
+      ASSERT_TRUE(reader.ok());
+      reader.value()->SeekToEnd();
+      int seen = 0;
+      while (true) {
+        auto record = reader.value()->Prev();
+        ASSERT_TRUE(record.ok()) << record.status().ToString();
+        if (!record.value().has_value()) {
+          break;
+        }
+        ++seen;
+      }
+      EXPECT_EQ(static_cast<size_t>(seen),
+                expect_count[w % rig.paths.size()]);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+}
+
+}  // namespace
+}  // namespace clio

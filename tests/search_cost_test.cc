@@ -22,8 +22,13 @@ class SearchCostTest : public ::testing::Test {
   static constexpr uint16_t kN = 4;
 
   void SetUp() override {
+    // The RAM extent index would answer these locates without touching the
+    // entrymap; this suite pins the paper's on-device walk cost model, so
+    // it runs with the index disabled.
     fx_ = ServiceFixture::Make(/*block_size=*/512, /*capacity_blocks=*/1 << 16,
-                               /*degree=*/kN);
+                               /*degree=*/kN, /*cache_blocks=*/4096,
+                               /*nvram=*/nullptr,
+                               /*enable_extent_index=*/false);
     ASSERT_OK(fx_.service->CreateLogFile("/rare").status());
     ASSERT_OK(fx_.service->CreateLogFile("/noise").status());
     forced_.force = true;

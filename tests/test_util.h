@@ -110,7 +110,8 @@ struct ServiceFixture {
                              uint64_t capacity_blocks = 4096,
                              uint16_t degree = 16,
                              size_t cache_blocks = 4096,
-                             NvramTail* nvram = nullptr) {
+                             NvramTail* nvram = nullptr,
+                             bool enable_extent_index = true) {
     ServiceFixture fx;
     MemoryWormOptions dev_options;
     dev_options.block_size = block_size;
@@ -120,6 +121,7 @@ struct ServiceFixture {
     options.cache_blocks = cache_blocks;
     options.sequence_id = 0xC110C110;
     options.nvram = nvram;
+    options.enable_extent_index = enable_extent_index;
     auto service = LogService::Create(
         std::make_unique<MemoryWormDevice>(dev_options), fx.clock.get(),
         options);
