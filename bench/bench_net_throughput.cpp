@@ -81,8 +81,10 @@ struct CellResult {
   double appends_per_sec = 0;
   double p50_us = 0;
   double p99_us = 0;
+  double p999_us = 0;
   double mean_batch = 0;  // entries per force (1.0 when batching is off)
   uint64_t scrub_passes = 0;  // completed online scrub passes (scrub cells)
+  uint64_t telemetry_samples = 0;  // journal records (telemetry cells)
 };
 
 double Percentile(std::vector<double>* samples, double p) {
@@ -95,7 +97,7 @@ double Percentile(std::vector<double>* samples, double p) {
 }
 
 CellResult RunCell(int clients, bool batching, uint64_t hold_us,
-                   bool scrub = false) {
+                   bool scrub = false, bool telemetry = false) {
   const int kAppendsPerClient = AppendsPerClient();
   SimulatedClock clock(1'000'000, /*auto_tick=*/11);
   MemoryWormOptions dev;
@@ -122,6 +124,12 @@ CellResult RunCell(int clients, bool batching, uint64_t hold_us,
   server_options.scrub = scrub;
   server_options.scrub_options.interval_ms = 2;
   server_options.scrub_options.max_busy_yields = 2;
+  // Telemetry cells sample at an absurd cadence (every 5 ms vs the 1 s
+  // production default) so the measured overhead upper-bounds reality:
+  // each tick snapshots the registry and appends a journal record through
+  // the same append path the committers are hammering.
+  server_options.telemetry = telemetry;
+  server_options.telemetry_options.sample_interval_ms = 5;
   auto server = NetLogServer::Start(service.value().get(), server_options);
   BENCH_CHECK_OK(server.status());
 
@@ -163,6 +171,7 @@ CellResult RunCell(int clients, bool batching, uint64_t hold_us,
   result.appends_per_sec = all.size() / (elapsed_us / 1e6);
   result.p50_us = Percentile(&all, 0.50);
   result.p99_us = Percentile(&all, 0.99);
+  result.p999_us = Percentile(&all, 0.999);
   if (batching && (*server)->batcher() != nullptr &&
       (*server)->batcher()->batches_committed() > 0) {
     result.mean_batch =
@@ -173,6 +182,9 @@ CellResult RunCell(int clients, bool batching, uint64_t hold_us,
   }
   if (scrub && (*server)->scrubber() != nullptr) {
     result.scrub_passes = (*server)->scrubber()->passes_completed();
+  }
+  if (telemetry && (*server)->sampler() != nullptr) {
+    result.telemetry_samples = (*server)->sampler()->samples_taken();
   }
   (*server)->Stop();
   return result;
@@ -264,6 +276,7 @@ PartitionCellResult RunPartitionedCell(uint32_t partitions, int clients) {
   result.cell.appends_per_sec = all.size() / (elapsed_us / 1e6);
   result.cell.p50_us = Percentile(&all, 0.50);
   result.cell.p99_us = Percentile(&all, 0.99);
+  result.cell.p999_us = Percentile(&all, 0.999);
   uint64_t entries = 0, batches = 0;
   for (size_t lane = 0; lane < (*server)->lane_count(); ++lane) {
     result.lane_entries.push_back(
@@ -347,7 +360,7 @@ int main(int argc, char** argv) {
       report.AddMean(op, n, cell.appends_per_sec > 0
                                 ? 1e6 / cell.appends_per_sec
                                 : 0.0);
-      report.AddPercentiles(op, cell.p50_us, cell.p99_us);
+      report.AddPercentiles(op, cell.p50_us, cell.p99_us, cell.p999_us);
       report.AddCounter(op, "appends_per_sec", cell.appends_per_sec);
       report.AddCounter(op, "mean_batch", cell.mean_batch);
       if (clients == 8 && !config.batching) {
@@ -389,7 +402,8 @@ int main(int argc, char** argv) {
     report.AddMean(config.slug, n, cell.appends_per_sec > 0
                                        ? 1e6 / cell.appends_per_sec
                                        : 0.0);
-    report.AddPercentiles(config.slug, cell.p50_us, cell.p99_us);
+    report.AddPercentiles(config.slug, cell.p50_us, cell.p99_us,
+                          cell.p999_us);
     report.AddCounter(config.slug, "appends_per_sec", cell.appends_per_sec);
     if (config.scrub) {
       scrub_on_thr = cell.appends_per_sec;
@@ -404,6 +418,50 @@ int main(int argc, char** argv) {
   report.AddCounter("scrub_summary", "throughput_ratio", scrub_ratio);
   report.AddCounter("scrub_summary", "scrub_passes",
                     static_cast<double>(scrub_passes));
+
+  // -- Telemetry sampler A/B: the same 8-committer batched cell with the
+  // background telemetry sampler off vs on (at a 5 ms cadence, 200x the
+  // production default, so the measured tax is a deliberate upper bound).
+  // The acceptance gate (CI floors it) is sampler-on >= 0.97x off.
+  std::printf("\nTelemetry sampler A/B (8 clients, batching hold 1000us)\n");
+  std::printf("%8s  %10s  %10s  %10s  %14s\n", "sampler", "appends/s",
+              "p50 (us)", "p99 (us)", "journal recs");
+  struct TelemetryConfig {
+    const char* name;
+    const char* slug;
+    bool telemetry;
+  };
+  const TelemetryConfig telemetry_configs[] = {
+      {"off", "telemetry_off", false}, {"on", "telemetry_on", true}};
+  double telemetry_off_thr = 0, telemetry_on_thr = 0;
+  uint64_t telemetry_samples = 0;
+  for (const TelemetryConfig& config : telemetry_configs) {
+    CellResult cell =
+        RunCell(8, true, 1000, /*scrub=*/false, config.telemetry);
+    std::printf("%8s  %10.0f  %10.0f  %10.0f  %14llu\n", config.name,
+                cell.appends_per_sec, cell.p50_us, cell.p99_us,
+                static_cast<unsigned long long>(cell.telemetry_samples));
+    size_t n = 8 * static_cast<size_t>(AppendsPerClient());
+    report.AddMean(config.slug, n, cell.appends_per_sec > 0
+                                       ? 1e6 / cell.appends_per_sec
+                                       : 0.0);
+    report.AddPercentiles(config.slug, cell.p50_us, cell.p99_us,
+                          cell.p999_us);
+    report.AddCounter(config.slug, "appends_per_sec", cell.appends_per_sec);
+    if (config.telemetry) {
+      telemetry_on_thr = cell.appends_per_sec;
+      telemetry_samples = cell.telemetry_samples;
+    } else {
+      telemetry_off_thr = cell.appends_per_sec;
+    }
+  }
+  double telemetry_ratio =
+      telemetry_off_thr > 0 ? telemetry_on_thr / telemetry_off_thr : 0;
+  std::printf("sampler-on throughput vs off: %.3fx %s\n", telemetry_ratio,
+              telemetry_ratio >= 0.97 ? "(>= 0.97x: PASS)" : "(< 0.97x)");
+  report.AddCounter("telemetry_summary", "throughput_ratio", telemetry_ratio);
+  report.AddCounter("telemetry_summary", "journal_records",
+                    static_cast<double>(telemetry_samples));
 
   // -- Partition sweep: same committers, more write heads. --
   std::vector<uint32_t> partition_counts;
@@ -437,7 +495,8 @@ int main(int argc, char** argv) {
     report.AddMean(op, n, cell.cell.appends_per_sec > 0
                               ? 1e6 / cell.cell.appends_per_sec
                               : 0.0);
-    report.AddPercentiles(op, cell.cell.p50_us, cell.cell.p99_us);
+    report.AddPercentiles(op, cell.cell.p50_us, cell.cell.p99_us,
+                          cell.cell.p999_us);
     report.AddCounter(op, "appends_per_sec", cell.cell.appends_per_sec);
     report.AddCounter(op, "mean_batch", cell.cell.mean_batch);
     for (size_t lane = 0; lane < cell.lane_entries.size(); ++lane) {

@@ -143,6 +143,7 @@ class BenchReport {
     o.p90_us = SamplePercentile(us, 0.90);
     o.p95_us = SamplePercentile(us, 0.95);
     o.p99_us = SamplePercentile(us, 0.99);
+    o.p999_us = SamplePercentile(us, 0.999);
     o.max_us = us.empty() ? 0.0 : *std::max_element(us.begin(), us.end());
   }
 
@@ -154,14 +155,18 @@ class BenchReport {
   }
 
   // Attach percentiles the bench computed itself (it kept aggregate
-  // latencies rather than raw samples).
-  void AddPercentiles(const std::string& op, double p50_us, double p99_us) {
+  // latencies rather than raw samples). p999_us is optional: when the
+  // bench did not measure that deep a tail (0), p99 stands in as the
+  // conservative lower bound.
+  void AddPercentiles(const std::string& op, double p50_us, double p99_us,
+                      double p999_us = 0.0) {
     Op& o = ops_[op];
     o.p50_us = p50_us;
     o.p90_us = std::max(o.p90_us, p50_us);
     o.p95_us = std::max(o.p95_us, p50_us);
     o.p99_us = p99_us;
-    o.max_us = std::max(o.max_us, p99_us);
+    o.p999_us = std::max(p999_us, p99_us);
+    o.max_us = std::max(o.max_us, std::max(p99_us, p999_us));
   }
 
   // Attach a derived counter (throughput, batch size, ...) to an op.
@@ -198,9 +203,9 @@ class BenchReport {
       std::fprintf(f,
                    "\"%s\":{\"n\":%zu,\"us_per_op\":%.3f,\"p50_us\":%.3f,"
                    "\"p90_us\":%.3f,\"p95_us\":%.3f,\"p99_us\":%.3f,"
-                   "\"max_us\":%.3f,\"counters\":{",
+                   "\"p999_us\":%.3f,\"max_us\":%.3f,\"counters\":{",
                    name.c_str(), op.n, op.us_per_op, op.p50_us, op.p90_us,
-                   op.p95_us, op.p99_us, op.max_us);
+                   op.p95_us, op.p99_us, op.p999_us, op.max_us);
       bool first_counter = true;
       for (const auto& [key, value] : op.counters) {
         if (!first_counter) {
@@ -225,6 +230,7 @@ class BenchReport {
     double p90_us = 0.0;
     double p95_us = 0.0;
     double p99_us = 0.0;
+    double p999_us = 0.0;
     double max_us = 0.0;
     std::map<std::string, double> counters;
   };

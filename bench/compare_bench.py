@@ -45,7 +45,7 @@ import sys
 
 # Per-op keys compared against the baseline. Time metrics regress when
 # they increase; counters regress when they decrease.
-TIME_KEYS = ("us_per_op", "p50_us", "p90_us", "p99_us")
+TIME_KEYS = ("us_per_op", "p50_us", "p90_us", "p99_us", "p999_us")
 # Metrics below this many microseconds are pure noise at CI resolution
 # (e.g. the ~5 ns timestamp cost) and are skipped.
 MIN_COMPARABLE_US = 1.0

@@ -70,6 +70,28 @@ LogService::LogService(TimeSource* clock, const LogServiceOptions& options)
   }
 }
 
+LogService::~LogService() {
+  if (degraded_gauge_contrib_ != 0) {
+    BumpDegradedGauge(-degraded_gauge_contrib_);
+  }
+}
+
+// The health plane's quarantine signal (SloRules::Defaults'
+// "scrub-quarantine" rule reads it): a process-wide count of known-lost
+// blocks across live services, kept additive so partition lanes sum
+// instead of clobbering each other. The suffixed mirror pins a breach to
+// its lane.
+void LogService::BumpDegradedGauge(int64_t delta) {
+  static Gauge* degraded = ObsRegistry().gauge("clio.scrub.degraded");
+  degraded->Add(delta);
+  if (!options_.metric_suffix.empty()) {
+    ObsRegistry()
+        .gauge("clio.scrub.degraded" + options_.metric_suffix)
+        ->Add(delta);
+  }
+  degraded_gauge_contrib_ += delta;
+}
+
 void LogService::ConfigureVolumeIndex(LogVolume* volume) {
   if (!options_.enable_extent_index) {
     return;
@@ -205,6 +227,10 @@ Result<std::unique_ptr<LogService>> LogService::Recover(
   }
   if (max_ts > 0) {
     clock->FloorUnique(max_ts);
+  }
+  if (!service->catalog_.quarantined().empty()) {
+    service->BumpDegradedGauge(
+        static_cast<int64_t>(service->catalog_.quarantined().size()));
   }
   return service;
 }
@@ -559,6 +585,9 @@ Status LogService::QuarantineBlock(uint32_t volume_index, uint64_t block) {
   opts.timestamped = true;
   auto appended = current_volume()->writer()->Append(kCatalogLogId,
                                                      record.Encode(), opts);
+  if (appended.ok()) {
+    BumpDegradedGauge(1);
+  }
   return appended.ok() ? Status::Ok() : appended.status();
 }
 

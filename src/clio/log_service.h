@@ -84,6 +84,8 @@ class LogService {
       std::vector<std::unique_ptr<WormDevice>> devices, TimeSource* clock,
       const LogServiceOptions& options, RecoveryReport* report);
 
+  ~LogService();
+
   LogService(const LogService&) = delete;
   LogService& operator=(const LogService&) = delete;
 
@@ -246,6 +248,11 @@ class LogService {
   Histogram* labeled_append_us_ = nullptr;
   Counter* labeled_index_hits_ = nullptr;
   Counter* labeled_index_misses_ = nullptr;
+  // This service's contribution to the clio.scrub.degraded gauge (the
+  // health plane's quarantine signal): +1 per quarantined block, withdrawn
+  // in the destructor so an in-process recover does not double-count.
+  int64_t degraded_gauge_contrib_ = 0;
+  void BumpDegradedGauge(int64_t delta);
   // Staging block at the last checkpoint written for the current volume.
   uint64_t last_checkpoint_block_ = 0;
   // Serializes on-demand mounting among shared-lock readers (VolumeForRead

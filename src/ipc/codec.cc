@@ -80,7 +80,7 @@ constexpr uint32_t kReadBatchMaxEntries = 65536;
 // default when the client asks for 0 ("server default").
 constexpr uint32_t kTraceDumpMaxSpans = 100'000;
 
-constexpr uint32_t kMaxOp = static_cast<uint32_t>(LogOp::kVerifyChain);
+constexpr uint32_t kMaxOp = static_cast<uint32_t>(LogOp::kHealth);
 
 // Per-op request counters, resolved once and indexed by op value so the
 // dispatch hot path never touches the registry map.
@@ -118,6 +118,40 @@ Histogram* OpClassHistogram(LogOp op) {
   }
 }
 
+RpcClass OpRpcClass(LogOp op) {
+  switch (op) {
+    case LogOp::kAppend:
+      return RpcClass::kAppend;
+    case LogOp::kReadNext:
+    case LogOp::kReadPrev:
+    case LogOp::kReadBatch:
+      return RpcClass::kRead;
+    default:
+      return RpcClass::kOther;
+  }
+}
+
+// Feeds over-SLO requests into the slow-request ring (telemetry.h), the
+// exemplar bridge from latency SLOs back to kTraceDump: any request
+// slower than its class's degraded ceiling is captured with its trace id.
+class SlowRequestProbe {
+ public:
+  explicit SlowRequestProbe(LogOp op)
+      : op_(op), trace_id_(CurrentTraceId()), start_us_(TraceNowUs()) {}
+  ~SlowRequestProbe() {
+    SlowRequestRing::Instance().Observe(OpRpcClass(op_), LogOpName(op_),
+                                        trace_id_,
+                                        TraceNowUs() - start_us_);
+  }
+  SlowRequestProbe(const SlowRequestProbe&) = delete;
+  SlowRequestProbe& operator=(const SlowRequestProbe&) = delete;
+
+ private:
+  LogOp op_;
+  uint64_t trace_id_;
+  uint64_t start_us_;
+};
+
 }  // namespace
 
 std::string_view LogOpName(LogOp op) {
@@ -154,6 +188,8 @@ std::string_view LogOpName(LogOp op) {
       return "partition_info";
     case LogOp::kVerifyChain:
       return "verify_chain";
+    case LogOp::kHealth:
+      return "health";
   }
   return "unknown";
 }
@@ -481,12 +517,30 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
   ScopedTimer timer(request_us);
   ScopedTimer op_timer(OpClassHistogram(op));
   TraceSpanTimer dispatch_span(TraceStage::kDispatch);
+  SlowRequestProbe slow_probe(op);
 
   // kStats reads only the (internally synchronized) metrics registry, so
   // it never takes the service mutex — a monitoring poller cannot stall
-  // behind a slow force, and vice versa.
+  // behind a slow force, and vice versa. Process gauges refresh first so
+  // every snapshot carries a live sampled_at_us stamp for rate math.
   if (op == LogOp::kStats) {
+    UpdateProcessGauges();
     return EncodeOkReplyBody(EncodeStatsSnapshot(ObsRegistry().Snapshot()));
+  }
+
+  // kHealth also stays off the service mutex: a wedged service is
+  // precisely the state it exists to report.
+  if (op == LogOp::kHealth) {
+    HealthReport report;
+    if (health_fn_) {
+      report = health_fn_();
+    } else {
+      UpdateProcessGauges();
+      report = EvaluateHealth(ObsRegistry().Snapshot(), nullptr, 0,
+                              SloRules::Defaults());
+      report.exemplars = SlowRequestRing::Instance().Snapshot(16);
+    }
+    return EncodeOkReplyBody(EncodeHealthReport(report));
   }
 
   // kTraceDump likewise touches only the flight recorder (lock-free to
@@ -514,6 +568,15 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
     if (!request.ok()) {
       return EncodeErrorReplyBody(request.status());
     }
+    // Clients may read system logs (the telemetry journal is useless if
+    // they cannot) but never write them: a foreign record would corrupt
+    // the journal's record stream.
+    if (IsReservedSystemPath(request->path)) {
+      return EncodeErrorReplyBody(PermissionDenied(
+          "'" + request->path + "' is a reserved system log (" +
+          std::string(kReservedSystemRoot) +
+          " is service-owned); appends are server-internal only"));
+    }
     // The batcher's commit thread has no access to this thread's trace
     // context; the request carries it over the hop.
     request->trace_id = CurrentTraceId();
@@ -540,6 +603,13 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
       if (r.failed()) {
         return EncodeErrorReplyBody(InvalidArgument("malformed create"));
       }
+      if (IsReservedSystemPath(path)) {
+        return EncodeErrorReplyBody(PermissionDenied(
+            "'" + path + "' is under the reserved " +
+            std::string(kReservedSystemRoot) +
+            " namespace (service-owned system logs such as the telemetry "
+            "journal); pick a path outside it"));
+      }
       // Trailing placement field (CreateLogFilePlaced); requests encoded
       // before it read as "backend's choice".
       std::optional<uint32_t> placement;
@@ -561,6 +631,7 @@ Bytes ServiceDispatcher::Dispatch(LogOp op, std::span<const std::byte> body) {
     case LogOp::kAppend:
     case LogOp::kStats:
     case LogOp::kTraceDump:
+    case LogOp::kHealth:
       break;  // handled above
     case LogOp::kPartitionInfo: {
       std::string path = r.GetString();
@@ -728,6 +799,7 @@ WireMessage ServiceDispatcher::DispatchScatter(LogOp op,
   ScopedTimer timer(request_us);
   ScopedTimer op_timer(OpClassHistogram(op));
   TraceSpanTimer dispatch_span(TraceStage::kDispatch);
+  SlowRequestProbe slow_probe(op);
   Bytes flat = ReadBatch(body, &msg);
   if (msg.empty()) {
     msg.AddOwned(std::move(flat));  // the error-reply paths stay flat
@@ -922,6 +994,11 @@ Result<RemoteEntry> LogClientBase::VerifyEntry(std::string_view path,
 Result<StatsSnapshot> LogClientBase::GetStats() {
   CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kStats, {}));
   return DecodeStatsSnapshot(reply);
+}
+
+Result<HealthReport> LogClientBase::GetHealth() {
+  CLIO_ASSIGN_OR_RETURN(Bytes reply, Call(LogOp::kHealth, {}));
+  return DecodeHealthReport(reply);
 }
 
 Result<TraceDump> LogClientBase::DumpTraces(uint64_t min_total_us,

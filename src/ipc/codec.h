@@ -30,6 +30,7 @@
 
 #include "src/clio/log_service.h"
 #include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
 #include "src/util/bytes.h"
 #include "src/util/status.h"
@@ -79,6 +80,13 @@ enum class LogOp : uint32_t {
   // volumes, kCorrupt when the server detects a broken chain while
   // building the proof.
   kVerifyChain = 16,
+  // Health of the server against its SLO rules (src/obs/telemetry.h).
+  // Request: empty. Reply payload = EncodeHealthReport: overall
+  // OK/DEGRADED/UNHEALTHY, machine-readable breach reasons, and slow-
+  // request exemplars (trace ids usable with kTraceDump). Like kStats it
+  // never takes the service mutex, so health-checking a wedged server
+  // works — that wedge is exactly what it exists to report.
+  kHealth = 17,
 };
 
 // Stable lowercase metric-label name for an op ("append", "stats", ...);
@@ -302,6 +310,7 @@ class ServiceDispatcher {
  public:
   using AppendFn =
       std::function<Result<AppendResult>(const AppendRequest& request)>;
+  using HealthFn = std::function<HealthReport()>;
 
   // Single-service form: wraps `service` in an owned SingleServiceBackend.
   explicit ServiceDispatcher(LogService* service,
@@ -323,6 +332,12 @@ class ServiceDispatcher {
   // once at session setup, before any requests.
   void set_zero_copy(bool on) { zero_copy_ = on; }
 
+  // kHealth handler override. Servers install their windowed evaluator
+  // (sampler snapshots + configured rules); without one the dispatcher
+  // falls back to EvaluateHealth over the process registry with the
+  // default rules, so an IPC-only service still answers health checks.
+  void set_health_fn(HealthFn fn) { health_fn_ = std::move(fn); }
+
   // Executes one request and returns the encoded reply body.
   Bytes Dispatch(LogOp op, std::span<const std::byte> body);
 
@@ -341,6 +356,7 @@ class ServiceDispatcher {
   std::unique_ptr<DispatchBackend> owned_backend_;
   DispatchBackend* backend_;
   AppendFn append_fn_;
+  HealthFn health_fn_;
   std::map<uint64_t, std::unique_ptr<DispatchBackend::Reader>> readers_;
   uint64_t next_handle_ = 1;
   bool zero_copy_ = false;
@@ -403,6 +419,9 @@ class LogClientBase {
   // server's default budget.
   Result<TraceDump> DumpTraces(uint64_t min_total_us = 0,
                                uint32_t max_spans = 0);
+  // Fetches the server's SLO health report (kHealth): overall state,
+  // breach reasons, and slow-request trace-id exemplars.
+  Result<HealthReport> GetHealth();
 
  protected:
   // One request/reply round trip; returns the reply payload or the error

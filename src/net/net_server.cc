@@ -148,6 +148,18 @@ Result<std::unique_ptr<NetLogServer>> NetLogServer::Boot(
       lane.scrubber->Start();
     }
   }
+  // The slow-request ring's thresholds derive from this server's SLO so
+  // kHealth exemplars match the rules that would flag them.
+  ConfigureSlowRequestThresholds(options.slo);
+  if (options.telemetry) {
+    CLIO_RETURN_IF_ERROR(server->EnsureTelemetryJournal());
+    server->sampler_ = std::make_unique<TelemetrySampler>(
+        [s = server.get()](std::span<const std::byte> record) {
+          return s->AppendTelemetry(record);
+        },
+        options.telemetry_options);
+    server->sampler_->Start();
+  }
   if (options.thread_per_conn) {
     server->accept_thread_ =
         std::thread([s = server.get()] { s->AcceptLoop(); });
@@ -176,7 +188,12 @@ void NetLogServer::Stop() {
     return;
   }
   stopping_.store(true);
-  // Quiesce the scrubbers first: they only hold the service lock in
+  // The sampler first: its Stop() flushes one final record through the
+  // services, which must happen while the lanes are still serving.
+  if (sampler_ != nullptr) {
+    sampler_->Stop();
+  }
+  // Quiesce the scrubbers next: they only hold the service lock in
   // bounded chunks, so this is quick, and it keeps a scan from contending
   // with the draining sessions below.
   for (AppendLane& lane : lanes_) {
@@ -309,6 +326,57 @@ Status NetLogServer::ForceLane(AppendLane& lane) {
   return force;
 }
 
+Status NetLogServer::EnsureTelemetryJournal() {
+  const std::string& path = options_.telemetry_options.journal_path;
+  // Recovered volumes already carry the journal; AlreadyExists is the
+  // "nothing to do" restart case, not an error.
+  auto tolerate = [](const Status& s) {
+    return s.ok() || s.code() == StatusCode::kAlreadyExists ? Status::Ok()
+                                                            : s;
+  };
+  if (partitioned_ != nullptr) {
+    // Pin the journal (and its parent) to partition 0 so `--history` and
+    // the chain verifier always know where to look.
+    CLIO_RETURN_IF_ERROR(tolerate(
+        partitioned_->CreateLogFile(kReservedSystemRoot, 0644, 0).status()));
+    return tolerate(partitioned_->CreateLogFile(path, 0644, 0).status());
+  }
+  std::lock_guard<std::shared_mutex> lock(service_->mutex());
+  CLIO_RETURN_IF_ERROR(
+      tolerate(service_->CreateLogFile(kReservedSystemRoot, 0644).status()));
+  return tolerate(service_->CreateLogFile(path, 0644).status());
+}
+
+Status NetLogServer::AppendTelemetry(std::span<const std::byte> record) {
+  const std::string& path = options_.telemetry_options.journal_path;
+  WriteOptions options;
+  // Timestamped, so the journal is searchable by time like any log file;
+  // unforced — records ride to media with the surrounding traffic's
+  // forces, costing the hot path nothing.
+  options.timestamped = true;
+  if (partitioned_ != nullptr) {
+    return partitioned_->Append(path, record, options).status();
+  }
+  std::lock_guard<std::shared_mutex> lock(service_->mutex());
+  return service_->Append(path, record, options).status();
+}
+
+HealthReport NetLogServer::EvaluateServerHealth() {
+  UpdateProcessGauges();
+  std::optional<StatsSnapshot> previous;
+  uint64_t window_us = 0;
+  if (sampler_ != nullptr) {
+    previous = sampler_->LastSnapshot();
+    window_us = sampler_->LastWindowUs();
+  }
+  HealthReport report =
+      EvaluateHealth(ObsRegistry().Snapshot(),
+                     previous.has_value() ? &*previous : nullptr, window_us,
+                     options_.slo);
+  report.exemplars = SlowRequestRing::Instance().Snapshot(16);
+  return report;
+}
+
 Result<NetLogServer::AppendLane*> NetLogServer::ResolveLane(
     const std::string& path) {
   // Single-service mode has exactly one lane; "/" (routeless — it spans
@@ -392,6 +460,7 @@ void NetLogServer::SessionLoop(Session* session) {
     dispatcher.emplace(service_, &service_->mutex(), route_append,
                        options_.serialize_reads);
   }
+  dispatcher->set_health_fn([this] { return EvaluateServerHealth(); });
   const bool idle_enabled = options_.idle_timeout_ms > 0;
   auto idle_deadline =
       Clock::now() + std::chrono::milliseconds(options_.idle_timeout_ms);
@@ -522,6 +591,7 @@ void NetLogServer::SetUpDispatcher(Conn* conn) {
     conn->dispatcher.emplace(service_, &service_->mutex(), route_append,
                              options_.serialize_reads);
   }
+  conn->dispatcher->set_health_fn([this] { return EvaluateServerHealth(); });
   if (options_.zero_copy) {
     conn->dispatcher->set_zero_copy(true);
   }

@@ -45,6 +45,7 @@
 #include "src/net/event_loop.h"
 #include "src/net/frame.h"
 #include "src/net/socket.h"
+#include "src/obs/telemetry.h"
 #include "src/scrub/scrubber.h"
 
 namespace clio {
@@ -81,6 +82,16 @@ struct NetLogServerOptions {
   // partitioned mode, same as the batch metrics.
   bool scrub = false;
   ScrubOptions scrub_options;
+  // Self-hosted telemetry (DESIGN.md §18): a background TelemetrySampler
+  // journals windowed metric deltas to the reserved system log file
+  // `/.sys/telemetry` (created through the normal write path on boot, on
+  // partition 0 when partitioned), started with the server and flushed by
+  // Stop(). The journal is an ordinary log file: durable across restarts,
+  // timestamp-searchable, covered by the v2 hash chain.
+  bool telemetry = false;
+  TelemetrySamplerOptions telemetry_options;
+  // SLO rules behind the kHealth op and the slow-request exemplar ring.
+  SloRules slo = SloRules::Defaults();
   // Compatibility switch: take the service lock EXCLUSIVE for read ops
   // too, restoring the old one-request-at-a-time behaviour. Exists for
   // bench_read_scaling's --global-lock baseline; leave off in production.
@@ -155,6 +166,8 @@ class NetLogServer {
   const Scrubber* scrubber(size_t lane = 0) const {
     return lanes_[lane].scrubber.get();
   }
+  // The telemetry sampler; null unless options.telemetry was set.
+  const TelemetrySampler* sampler() const { return sampler_.get(); }
 
  private:
   struct Session {
@@ -209,12 +222,23 @@ class NetLogServer {
   Status ForceLane(AppendLane& lane);
   void ReapFinishedSessions();
 
+  // -- Telemetry / health plane (src/obs/telemetry.h). --
+  // Creates /.sys and the journal through the normal write path (no-ops
+  // when they already exist, i.e. after a restart).
+  Status EnsureTelemetryJournal();
+  // The sampler's append closure: one encoded record to the journal.
+  Status AppendTelemetry(std::span<const std::byte> record);
+  // The kHealth evaluator: windowed rules over the live registry, with
+  // slow-request exemplars attached.
+  HealthReport EvaluateServerHealth();
+
   LogService* const service_;  // null in partitioned mode
   PartitionedLogService* partitioned_ = nullptr;
   const NetLogServerOptions options_;
   TcpSocket listener_;
   uint16_t port_ = 0;
   std::vector<AppendLane> lanes_;
+  std::unique_ptr<TelemetrySampler> sampler_;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;  // Stop() already ran to completion

@@ -129,6 +129,8 @@ std::string StatsSnapshot::ToJson() const {
     AppendDouble(&out, hist.p95());
     out.append(",\"p99\":");
     AppendDouble(&out, hist.p99());
+    out.append(",\"p999\":");
+    AppendDouble(&out, hist.p999());
     out.append(",\"buckets\":[");
     for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
       if (i > 0) {

@@ -130,6 +130,7 @@ struct HistogramSnapshot {
   double p90() const { return Percentile(0.90); }
   double p95() const { return Percentile(0.95); }
   double p99() const { return Percentile(0.99); }
+  double p999() const { return Percentile(0.999); }
   double Mean() const {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
@@ -153,7 +154,7 @@ struct StatsSnapshot {
   // One-line machine-readable export:
   //   {"version":1,"counters":{...},"gauges":{...},
   //    "histograms":{name:{"count":..,"sum":..,"max":..,
-  //                        "p50":..,"p90":..,"p95":..,"p99":..,
+  //                        "p50":..,"p90":..,"p95":..,"p99":..,"p999":..,
   //                        "buckets":[..]}}}
   std::string ToJson() const;
 };
